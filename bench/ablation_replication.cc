@@ -1,0 +1,36 @@
+// Ablation A2 (not in the paper): effect of the replication factor R on
+// PaRiS. Higher R means more local coverage (fewer remote reads, so higher
+// locality for the same workload) but more replication traffic and more
+// version-vector entries to stabilize.
+
+#include "bench_common.h"
+
+using namespace paris;
+using namespace paris::bench;
+
+int main() {
+  print_title("Ablation A2: replication factor",
+              "PaRiS, 5 DCs, 45 partitions, default workload, fixed load");
+
+  std::printf("%-6s %12s %10s %12s %14s %14s\n", "R", "mach/DC", "ktx/s", "mean_ms",
+              "vis_p50_ms", "GB_sent");
+
+  for (std::uint32_t r : {1u, 2u, 3u, 5u}) {
+    auto cfg = default_config(System::kParis);
+    cfg.replication = r;
+    cfg.threads_per_process = fast_mode() ? 16 : 32;
+    cfg.measure_visibility = true;
+    cfg.visibility_sample_shift = 4;
+    const auto res = run_experiment(cfg);
+    std::printf("%-6u %12.0f %10.1f %12.2f %14.2f %14.3f\n", r, cfg.machines_per_dc(),
+                res.throughput_tx_s / 1000.0, res.latency_us.mean / 1000.0,
+                res.visibility_hist.count()
+                    ? res.visibility_hist.percentile(0.5) / 1000.0
+                    : 0.0,
+                static_cast<double>(res.bytes_sent) / 1e9);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpectation: higher R adds machines/DC and replication traffic; R=1\n"
+              "(no geo-replication of a partition) makes many reads remote.\n");
+  return 0;
+}

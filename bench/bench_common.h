@@ -1,0 +1,101 @@
+#pragma once
+// Shared plumbing for the figure benchmarks: paper-default configurations,
+// thread sweeps and table printing. Every bench binary prints the series of
+// one figure/table of the paper (DESIGN.md §5 maps ids to binaries).
+//
+// Environment knobs:
+//   PARIS_BENCH_FAST=1    quarter-length runs (CI smoke)
+//   PARIS_BENCH_SEED=<n>  override the default seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+#include "workload/experiment.h"
+
+namespace paris::bench {
+
+using proto::System;
+using workload::ExperimentConfig;
+using workload::ExperimentResult;
+using workload::WorkloadSpec;
+
+inline bool fast_mode() {
+  const char* v = std::getenv("PARIS_BENCH_FAST");
+  return v != nullptr && *v != '0';
+}
+
+inline std::uint64_t bench_seed() {
+  const char* v = std::getenv("PARIS_BENCH_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 42;
+}
+
+/// The paper's default deployment (§V-A): 5 DCs (Virginia, Oregon, Ireland,
+/// Mumbai, Sydney), 45 partitions, replication factor 2 => 18 machines/DC,
+/// 95:5 r:w, 95:5 local:multi, 4 partitions/tx, zipf 0.99.
+inline ExperimentConfig default_config(System sys,
+                                       WorkloadSpec wl = WorkloadSpec::read_heavy()) {
+  ExperimentConfig cfg;
+  cfg.system = sys;
+  cfg.num_dcs = 5;
+  cfg.num_partitions = 45;
+  cfg.replication = 2;
+  cfg.workload = wl;
+  cfg.seed = bench_seed();
+  cfg.warmup_us = fast_mode() ? 150'000 : 250'000;
+  cfg.measure_us = fast_mode() ? 300'000 : 500'000;
+  cfg.codec = sim::CodecMode::kSizeOnly;
+  return cfg;
+}
+
+inline void print_title(const std::string& title, const std::string& subtitle) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_curve_header() {
+  std::printf("%-8s %10s %12s %10s %10s %10s %10s\n", "threads", "ktx/s", "mean_ms",
+              "p50_ms", "p95_ms", "p99_ms", "wall_s");
+}
+
+inline void print_curve_row(std::uint32_t threads, const ExperimentResult& r) {
+  std::printf("%-8u %10.1f %12.2f %10.2f %10.2f %10.2f %10.1f\n", threads,
+              r.throughput_tx_s / 1000.0, r.latency_us.mean / 1000.0,
+              r.latency_us.p50 / 1000.0, r.latency_us.p95 / 1000.0,
+              r.latency_us.p99 / 1000.0, r.wall_seconds);
+}
+
+struct CurvePoint {
+  std::uint32_t threads;
+  ExperimentResult result;
+};
+
+/// Runs a load sweep (each point = one simulated cluster run with a
+/// different number of client threads per process) and prints the curve.
+inline std::vector<CurvePoint> run_curve(ExperimentConfig cfg,
+                                         const std::vector<std::uint32_t>& thread_counts) {
+  std::vector<CurvePoint> out;
+  print_curve_header();
+  for (std::uint32_t t : thread_counts) {
+    cfg.threads_per_process = t;
+    CurvePoint p{t, workload::run_experiment(cfg)};
+    print_curve_row(t, p.result);
+    std::fflush(stdout);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Peak throughput point of a curve.
+inline const CurvePoint& peak(const std::vector<CurvePoint>& curve) {
+  const CurvePoint* best = &curve.front();
+  for (const auto& p : curve)
+    if (p.result.throughput_tx_s > best->result.throughput_tx_s) best = &p;
+  return *best;
+}
+
+}  // namespace paris::bench

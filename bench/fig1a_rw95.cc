@@ -1,0 +1,42 @@
+// Figure 1a: throughput vs. average transaction latency, PaRiS vs. BPR,
+// 95:5 r:w ratio (19 reads + 1 write per transaction), default deployment
+// (5 DCs, 45 partitions, R=2, 18 machines/DC, 4 partitions/tx, 95:5
+// local:multi). Also prints the §V-B "blocking time" statistic for BPR.
+
+#include "bench_common.h"
+
+using namespace paris;
+using namespace paris::bench;
+
+int main() {
+  const auto wl = WorkloadSpec::read_heavy();
+  print_title("Figure 1a: throughput vs avg TX latency (95:5 r:w)",
+              "5 DCs, 45 partitions, R=2, 18 machines/DC | " + wl.describe());
+
+  const std::vector<std::uint32_t> paris_threads =
+      fast_mode() ? std::vector<std::uint32_t>{4, 32, 128}
+                  : std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64, 96, 128, 192};
+  // BPR needs far more concurrency to cover blocked reads (§V-B).
+  const std::vector<std::uint32_t> bpr_threads =
+      fast_mode() ? std::vector<std::uint32_t>{32, 128, 384}
+                  : std::vector<std::uint32_t>{8, 16, 32, 64, 128, 256, 512, 768, 1024};
+
+  std::printf("\n--- PaRiS ---\n");
+  const auto paris_curve = run_curve(default_config(System::kParis, wl), paris_threads);
+
+  std::printf("\n--- BPR ---\n");
+  const auto bpr_curve = run_curve(default_config(System::kBpr, wl), bpr_threads);
+
+  const auto& pp = peak(paris_curve);
+  const auto& bp = peak(bpr_curve);
+  std::printf("\nPeak throughput: PaRiS %.1f ktx/s @ %.2f ms | BPR %.1f ktx/s @ %.2f ms\n",
+              pp.result.throughput_tx_s / 1000.0, pp.result.latency_us.mean / 1000.0,
+              bp.result.throughput_tx_s / 1000.0, bp.result.latency_us.mean / 1000.0);
+  std::printf("PaRiS/BPR: %.2fx throughput, %.2fx lower mean latency at peak\n",
+              pp.result.throughput_tx_s / bp.result.throughput_tx_s,
+              bp.result.latency_us.mean / pp.result.latency_us.mean);
+  std::printf("BPR avg read blocking time at top throughput: %.1f ms "
+              "(paper: ~29 ms for 95:5)\n",
+              bp.result.avg_block_ms);
+  return 0;
+}

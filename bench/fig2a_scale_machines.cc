@@ -1,0 +1,36 @@
+// Figure 2a: PaRiS throughput when varying machines per DC (6, 12, 18) for
+// 3-DC and 5-DC deployments. Machines/DC = N*R/M with one partition replica
+// per machine, so the partition count scales with the cluster.
+// Paper result: ~3x throughput going 6 -> 18 machines/DC, for both DC counts.
+
+#include "bench_common.h"
+
+using namespace paris;
+using namespace paris::bench;
+
+int main() {
+  print_title("Figure 2a: throughput vs machines per DC",
+              "default workload (95:5 r:w, 95:5 local:multi), R=2, saturating load");
+
+  const std::uint32_t threads = fast_mode() ? 64 : 128;
+  std::printf("%-8s %-10s %12s %12s %10s\n", "DCs", "mach/DC", "partitions", "ktx/s",
+              "scale");
+
+  for (std::uint32_t dcs : {3u, 5u}) {
+    double base = 0;
+    for (std::uint32_t mpd : {6u, 12u, 18u}) {
+      auto cfg = default_config(System::kParis);
+      cfg.num_dcs = dcs;
+      cfg.num_partitions = dcs * mpd / cfg.replication;
+      cfg.threads_per_process = threads;
+      const auto res = run_experiment(cfg);
+      if (base == 0) base = res.throughput_tx_s;
+      std::printf("%-8u %-10u %12u %12.1f %9.2fx\n", dcs, mpd, cfg.num_partitions,
+                  res.throughput_tx_s / 1000.0, res.throughput_tx_s / base);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: ideal 3x improvement scaling 6 -> 18 machines/DC)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 2b: PaRiS throughput when varying the number of DCs (3, 5, 10) for
+// 6 and 12 machines per DC. Paper result: ~3.33x scaling from 3 to 10 DCs.
+
+#include "bench_common.h"
+
+using namespace paris;
+using namespace paris::bench;
+
+int main() {
+  print_title("Figure 2b: throughput vs number of DCs",
+              "default workload (95:5 r:w, 95:5 local:multi), R=2, saturating load");
+
+  const std::uint32_t threads = fast_mode() ? 64 : 128;
+  std::printf("%-10s %-8s %12s %12s %10s\n", "mach/DC", "DCs", "partitions", "ktx/s",
+              "scale");
+
+  for (std::uint32_t mpd : {6u, 12u}) {
+    double base = 0;
+    for (std::uint32_t dcs : {3u, 5u, 10u}) {
+      auto cfg = default_config(System::kParis);
+      cfg.num_dcs = dcs;
+      cfg.num_partitions = dcs * mpd / cfg.replication;
+      cfg.threads_per_process = threads;
+      const auto res = run_experiment(cfg);
+      if (base == 0) base = res.throughput_tx_s;
+      std::printf("%-10u %-8u %12u %12.1f %9.2fx\n", mpd, dcs, cfg.num_partitions,
+                  res.throughput_tx_s / 1000.0, res.throughput_tx_s / base);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: ideal 3.33x improvement scaling 3 -> 10 DCs)\n");
+  return 0;
+}

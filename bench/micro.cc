@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: HLC
+// updates, storage reads/writes, wire encode/decode, zipfian draws, the
+// event queue and histogram recording.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hlc.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "stats/histogram.h"
+#include "storage/mv_store.h"
+#include "wire/messages.h"
+
+namespace {
+
+using namespace paris;
+
+void BM_HlcTick(benchmark::State& state) {
+  Hlc hlc;
+  std::uint64_t now = 1'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlc.tick(now));
+    now += 1;
+  }
+}
+BENCHMARK(BM_HlcTick);
+
+void BM_HlcTickPast(benchmark::State& state) {
+  Hlc hlc;
+  std::uint64_t now = 1'000'000;
+  const Timestamp observed = Timestamp::from_physical(2'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hlc.tick_past(now, observed));
+    now += 1;
+  }
+}
+BENCHMARK(BM_HlcTickPast);
+
+void BM_StoreApply(benchmark::State& state) {
+  store::MvStore s;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    s.apply(i % 4096, "12345678", Timestamp::from_physical(i + 1), TxId::make(1, i & 0xffffffff),
+            0);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_StoreApply);
+
+void BM_StoreSnapshotRead(benchmark::State& state) {
+  store::MvStore s;
+  for (std::uint64_t i = 0; i < 4096; ++i)
+    for (std::uint64_t v = 0; v < 4; ++v)
+      s.apply(i, "12345678", Timestamp::from_physical(100 * (v + 1)), TxId::make(1, i * 4 + v), 0);
+  const Timestamp snap = Timestamp::from_physical(250);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.read(i % 4096, snap));
+    ++i;
+  }
+}
+BENCHMARK(BM_StoreSnapshotRead);
+
+wire::ReplicateBatch make_batch(int txs, int writes) {
+  wire::ReplicateBatch b;
+  b.partition = 7;
+  b.upto = Timestamp::from_physical(123456);
+  wire::ReplicateGroup g;
+  g.ct = Timestamp::from_physical(123000);
+  for (int t = 0; t < txs; ++t) {
+    wire::ReplicateTxn tx;
+    tx.tx = TxId::make(3, t);
+    for (int w = 0; w < writes; ++w)
+      tx.writes.push_back(wire::WriteKV{static_cast<Key>(t * writes + w), "abcdefgh"});
+    g.txs.push_back(std::move(tx));
+  }
+  b.groups.push_back(std::move(g));
+  return b;
+}
+
+void BM_WireEncodeReplicateBatch(benchmark::State& state) {
+  const auto batch = make_batch(8, 4);
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    wire::encode_message(batch, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * buf.size()));
+}
+BENCHMARK(BM_WireEncodeReplicateBatch);
+
+void BM_WireRoundtripReplicateBatch(benchmark::State& state) {
+  const auto batch = make_batch(8, 4);
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    wire::encode_message(batch, buf);
+    wire::Decoder d(buf);
+    auto copy = wire::decode_message(d);
+    benchmark::DoNotOptimize(copy.get());
+  }
+}
+BENCHMARK(BM_WireRoundtripReplicateBatch);
+
+void BM_ZipfianDraw(benchmark::State& state) {
+  Rng rng(7);
+  Zipfian z(static_cast<std::uint64_t>(state.range(0)), 0.99);
+  for (auto _ : state) benchmark::DoNotOptimize(z.draw(rng));
+}
+BENCHMARK(BM_ZipfianDraw)->Arg(1000)->Arg(100000);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t t = 0;
+  Rng rng(3);
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) q.push(t + rng.next_below(1000), [] {});
+    sim::SimTime at;
+    for (int i = 0; i < 16; ++i) benchmark::DoNotOptimize(q.pop(&at));
+    ++t;
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  Rng rng(5);
+  for (auto _ : state) h.record(rng.next_below(1'000'000));
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

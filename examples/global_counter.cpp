@@ -1,0 +1,109 @@
+// Global page-view counter: the conflict-resolution extension in action
+// (§II-B: PaRiS resolves conflicts with LWW by default but supports any
+// commutative, associative merge).
+//
+// Five DCs concurrently increment the same counter key. With register
+// (LWW) semantics, concurrent increments overwrite each other and views
+// are lost; with counter semantics every delta survives and all replicas
+// converge to the exact total.
+
+#include <cstdio>
+#include <vector>
+
+#include "proto/deployment.h"
+
+using namespace paris;
+
+namespace {
+
+struct Blocking {
+  sim::Simulation& sim;
+  proto::Client& c;
+  void start() {
+    bool d = false;
+    c.start_tx([&](TxId, Timestamp) { d = true; });
+    while (!d) sim.step();
+  }
+  void commit() {
+    bool d = false;
+    c.commit([&](Timestamp) { d = true; });
+    while (!d) sim.step();
+  }
+  std::int64_t read_counter(Key k) {
+    bool d = false;
+    std::int64_t out = 0;
+    c.read({k},
+           [&](std::vector<wire::Item> items) {
+             out = items[0].v.empty() ? 0 : std::stoll(items[0].v);
+             d = true;
+           },
+           wire::ReadMode::kCounter);
+    while (!d) sim.step();
+    return out;
+  }
+  std::string read_register(Key k) {
+    bool d = false;
+    std::string out;
+    c.read({k}, [&](std::vector<wire::Item> items) {
+      out = items[0].v;
+      d = true;
+    });
+    while (!d) sim.step();
+    return out;
+  }
+};
+
+}  // namespace
+
+int main() {
+  proto::DeploymentConfig cfg;
+  cfg.system = proto::System::kParis;
+  cfg.topo = {/*num_dcs=*/5, /*num_partitions=*/10, /*replication=*/2};
+  cfg.seed = 11;
+  proto::Deployment dep(cfg);
+  dep.start();
+  dep.run_for(300'000);
+  const auto& topo = dep.topo();
+
+  const Key views = topo.make_key(3, 42);          // counter key
+  const Key views_lww = topo.make_key(4, 42);      // same workload, LWW register
+
+  std::vector<proto::Client*> clients;
+  for (DcId d = 0; d < 5; ++d) clients.push_back(&dep.add_client(d, topo.partitions_at(d)[0]));
+
+  std::printf("== page-view counter: 5 DCs increment concurrently ==\n\n");
+
+  // Each DC records 20 views, interleaved with no settling: maximal
+  // cross-DC write concurrency.
+  const int per_dc = 20;
+  for (int i = 0; i < per_dc; ++i) {
+    for (auto* c : clients) {
+      Blocking b{dep.sim(), *c};
+      b.start();
+      c->add(views, 1);  // counter delta: merges by summation
+      // Naive LWW emulation: read-modify-write a register (racy by design).
+      const std::string cur = b.read_register(views_lww);
+      c->write({{views_lww, std::to_string((cur.empty() ? 0 : std::stoll(cur)) + 1)}});
+      b.commit();
+    }
+  }
+
+  dep.run_for(1'500'000);  // full stabilization
+
+  std::printf("expected total: %d views\n\n", per_dc * 5);
+  std::printf("%-12s %16s %22s\n", "read from", "counter (merge)", "register (LWW rmw)");
+  for (DcId d = 0; d < 5; ++d) {
+    Blocking b{dep.sim(), *clients[d]};
+    b.start();
+    const std::int64_t merged = b.read_counter(views);
+    const std::string lww = b.read_register(views_lww);
+    b.commit();
+    std::printf("DC%-11u %16lld %22s\n", d, static_cast<long long>(merged),
+                lww.empty() ? "0" : lww.c_str());
+  }
+
+  std::printf("\nThe counter converges to the exact total on every replica; the LWW\n"
+              "register lost most concurrent increments (stale read-modify-write),\n"
+              "which is why merge functions matter for this workload class.\n");
+  return 0;
+}

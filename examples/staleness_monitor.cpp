@@ -1,0 +1,92 @@
+// Staleness monitor: watches the UST lag (how far the stable snapshot
+// trails wall-clock time) on a 5-DC cluster, then injects a DC partition
+// and shows the paper's §III-C availability behavior live:
+//   * the UST freezes at ALL DCs (it is a system-wide minimum),
+//   * local transactions keep completing without blocking,
+//   * client write caches grow because they cannot be pruned,
+//   * after the heal, the UST snaps back and caches drain.
+
+#include <cstdio>
+
+#include "proto/deployment.h"
+
+using namespace paris;
+
+namespace {
+
+struct Blocking {
+  sim::Simulation& sim;
+  proto::Client& c;
+  Timestamp start() {
+    bool d = false;
+    Timestamp s;
+    c.start_tx([&](TxId, Timestamp x) { s = x, d = true; });
+    while (!d) sim.step();
+    return s;
+  }
+  void commit() {
+    bool d = false;
+    c.commit([&](Timestamp) { d = true; });
+    while (!d) sim.step();
+  }
+};
+
+}  // namespace
+
+int main() {
+  proto::DeploymentConfig cfg;
+  cfg.system = proto::System::kParis;
+  cfg.topo = {/*num_dcs=*/5, /*num_partitions=*/10, /*replication=*/2};
+  cfg.seed = 5;
+  proto::Deployment dep(cfg);
+  dep.start();
+  const auto& topo = dep.topo();
+
+  auto& client = dep.add_client(0, topo.partitions_at(0)[0]);
+  Blocking bc{dep.sim(), client};
+
+  auto sample = [&](const char* phase) {
+    // UST lag at one server per DC + a local transaction's latency.
+    std::printf("%-22s t=%7.0f ms | UST lag per DC (ms):", phase, dep.sim().now() / 1000.0);
+    for (DcId d = 0; d < topo.num_dcs(); ++d) {
+      auto* s = dep.paris_server(d, topo.partitions_at(d)[0]);
+      const double lag =
+          (static_cast<double>(dep.sim().now()) - static_cast<double>(s->ust().physical_us())) /
+          1000.0;
+      std::printf(" %7.1f", lag);
+    }
+    const auto t0 = dep.sim().now();
+    bc.start();
+    client.write({{topo.make_key(topo.partitions_at(0)[0], 7), "tick"}});
+    bc.commit();
+    std::printf(" | local tx %5.2f ms | cache %zu\n",
+                (dep.sim().now() - t0) / 1000.0, client.cache_size());
+  };
+
+  std::printf("== UST staleness monitor: 5 DCs (AWS latencies), 10 partitions, R=2 ==\n\n");
+
+  dep.run_for(500'000);
+  sample("steady state");
+  dep.run_for(250'000);
+  sample("steady state");
+
+  std::printf("\n--- isolating DC4 (Sydney) from the rest of the system ---\n\n");
+  dep.net().isolate_dc(4);
+  for (int i = 0; i < 4; ++i) {
+    dep.run_for(250'000);
+    sample("partitioned");
+  }
+  std::printf("\n  note: UST lag grows ~linearly at every DC — the UST is the\n"
+              "  system-wide minimum — yet local transactions stay fast and the\n"
+              "  write cache holds unpruned commits.\n");
+
+  std::printf("\n--- healing the partition ---\n\n");
+  dep.net().heal_all();
+  for (int i = 0; i < 3; ++i) {
+    dep.run_for(250'000);
+    sample("healed");
+  }
+
+  std::printf("\nUST snapped back to the steady-state lag; cache drained.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+
+namespace paris::cluster {
+
+Topology::Topology(const TopologyConfig& cfg) : cfg_(cfg) {
+  PARIS_CHECK_MSG(cfg.num_dcs >= 1, "need at least one DC");
+  PARIS_CHECK_MSG(cfg.num_partitions >= 1, "need at least one partition");
+  PARIS_CHECK_MSG(cfg.replication >= 1 && cfg.replication <= cfg.num_dcs,
+                  "replication factor must be in [1, M]");
+
+  const std::uint32_t M = cfg.num_dcs, N = cfg.num_partitions, R = cfg.replication;
+  replicas_.resize(N);
+  replica_idx_.assign(static_cast<std::size_t>(M) * N, kInvalidReplica);
+  local_partitions_.resize(M);
+
+  for (PartitionId p = 0; p < N; ++p) {
+    replicas_[p].reserve(R);
+    for (std::uint32_t j = 0; j < R; ++j) {
+      const DcId dc = (p + j) % M;
+      replicas_[p].push_back(dc);
+      replica_idx_[static_cast<std::size_t>(dc) * N + p] = j;
+      local_partitions_[dc].push_back(p);
+    }
+  }
+  for (auto& v : local_partitions_) {
+    std::sort(v.begin(), v.end());
+    total_servers_ += static_cast<std::uint32_t>(v.size());
+  }
+}
+
+DcId Topology::target_dc(DcId client_dc, PartitionId p) const {
+  const ReplicaIdx local = replica_idx(client_dc, p);
+  if (local != kInvalidReplica) return client_dc;
+  const auto& reps = replicas(p);
+  // Fixed per-(DC, partition) preference, rotated across DCs so remote load
+  // spreads over the R replicas (round-robin assignment of §V-A).
+  return reps[(client_dc + p) % reps.size()];
+}
+
+}  // namespace paris::cluster

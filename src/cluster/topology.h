@@ -1,0 +1,108 @@
+#pragma once
+// Cluster topology: M data centers, N partitions, replication factor R
+// (§II-C). Each partition is replicated at R DCs chosen round-robin
+// (partition p lives at DCs (p+j) mod M for j in [0,R)), which spreads
+// primaries evenly and gives every DC exactly N*R/M local partitions when
+// M divides N*R — matching the paper's deployments (e.g. 45 partitions,
+// R=2, 5 DCs -> 18 servers per DC).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace paris::cluster {
+
+struct TopologyConfig {
+  std::uint32_t num_dcs = 3;         ///< M
+  std::uint32_t num_partitions = 9;  ///< N
+  std::uint32_t replication = 2;     ///< R (<= M)
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& cfg);
+
+  std::uint32_t num_dcs() const { return cfg_.num_dcs; }
+  std::uint32_t num_partitions() const { return cfg_.num_partitions; }
+  std::uint32_t replication() const { return cfg_.replication; }
+
+  /// Deterministic key -> partition map. Keys are constructed by
+  /// make_key(partition, rank) so workloads can target partitions directly;
+  /// the inverse is a plain modulo (the paper only requires a deterministic
+  /// hash assignment).
+  PartitionId partition_of(Key k) const { return static_cast<PartitionId>(k % cfg_.num_partitions); }
+  Key make_key(PartitionId p, std::uint64_t rank) const {
+    return rank * cfg_.num_partitions + p;
+  }
+
+  /// The R DCs storing partition p, primary first.
+  const std::vector<DcId>& replicas(PartitionId p) const {
+    PARIS_DCHECK(p < cfg_.num_partitions);
+    return replicas_[p];
+  }
+
+  bool dc_replicates(DcId dc, PartitionId p) const {
+    return replica_idx(dc, p) != kInvalidReplica;
+  }
+
+  /// Index of DC `dc` within replicas(p), or kInvalidReplica.
+  ReplicaIdx replica_idx(DcId dc, PartitionId p) const {
+    PARIS_DCHECK(dc < cfg_.num_dcs && p < cfg_.num_partitions);
+    return replica_idx_[static_cast<std::size_t>(dc) * cfg_.num_partitions + p];
+  }
+
+  /// Partitions with a replica in `dc` (sorted). One server each => this is
+  /// also the per-DC server list ("machines per DC" in the paper's plots).
+  const std::vector<PartitionId>& partitions_at(DcId dc) const {
+    PARIS_DCHECK(dc < cfg_.num_dcs);
+    return local_partitions_[dc];
+  }
+
+  std::uint32_t servers_per_dc(DcId dc) const {
+    return static_cast<std::uint32_t>(partitions_at(dc).size());
+  }
+  std::uint32_t total_servers() const { return total_servers_; }
+
+  /// DC whose replica of p a node in client_dc should contact: the local DC
+  /// if it replicates p, otherwise a per-(DC, partition) round-robin choice,
+  /// fixed for all clients of the DC (§V-A "preferred remote replica").
+  DcId target_dc(DcId client_dc, PartitionId p) const;
+
+ private:
+  TopologyConfig cfg_;
+  std::vector<std::vector<DcId>> replicas_;             // [p] -> R DCs
+  std::vector<ReplicaIdx> replica_idx_;                 // [dc*N+p]
+  std::vector<std::vector<PartitionId>> local_partitions_;  // [dc]
+  std::uint32_t total_servers_ = 0;
+};
+
+/// Runtime directory: where each (dc, partition) server actor lives in the
+/// simulated network. Populated by the cluster builder.
+class Directory {
+ public:
+  explicit Directory(const Topology& topo)
+      : topo_(&topo),
+        nodes_(static_cast<std::size_t>(topo.num_dcs()) * topo.num_partitions(), kInvalidNode) {}
+
+  void set_server(DcId dc, PartitionId p, NodeId node) {
+    nodes_[index(dc, p)] = node;
+  }
+  NodeId server(DcId dc, PartitionId p) const {
+    const NodeId n = nodes_[index(dc, p)];
+    PARIS_DCHECK(n != kInvalidNode);
+    return n;
+  }
+  bool has_server(DcId dc, PartitionId p) const { return nodes_[index(dc, p)] != kInvalidNode; }
+
+ private:
+  std::size_t index(DcId dc, PartitionId p) const {
+    PARIS_DCHECK(dc < topo_->num_dcs() && p < topo_->num_partitions());
+    return static_cast<std::size_t>(dc) * topo_->num_partitions() + p;
+  }
+  const Topology* topo_;
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace paris::cluster

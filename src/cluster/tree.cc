@@ -1,0 +1,2 @@
+// tree.h is header-only; TU kept so the cluster library always has content.
+#include "cluster/tree.h"

@@ -1,0 +1,53 @@
+#pragma once
+// Intra-DC stabilization tree (§IV-B "Stabilization protocol"): the servers
+// of a DC are arranged in a k-ary tree; minima are aggregated leaves->root,
+// and the UST is disseminated root->leaves. PaRiS organizes nodes this way
+// (following GentleRain/Cure) to keep the gossip message count linear.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace paris::cluster {
+
+class StabTree {
+ public:
+  /// A k-ary heap-shaped tree over n nodes indexed 0..n-1; node 0 is root.
+  StabTree(std::uint32_t n, std::uint32_t fanout = 2) : n_(n), fanout_(fanout) {
+    PARIS_CHECK(n >= 1);
+    PARIS_CHECK(fanout >= 1);
+  }
+
+  std::uint32_t size() const { return n_; }
+  std::uint32_t fanout() const { return fanout_; }
+  bool is_root(std::uint32_t i) const { return i == 0; }
+
+  std::uint32_t parent(std::uint32_t i) const {
+    PARIS_DCHECK(i > 0 && i < n_);
+    return (i - 1) / fanout_;
+  }
+
+  std::vector<std::uint32_t> children(std::uint32_t i) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = i * fanout_ + 1; c <= i * fanout_ + fanout_ && c < n_; ++c)
+      out.push_back(c);
+    return out;
+  }
+
+  std::uint32_t depth() const {
+    std::uint32_t d = 0, span = 1, covered = 1;
+    while (covered < n_) {
+      span *= fanout_;
+      covered += span;
+      ++d;
+    }
+    return d;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t fanout_;
+};
+
+}  // namespace paris::cluster

@@ -1,0 +1,43 @@
+#pragma once
+// Lightweight contract checks. PARIS_CHECK is always on (cheap invariants on
+// hot paths must use PARIS_DCHECK / PARIS_PARANOID_CHECK instead).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paris::detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PARIS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg && *msg ? " - " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace paris::detail
+
+#define PARIS_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::paris::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PARIS_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) ::paris::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define PARIS_DCHECK(cond) PARIS_CHECK(cond)
+#else
+#define PARIS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+// Expensive protocol invariants (e.g. "a read-slice snapshot is always
+// installed locally"); enabled with -DPARIS_PARANOID=1.
+#ifdef PARIS_PARANOID
+#define PARIS_PARANOID_CHECK(cond) PARIS_CHECK(cond)
+#else
+#define PARIS_PARANOID_CHECK(cond) \
+  do {                             \
+  } while (0)
+#endif

@@ -1,0 +1,31 @@
+#include "common/hlc.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace paris {
+
+std::string to_string(Timestamp ts) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%u",
+                static_cast<unsigned long long>(ts.physical_us()),
+                static_cast<unsigned>(ts.logical()));
+  return buf;
+}
+
+Timestamp Hlc::tick(std::uint64_t physical_now_us) {
+  value_ = std::max(phys(physical_now_us), value_.next());
+  return value_;
+}
+
+Timestamp Hlc::tick_past(std::uint64_t physical_now_us, Timestamp observed) {
+  value_ = std::max({phys(physical_now_us), value_.next(), observed.next()});
+  return value_;
+}
+
+Timestamp Hlc::observe(std::uint64_t physical_now_us, Timestamp observed) {
+  value_ = std::max({phys(physical_now_us), value_, observed});
+  return value_;
+}
+
+}  // namespace paris

@@ -1,0 +1,76 @@
+#pragma once
+// Hybrid Logical Clocks (Kulkarni et al., OPODIS'14), as used by PaRiS to
+// generate commit timestamps (§III-B "Generating timestamps").
+//
+// A Timestamp packs the physical component (microseconds) into the high
+// 48 bits and a logical counter into the low 16 bits. This gives the standard
+// HLC property: timestamps are close to the physical clock, totally ordered,
+// and can be advanced past an incoming event without waiting for the physical
+// clock to catch up.
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.h"
+
+namespace paris {
+
+/// Scalar timestamp used for versions, snapshots and the UST.
+/// PaRiS's headline meta-data property: this one scalar is the *only*
+/// dependency meta-data (Table I row "PaRiS": 1 ts).
+struct Timestamp {
+  std::uint64_t raw = 0;
+
+  static constexpr int kLogicalBits = 16;
+  static constexpr std::uint64_t kLogicalMask = (1ull << kLogicalBits) - 1;
+
+  static constexpr Timestamp from_parts(std::uint64_t physical_us, std::uint16_t logical) {
+    return Timestamp{(physical_us << kLogicalBits) | logical};
+  }
+  /// A timestamp at the given physical time with zero logical component.
+  static constexpr Timestamp from_physical(std::uint64_t physical_us) {
+    return from_parts(physical_us, 0);
+  }
+
+  constexpr std::uint64_t physical_us() const { return raw >> kLogicalBits; }
+  constexpr std::uint16_t logical() const { return static_cast<std::uint16_t>(raw & kLogicalMask); }
+  constexpr bool is_zero() const { return raw == 0; }
+
+  constexpr Timestamp next() const { return Timestamp{raw + 1}; }
+
+  friend constexpr auto operator<=>(Timestamp, Timestamp) = default;
+};
+
+inline constexpr Timestamp kTsZero{};
+inline constexpr Timestamp kTsMax{~0ull};
+
+/// Renders "phys.logical" for logs and test diagnostics.
+std::string to_string(Timestamp ts);
+
+/// Hybrid Logical Clock state machine. Not thread-safe; in the simulator each
+/// server owns one and the event loop serializes access.
+class Hlc {
+ public:
+  /// Current value without advancing (latest issued/observed timestamp).
+  Timestamp value() const { return value_; }
+
+  /// HLC "send/local" event: value = max(physical_now, value + 1).
+  /// Returns the new value.
+  Timestamp tick(std::uint64_t physical_now_us);
+
+  /// HLC "receive" event: value = max(physical_now, value + 1, observed + 1).
+  /// Mirrors Alg. 3 line 10 (HLC <- max(Clock, ht+1, HLC+1)).
+  Timestamp tick_past(std::uint64_t physical_now_us, Timestamp observed);
+
+  /// Merge an observed timestamp without producing a new event:
+  /// value = max(value, observed, physical_now). Mirrors Alg. 3 line 16.
+  Timestamp observe(std::uint64_t physical_now_us, Timestamp observed);
+
+ private:
+  static Timestamp phys(std::uint64_t physical_now_us) {
+    return Timestamp::from_physical(physical_now_us);
+  }
+  Timestamp value_ = kTsZero;
+};
+
+}  // namespace paris

@@ -1,0 +1,22 @@
+#include "common/phys_clock.h"
+
+#include <cmath>
+
+namespace paris {
+
+PhysClock PhysClock::sample(Rng& rng, std::int64_t max_error_us, double max_drift_ppm) {
+  const auto span = static_cast<std::uint64_t>(2 * max_error_us + 1);
+  const std::int64_t offset = static_cast<std::int64_t>(rng.next_below(span)) - max_error_us;
+  const double drift = (rng.next_double() * 2.0 - 1.0) * max_drift_ppm;
+  return PhysClock(offset, drift);
+}
+
+std::uint64_t PhysClock::read_us(std::uint64_t now_us) const {
+  const double drifted = static_cast<double>(now_us) * (drift_ppm_ * 1e-6);
+  const std::int64_t shift = offset_us_ + static_cast<std::int64_t>(std::llround(drifted));
+  const auto base = static_cast<std::int64_t>(now_us);
+  const std::int64_t v = base + shift;
+  return v < 0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace paris

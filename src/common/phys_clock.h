@@ -1,0 +1,36 @@
+#pragma once
+// Physical clock model. The paper uses NTP-synchronized clocks; we model a
+// per-server constant offset plus a slow linear drift, both bounded by a
+// configurable synchronization error, on top of the simulator's global time.
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace paris {
+
+/// Per-server wall clock: reading it at simulated time t returns
+/// t + offset + drift_ppm * t. Monotonicity is preserved because the drift
+/// magnitude is far below 1 (reads also never go backwards for offset-only
+/// perturbations).
+class PhysClock {
+ public:
+  PhysClock() = default;
+  PhysClock(std::int64_t offset_us, double drift_ppm)
+      : offset_us_(offset_us), drift_ppm_(drift_ppm) {}
+
+  /// Samples a clock with |offset| <= max_error_us and |drift| <= max_drift_ppm.
+  static PhysClock sample(Rng& rng, std::int64_t max_error_us, double max_drift_ppm);
+
+  /// The server's local wall-clock reading (µs) at simulated time now_us.
+  std::uint64_t read_us(std::uint64_t now_us) const;
+
+  std::int64_t offset_us() const { return offset_us_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  std::int64_t offset_us_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace paris

@@ -1,0 +1,51 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace paris {
+
+namespace {
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+Zipfian::Zipfian(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  PARIS_CHECK_MSG(n > 0, "zipfian over empty domain");
+  PARIS_CHECK_MSG(theta > 0 && theta < 1.0, "theta must be in (0,1) for this generator");
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta);
+}
+
+std::uint64_t Zipfian::draw(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::vector<std::uint32_t> sample_distinct(Rng& rng, std::uint32_t n, std::uint32_t k) {
+  PARIS_CHECK(k <= n);
+  // Floyd's algorithm would avoid the O(n) init but partition counts are
+  // small (tens); keep it simple and obviously correct.
+  std::vector<std::uint32_t> pool(n);
+  for (std::uint32_t i = 0; i < n; ++i) pool[i] = i;
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(rng.next_below(n - i));
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+}  // namespace paris

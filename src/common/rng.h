@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic random number generation. All randomness in the repository
+// flows through these generators so that every simulation run is exactly
+// reproducible from a single 64-bit seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace paris {
+
+/// SplitMix64 — used for seeding and hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) s = x = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    PARIS_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // the modulo bias for bound << 2^64 is negligible for simulation use,
+    // but we keep the 128-bit multiply method for uniformity anyway.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    PARIS_DCHECK(hi >= lo);
+    return lo + next_below(hi - lo + 1);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// YCSB-style zipfian generator over [0, n). Uses the Gray et al. method with
+/// precomputed zeta(n, theta); construction is O(n), draws are O(1).
+/// theta = 0.99 matches the paper's workload (§V-A).
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta);
+
+  std::uint64_t draw(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+/// Fisher-Yates sample of k distinct values from [0, n) without replacement.
+std::vector<std::uint32_t> sample_distinct(Rng& rng, std::uint32_t n, std::uint32_t k);
+
+}  // namespace paris

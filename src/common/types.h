@@ -1,0 +1,51 @@
+#pragma once
+// Core identifier and value types shared by every subsystem.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace paris {
+
+/// Keys are 64-bit integers (the paper uses 8-byte items; YCSB keys hash to
+/// integers anyway). The cluster's KeyMapper assigns each key to a partition.
+using Key = std::uint64_t;
+
+/// Values are opaque byte strings (the workloads use 8-byte values).
+using Value = std::string;
+
+using DcId = std::uint32_t;         ///< data-center (replication site) id, 0..M-1
+using PartitionId = std::uint32_t;  ///< shard id, 0..N-1
+using ReplicaIdx = std::uint32_t;   ///< index of a replica within a partition, 0..R-1
+using NodeId = std::uint32_t;       ///< simulator actor id (servers and clients)
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr ReplicaIdx kInvalidReplica = static_cast<ReplicaIdx>(-1);
+
+/// Globally unique transaction identifier: (coordinator node, per-node seq).
+/// Total order on TxId (used for tie-breaking concurrent same-timestamp
+/// versions together with the source DC, per §IV-B "Read").
+struct TxId {
+  std::uint64_t raw = 0;
+
+  static constexpr TxId make(NodeId coordinator, std::uint32_t seq) {
+    return TxId{(static_cast<std::uint64_t>(coordinator) << 32) | seq};
+  }
+  constexpr NodeId coordinator() const { return static_cast<NodeId>(raw >> 32); }
+  constexpr std::uint32_t seq() const { return static_cast<std::uint32_t>(raw); }
+  constexpr bool valid() const { return raw != 0; }
+
+  friend constexpr auto operator<=>(TxId, TxId) = default;
+};
+
+inline constexpr TxId kInvalidTxId{};
+
+}  // namespace paris
+
+template <>
+struct std::hash<paris::TxId> {
+  std::size_t operator()(paris::TxId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.raw);
+  }
+};

@@ -1,0 +1,45 @@
+#pragma once
+// BPR — Blocking Partial Replication (§V, "Competitor system").
+//
+// BPR is the paper's baseline: same storage, replication, 2PC and meta-data
+// footprint (one timestamp) as PaRiS, but it favors snapshot freshness:
+// a transaction's snapshot is the maximum of the client's highest observed
+// snapshot and the coordinator's clock. The price is that a read slice with
+// snapshot t must WAIT until the partition has applied every local and
+// remote transaction with timestamp up to t — i.e. until min(VV) >= t.
+
+#include <map>
+
+#include "proto/server_base.h"
+
+namespace paris::proto {
+
+class BprServer : public ServerBase {
+ public:
+  BprServer(Runtime& rt, DcId dc, PartitionId partition)
+      : ServerBase(rt, dc, partition) {}
+
+  /// Locally installed snapshot: reads up to this bound proceed immediately.
+  Timestamp local_stable() const { return min_vv(); }
+  std::size_t blocked_reads_pending() const { return blocked_.size(); }
+  Timestamp stable_snapshot() const override { return min_vv(); }
+
+ protected:
+  Timestamp assign_snapshot(Timestamp client_seen) override;
+  void handle_read_slice(NodeId from, const wire::ReadSliceReq& req) override;
+  Timestamp propose_ts(const wire::PrepareReq& req) override;
+  void on_vv_advanced() override;
+  Timestamp gc_watermark() const override;
+  void note_applied(TxId tx, Timestamp ct) override;
+
+ private:
+  struct BlockedRead {
+    NodeId from;
+    wire::ReadSliceReq req;
+    sim::SimTime since;
+  };
+  /// Parked reads keyed by required snapshot; drained when min(VV) advances.
+  std::multimap<Timestamp, BlockedRead> blocked_;
+};
+
+}  // namespace paris::proto

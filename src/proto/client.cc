@@ -1,0 +1,267 @@
+#include "proto/client.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace paris::proto {
+
+using namespace wire;
+
+Client::Client(Runtime& rt, DcId dc, NodeId coordinator, Options opt)
+    : rt_(rt), dc_(dc), coord_(coordinator), opt_(opt) {}
+
+void Client::start_tx(StartCb cb) {
+  PARIS_CHECK_MSG(!in_tx(), "client already has a running transaction");
+  PARIS_CHECK(self_ != kInvalidNode);
+  start_cb_ = std::move(cb);
+  ++stats_.txs_started;
+
+  auto req = std::make_shared<ClientStartReq>();
+  // Alg. 1 line 2: piggyback the last observed snapshot. BPR additionally
+  // folds in the last commit time so the fresh snapshot covers it.
+  req->ust_c = opt_.fold_hwt_into_seen ? std::max(ust_c_, hwt_) : ust_c_;
+  rt_.net.send(self_, coord_, std::move(req));
+}
+
+void Client::read(std::vector<Key> keys, ReadCb cb, ReadMode mode) {
+  PARIS_CHECK_MSG(in_tx(), "read outside a transaction");
+  PARIS_CHECK_MSG(read_cb_ == nullptr, "read already in flight");
+  PARIS_CHECK(!keys.empty());
+  read_cb_ = std::move(cb);
+  pending_keys_ = std::move(keys);
+  pending_found_.clear();
+  pending_mode_ = mode;
+
+  // Alg. 1 lines 10-14: serve from WS, RS, WC (in that order). Counter
+  // reads always consult the server (the merged sum needs the global
+  // history); local deltas are folded in on delivery.
+  std::vector<Key> remote;
+  for (Key k : pending_keys_) {
+    if (pending_found_.count(k)) continue;  // duplicate key in request
+    if (mode == ReadMode::kCounter) {
+      if (const auto rs_it = rs_.find(k); rs_it != rs_.end()) {
+        pending_found_.emplace(k, rs_it->second);  // repeatable reads
+        ++stats_.local_hits;
+      } else {
+        remote.push_back(k);
+      }
+      continue;
+    }
+    const auto ws_it = std::find_if(ws_.begin(), ws_.end(),
+                                    [k](const WriteKV& w) { return w.k == k; });
+    if (ws_it != ws_.end()) {
+      // Own uncommitted write: surfaced with the current transaction's id.
+      Item item;
+      item.k = k;
+      item.v = ws_it->v;
+      item.tx = current_tx_;
+      item.sr = dc_;
+      pending_found_.emplace(k, std::move(item));
+      ++stats_.local_hits;
+      continue;
+    }
+    if (const auto rs_it = rs_.find(k); rs_it != rs_.end()) {
+      pending_found_.emplace(k, rs_it->second);  // repeatable reads
+      ++stats_.local_hits;
+      continue;
+    }
+    if (opt_.use_write_cache) {
+      if (const auto c_it = cache_.find(k); c_it != cache_.end()) {
+        pending_found_.emplace(k, c_it->second);
+        ++stats_.local_hits;
+        continue;
+      }
+    }
+    remote.push_back(k);
+  }
+  stats_.keys_read += pending_keys_.size();
+
+  if (remote.empty()) {
+    // Fully served locally; stay asynchronous for uniform driver behavior.
+    rt_.sim.after(0, [this] { deliver_read(); });
+    return;
+  }
+  auto req = std::make_shared<ClientReadReq>();
+  req->tx = current_tx_;
+  req->mode = static_cast<std::uint8_t>(mode);
+  req->keys = std::move(remote);
+  rt_.net.send(self_, coord_, std::move(req));
+}
+
+void Client::add(Key k, std::int64_t delta) {
+  PARIS_CHECK_MSG(in_tx(), "add outside a transaction");
+  ++stats_.keys_written;
+  const auto it = std::find_if(ws_.begin(), ws_.end(),
+                               [k](const WriteKV& w) { return w.k == k; });
+  if (it != ws_.end()) {
+    PARIS_CHECK_MSG(it->write_kind() == WriteKind::kCounterAdd,
+                    "mixing register and counter writes on one key");
+    it->v = std::to_string(std::strtoll(it->v.c_str(), nullptr, 10) + delta);
+  } else {
+    ws_.emplace_back(k, std::to_string(delta), WriteKind::kCounterAdd);
+  }
+}
+
+void Client::write(std::vector<WriteKV> kvs) {
+  PARIS_CHECK_MSG(in_tx(), "write outside a transaction");
+  for (auto& kv : kvs) {
+    ++stats_.keys_written;
+    const auto it = std::find_if(ws_.begin(), ws_.end(),
+                                 [&kv](const WriteKV& w) { return w.k == kv.k; });
+    if (it != ws_.end()) {
+      it->v = std::move(kv.v);  // Alg. 1 line 23: overwrite in place
+    } else {
+      ws_.push_back(std::move(kv));
+    }
+  }
+}
+
+void Client::commit(CommitCb cb) {
+  PARIS_CHECK_MSG(in_tx(), "commit outside a transaction");
+  PARIS_CHECK_MSG(commit_cb_ == nullptr, "commit already in flight");
+  commit_cb_ = std::move(cb);
+
+  if (ws_.empty()) {
+    // Read-only: release the coordinator context, no 2PC (§II-D).
+    auto req = std::make_shared<TxEnd>();
+    req->tx = current_tx_;
+    rt_.net.send(self_, coord_, std::move(req));
+    ++stats_.read_only_txs;
+    end_tx();
+    auto cb_local = std::move(commit_cb_);
+    commit_cb_ = nullptr;
+    rt_.sim.after(0, [cb_local = std::move(cb_local)] { cb_local(kTsZero); });
+    return;
+  }
+
+  auto req = std::make_shared<ClientCommitReq>();
+  req->tx = current_tx_;
+  req->hwt = hwt_;  // Alg. 1 line 27
+  req->writes = ws_;
+  rt_.net.send(self_, coord_, std::move(req));
+}
+
+void Client::on_message(NodeId /*from*/, const Message& m) {
+  switch (m.type()) {
+    case MsgType::kClientStartResp: {
+      const auto& r = static_cast<const ClientStartResp&>(m);
+      current_tx_ = r.tx;
+      snapshot_ = r.snapshot;
+      ust_c_ = std::max(ust_c_, r.snapshot);
+      rs_.clear();
+      ws_.clear();
+      // Alg. 1 line 6: prune cache entries the stable snapshot now covers.
+      if (opt_.use_write_cache) {
+        for (auto it = cache_.begin(); it != cache_.end();) {
+          if (it->second.ut <= ust_c_) {
+            it = cache_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        for (auto it = counter_cache_.begin(); it != counter_cache_.end();) {
+          auto& deltas = it->second;
+          std::erase_if(deltas, [this](const auto& e) { return e.first <= ust_c_; });
+          if (deltas.empty()) {
+            it = counter_cache_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      auto cb = std::move(start_cb_);
+      start_cb_ = nullptr;
+      cb(current_tx_, snapshot_);
+      return;
+    }
+    case MsgType::kClientReadResp: {
+      const auto& r = static_cast<const ClientReadResp&>(m);
+      PARIS_DCHECK(r.tx == current_tx_);
+      for (const auto& item : r.items) {
+        if (pending_mode_ == ReadMode::kCounter) {
+          // Fold in this client's own deltas the stable snapshot cannot
+          // contain yet: committed-but-unstable (counter cache, all with
+          // ct > snapshot) and uncommitted (write set).
+          Item merged = item;
+          std::int64_t sum = merged.v.empty() ? 0 : std::strtoll(merged.v.c_str(), nullptr, 10);
+          if (opt_.use_write_cache) {
+            if (const auto cc = counter_cache_.find(item.k); cc != counter_cache_.end())
+              for (const auto& [ct, d] : cc->second) sum += d;
+          }
+          for (const auto& w : ws_)
+            if (w.k == item.k && w.write_kind() == WriteKind::kCounterAdd)
+              sum += std::strtoll(w.v.c_str(), nullptr, 10);
+          merged.v = std::to_string(sum);
+          pending_found_.emplace(item.k, std::move(merged));
+        } else {
+          pending_found_.emplace(item.k, item);
+        }
+      }
+      deliver_read();
+      return;
+    }
+    case MsgType::kClientCommitResp: {
+      const auto& r = static_cast<const ClientCommitResp&>(m);
+      PARIS_DCHECK(r.tx == current_tx_);
+      hwt_ = r.ct;  // Alg. 1 line 29
+      if (opt_.use_write_cache) {
+        // Alg. 1 lines 30-31: tag WS with ct, move into the cache,
+        // overwriting older duplicates. Counter deltas accumulate instead
+        // of overwriting — each unstable increment must keep contributing.
+        for (auto& w : ws_) {
+          if (w.write_kind() == WriteKind::kCounterAdd) {
+            counter_cache_[w.k].emplace_back(r.ct,
+                                             std::strtoll(w.v.c_str(), nullptr, 10));
+            continue;
+          }
+          Item item;
+          item.k = w.k;
+          item.v = std::move(w.v);
+          item.ut = r.ct;
+          item.tx = current_tx_;
+          item.sr = dc_;
+          cache_[w.k] = std::move(item);
+        }
+        stats_.max_cache_size =
+            std::max(stats_.max_cache_size, cache_.size() + counter_cache_.size());
+      }
+      ++stats_.txs_committed;
+      end_tx();
+      auto cb = std::move(commit_cb_);
+      commit_cb_ = nullptr;
+      cb(r.ct);
+      return;
+    }
+    default:
+      PARIS_CHECK_MSG(false, "unexpected message at client");
+  }
+}
+
+void Client::deliver_read() {
+  // Assemble results in request order; every key resolves either locally or
+  // from a slice (absent keys come back as zero items).
+  std::vector<Item> out;
+  out.reserve(pending_keys_.size());
+  for (Key k : pending_keys_) {
+    const auto it = pending_found_.find(k);
+    PARIS_CHECK_MSG(it != pending_found_.end(), "read response missing a key");
+    out.push_back(it->second);
+    rs_[k] = it->second;  // Alg. 1 line 18
+  }
+  pending_keys_.clear();
+  pending_found_.clear();
+  auto cb = std::move(read_cb_);
+  read_cb_ = nullptr;
+  cb(std::move(out));
+}
+
+void Client::end_tx() {
+  current_tx_ = kInvalidTxId;
+  snapshot_ = kTsZero;
+  rs_.clear();
+  ws_.clear();
+}
+
+}  // namespace paris::proto

@@ -1,0 +1,101 @@
+#include "proto/deployment.h"
+
+#include "common/assert.h"
+
+namespace paris::proto {
+
+namespace {
+sim::LatencyModel build_latency(const DeploymentConfig& cfg) {
+  auto m = cfg.aws_latency
+               ? sim::LatencyModel::aws(cfg.topo.num_dcs)
+               : sim::LatencyModel::uniform(cfg.topo.num_dcs, cfg.uniform_inter_dc_us,
+                                            cfg.uniform_intra_dc_us);
+  m.set_jitter(cfg.jitter);
+  return m;
+}
+}  // namespace
+
+Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
+    : cfg_(cfg),
+      sim_(cfg.seed),
+      net_(sim_, build_latency(cfg), cfg.codec),
+      topo_(cfg.topo),
+      dir_(topo_),
+      rt_{sim_, net_, topo_, dir_, cfg.cost, cfg.protocol, tracer} {
+  // One server per (DC, partition) replica; registration order is
+  // deterministic: DC-major, partition-minor.
+  const auto service = [cost = rt_.cost](const wire::Message& m) {
+    return cost.service_us(m);
+  };
+  for (DcId dc = 0; dc < topo_.num_dcs(); ++dc) {
+    for (PartitionId p : topo_.partitions_at(dc)) {
+      std::unique_ptr<ServerBase> server;
+      if (cfg.system == System::kParis) {
+        server = std::make_unique<ParisServer>(rt_, dc, p);
+      } else {
+        server = std::make_unique<BprServer>(rt_, dc, p);
+      }
+      const NodeId node = net_.add_node(server.get(), dc, service);
+      server->attach(node, PhysClock::sample(sim_.rng(), cfg.protocol.ntp_error_us,
+                                             cfg.protocol.drift_ppm));
+      dir_.set_server(dc, p, node);
+      servers_.push_back(std::move(server));
+    }
+  }
+}
+
+void Deployment::start() {
+  PARIS_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (auto& s : servers_) s->start_timers(sim_.rng());
+}
+
+Client& Deployment::add_client(DcId dc, PartitionId coordinator_partition) {
+  PARIS_CHECK_MSG(topo_.dc_replicates(dc, coordinator_partition),
+                  "client coordinator must be a local partition server");
+  const NodeId coord = dir_.server(dc, coordinator_partition);
+  const Client::Options opt =
+      cfg_.system == System::kParis ? Client::paris_options() : Client::bpr_options();
+  auto client = std::make_unique<Client>(rt_, dc, coord, opt);
+  const NodeId node = net_.add_node(client.get(), dc, nullptr);
+  client->attach(node);
+  net_.set_colocated(node, coord);
+  clients_.push_back(std::move(client));
+  return *clients_.back();
+}
+
+ServerBase& Deployment::server(DcId dc, PartitionId p) {
+  const NodeId node = dir_.server(dc, p);
+  for (auto& s : servers_)
+    if (s->node() == node) return *s;
+  PARIS_CHECK_MSG(false, "server not found");
+  __builtin_unreachable();
+}
+
+ParisServer* Deployment::paris_server(DcId dc, PartitionId p) {
+  return dynamic_cast<ParisServer*>(&server(dc, p));
+}
+
+BprServer* Deployment::bpr_server(DcId dc, PartitionId p) {
+  return dynamic_cast<BprServer*>(&server(dc, p));
+}
+
+ServerBase::Stats Deployment::total_server_stats() const {
+  ServerBase::Stats t;
+  for (const auto& s : servers_) {
+    const auto& x = s->stats();
+    t.txs_coordinated += x.txs_coordinated;
+    t.read_only_txs += x.read_only_txs;
+    t.slices_served += x.slices_served;
+    t.cohort_prepares += x.cohort_prepares;
+    t.applied_writes += x.applied_writes;
+    t.replicate_batches_sent += x.replicate_batches_sent;
+    t.heartbeats_sent += x.heartbeats_sent;
+    t.gossip_msgs_sent += x.gossip_msgs_sent;
+    t.reads_blocked += x.reads_blocked;
+    t.blocked_time_us += x.blocked_time_us;
+  }
+  return t;
+}
+
+}  // namespace paris::proto

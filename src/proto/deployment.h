@@ -1,0 +1,83 @@
+#pragma once
+// Deployment: builds a complete simulated cluster — network, one server per
+// (DC, partition) replica, physical clocks, timers — for either system
+// (PaRiS or BPR), and hands out client sessions. This is the top-level
+// entry point of the library; see examples/quickstart.cc for usage.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "proto/bpr_server.h"
+#include "proto/client.h"
+#include "proto/paris_server.h"
+#include "proto/runtime.h"
+#include "sim/network.h"
+
+namespace paris::proto {
+
+enum class System { kParis, kBpr };
+
+inline const char* system_name(System s) { return s == System::kParis ? "PaRiS" : "BPR"; }
+
+struct DeploymentConfig {
+  System system = System::kParis;
+  cluster::TopologyConfig topo;
+  ProtocolConfig protocol;
+  CostModel cost;
+  sim::CodecMode codec = sim::CodecMode::kBytes;
+  /// true: AWS-calibrated inter-DC latencies (first M of the paper's ten
+  /// regions); false: uniform latencies (unit tests).
+  bool aws_latency = true;
+  sim::SimTime uniform_inter_dc_us = 40'000;
+  sim::SimTime uniform_intra_dc_us = 150;
+  double jitter = 0.05;
+  std::uint64_t seed = 1;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(const DeploymentConfig& cfg, Tracer* tracer = nullptr);
+
+  /// Starts all server timers (apply/replicate, gossip, GC). Call once
+  /// before running the simulation.
+  void start();
+
+  /// Creates a client session collocated with the given coordinator
+  /// partition server in `dc` (the paper collocates one client process per
+  /// partition per DC). The deployment owns the client.
+  Client& add_client(DcId dc, PartitionId coordinator_partition);
+
+  // --- accessors ---
+  sim::Simulation& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  const cluster::Topology& topo() const { return topo_; }
+  Runtime& runtime() { return rt_; }
+  const DeploymentConfig& config() const { return cfg_; }
+
+  ServerBase& server(DcId dc, PartitionId p);
+  /// Null if the deployment runs the other system.
+  ParisServer* paris_server(DcId dc, PartitionId p);
+  BprServer* bpr_server(DcId dc, PartitionId p);
+  const std::vector<std::unique_ptr<ServerBase>>& servers() const { return servers_; }
+  const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
+
+  /// Convenience: run the simulation for `us` microseconds.
+  void run_for(sim::SimTime us) { sim_.run_until(sim_.now() + us); }
+
+  /// Aggregated server stats across the cluster.
+  ServerBase::Stats total_server_stats() const;
+
+ private:
+  DeploymentConfig cfg_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  cluster::Topology topo_;
+  cluster::Directory dir_;
+  Runtime rt_;
+  std::vector<std::unique_ptr<ServerBase>> servers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace paris::proto

@@ -1,0 +1,204 @@
+#include "proto/paris_server.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace paris::proto {
+
+using namespace wire;
+
+ParisServer::ParisServer(Runtime& rt, DcId dc, PartitionId partition)
+    : ServerBase(rt, dc, partition),
+      tree_(rt.topo.servers_per_dc(dc), rt.cfg.tree_fanout),
+      gsv_(rt.topo.num_dcs(), kTsZero),
+      oldest_by_dc_(rt.topo.num_dcs(), kTsZero) {
+  const auto& locals = rt.topo.partitions_at(dc);
+  const auto it = std::find(locals.begin(), locals.end(), partition);
+  PARIS_CHECK(it != locals.end());
+  local_idx_ = static_cast<std::uint32_t>(it - locals.begin());
+}
+
+void ParisServer::resolve_tree_nodes() {
+  if (tree_resolved_) return;
+  const auto& locals = rt_.topo.partitions_at(dc_);
+  if (!tree_.is_root(local_idx_))
+    parent_node_ = rt_.dir.server(dc_, locals[tree_.parent(local_idx_)]);
+  for (std::uint32_t c : tree_.children(local_idx_)) {
+    const NodeId n = rt_.dir.server(dc_, locals[c]);
+    child_slot_[n] = child_nodes_.size();
+    child_nodes_.push_back(n);
+  }
+  child_min_.assign(child_nodes_.size(), kTsZero);
+  child_oldest_.assign(child_nodes_.size(), kTsZero);
+  if (tree_.is_root(local_idx_)) {
+    dc_roots_.assign(rt_.topo.num_dcs(), kInvalidNode);
+    for (DcId d = 0; d < rt_.topo.num_dcs(); ++d) {
+      const auto& remote_locals = rt_.topo.partitions_at(d);
+      if (!remote_locals.empty()) dc_roots_[d] = rt_.dir.server(d, remote_locals[0]);
+    }
+  }
+  tree_resolved_ = true;
+}
+
+void ParisServer::start_timers(Rng& phase_rng) {
+  ServerBase::start_timers(phase_rng);
+  resolve_tree_nodes();
+  gst_timer_ = rt_.sim.every(rt_.cfg.delta_g_us, phase_rng.next_below(rt_.cfg.delta_g_us),
+                             [this] { gst_tick(); });
+  if (tree_.is_root(local_idx_)) {
+    ust_timer_ = rt_.sim.every(rt_.cfg.delta_u_us, phase_rng.next_below(rt_.cfg.delta_u_us),
+                               [this] { ust_tick(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Policy points.
+// ---------------------------------------------------------------------------
+
+Timestamp ParisServer::assign_snapshot(Timestamp client_seen) {
+  // Alg. 2 lines 1-5: fast-forward the local UST with the client's view so
+  // snapshots seen by one client advance monotonically, then assign it.
+  set_ust(std::max(ust_, client_seen));
+  return ust_;
+}
+
+void ParisServer::handle_read_slice(NodeId from, const ReadSliceReq& req) {
+  // Alg. 3 line 2: the incoming snapshot is stable, adopt it if fresher.
+  set_ust(std::max(ust_, req.snapshot));
+  // The UST invariant that makes non-blocking reads safe: any snapshot
+  // handed out by any coordinator in any DC is already installed here.
+  PARIS_PARANOID_CHECK(min_vv() >= req.snapshot);
+  serve_slice(from, req);  // never blocks
+}
+
+Timestamp ParisServer::propose_ts(const PrepareReq& /*req*/) {
+  // Alg. 3 line 12 (strengthened, DESIGN.md §4): propose above the HLC
+  // (already ticked past ht = max(snapshot, hwt)) and strictly above the
+  // local UST, so the new version cannot fall inside an already-stable
+  // snapshot. Fold the proposal back into the HLC to keep it monotonic.
+  const Timestamp pt = std::max(hlc_.value(), ust_.next());
+  hlc_.observe(clock_us(), pt);
+  return pt;
+}
+
+void ParisServer::observe_remote_snapshot(Timestamp snap) { set_ust(std::max(ust_, snap)); }
+
+void ParisServer::note_applied(TxId tx, Timestamp ct) {
+  if (rt_.tracer != nullptr && rt_.tracer->want_visibility(tx)) {
+    pending_visibility_.emplace(ct, tx);
+    if (ct <= ust_) set_ust(ust_);  // defensive immediate drain
+  }
+}
+
+void ParisServer::set_ust(Timestamp t) {
+  if (t > ust_) {
+    ust_ = t;
+    if (rt_.tracer) rt_.tracer->on_ust_advance(dc_, partition_, ust_, rt_.sim.now());
+  }
+  // Sampled updates become visible once the UST passes their ct.
+  while (!pending_visibility_.empty() && pending_visibility_.top().first <= ust_) {
+    const auto [ct, tx] = pending_visibility_.top();
+    pending_visibility_.pop();
+    if (rt_.tracer) rt_.tracer->on_visible(dc_, partition_, tx, ct, rt_.sim.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stabilization gossip (Alg. 4 lines 34-38).
+// ---------------------------------------------------------------------------
+
+void ParisServer::gst_tick() {
+  if (rt_.net.node_paused(self_)) return;  // crashed process does no work
+  resolve_tree_nodes();
+  rt_.net.charge_cpu(self_, rt_.cost.gossip_us);
+
+  // Aggregate this subtree's minimum installed snapshot and oldest active
+  // transaction snapshot (GC watermark input; a server with no running
+  // transaction contributes its current stable snapshot, §IV-B).
+  Timestamp sub_min = min_vv();
+  Timestamp sub_oldest = oldest_active_snapshot(/*fallback=*/ust_);
+  for (std::size_t i = 0; i < child_nodes_.size(); ++i) {
+    sub_min = std::min(sub_min, child_min_[i]);
+    sub_oldest = std::min(sub_oldest, child_oldest_[i]);
+  }
+
+  if (!tree_.is_root(local_idx_)) {
+    auto up = std::make_shared<GossipUp>();
+    up->min_vv = sub_min;
+    up->oldest_active = sub_oldest;
+    send(parent_node_, std::move(up));
+    ++stats_.gossip_msgs_sent;
+    return;
+  }
+
+  // Root: this is the DC's GST; exchange with the other DC roots.
+  gsv_[dc_] = std::max(gsv_[dc_], sub_min);
+  oldest_by_dc_[dc_] = sub_oldest;
+  auto root_msg = std::make_shared<GossipRoot>();
+  root_msg->dc = dc_;
+  root_msg->gst = gsv_[dc_];
+  root_msg->oldest_active = oldest_by_dc_[dc_];
+  for (DcId d = 0; d < rt_.topo.num_dcs(); ++d) {
+    if (d == dc_ || dc_roots_[d] == kInvalidNode) continue;
+    send(dc_roots_[d], root_msg);
+    ++stats_.gossip_msgs_sent;
+  }
+}
+
+void ParisServer::handle_gossip_up(NodeId from, const GossipUp& m) {
+  resolve_tree_nodes();
+  const auto it = child_slot_.find(from);
+  PARIS_CHECK_MSG(it != child_slot_.end(), "gossip-up from non-child");
+  child_min_[it->second] = std::max(child_min_[it->second], m.min_vv);
+  child_oldest_[it->second] = m.oldest_active;
+}
+
+void ParisServer::handle_gossip_root(NodeId /*from*/, const GossipRoot& m) {
+  PARIS_CHECK_MSG(tree_.is_root(local_idx_), "root exchange received by non-root");
+  gsv_[m.dc] = std::max(gsv_[m.dc], m.gst);
+  oldest_by_dc_[m.dc] = m.oldest_active;
+}
+
+void ParisServer::ust_tick() {
+  if (rt_.net.node_paused(self_)) return;
+  resolve_tree_nodes();
+  rt_.net.charge_cpu(self_, rt_.cost.gossip_us);
+
+  // The UST is the aggregate minimum of all DCs' GSTs; it is 0 (no stable
+  // snapshot yet) until every DC has reported at least once.
+  Timestamp candidate = kTsMax;
+  Timestamp oldest = kTsMax;
+  for (DcId d = 0; d < rt_.topo.num_dcs(); ++d) {
+    candidate = std::min(candidate, gsv_[d]);
+    oldest = std::min(oldest, oldest_by_dc_[d]);
+  }
+  if (candidate.is_zero()) return;
+
+  set_ust(std::max(ust_, candidate));
+  // GC below both every DC's oldest active snapshot and the UST itself.
+  gc_watermark_ = std::max(gc_watermark_, std::min(oldest, ust_));
+
+  auto down = std::make_shared<UstDown>();
+  down->ust = ust_;
+  down->gc_watermark = gc_watermark_;
+  for (NodeId child : child_nodes_) {
+    send(child, down);
+    ++stats_.gossip_msgs_sent;
+  }
+}
+
+void ParisServer::handle_ust_down(NodeId /*from*/, const UstDown& m) {
+  resolve_tree_nodes();
+  set_ust(std::max(ust_, m.ust));
+  gc_watermark_ = std::max(gc_watermark_, m.gc_watermark);
+  auto down = std::make_shared<UstDown>();
+  down->ust = ust_;
+  down->gc_watermark = gc_watermark_;
+  for (NodeId child : child_nodes_) {
+    send(child, down);
+    ++stats_.gossip_msgs_sent;
+  }
+}
+
+}  // namespace paris::proto

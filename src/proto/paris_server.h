@@ -1,0 +1,85 @@
+#pragma once
+// The PaRiS partition server (§III-B, §IV).
+//
+// Differences from the base server, all centered on the Universal Stable
+// Time (UST):
+//  * transactions are assigned the server's UST as snapshot — a snapshot
+//    already installed by every DC, so every read slice is served
+//    immediately (non-blocking reads);
+//  * commit timestamps are proposed strictly above both the HLC (which was
+//    ticked past ht) and the local UST, so no version can ever join an
+//    already-stable snapshot retroactively;
+//  * servers participate in the two-level stabilization gossip (Alg. 4
+//    lines 34-38): a per-DC aggregation tree computes the DC's Global
+//    Stable Time (GST = min over local servers of min(VV)); DC roots
+//    exchange GSTs; every ΔU the root takes the global minimum as the UST
+//    and disseminates it down the tree. The same gossip aggregates the
+//    oldest active snapshot to drive storage GC (§IV-B).
+
+#include <queue>
+
+#include "cluster/tree.h"
+#include "proto/server_base.h"
+
+namespace paris::proto {
+
+class ParisServer : public ServerBase {
+ public:
+  ParisServer(Runtime& rt, DcId dc, PartitionId partition);
+
+  void start_timers(Rng& phase_rng) override;
+
+  /// This server's universal stable time ust_n^m.
+  Timestamp ust() const { return ust_; }
+  /// Snapshot watermark below which storage GC prunes (aggregated oldest
+  /// active snapshot).
+  Timestamp gc_watermark_value() const { return gc_watermark_; }
+  bool is_gossip_root() const { return tree_.is_root(local_idx_); }
+  Timestamp stable_snapshot() const override { return ust_; }
+
+ protected:
+  Timestamp assign_snapshot(Timestamp client_seen) override;
+  void handle_read_slice(NodeId from, const wire::ReadSliceReq& req) override;
+  Timestamp propose_ts(const wire::PrepareReq& req) override;
+  void observe_remote_snapshot(Timestamp snap) override;
+  Timestamp gc_watermark() const override { return gc_watermark_; }
+  void note_applied(TxId tx, Timestamp ct) override;
+
+  void handle_gossip_up(NodeId from, const wire::GossipUp& m) override;
+  void handle_gossip_root(NodeId from, const wire::GossipRoot& m) override;
+  void handle_ust_down(NodeId from, const wire::UstDown& m) override;
+
+ private:
+  void resolve_tree_nodes();
+  void gst_tick();  ///< every ΔG: aggregate minima up the tree / across roots
+  void ust_tick();  ///< every ΔU (root only): UST = min of GSTs, disseminate
+  void set_ust(Timestamp t);
+
+  Timestamp ust_;
+  Timestamp gc_watermark_;
+
+  // Stabilization tree position.
+  cluster::StabTree tree_;
+  std::uint32_t local_idx_ = 0;
+  NodeId parent_node_ = kInvalidNode;
+  std::vector<NodeId> child_nodes_;
+  std::unordered_map<NodeId, std::size_t> child_slot_;
+  std::vector<Timestamp> child_min_;     ///< last GossipUp.min_vv per child
+  std::vector<Timestamp> child_oldest_;  ///< last GossipUp.oldest_active per child
+  bool tree_resolved_ = false;
+
+  // Root-only state: last GST / oldest-active reported per DC.
+  std::vector<Timestamp> gsv_;
+  std::vector<Timestamp> oldest_by_dc_;
+  std::vector<NodeId> dc_roots_;
+
+  // Apply->visible tracking for sampled transactions (Fig. 4): a tx's
+  // writes become readable here once the UST passes its ct.
+  using VisEntry = std::pair<Timestamp, TxId>;
+  std::priority_queue<VisEntry, std::vector<VisEntry>, std::greater<>> pending_visibility_;
+
+  sim::Simulation::PeriodicHandle gst_timer_;
+  sim::Simulation::PeriodicHandle ust_timer_;
+};
+
+}  // namespace paris::proto

@@ -1,0 +1,22 @@
+#pragma once
+// Shared per-deployment context handed to every server and client.
+
+#include "cluster/topology.h"
+#include "proto/config.h"
+#include "proto/tracer.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace paris::proto {
+
+struct Runtime {
+  sim::Simulation& sim;
+  sim::Network& net;
+  const cluster::Topology& topo;
+  cluster::Directory& dir;
+  CostModel cost;
+  ProtocolConfig cfg;
+  Tracer* tracer = nullptr;  ///< optional, not owned
+};
+
+}  // namespace paris::proto

@@ -1,0 +1,477 @@
+#include "proto/server_base.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace paris::proto {
+
+using namespace wire;
+
+// ---------------------------------------------------------------------------
+// Cost model.
+// ---------------------------------------------------------------------------
+
+sim::SimTime CostModel::service_us(const Message& m) const {
+  switch (m.type()) {
+    case MsgType::kClientStartReq:
+      return start_us;
+    case MsgType::kClientReadReq: {
+      const auto& r = static_cast<const ClientReadReq&>(m);
+      return client_read_base_us + client_read_per_key_us * r.keys.size();
+    }
+    case MsgType::kReadSliceReq: {
+      const auto& r = static_cast<const ReadSliceReq&>(m);
+      return read_slice_base_us + read_slice_per_key_us * r.keys.size();
+    }
+    case MsgType::kReadSliceResp: {
+      const auto& r = static_cast<const ReadSliceResp&>(m);
+      return slice_resp_per_item_us * r.items.size();
+    }
+    case MsgType::kClientCommitReq: {
+      const auto& r = static_cast<const ClientCommitReq&>(m);
+      return client_commit_base_us + client_commit_per_key_us * r.writes.size();
+    }
+    case MsgType::kPrepareReq: {
+      const auto& r = static_cast<const PrepareReq&>(m);
+      return prepare_base_us + prepare_per_key_us * r.writes.size();
+    }
+    case MsgType::kPrepareResp:
+      return prepare_resp_us;
+    case MsgType::kCommit2pc:
+      return commit2pc_us;
+    case MsgType::kReplicateBatch: {
+      const auto& r = static_cast<const ReplicateBatch&>(m);
+      sim::SimTime t = replicate_base_us;
+      for (const auto& g : r.groups) {
+        t += replicate_per_tx_us * g.txs.size();
+        for (const auto& tx : g.txs) t += replicate_per_write_us * tx.writes.size();
+      }
+      return t;
+    }
+    case MsgType::kHeartbeat:
+      return heartbeat_us;
+    case MsgType::kGossipUp:
+    case MsgType::kGossipRoot:
+    case MsgType::kUstDown:
+      return gossip_us;
+    case MsgType::kTxEnd:
+      return tx_end_us;
+    // Client-bound replies cost nothing at a server.
+    case MsgType::kClientStartResp:
+    case MsgType::kClientReadResp:
+    case MsgType::kClientCommitResp:
+      return 0;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / registration.
+// ---------------------------------------------------------------------------
+
+ServerBase::ServerBase(Runtime& rt, DcId dc, PartitionId partition)
+    : rt_(rt), dc_(dc), partition_(partition) {
+  replica_idx_ = rt_.topo.replica_idx(dc, partition);
+  PARIS_CHECK_MSG(replica_idx_ != kInvalidReplica, "server placed at a DC not replicating it");
+  vv_.assign(rt_.topo.replication(), kTsZero);
+}
+
+void ServerBase::attach(NodeId self, PhysClock clock) {
+  self_ = self;
+  clock_ = clock;
+}
+
+void ServerBase::start_timers(Rng& phase_rng) {
+  PARIS_CHECK_MSG(self_ != kInvalidNode, "attach() must precede start_timers()");
+  const auto& cfg = rt_.cfg;
+  apply_timer_ = rt_.sim.every(cfg.delta_r_us, phase_rng.next_below(cfg.delta_r_us),
+                               [this] { apply_tick(); });
+  gc_timer_ = rt_.sim.every(cfg.gc_interval_us, phase_rng.next_below(cfg.gc_interval_us),
+                            [this] { gc_tick(); });
+  ctx_reaper_timer_ = rt_.sim.every(cfg.tx_context_timeout_us / 2,
+                                    phase_rng.next_below(cfg.tx_context_timeout_us / 2),
+                                    [this] { reap_stale_contexts(); });
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void ServerBase::on_message(NodeId from, const Message& m) {
+  switch (m.type()) {
+    case MsgType::kClientStartReq:
+      return handle_start(from, static_cast<const ClientStartReq&>(m));
+    case MsgType::kClientReadReq:
+      return handle_client_read(from, static_cast<const ClientReadReq&>(m));
+    case MsgType::kReadSliceReq:
+      return handle_read_slice(from, static_cast<const ReadSliceReq&>(m));
+    case MsgType::kReadSliceResp:
+      return handle_slice_resp(from, static_cast<const ReadSliceResp&>(m));
+    case MsgType::kClientCommitReq:
+      return handle_client_commit(from, static_cast<const ClientCommitReq&>(m));
+    case MsgType::kPrepareReq:
+      return handle_prepare(from, static_cast<const PrepareReq&>(m));
+    case MsgType::kPrepareResp:
+      return handle_prepare_resp(from, static_cast<const PrepareResp&>(m));
+    case MsgType::kCommit2pc:
+      return handle_commit2pc(from, static_cast<const Commit2pc&>(m));
+    case MsgType::kReplicateBatch:
+      return handle_replicate(from, static_cast<const ReplicateBatch&>(m));
+    case MsgType::kHeartbeat:
+      return handle_heartbeat(from, static_cast<const Heartbeat&>(m));
+    case MsgType::kTxEnd:
+      return handle_tx_end(from, static_cast<const TxEnd&>(m));
+    case MsgType::kGossipUp:
+      return handle_gossip_up(from, static_cast<const GossipUp&>(m));
+    case MsgType::kGossipRoot:
+      return handle_gossip_root(from, static_cast<const GossipRoot&>(m));
+    case MsgType::kUstDown:
+      return handle_ust_down(from, static_cast<const UstDown&>(m));
+    case MsgType::kClientStartResp:
+    case MsgType::kClientReadResp:
+    case MsgType::kClientCommitResp:
+      PARIS_CHECK_MSG(false, "client-bound message delivered to a server");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator role (Alg. 2).
+// ---------------------------------------------------------------------------
+
+void ServerBase::handle_start(NodeId from, const ClientStartReq& m) {
+  const TxId tx = TxId::make(self_, next_tx_seq_++);
+  const Timestamp snapshot = assign_snapshot(m.ust_c);
+  tx_.emplace(tx, TxCtx{snapshot, from, {}, {}, false, rt_.sim.now()});
+  active_snapshots_.insert(snapshot);
+
+  auto resp = std::make_shared<ClientStartResp>();
+  resp->tx = tx;
+  resp->snapshot = snapshot;
+  send(from, std::move(resp));
+}
+
+NodeId ServerBase::route_to_partition(PartitionId p) const {
+  return rt_.dir.server(rt_.topo.target_dc(dc_, p), p);
+}
+
+void ServerBase::handle_client_read(NodeId from, const ClientReadReq& m) {
+  auto it = tx_.find(m.tx);
+  PARIS_CHECK_MSG(it != tx_.end(), "read for unknown transaction");
+  TxCtx& ctx = it->second;
+  PARIS_CHECK_MSG(ctx.read.outstanding == 0, "client issued overlapping reads");
+  PARIS_CHECK(!m.keys.empty());
+  (void)from;
+
+  // Group keys by serving node (local replica if present, else the DC's
+  // preferred remote replica; Alg. 2 lines 9-12).
+  std::unordered_map<NodeId, std::vector<Key>> by_node;
+  for (Key k : m.keys) by_node[route_to_partition(rt_.topo.partition_of(k))].push_back(k);
+
+  ctx.read.outstanding = static_cast<std::uint32_t>(by_node.size());
+  ctx.read.items.clear();
+  for (auto& [node, keys] : by_node) {
+    auto req = std::make_shared<ReadSliceReq>();
+    req->tx = m.tx;
+    req->snapshot = ctx.snapshot;
+    req->mode = m.mode;
+    req->keys = std::move(keys);
+    send(node, std::move(req));
+  }
+}
+
+void ServerBase::handle_slice_resp(NodeId /*from*/, const ReadSliceResp& m) {
+  auto it = tx_.find(m.tx);
+  if (it == tx_.end()) return;  // transaction already ended
+  TxCtx& ctx = it->second;
+  PARIS_DCHECK(ctx.read.outstanding > 0);
+  ctx.read.items.insert(ctx.read.items.end(), m.items.begin(), m.items.end());
+  if (--ctx.read.outstanding > 0) return;
+
+  auto resp = std::make_shared<ClientReadResp>();
+  resp->tx = m.tx;
+  resp->items = std::move(ctx.read.items);
+  ctx.read.items.clear();
+  send(ctx.client, std::move(resp));
+}
+
+void ServerBase::handle_client_commit(NodeId from, const ClientCommitReq& m) {
+  auto it = tx_.find(m.tx);
+  PARIS_CHECK_MSG(it != tx_.end(), "commit for unknown transaction");
+  TxCtx& ctx = it->second;
+  PARIS_CHECK_MSG(!ctx.committing, "double commit");
+  PARIS_CHECK_MSG(!m.writes.empty(), "empty commit should use TxEnd");
+  (void)from;
+  ctx.committing = true;
+  if (rt_.tracer) rt_.tracer->on_commit_writes(m.tx, dc_, m.writes);
+
+  const Timestamp ht = std::max(ctx.snapshot, m.hwt);  // Alg. 2 line 19
+
+  std::unordered_map<NodeId, std::vector<WriteKV>> by_node;
+  for (const auto& w : m.writes)
+    by_node[route_to_partition(rt_.topo.partition_of(w.k))].push_back(w);
+
+  ctx.commit.outstanding = static_cast<std::uint32_t>(by_node.size());
+  ctx.commit.max_pt = kTsZero;
+  ctx.commit.cohort_nodes.clear();
+  for (auto& [node, writes] : by_node) {
+    ctx.commit.cohort_nodes.push_back(node);
+    auto req = std::make_shared<PrepareReq>();
+    req->tx = m.tx;
+    req->partition = partition_;  // coordinator partition, informational
+    req->snapshot = ctx.snapshot;
+    req->ht = ht;
+    req->writes = std::move(writes);
+    send(node, std::move(req));
+  }
+}
+
+void ServerBase::handle_prepare_resp(NodeId /*from*/, const PrepareResp& m) {
+  auto it = tx_.find(m.tx);
+  PARIS_CHECK_MSG(it != tx_.end(), "prepare response for unknown transaction");
+  TxCtx& ctx = it->second;
+  PARIS_DCHECK(ctx.commit.outstanding > 0);
+  ctx.commit.max_pt = std::max(ctx.commit.max_pt, m.pt);
+  if (--ctx.commit.outstanding > 0) return;
+
+  // Alg. 2 lines 26-29: ct = max proposed; fan out, reply to client, clear.
+  const Timestamp ct = ctx.commit.max_pt;
+  for (NodeId cohort : ctx.commit.cohort_nodes) {
+    auto cm = std::make_shared<Commit2pc>();
+    cm->tx = m.tx;
+    cm->ct = ct;
+    send(cohort, std::move(cm));
+  }
+  if (rt_.tracer) rt_.tracer->on_commit_decided(m.tx, ct, dc_, rt_.sim.now());
+
+  auto resp = std::make_shared<ClientCommitResp>();
+  resp->tx = m.tx;
+  resp->ct = ct;
+  send(ctx.client, std::move(resp));
+  stats_.txs_coordinated++;
+  finish_tx(m.tx);
+}
+
+void ServerBase::handle_tx_end(NodeId /*from*/, const TxEnd& m) {
+  stats_.read_only_txs++;
+  finish_tx(m.tx);
+}
+
+void ServerBase::finish_tx(TxId tx) {
+  auto it = tx_.find(tx);
+  if (it == tx_.end()) return;
+  auto snap_it = active_snapshots_.find(it->second.snapshot);
+  PARIS_DCHECK(snap_it != active_snapshots_.end());
+  active_snapshots_.erase(snap_it);
+  tx_.erase(it);
+}
+
+void ServerBase::reap_stale_contexts() {
+  const sim::SimTime now = rt_.sim.now();
+  const sim::SimTime timeout = rt_.cfg.tx_context_timeout_us;
+  for (auto it = tx_.begin(); it != tx_.end();) {
+    // Never reap a transaction whose 2PC is in flight — cohorts hold
+    // prepared state keyed to it.
+    if (!it->second.committing && it->second.created + timeout <= now) {
+      auto snap_it = active_snapshots_.find(it->second.snapshot);
+      PARIS_DCHECK(snap_it != active_snapshots_.end());
+      active_snapshots_.erase(snap_it);
+      it = tx_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Timestamp ServerBase::oldest_active_snapshot(Timestamp fallback) const {
+  return active_snapshots_.empty() ? fallback : *active_snapshots_.begin();
+}
+
+// ---------------------------------------------------------------------------
+// Cohort role (Alg. 3).
+// ---------------------------------------------------------------------------
+
+void ServerBase::serve_slice(NodeId from, const ReadSliceReq& req) {
+  const auto mode = static_cast<ReadMode>(req.mode);
+  auto resp = std::make_shared<ReadSliceResp>();
+  resp->tx = req.tx;
+  resp->items.reserve(req.keys.size());
+  for (Key k : req.keys) {
+    Item item;
+    item.k = k;
+    if (mode == ReadMode::kCounter) {
+      // Convergent counter (§II-B): merge visible deltas by summation.
+      const auto [sum, newest] = store_.read_counter(k, req.snapshot);
+      if (newest != nullptr) {
+        item.v = std::to_string(sum);
+        item.ut = newest->ut;
+        item.tx = newest->tx;
+        item.sr = newest->sr;
+      }
+    } else {
+      const store::Version* ver = store_.read(k, req.snapshot);
+      if (ver != nullptr) {
+        item.v = ver->v;
+        item.ut = ver->ut;
+        item.tx = ver->tx;
+        item.sr = ver->sr;
+      }  // else: key has no version within the snapshot -> zero item
+    }
+    resp->items.push_back(std::move(item));
+  }
+  stats_.slices_served++;
+  if (rt_.tracer)
+    rt_.tracer->on_slice_served(dc_, partition_, req.tx, req.snapshot, req.mode,
+                                resp->items, rt_.sim.now());
+  send(from, std::move(resp));
+}
+
+void ServerBase::handle_prepare(NodeId from, const PrepareReq& m) {
+  hlc_.tick_past(clock_us(), m.ht);  // Alg. 3 line 10
+  observe_remote_snapshot(m.snapshot);
+  const Timestamp pt = propose_ts(m);  // Alg. 3 line 12
+  prepared_.emplace(m.tx, PrepEntry{pt, m.writes});
+  prepared_pts_.insert(pt);
+  stats_.cohort_prepares++;
+
+  auto resp = std::make_shared<PrepareResp>();
+  resp->tx = m.tx;
+  resp->partition = partition_;
+  resp->pt = pt;
+  send(from, std::move(resp));
+}
+
+void ServerBase::handle_commit2pc(NodeId /*from*/, const Commit2pc& m) {
+  hlc_.observe(clock_us(), m.ct);  // Alg. 3 line 16
+  auto it = prepared_.find(m.tx);
+  PARIS_CHECK_MSG(it != prepared_.end(), "commit for unknown prepared transaction");
+  auto pt_it = prepared_pts_.find(it->second.pt);
+  PARIS_DCHECK(pt_it != prepared_pts_.end());
+  prepared_pts_.erase(pt_it);
+  PARIS_DCHECK(m.ct >= it->second.pt);
+  committed_.emplace(std::make_pair(m.ct, m.tx), std::move(it->second.writes));
+  prepared_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Replica role (Alg. 4).
+// ---------------------------------------------------------------------------
+
+void ServerBase::note_applied(TxId /*tx*/, Timestamp /*ct*/) {}
+
+void ServerBase::apply_tick() {
+  if (rt_.net.node_paused(self_)) return;  // crashed process does no work
+  rt_.net.charge_cpu(self_, rt_.cost.apply_tick_us);
+
+  // Upper bound on what can safely enter the local snapshot: one below the
+  // minimum prepared timestamp, or clock/HLC when the prepare window is
+  // empty (Alg. 4 lines 6-7).
+  Timestamp ub;
+  if (!prepared_pts_.empty()) {
+    ub = Timestamp{prepared_pts_.begin()->raw - 1};
+  } else {
+    ub = std::max(Timestamp::from_physical(clock_us()), hlc_.value());
+    // Fold ub into the HLC: the version clock promises every future commit
+    // from this replica exceeds ub, so no future prepare may propose <= ub
+    // (a prepare in this same microsecond could otherwise tie with ub).
+    hlc_.observe(clock_us(), ub);
+  }
+
+  std::vector<ReplicateGroup> groups;
+  sim::SimTime apply_cost = 0;
+  while (!committed_.empty()) {
+    auto it = committed_.begin();
+    const Timestamp ct = it->first.first;
+    if (ct > ub) break;
+    if (groups.empty() || groups.back().ct != ct) groups.push_back(ReplicateGroup{ct, {}});
+    const TxId tx = it->first.second;
+    for (const auto& w : it->second) {
+      store_.apply(w.k, w.v, ct, tx, dc_, w.kind);
+      ++stats_.applied_writes;
+      apply_cost += rt_.cost.apply_per_write_us;
+    }
+    if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, tx, ct, rt_.sim.now());
+    note_applied(tx, ct);
+    groups.back().txs.push_back(ReplicateTxn{tx, std::move(it->second)});
+    committed_.erase(it);
+  }
+  if (apply_cost > 0) rt_.net.charge_cpu(self_, apply_cost);
+
+  bool shipped = false;
+  if (!groups.empty()) {
+    auto batch = std::make_shared<ReplicateBatch>();
+    batch->partition = partition_;
+    batch->upto = ub;
+    batch->groups = std::move(groups);
+    for (DcId peer : rt_.topo.replicas(partition_)) {
+      if (peer == dc_) continue;
+      send(rt_.dir.server(peer, partition_), batch);
+      ++stats_.replicate_batches_sent;
+      shipped = true;
+    }
+    if (rt_.topo.replication() == 1) shipped = true;  // no peers to ship to
+  }
+
+  if (vv_[replica_idx_] < ub) {
+    vv_[replica_idx_] = ub;
+    on_vv_advanced();
+  }
+
+  if (!shipped) {
+    // Alg. 4 line 21: heartbeat so peer version vectors advance without
+    // updates.
+    for (DcId peer : rt_.topo.replicas(partition_)) {
+      if (peer == dc_) continue;
+      auto hb = std::make_shared<Heartbeat>();
+      hb->partition = partition_;
+      hb->t = ub;
+      send(rt_.dir.server(peer, partition_), std::move(hb));
+      ++stats_.heartbeats_sent;
+    }
+  }
+}
+
+void ServerBase::handle_replicate(NodeId from, const ReplicateBatch& m) {
+  PARIS_DCHECK(m.partition == partition_);
+  const DcId sender_dc = rt_.net.dc_of(from);
+  for (const auto& g : m.groups) {
+    for (const auto& t : g.txs) {
+      for (const auto& w : t.writes) {
+        store_.apply(w.k, w.v, g.ct, t.tx, sender_dc, w.kind);
+        ++stats_.applied_writes;
+      }
+      if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, t.tx, g.ct, rt_.sim.now());
+      note_applied(t.tx, g.ct);
+    }
+  }
+  const ReplicaIdx i = rt_.topo.replica_idx(sender_dc, partition_);
+  PARIS_CHECK_MSG(i != kInvalidReplica, "replicate from non-replica DC");
+  if (vv_[i] < m.upto) {
+    vv_[i] = m.upto;
+    on_vv_advanced();
+  }
+}
+
+void ServerBase::handle_heartbeat(NodeId from, const Heartbeat& m) {
+  PARIS_DCHECK(m.partition == partition_);
+  const DcId sender_dc = rt_.net.dc_of(from);
+  const ReplicaIdx i = rt_.topo.replica_idx(sender_dc, partition_);
+  PARIS_CHECK_MSG(i != kInvalidReplica, "heartbeat from non-replica DC");
+  if (vv_[i] < m.t) {
+    vv_[i] = m.t;
+    on_vv_advanced();
+  }
+}
+
+Timestamp ServerBase::min_vv() const {
+  Timestamp m = kTsMax;
+  for (Timestamp t : vv_) m = std::min(m, t);
+  return m;
+}
+
+void ServerBase::gc_tick() {
+  if (rt_.net.node_paused(self_)) return;
+  store_.gc(gc_watermark());
+}
+
+}  // namespace paris::proto

@@ -1,0 +1,191 @@
+#pragma once
+// Partition server common to PaRiS and BPR.
+//
+// A server owns exactly one partition replica (§II-C: one partition per
+// server) and plays three roles, mirroring the paper's algorithms:
+//
+//  * transaction coordinator (Alg. 2): assigns snapshots, fans reads out to
+//    cohort partitions (local or remote DC, chosen by Topology::target_dc),
+//    and drives the 2PC commit;
+//  * cohort (Alg. 3): serves read slices and proposes/receives commit
+//    timestamps — the snapshot/visibility policy is the subclass hook where
+//    PaRiS (non-blocking, UST) and BPR (blocking, fresh snapshots) differ;
+//  * replica (Alg. 4): applies committed transactions in ct order every
+//    ΔR, ships them to peer replicas, and emits heartbeats so the version
+//    vector advances in the absence of updates.
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/phys_clock.h"
+#include "proto/runtime.h"
+#include "sim/actor.h"
+#include "storage/mv_store.h"
+
+namespace paris::proto {
+
+class ServerBase : public sim::Actor {
+ public:
+  ServerBase(Runtime& rt, DcId dc, PartitionId partition);
+  ~ServerBase() override = default;
+
+  /// Called by the deployment after network registration.
+  void attach(NodeId self, PhysClock clock);
+
+  /// Starts ΔR apply/replicate and GC timers; subclasses add their own.
+  /// `phase_rng` staggers timer phases so servers do not tick in lockstep.
+  virtual void start_timers(Rng& phase_rng);
+
+  void on_message(NodeId from, const wire::Message& m) final;
+
+  // --- introspection ---
+  DcId dc() const { return dc_; }
+  PartitionId partition() const { return partition_; }
+  NodeId node() const { return self_; }
+  ReplicaIdx replica_idx() const { return replica_idx_; }
+  /// min over the version vector: the snapshot fully installed locally
+  /// ("local stable time" of this partition replica).
+  Timestamp min_vv() const;
+  Timestamp vv_entry(ReplicaIdx r) const { return vv_[r]; }
+  const store::MvStore& kvstore() const { return store_; }
+  Timestamp hlc_value() const { return hlc_.value(); }
+  /// The snapshot a transaction starting here (with no prior context) would
+  /// observe: the UST for PaRiS, the locally installed snapshot for BPR.
+  virtual Timestamp stable_snapshot() const = 0;
+
+  struct Stats {
+    std::uint64_t txs_coordinated = 0;      ///< update txs committed as coordinator
+    std::uint64_t read_only_txs = 0;        ///< TxEnd-terminated txs
+    std::uint64_t slices_served = 0;
+    std::uint64_t cohort_prepares = 0;
+    std::uint64_t applied_writes = 0;
+    std::uint64_t replicate_batches_sent = 0;
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t gossip_msgs_sent = 0;
+    std::uint64_t reads_blocked = 0;        ///< BPR only
+    sim::SimTime blocked_time_us = 0;       ///< BPR only
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  // ----- policy points where PaRiS and BPR diverge -----
+
+  /// Snapshot assigned to a starting transaction, given the client's last
+  /// observed snapshot (Alg. 2 lines 1-5 / BPR §V).
+  virtual Timestamp assign_snapshot(Timestamp client_seen) = 0;
+
+  /// Serve or queue a read slice (Alg. 3 lines 1-8 / BPR blocking rule).
+  virtual void handle_read_slice(NodeId from, const wire::ReadSliceReq& req) = 0;
+
+  /// Proposed commit timestamp after the HLC was ticked past ht
+  /// (Alg. 3 line 12).
+  virtual Timestamp propose_ts(const wire::PrepareReq& req) = 0;
+
+  /// Called whenever an entry of the version vector advanced (apply,
+  /// replicate, heartbeat). BPR drains blocked reads here.
+  virtual void on_vv_advanced() {}
+
+  /// A snapshot from another server/client was observed (read slice or
+  /// prepare); PaRiS fast-forwards its UST (Alg. 3 lines 2, 11).
+  virtual void observe_remote_snapshot(Timestamp /*snap*/) {}
+
+  /// Watermark below which storage GC may prune superseded versions.
+  virtual Timestamp gc_watermark() const = 0;
+
+  /// A transaction's writes were applied locally; PaRiS registers it for
+  /// apply->visible tracking (visibility happens when the UST passes ct).
+  virtual void note_applied(TxId tx, Timestamp ct);
+
+  // Stabilization-tree traffic; only PaRiS uses it.
+  virtual void handle_gossip_up(NodeId /*from*/, const wire::GossipUp& /*m*/) {}
+  virtual void handle_gossip_root(NodeId /*from*/, const wire::GossipRoot& /*m*/) {}
+  virtual void handle_ust_down(NodeId /*from*/, const wire::UstDown& /*m*/) {}
+
+  // ----- shared machinery -----
+
+  /// Answers a read slice from local storage (snapshot-visible versions).
+  void serve_slice(NodeId from, const wire::ReadSliceReq& req);
+
+  /// Alg. 4 lines 5-22: apply committed txs with ct <= ub in ct order,
+  /// replicate them to peer replicas, advance the local version clock,
+  /// heartbeat if nothing shipped.
+  void apply_tick();
+  void gc_tick();
+
+  std::uint64_t clock_us() const { return clock_.read_us(rt_.sim.now()); }
+  void send(NodeId to, wire::MessagePtr m) { rt_.net.send(self_, to, std::move(m)); }
+  /// Node serving partition p for requests originating in this server's DC.
+  NodeId route_to_partition(PartitionId p) const;
+
+  /// Minimum snapshot among transactions this server coordinates, or
+  /// `fallback` when idle (GC aggregation, §IV-B).
+  Timestamp oldest_active_snapshot(Timestamp fallback) const;
+
+  Runtime& rt_;
+  const DcId dc_;
+  const PartitionId partition_;
+  ReplicaIdx replica_idx_ = kInvalidReplica;
+  NodeId self_ = kInvalidNode;
+  PhysClock clock_;
+  Hlc hlc_;
+  store::MvStore store_;
+  std::vector<Timestamp> vv_;  ///< R entries; vv_[replica_idx_] is the local version clock
+  Stats stats_;
+
+ private:
+  // --- coordinator state (Alg. 2) ---
+  struct ReadOp {
+    std::uint32_t outstanding = 0;
+    std::vector<wire::Item> items;
+  };
+  struct CommitOp {
+    std::uint32_t outstanding = 0;
+    Timestamp max_pt;
+    std::vector<NodeId> cohort_nodes;
+  };
+  struct TxCtx {
+    Timestamp snapshot;
+    NodeId client = kInvalidNode;
+    ReadOp read;
+    CommitOp commit;
+    bool committing = false;
+    sim::SimTime created = 0;
+  };
+
+  void handle_start(NodeId from, const wire::ClientStartReq& m);
+  void handle_client_read(NodeId from, const wire::ClientReadReq& m);
+  void handle_slice_resp(NodeId from, const wire::ReadSliceResp& m);
+  void handle_client_commit(NodeId from, const wire::ClientCommitReq& m);
+  void handle_prepare(NodeId from, const wire::PrepareReq& m);
+  void handle_prepare_resp(NodeId from, const wire::PrepareResp& m);
+  void handle_commit2pc(NodeId from, const wire::Commit2pc& m);
+  void handle_replicate(NodeId from, const wire::ReplicateBatch& m);
+  void handle_heartbeat(NodeId from, const wire::Heartbeat& m);
+  void handle_tx_end(NodeId from, const wire::TxEnd& m);
+
+  void finish_tx(TxId tx);
+  /// Reaps coordinator contexts abandoned by crashed clients (§III-C);
+  /// without this an abandoned snapshot would pin the GC watermark forever.
+  void reap_stale_contexts();
+
+  std::unordered_map<TxId, TxCtx> tx_;
+  std::multiset<Timestamp> active_snapshots_;
+  std::uint32_t next_tx_seq_ = 1;
+
+  // --- cohort state (Alg. 3 / Alg. 4) ---
+  struct PrepEntry {
+    Timestamp pt;
+    std::vector<wire::WriteKV> writes;
+  };
+  std::unordered_map<TxId, PrepEntry> prepared_;
+  std::multiset<Timestamp> prepared_pts_;
+  std::map<std::pair<Timestamp, TxId>, std::vector<wire::WriteKV>> committed_;
+
+  sim::Simulation::PeriodicHandle apply_timer_;
+  sim::Simulation::PeriodicHandle gc_timer_;
+  sim::Simulation::PeriodicHandle ctx_reaper_timer_;
+};
+
+}  // namespace paris::proto

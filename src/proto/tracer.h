@@ -1,0 +1,56 @@
+#pragma once
+// Observation hooks. A Tracer sees protocol-internal events without
+// perturbing them; it backs both the correctness checker (src/verify) and
+// the update-visibility measurements of Fig. 4.
+
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "wire/messages.h"
+
+namespace paris::proto {
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  /// A transaction's write set reached its coordinator (2PC about to run).
+  virtual void on_commit_writes(TxId /*tx*/, DcId /*origin_dc*/,
+                                const std::vector<wire::WriteKV>& /*writes*/) {}
+
+  /// A transaction's commit timestamp was decided by its coordinator.
+  virtual void on_commit_decided(TxId /*tx*/, Timestamp /*ct*/, DcId /*origin_dc*/,
+                                 sim::SimTime /*now*/) {}
+
+  /// A cohort durably applied tx's writes for `partition` at replica `dc`.
+  virtual void on_applied(DcId /*dc*/, PartitionId /*partition*/, TxId /*tx*/,
+                          Timestamp /*ct*/, sim::SimTime /*now*/) {}
+
+  /// tx's writes on `partition` became readable at replica `dc` (PaRiS: the
+  /// server's UST passed ct; BPR: at apply time).
+  virtual void on_visible(DcId /*dc*/, PartitionId /*partition*/, TxId /*tx*/,
+                          Timestamp /*ct*/, sim::SimTime /*now*/) {}
+
+  /// A read slice was served. `server_dc` is where it was served; `mode`
+  /// is the wire::ReadMode the slice was evaluated under.
+  virtual void on_slice_served(DcId /*server_dc*/, PartitionId /*partition*/, TxId /*tx*/,
+                               Timestamp /*snapshot*/, std::uint8_t /*mode*/,
+                               const std::vector<wire::Item>& /*items*/,
+                               sim::SimTime /*now*/) {}
+
+  /// BPR only: a read slice waited `blocked_us` before being served.
+  virtual void on_read_blocked(DcId /*server_dc*/, PartitionId /*partition*/,
+                               sim::SimTime /*blocked_us*/) {}
+
+  /// A server's UST advanced.
+  virtual void on_ust_advance(DcId /*dc*/, PartitionId /*partition*/, Timestamp /*ust*/,
+                              sim::SimTime /*now*/) {}
+
+  /// Filter for the (memory-heavy) visibility tracking; return true to have
+  /// servers track apply->visible transitions for this transaction.
+  virtual bool want_visibility(TxId /*tx*/) const { return false; }
+};
+
+}  // namespace paris::proto

@@ -1,0 +1,17 @@
+#pragma once
+// An actor is anything that can receive protocol messages: servers and
+// client sessions. The network invokes on_message after the (simulated)
+// transmission delay and, for server nodes, after the CPU service queue.
+
+#include "common/types.h"
+#include "wire/messages.h"
+
+namespace paris::sim {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_message(NodeId from, const wire::Message& m) = 0;
+};
+
+}  // namespace paris::sim

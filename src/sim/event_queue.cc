@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include "common/assert.h"
+
+namespace paris::sim {
+
+void EventQueue::push(SimTime at, Fn fn) {
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::next_time() const {
+  PARIS_DCHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fn EventQueue::pop(SimTime* at) {
+  PARIS_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the move is safe because we pop
+  // immediately after and never touch the moved-from closure.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *at = top.at;
+  Fn fn = std::move(top.fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace paris::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Min-heap of timestamped events. Ties are broken by insertion sequence so
+// that execution order is fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace paris::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void push(SimTime at, Fn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest event. Queue must not be empty.
+  Fn pop(SimTime* at);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace paris::sim

@@ -1,0 +1,75 @@
+#include "sim/latency.h"
+
+#include "common/assert.h"
+
+namespace paris::sim {
+
+namespace {
+
+constexpr int kMaxRegions = 10;
+const char* kRegionNames[kMaxRegions] = {
+    "us-east-1 (N. Virginia)", "us-west-2 (Oregon)",   "eu-west-1 (Ireland)",
+    "ap-south-1 (Mumbai)",     "ap-southeast-2 (Sydney)", "ca-central-1 (Canada)",
+    "ap-northeast-2 (Seoul)",  "eu-central-1 (Frankfurt)", "ap-southeast-1 (Singapore)",
+    "us-east-2 (Ohio)"};
+
+// Round-trip times in milliseconds between the ten regions (public
+// cloudping-style measurements, rounded). One-way = RTT / 2.
+// Order: IAD, PDX, DUB, BOM, SYD, YUL, ICN, FRA, SIN, CMH.
+constexpr double kRttMs[kMaxRegions][kMaxRegions] = {
+    //  IAD   PDX   DUB   BOM   SYD   YUL   ICN   FRA   SIN   CMH
+    {0, 70, 76, 182, 198, 16, 182, 88, 216, 12},      // IAD
+    {70, 0, 136, 216, 162, 64, 126, 158, 170, 50},    // PDX
+    {76, 136, 0, 122, 260, 70, 230, 25, 180, 80},     // DUB
+    {182, 216, 122, 0, 154, 190, 130, 110, 62, 188},  // BOM
+    {198, 162, 260, 154, 0, 200, 140, 280, 92, 190},  // SYD
+    {16, 64, 70, 190, 200, 0, 180, 90, 220, 25},      // YUL
+    {182, 126, 230, 130, 140, 180, 0, 240, 70, 170},  // ICN
+    {88, 158, 25, 110, 280, 90, 240, 0, 160, 95},     // FRA
+    {216, 170, 180, 62, 92, 220, 70, 160, 0, 210},    // SIN
+    {12, 50, 80, 188, 190, 25, 170, 95, 210, 0},      // CMH
+};
+
+}  // namespace
+
+const char* LatencyModel::region_name(DcId dc) {
+  PARIS_CHECK(dc < kMaxRegions);
+  return kRegionNames[dc];
+}
+
+LatencyModel LatencyModel::aws(std::uint32_t num_dcs) {
+  PARIS_CHECK_MSG(num_dcs >= 1 && num_dcs <= kMaxRegions, "aws model supports 1..10 DCs");
+  LatencyModel m;
+  m.num_dcs_ = num_dcs;
+  m.inter_us_.assign(static_cast<std::size_t>(num_dcs) * num_dcs, 0);
+  for (std::uint32_t a = 0; a < num_dcs; ++a)
+    for (std::uint32_t b = 0; b < num_dcs; ++b)
+      m.inter_us_[a * num_dcs + b] = static_cast<SimTime>(kRttMs[a][b] * 1000.0 / 2.0);
+  return m;
+}
+
+LatencyModel LatencyModel::uniform(std::uint32_t num_dcs, SimTime inter_dc_us,
+                                   SimTime intra_dc_us) {
+  PARIS_CHECK(num_dcs >= 1);
+  LatencyModel m;
+  m.num_dcs_ = num_dcs;
+  m.intra_dc_us_ = intra_dc_us;
+  m.inter_us_.assign(static_cast<std::size_t>(num_dcs) * num_dcs, inter_dc_us);
+  return m;
+}
+
+SimTime LatencyModel::mean_one_way_us(DcId a, DcId b) const {
+  PARIS_DCHECK(a < num_dcs_ && b < num_dcs_);
+  if (a == b) return intra_dc_us_;
+  return inter_us_[static_cast<std::size_t>(a) * num_dcs_ + b];
+}
+
+SimTime LatencyModel::sample_one_way_us(DcId a, DcId b, Rng& rng) const {
+  const SimTime mean = mean_one_way_us(a, b);
+  if (jitter_ <= 0) return mean;
+  const double factor = 1.0 + (rng.next_double() * 2.0 - 1.0) * jitter_;
+  const auto v = static_cast<SimTime>(static_cast<double>(mean) * factor);
+  return v == 0 ? 1 : v;
+}
+
+}  // namespace paris::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Network latency model. One-way delays between DCs are taken from a matrix
+// calibrated to the ten AWS regions used in the paper's evaluation (§V-A):
+// N. Virginia, Oregon, Ireland, Mumbai, Sydney, Canada, Seoul, Frankfurt,
+// Singapore, Ohio — in that order, matching how the paper grows the
+// deployment (3 DCs = first three, 5 DCs = first five, 10 DCs = all).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace paris::sim {
+
+class LatencyModel {
+ public:
+  /// Builds the AWS-calibrated model for the first `num_dcs` regions (<=10).
+  static LatencyModel aws(std::uint32_t num_dcs);
+
+  /// Uniform latency everywhere (useful for unit tests).
+  static LatencyModel uniform(std::uint32_t num_dcs, SimTime inter_dc_us,
+                              SimTime intra_dc_us = 150);
+
+  /// Mean one-way delay between two nodes' DCs (same-DC pairs use the
+  /// intra-DC delay; `loopback` pairs — e.g. a client collocated with its
+  /// coordinator — use the loopback delay).
+  SimTime mean_one_way_us(DcId a, DcId b) const;
+
+  /// Samples a delay: mean * U[1-jitter, 1+jitter].
+  SimTime sample_one_way_us(DcId a, DcId b, Rng& rng) const;
+
+  SimTime loopback_us() const { return loopback_us_; }
+  SimTime intra_dc_us() const { return intra_dc_us_; }
+  std::uint32_t num_dcs() const { return num_dcs_; }
+  double jitter() const { return jitter_; }
+  void set_jitter(double j) { jitter_ = j; }
+
+  static const char* region_name(DcId dc);
+
+ private:
+  std::uint32_t num_dcs_ = 0;
+  std::vector<SimTime> inter_us_;  // num_dcs x num_dcs, diagonal unused
+  SimTime intra_dc_us_ = 150;
+  SimTime loopback_us_ = 20;
+  double jitter_ = 0.05;
+};
+
+}  // namespace paris::sim

@@ -1,0 +1,156 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace paris::sim {
+
+NodeId Network::add_node(Actor* actor, DcId dc, ServiceFn service) {
+  PARIS_CHECK(actor != nullptr);
+  PARIS_CHECK_MSG(dc < latency_.num_dcs(), "node DC outside latency model");
+  nodes_.push_back(Node{actor, dc, std::move(service), 0, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_colocated(NodeId a, NodeId b) {
+  colocated_.insert(channel_key(a, b));
+  colocated_.insert(channel_key(b, a));
+}
+
+void Network::send(NodeId from, NodeId to, wire::MessagePtr msg) {
+  PARIS_DCHECK(from < nodes_.size() && to < nodes_.size());
+  PARIS_DCHECK(msg != nullptr);
+  const std::size_t bytes = 1 + msg->wire_size();
+
+  auto& src = nodes_[from];
+  src.counters.msgs_sent++;
+  src.counters.bytes_sent += bytes;
+  total_bytes_sent_ += bytes;
+  msgs_by_type_[static_cast<int>(msg->type())]++;
+
+  const DcId da = src.dc, db = nodes_[to].dc;
+  if (dcs_partitioned(da, db)) {
+    // TCP stalls across the partition: buffer in order, flush on heal.
+    blocked_queue_[dc_pair_key(da, db)].push_back(Pending{from, to, std::move(msg), bytes});
+    return;
+  }
+  transmit(from, to, std::move(msg), bytes);
+}
+
+void Network::transmit(NodeId from, NodeId to, wire::MessagePtr msg, std::size_t bytes) {
+  const DcId da = nodes_[from].dc, db = nodes_[to].dc;
+  SimTime delay;
+  if (colocated_.count(channel_key(from, to))) {
+    delay = latency_.loopback_us();
+  } else {
+    delay = latency_.sample_one_way_us(da, db, sim_.rng());
+  }
+  SimTime arrival = sim_.now() + delay;
+  auto [it, inserted] = last_arrival_.try_emplace(channel_key(from, to), 0);
+  arrival = std::max(arrival, it->second);  // FIFO per channel despite jitter
+  it->second = arrival;
+
+  sim_.at(arrival, [this, from, to, msg = std::move(msg), bytes]() mutable {
+    deliver(from, to, std::move(msg), bytes);
+  });
+}
+
+void Network::deliver(NodeId from, NodeId to, wire::MessagePtr msg, std::size_t bytes) {
+  auto& dst = nodes_[to];
+  if (dst.paused) {
+    // Crashed/stalled process: hold the message until failover.
+    stalled_[to].push_back(Pending{from, to, std::move(msg), bytes});
+    return;
+  }
+  dst.counters.msgs_recv++;
+  dst.counters.bytes_recv += bytes;
+
+  // CPU service queue: processing starts when the node frees up and takes
+  // service(msg) µs; the handler observes the message at completion time.
+  SimTime svc = 0;
+  if (dst.service) svc = dst.service(*msg);
+  const SimTime start = std::max(sim_.now(), dst.busy_until);
+  const SimTime done = start + svc;
+  dst.busy_until = done;
+  dst.counters.cpu_busy_us += svc;
+
+  auto dispatch = [this, from, to, msg = std::move(msg)]() {
+    if (mode_ == CodecMode::kBytes) {
+      // Exercise the codec on every delivery: encode, then decode a fresh
+      // copy and hand that to the handler.
+      std::vector<std::uint8_t> buf;
+      wire::encode_message(*msg, buf);
+      wire::Decoder dec(buf);
+      auto copy = wire::decode_message(dec);
+      PARIS_DCHECK(dec.done());
+      nodes_[to].actor->on_message(from, *copy);
+    } else {
+      nodes_[to].actor->on_message(from, *msg);
+    }
+  };
+  if (done == sim_.now()) {
+    dispatch();
+  } else {
+    sim_.at(done, std::move(dispatch));
+  }
+}
+
+void Network::pause_node(NodeId n) { nodes_[n].paused = true; }
+
+void Network::resume_node(NodeId n) {
+  auto& node = nodes_[n];
+  if (!node.paused) return;
+  node.paused = false;
+  const auto it = stalled_.find(n);
+  if (it == stalled_.end()) return;
+  auto pending = std::move(it->second);
+  stalled_.erase(it);
+  // Re-deliver in arrival order, at now, through the normal CPU queue.
+  for (auto& p : pending) deliver(p.from, p.to, std::move(p.msg), p.bytes);
+}
+
+void Network::charge_cpu(NodeId node, SimTime us) {
+  auto& n = nodes_[node];
+  n.busy_until = std::max(n.busy_until, sim_.now()) + us;
+  n.counters.cpu_busy_us += us;
+}
+
+void Network::partition_dcs(DcId a, DcId b) {
+  PARIS_CHECK(a != b);
+  blocked_dc_pairs_.insert(dc_pair_key(a, b));
+}
+
+void Network::heal_dcs(DcId a, DcId b) {
+  blocked_dc_pairs_.erase(dc_pair_key(a, b));
+  flush_blocked(a, b);
+}
+
+void Network::isolate_dc(DcId dc) {
+  for (DcId d = 0; d < latency_.num_dcs(); ++d)
+    if (d != dc) partition_dcs(dc, d);
+}
+
+void Network::heal_all() {
+  auto pairs = blocked_dc_pairs_;
+  for (auto key : pairs) {
+    const DcId a = static_cast<DcId>(key >> 32);
+    const DcId b = static_cast<DcId>(key & 0xffffffffu);
+    heal_dcs(a, b);
+  }
+}
+
+bool Network::dcs_partitioned(DcId a, DcId b) const {
+  if (a == b) return false;
+  return blocked_dc_pairs_.count(dc_pair_key(a, b)) > 0;
+}
+
+void Network::flush_blocked(DcId a, DcId b) {
+  auto it = blocked_queue_.find(dc_pair_key(a, b));
+  if (it == blocked_queue_.end()) return;
+  auto pending = std::move(it->second);
+  blocked_queue_.erase(it);
+  for (auto& p : pending) transmit(p.from, p.to, std::move(p.msg), p.bytes);
+}
+
+}  // namespace paris::sim

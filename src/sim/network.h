@@ -1,0 +1,127 @@
+#pragma once
+// Simulated network + CPU model.
+//
+// * Point-to-point lossless FIFO channels (the paper's system model assumes
+//   TCP): per-channel arrival clamping keeps delivery order equal to send
+//   order even under latency jitter.
+// * Per-server CPU: each node may register a service-cost function; messages
+//   queue and are processed serially (this is what produces the saturation
+//   knees in the throughput/latency benchmarks).
+// * Fault injection: DC pairs can be partitioned; in-flight and new messages
+//   are buffered (TCP stalls, not drops) and flushed in order on heal.
+// * Codec modes: kBytes encodes + decodes every message through src/wire
+//   (default in tests/examples); kSizeOnly skips the byte round-trip but
+//   still accounts sizes (used by the large benchmark sweeps).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/actor.h"
+#include "sim/latency.h"
+#include "sim/simulation.h"
+#include "wire/messages.h"
+
+namespace paris::sim {
+
+enum class CodecMode { kBytes, kSizeOnly };
+
+/// CPU cost (µs) of processing a message at a node; nullptr-able.
+using ServiceFn = std::function<SimTime(const wire::Message&)>;
+
+struct NetCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+  SimTime cpu_busy_us = 0;
+};
+
+class Network {
+ public:
+  Network(Simulation& sim, LatencyModel latency, CodecMode mode = CodecMode::kBytes)
+      : sim_(sim), latency_(std::move(latency)), mode_(mode) {}
+
+  /// Registers an actor; returns its node id. `service` may be null (zero
+  /// CPU cost, e.g. client sessions).
+  NodeId add_node(Actor* actor, DcId dc, ServiceFn service = nullptr);
+
+  /// Marks a<->b as collocated (loopback latency), e.g. a client and the
+  /// partition server it uses as transaction coordinator (§V-A).
+  void set_colocated(NodeId a, NodeId b);
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg);
+
+  /// Accounts CPU time consumed by background work (timer ticks); delays
+  /// subsequently-processed messages on that node.
+  void charge_cpu(NodeId node, SimTime us);
+
+  // --- fault injection (§III-C availability) ---
+  /// Simulates a crashed/stalled server process: deliveries to the node are
+  /// buffered and its background timers are expected to check node_paused()
+  /// and skip work. resume_node models a state-preserving failover (the
+  /// paper assumes a backup takes over, e.g. via Paxos-replicated state).
+  void pause_node(NodeId n);
+  void resume_node(NodeId n);
+  bool node_paused(NodeId n) const { return nodes_[n].paused; }
+
+  void partition_dcs(DcId a, DcId b);
+  void heal_dcs(DcId a, DcId b);
+  /// Partitions dc from every other DC.
+  void isolate_dc(DcId dc);
+  void heal_all();
+  bool dcs_partitioned(DcId a, DcId b) const;
+
+  // --- introspection ---
+  DcId dc_of(NodeId n) const { return nodes_[n].dc; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const NetCounters& counters(NodeId n) const { return nodes_[n].counters; }
+  const std::uint64_t* msgs_by_type() const { return msgs_by_type_; }
+  std::uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  Simulation& sim() { return sim_; }
+  const LatencyModel& latency() const { return latency_; }
+
+ private:
+  struct Node {
+    Actor* actor = nullptr;
+    DcId dc = 0;
+    ServiceFn service;
+    SimTime busy_until = 0;
+    bool paused = false;
+    NetCounters counters;
+  };
+  struct Pending {
+    NodeId from, to;
+    wire::MessagePtr msg;
+    std::size_t bytes;
+  };
+
+  static std::uint64_t channel_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  static std::uint64_t dc_pair_key(DcId a, DcId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  void transmit(NodeId from, NodeId to, wire::MessagePtr msg, std::size_t bytes);
+  void deliver(NodeId from, NodeId to, wire::MessagePtr msg, std::size_t bytes);
+  void flush_blocked(DcId a, DcId b);
+
+  Simulation& sim_;
+  LatencyModel latency_;
+  CodecMode mode_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, SimTime> last_arrival_;   // channel FIFO clamp
+  std::unordered_set<std::uint64_t> colocated_;               // node-pair keys
+  std::unordered_set<std::uint64_t> blocked_dc_pairs_;        // partitions
+  std::unordered_map<std::uint64_t, std::deque<Pending>> blocked_queue_;  // per dc-pair
+  std::unordered_map<NodeId, std::deque<Pending>> stalled_;               // per paused node
+  std::uint64_t msgs_by_type_[wire::kNumMsgTypes] = {};
+  std::uint64_t total_bytes_sent_ = 0;
+};
+
+}  // namespace paris::sim

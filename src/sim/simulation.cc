@@ -1,0 +1,50 @@
+#include "sim/simulation.h"
+
+#include "common/assert.h"
+
+namespace paris::sim {
+
+void Simulation::at(SimTime t, EventQueue::Fn fn) {
+  PARIS_DCHECK(t >= now_);
+  queue_.push(t < now_ ? now_ : t, std::move(fn));
+}
+
+Simulation::PeriodicHandle Simulation::every(SimTime period, SimTime phase,
+                                             std::function<void()> fn) {
+  PARIS_CHECK(period > 0);
+  PeriodicHandle h;
+  h.alive_ = std::make_shared<bool>(true);
+  auto alive = h.alive_;
+  // Self-rescheduling closure; stops when the handle dies.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), alive, tick]() {
+    if (!*alive) return;
+    fn();
+    if (*alive) after(period, *tick);
+  };
+  after(phase, *tick);
+  return h;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run_all() {
+  while (step()) {
+  }
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  SimTime at;
+  auto fn = queue_.pop(&at);
+  PARIS_DCHECK(at >= now_);
+  now_ = at;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+}  // namespace paris::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic single-threaded discrete-event simulation loop.
+//
+// This is the substitute for the paper's AWS deployment (see DESIGN.md §2):
+// protocol code observes only message deliveries and timer fires, both of
+// which are totally ordered by (time, insertion seq), so a run is a pure
+// function of its configuration and seed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace paris::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules fn at absolute time `at` (>= now).
+  void at(SimTime t, EventQueue::Fn fn);
+  /// Schedules fn `delay` microseconds from now.
+  void after(SimTime delay, EventQueue::Fn fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Schedules fn every `period` µs starting at now + phase. The returned
+  /// handle cancels the timer when destroyed or reset.
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    void cancel() {
+      if (alive_) *alive_ = false;
+    }
+    ~PeriodicHandle() { cancel(); }
+    PeriodicHandle(PeriodicHandle&&) = default;
+    PeriodicHandle& operator=(PeriodicHandle&& o) {
+      cancel();
+      alive_ = std::move(o.alive_);
+      return *this;
+    }
+
+   private:
+    friend class Simulation;
+    std::shared_ptr<bool> alive_;
+  };
+  PeriodicHandle every(SimTime period, SimTime phase, std::function<void()> fn);
+
+  /// Runs events until simulated time t (inclusive of events at t).
+  void run_until(SimTime t);
+  /// Runs until the queue drains (only safe when no periodic timers exist).
+  void run_all();
+  /// Executes a single event; returns false if the queue is empty.
+  bool step();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace paris::sim

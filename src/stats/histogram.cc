@@ -1,0 +1,86 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace paris::stats {
+
+int Histogram::bucket_index(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<int>(v);  // group 0: exact
+  const int msb = 63 - std::countl_zero(v);
+  const int group = msb - kSubBits + 1;
+  const int sub = static_cast<int>((v >> (msb - kSubBits)) & (kSubBuckets - 1));
+  return group * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_mid(int idx) {
+  const int group = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  if (group == 0) return static_cast<std::uint64_t>(sub);
+  const int shift = group - 1;
+  const std::uint64_t lo = (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift;
+  const std::uint64_t width = 1ull << shift;
+  return lo + width / 2;
+}
+
+void Histogram::record(std::uint64_t v) { record_n(v, 1); }
+
+void Histogram::record_n(std::uint64_t v, std::uint64_t n) {
+  if (n == 0) return;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  buckets_[static_cast<std::size_t>(bucket_index(v))] += n;
+  count_ += n;
+  sum_ += v * n;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank definition: the smallest value with at least ceil(q * N)
+  // observations at or below it.
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_mid(i), max_);
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::uint64_t, double>> Histogram::cdf() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  if (count_ == 0) return out;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    out.emplace_back(bucket_mid(i), static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+}  // namespace paris::stats

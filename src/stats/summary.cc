@@ -1,0 +1,38 @@
+#include "stats/summary.h"
+
+#include <cstdio>
+
+namespace paris::stats {
+
+Summary Summary::of(const Histogram& h) {
+  Summary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.percentile(0.50);
+  s.p90 = h.percentile(0.90);
+  s.p95 = h.percentile(0.95);
+  s.p99 = h.percentile(0.99);
+  s.p999 = h.percentile(0.999);
+  s.max = h.max();
+  return s;
+}
+
+std::string us_to_ms(double us, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, us / 1000.0);
+  return buf;
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (c && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace paris::stats

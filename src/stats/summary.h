@@ -1,0 +1,27 @@
+#pragma once
+// Compact numeric summaries and table formatting shared by benches and
+// examples.
+
+#include <cstdint>
+#include <string>
+
+#include "stats/histogram.h"
+
+namespace paris::stats {
+
+/// Point summary of a latency distribution, in the histogram's value unit.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0;
+  std::uint64_t p50 = 0, p90 = 0, p95 = 0, p99 = 0, p999 = 0, max = 0;
+
+  static Summary of(const Histogram& h);
+};
+
+/// "12.3" style fixed formatting of µs as ms.
+std::string us_to_ms(double us, int decimals = 2);
+
+/// Thousands separator for counts ("1,234,567").
+std::string with_commas(std::uint64_t v);
+
+}  // namespace paris::stats

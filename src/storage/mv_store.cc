@@ -1,0 +1,118 @@
+#include "storage/mv_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace paris::store {
+
+void MvStore::apply(Key k, Value v, Timestamp ut, TxId tx, DcId sr, std::uint8_t kind) {
+  auto& chain = chains_[k];
+  Version ver{std::move(v), ut, tx, sr, kind};
+  // The common case is in-order append (apply runs in increasing ct order;
+  // replication is FIFO), so probe from the back.
+  auto pos = chain.end();
+  while (pos != chain.begin()) {
+    auto prev = std::prev(pos);
+    if (*prev < ver) break;
+    if (!(ver < *prev)) return;  // duplicate (same ut, tx, sr): ignore
+    pos = prev;
+  }
+  chain.insert(pos, std::move(ver));
+  ++num_versions_;
+  ++stats_.applied_versions;
+  if (chain.size() > 1) multi_version_keys_.insert(k);
+}
+
+const Version* MvStore::read(Key k, Timestamp snapshot) const {
+  ++stats_.reads;
+  const auto it = chains_.find(k);
+  if (it == chains_.end()) return nullptr;
+  const auto& chain = it->second;
+  // Scan from the freshest end; chains are short (GC keeps them trimmed).
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit)
+    if (rit->ut <= snapshot) return &*rit;
+  return nullptr;
+}
+
+namespace {
+std::int64_t parse_i64(const Value& v) {
+  if (v.empty()) return 0;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+}  // namespace
+
+std::pair<std::int64_t, const Version*> MvStore::read_counter(Key k,
+                                                              Timestamp snapshot) const {
+  ++stats_.reads;
+  const auto it = chains_.find(k);
+  if (it == chains_.end()) return {0, nullptr};
+  const auto& chain = it->second;
+  std::int64_t sum = 0;
+  const Version* newest = nullptr;
+  // Walk newest -> oldest; a register write is a base that absorbs all
+  // older history.
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    if (rit->ut > snapshot) continue;
+    if (newest == nullptr) newest = &*rit;
+    sum += parse_i64(rit->v);
+    if (rit->kind == 0) break;  // register base: stop
+  }
+  return {sum, newest};
+}
+
+const Version* MvStore::latest(Key k) const {
+  const auto it = chains_.find(k);
+  if (it == chains_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+std::size_t MvStore::chain_length(Key k) const {
+  const auto it = chains_.find(k);
+  return it == chains_.end() ? 0 : it->second.size();
+}
+
+std::size_t MvStore::gc(Timestamp watermark) {
+  std::size_t removed = 0;
+  for (auto it = multi_version_keys_.begin(); it != multi_version_keys_.end();) {
+    auto& chain = chains_[*it];
+    // Find the newest version with ut <= watermark; erase everything before.
+    std::size_t keep_from = 0;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (chain[i].ut <= watermark) {
+        keep_from = i;
+        break;
+      }
+    }
+    if (keep_from > 0) {
+      // Counter chains: fold the pruned history into the boundary version
+      // so sums at snapshots >= watermark are preserved. The boundary
+      // becomes a register base holding the full sum up to its timestamp.
+      bool has_delta = chain[keep_from].kind != 0;
+      for (std::size_t i = 0; i < keep_from && !has_delta; ++i)
+        has_delta = chain[i].kind != 0;
+      if (has_delta) {
+        std::int64_t sum = 0;
+        for (std::size_t i = keep_from + 1; i-- > 0;) {
+          sum += parse_i64(chain[i].v);
+          if (chain[i].kind == 0) break;
+        }
+        chain[keep_from].v = std::to_string(sum);
+        chain[keep_from].kind = 0;  // now a register base
+      }
+      chain.erase(chain.begin(), chain.begin() + static_cast<std::ptrdiff_t>(keep_from));
+      removed += keep_from;
+      num_versions_ -= keep_from;
+    }
+    if (chain.size() <= 1) {
+      it = multi_version_keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.gc_removed += removed;
+  return removed;
+}
+
+}  // namespace paris::store

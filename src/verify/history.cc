@@ -1,0 +1,164 @@
+#include "verify/history.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace paris::verify {
+
+using wire::Item;
+using wire::WriteKV;
+
+void HistoryRecorder::on_commit_writes(TxId tx, DcId origin,
+                                       const std::vector<WriteKV>& writes) {
+  auto& rec = txs_[tx];
+  rec.origin = origin;
+  rec.writes = writes;
+}
+
+void HistoryRecorder::on_commit_decided(TxId tx, Timestamp ct, DcId origin,
+                                        sim::SimTime /*now*/) {
+  auto& rec = txs_[tx];
+  rec.ct = ct;
+  rec.origin = origin;
+  ++decided_;
+}
+
+void HistoryRecorder::on_slice_served(DcId server_dc, PartitionId partition, TxId tx,
+                                      Timestamp snapshot, std::uint8_t mode,
+                                      const std::vector<Item>& items, sim::SimTime now) {
+  if (!opt_.record_slices) return;
+  slices_.push_back(SliceRecord{server_dc, partition, tx, snapshot, mode, items, now});
+}
+
+Timestamp HistoryRecorder::commit_ts(TxId tx) const {
+  const auto it = txs_.find(tx);
+  return it == txs_.end() ? kTsZero : it->second.ct;
+}
+
+namespace {
+
+/// One committed write, in the system's total version order.
+struct WriteVersion {
+  Timestamp ct;
+  TxId tx;
+  DcId sr;
+  const Value* v;
+  std::uint8_t kind;
+
+  friend bool operator<(const WriteVersion& a, const WriteVersion& b) {
+    if (a.ct != b.ct) return a.ct < b.ct;
+    if (a.tx != b.tx) return a.tx < b.tx;
+    return a.sr < b.sr;
+  }
+};
+
+std::int64_t parse_i64(const Value& v) {
+  return v.empty() ? 0 : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+/// Expected counter value at `snapshot`: fold the sorted versions from the
+/// last register base (its decimal value seeds the sum) through the
+/// snapshot — mirrors MvStore::read_counter over the committed history.
+std::int64_t expected_counter(const std::vector<WriteVersion>& versions, Timestamp snapshot) {
+  std::int64_t sum = 0;
+  for (const auto& v : versions) {
+    if (v.ct > snapshot) break;
+    if (v.kind == 0) sum = 0;  // register base resets
+    sum += parse_i64(*v.v);
+  }
+  return sum;
+}
+
+std::string fmt(const char* f, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), f, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> HistoryRecorder::check() const {
+  std::vector<std::string> violations;
+
+  // Index committed writes per key, sorted by the total version order.
+  std::unordered_map<Key, std::vector<WriteVersion>> by_key;
+  std::unordered_map<Key, bool> has_delta;
+  for (const auto& [tx, rec] : txs_) {
+    if (rec.ct.is_zero()) continue;  // never decided (in flight at end of run)
+    for (const auto& w : rec.writes) {
+      by_key[w.k].push_back(WriteVersion{rec.ct, tx, rec.origin, &w.v, w.kind});
+      if (w.kind != 0) has_delta[w.k] = true;
+    }
+  }
+  for (auto& [k, versions] : by_key) std::sort(versions.begin(), versions.end());
+
+  // Exactness: every slice item is the LWW winner within the snapshot.
+  for (const auto& s : slices_) {
+    for (const auto& item : s.items) {
+      const WriteVersion* winner = nullptr;
+      if (const auto it = by_key.find(item.k); it != by_key.end()) {
+        for (const auto& v : it->second) {
+          if (v.ct > s.snapshot) break;
+          winner = &v;
+        }
+      }
+      if (winner == nullptr) {
+        if (!item.ut.is_zero()) {
+          violations.push_back(
+              fmt("slice@%llu dc=%u p=%u key=%llu snap=%s: returned version ut=%s but no "
+                  "committed write <= snapshot exists",
+                  (unsigned long long)s.at, s.dc, s.partition, (unsigned long long)item.k,
+                  to_string(s.snapshot).c_str(), to_string(item.ut).c_str()));
+        }
+        continue;
+      }
+      if (item.ut.is_zero()) {
+        violations.push_back(
+            fmt("slice@%llu dc=%u p=%u key=%llu snap=%s: returned ABSENT but tx %llu "
+                "committed ct=%s <= snapshot (stale/lost write)",
+                (unsigned long long)s.at, s.dc, s.partition, (unsigned long long)item.k,
+                to_string(s.snapshot).c_str(), (unsigned long long)winner->tx.raw,
+                to_string(winner->ct).c_str()));
+        continue;
+      }
+      // Note: sr is not compared. The version-order tuple is (ut, tx, sr)
+      // but TxIds are globally unique, so sr never disambiguates; stores
+      // stamp sr with the DC of the preparing cohort, which can legally
+      // differ from the coordinator's DC for multi-DC write sets.
+      if (item.ut != winner->ct || item.tx != winner->tx) {
+        violations.push_back(
+            fmt("slice@%llu dc=%u p=%u key=%llu snap=%s: returned (ut=%s tx=%llu) "
+                "but LWW winner is (ct=%s tx=%llu)",
+                (unsigned long long)s.at, s.dc, s.partition, (unsigned long long)item.k,
+                to_string(s.snapshot).c_str(), to_string(item.ut).c_str(),
+                (unsigned long long)item.tx.raw, to_string(winner->ct).c_str(),
+                (unsigned long long)winner->tx.raw));
+        continue;
+      }
+      if (s.mode == static_cast<std::uint8_t>(wire::ReadMode::kCounter)) {
+        // Counter reads return the merged sum, not the newest raw value.
+        const std::int64_t expect = expected_counter(by_key[item.k], s.snapshot);
+        if (parse_i64(item.v) != expect) {
+          violations.push_back(
+              fmt("slice@%llu key=%llu: counter sum %lld but expected %lld "
+                  "(lost/duplicated delta)",
+                  (unsigned long long)s.at, (unsigned long long)item.k,
+                  static_cast<long long>(parse_i64(item.v)), static_cast<long long>(expect)));
+        }
+      } else if (!has_delta[item.k] && item.v != *winner->v) {
+        // Value comparison only for pure-register keys: GC legitimately
+        // folds counter histories into synthetic base values.
+        violations.push_back(fmt("slice@%llu key=%llu: version matches but value differs",
+                                 (unsigned long long)s.at, (unsigned long long)item.k));
+      }
+    }
+    if (violations.size() > 50) {
+      violations.push_back("... further violations suppressed");
+      break;
+    }
+  }
+  return violations;
+}
+
+}  // namespace paris::verify

@@ -1,0 +1,3 @@
+// buffer.h is header-only; this TU exists so the wire library has a stable
+// archive even if messages.cc is ever split out.
+#include "wire/buffer.h"

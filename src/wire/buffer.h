@@ -1,0 +1,94 @@
+#pragma once
+// Binary wire format: LEB128 varints for integers, length-prefixed bytes for
+// values. This stands in for the paper's Google Protobufs; the simulated
+// network (kBytes mode) encodes and decodes every message through this codec.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace paris::wire {
+
+/// Number of bytes varint-encoding v takes (1..10).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Append-only byte sink.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_bytes(const std::string& s) {
+    put_varint(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked reader over an encoded buffer. Malformed input trips a
+/// PARIS_CHECK: inside the simulator any decode failure is a codec bug, not
+/// an external-input condition.
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t len) : p_(data), end_(data + len) {}
+  explicit Decoder(const std::vector<std::uint8_t>& buf) : Decoder(buf.data(), buf.size()) {}
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      PARIS_CHECK_MSG(p_ < end_, "varint truncated");
+      const std::uint8_t b = *p_++;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      PARIS_CHECK_MSG(shift < 64, "varint overlong");
+    }
+    return v;
+  }
+
+  std::uint8_t get_u8() {
+    PARIS_CHECK_MSG(p_ < end_, "u8 truncated");
+    return *p_++;
+  }
+
+  std::string get_bytes() {
+    const std::uint64_t n = get_varint();
+    PARIS_CHECK_MSG(static_cast<std::size_t>(end_ - p_) >= n, "bytes truncated");
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return s;
+  }
+
+  bool done() const { return p_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace paris::wire

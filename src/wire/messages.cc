@@ -1,0 +1,35 @@
+#include "wire/messages.h"
+
+namespace paris::wire {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+#define PARIS_MSG_NAME_CASE(T) \
+  case T::kType:               \
+    return #T;
+    PARIS_FOREACH_MESSAGE(PARIS_MSG_NAME_CASE)
+#undef PARIS_MSG_NAME_CASE
+  }
+  return "?";
+}
+
+void encode_message(const Message& m, std::vector<std::uint8_t>& out) {
+  Encoder e(out);
+  e.put_u8(static_cast<std::uint8_t>(m.type()));
+  m.encode(e);
+}
+
+std::unique_ptr<Message> decode_message(Decoder& d) {
+  const auto t = static_cast<MsgType>(d.get_u8());
+  switch (t) {
+#define PARIS_MSG_DECODE_CASE(T) \
+  case T::kType:                 \
+    return T::decode(d);
+    PARIS_FOREACH_MESSAGE(PARIS_MSG_DECODE_CASE)
+#undef PARIS_MSG_DECODE_CASE
+  }
+  PARIS_CHECK_MSG(false, "unknown message type");
+  return nullptr;
+}
+
+}  // namespace paris::wire

@@ -1,0 +1,476 @@
+#pragma once
+// All protocol messages exchanged between clients and servers.
+//
+// Each message declares its fields once via a static `fields(self, visitor)`
+// template; encoding, decoding and wire sizing are derived from that single
+// declaration (see field visitors at the bottom). Adding a message means:
+// add the struct, add it to the MsgType enum, and register it in the
+// PARIS_FOREACH_MESSAGE X-macro.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/types.h"
+#include "wire/buffer.h"
+
+namespace paris::wire {
+
+enum class MsgType : std::uint8_t {
+  kClientStartReq = 1,
+  kClientStartResp,
+  kClientReadReq,
+  kClientReadResp,
+  kClientCommitReq,
+  kClientCommitResp,
+  kTxEnd,
+  kReadSliceReq,
+  kReadSliceResp,
+  kPrepareReq,
+  kPrepareResp,
+  kCommit2pc,
+  kReplicateBatch,
+  kHeartbeat,
+  kGossipUp,
+  kGossipRoot,
+  kUstDown,
+};
+
+const char* msg_type_name(MsgType t);
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kUstDown) + 1;
+
+// ---------------------------------------------------------------------------
+// Plain data sub-records.
+// ---------------------------------------------------------------------------
+
+/// A full item version as stored and returned by reads: §IV-A
+/// d = <k, v, ut, idT, sr>.
+struct Item {
+  Key k = 0;
+  Value v;
+  Timestamp ut;
+  TxId tx;
+  DcId sr = 0;
+
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.k);
+    f(s.v);
+    f(s.ut);
+    f(s.tx);
+    f(s.sr);
+  }
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+/// Write semantics (§II-B conflict resolution): registers converge by
+/// last-writer-wins; counter deltas converge by summation, a commutative
+/// and associative merge that never loses concurrent updates.
+enum class WriteKind : std::uint8_t {
+  kRegisterPut = 0,
+  kCounterAdd = 1,
+};
+
+/// Read semantics, chosen per READ call.
+enum class ReadMode : std::uint8_t {
+  kRegister = 0,  ///< freshest visible version (LWW)
+  kCounter = 1,   ///< sum of visible deltas since the last register write
+};
+
+/// A buffered client write (key + new value or delta).
+struct WriteKV {
+  Key k = 0;
+  Value v;
+  std::uint8_t kind = 0;  ///< WriteKind
+
+  WriteKV() = default;
+  WriteKV(Key key, Value val, WriteKind wk = WriteKind::kRegisterPut)
+      : k(key), v(std::move(val)), kind(static_cast<std::uint8_t>(wk)) {}
+
+  WriteKind write_kind() const { return static_cast<WriteKind>(kind); }
+
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.k);
+    f(s.v);
+    f(s.kind);
+  }
+  friend bool operator==(const WriteKV&, const WriteKV&) = default;
+};
+
+/// One transaction inside a replication group.
+struct ReplicateTxn {
+  TxId tx;
+  std::vector<WriteKV> writes;
+
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.writes);
+  }
+  friend bool operator==(const ReplicateTxn&, const ReplicateTxn&) = default;
+};
+
+/// All transactions applied at the same commit timestamp (Alg. 4 line 11).
+struct ReplicateGroup {
+  Timestamp ct;
+  std::vector<ReplicateTxn> txs;
+
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.ct);
+    f(s.txs);
+  }
+  friend bool operator==(const ReplicateGroup&, const ReplicateGroup&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Message base.
+// ---------------------------------------------------------------------------
+
+struct Message {
+  virtual ~Message() = default;
+  virtual MsgType type() const = 0;
+  virtual void encode(Encoder& e) const = 0;
+  /// Wire size of the payload (excludes the 1-byte type tag).
+  virtual std::size_t wire_size() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Encodes [type tag][payload] into out.
+void encode_message(const Message& m, std::vector<std::uint8_t>& out);
+
+/// Decodes a message previously produced by encode_message.
+std::unique_ptr<Message> decode_message(Decoder& d);
+
+// ---------------------------------------------------------------------------
+// Field visitors.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct WireWriter {
+  Encoder& e;
+  void operator()(std::uint8_t v) { e.put_u8(v); }
+  void operator()(std::uint64_t v) { e.put_varint(v); }
+  void operator()(std::uint32_t v) { e.put_varint(v); }
+  void operator()(std::uint16_t v) { e.put_varint(v); }
+  void operator()(const std::string& v) { e.put_bytes(v); }
+  void operator()(Timestamp v) { e.put_varint(v.raw); }
+  void operator()(TxId v) { e.put_varint(v.raw); }
+  template <class T>
+  void operator()(const std::vector<T>& v) {
+    e.put_varint(v.size());
+    for (const auto& x : v) (*this)(x);
+  }
+  template <class T>
+    requires requires(const T& t, WireWriter& w) { T::fields(t, w); }
+  void operator()(const T& v) {
+    T::fields(v, *this);
+  }
+};
+
+struct WireReader {
+  Decoder& d;
+  void operator()(std::uint8_t& v) { v = d.get_u8(); }
+  void operator()(std::uint64_t& v) { v = d.get_varint(); }
+  void operator()(std::uint32_t& v) { v = static_cast<std::uint32_t>(d.get_varint()); }
+  void operator()(std::uint16_t& v) { v = static_cast<std::uint16_t>(d.get_varint()); }
+  void operator()(std::string& v) { v = d.get_bytes(); }
+  void operator()(Timestamp& v) { v.raw = d.get_varint(); }
+  void operator()(TxId& v) { v.raw = d.get_varint(); }
+  template <class T>
+  void operator()(std::vector<T>& v) {
+    v.resize(d.get_varint());
+    for (auto& x : v) (*this)(x);
+  }
+  template <class T>
+    requires requires(T& t, WireReader& r) { T::fields(t, r); }
+  void operator()(T& v) {
+    T::fields(v, *this);
+  }
+};
+
+struct WireSizer {
+  std::size_t n = 0;
+  void operator()(std::uint8_t) { n += 1; }
+  void operator()(std::uint64_t v) { n += varint_size(v); }
+  void operator()(std::uint32_t v) { n += varint_size(v); }
+  void operator()(std::uint16_t v) { n += varint_size(v); }
+  void operator()(const std::string& v) { n += varint_size(v.size()) + v.size(); }
+  void operator()(Timestamp v) { n += varint_size(v.raw); }
+  void operator()(TxId v) { n += varint_size(v.raw); }
+  template <class T>
+  void operator()(const std::vector<T>& v) {
+    n += varint_size(v.size());
+    for (const auto& x : v) (*this)(x);
+  }
+  template <class T>
+    requires requires(const T& t, WireSizer& s) { T::fields(t, s); }
+  void operator()(const T& v) {
+    T::fields(v, *this);
+  }
+};
+
+}  // namespace detail
+
+/// CRTP base deriving the Message interface from Derived::fields.
+template <class Derived, MsgType Type>
+struct MessageBase : Message {
+  static constexpr MsgType kType = Type;
+  MsgType type() const final { return Type; }
+  void encode(Encoder& e) const final {
+    detail::WireWriter w{e};
+    Derived::fields(static_cast<const Derived&>(*this), w);
+  }
+  std::size_t wire_size() const final {
+    detail::WireSizer s;
+    Derived::fields(static_cast<const Derived&>(*this), s);
+    return s.n;
+  }
+  static std::unique_ptr<Message> decode(Decoder& d) {
+    auto m = std::make_unique<Derived>();
+    detail::WireReader r{d};
+    Derived::fields(*m, r);
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Client <-> coordinator messages (Alg. 1 / Alg. 2).
+// ---------------------------------------------------------------------------
+
+/// START-TX: carries the client's last observed stable snapshot ust_c.
+struct ClientStartReq : MessageBase<ClientStartReq, MsgType::kClientStartReq> {
+  Timestamp ust_c;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.ust_c);
+  }
+};
+
+/// Reply: transaction id + assigned snapshot.
+struct ClientStartResp : MessageBase<ClientStartResp, MsgType::kClientStartResp> {
+  TxId tx;
+  Timestamp snapshot;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.snapshot);
+  }
+};
+
+/// READ: the keys the client could not serve from WS/RS/cache.
+struct ClientReadReq : MessageBase<ClientReadReq, MsgType::kClientReadReq> {
+  TxId tx;
+  std::uint8_t mode = 0;  ///< ReadMode
+  std::vector<Key> keys;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.mode);
+    f(s.keys);
+  }
+};
+
+struct ClientReadResp : MessageBase<ClientReadResp, MsgType::kClientReadResp> {
+  TxId tx;
+  std::vector<Item> items;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.items);
+  }
+};
+
+/// COMMIT-TX: write set + the client's last update-commit time hwt_c.
+struct ClientCommitReq : MessageBase<ClientCommitReq, MsgType::kClientCommitReq> {
+  TxId tx;
+  Timestamp hwt;
+  std::vector<WriteKV> writes;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.hwt);
+    f(s.writes);
+  }
+};
+
+struct ClientCommitResp : MessageBase<ClientCommitResp, MsgType::kClientCommitResp> {
+  TxId tx;
+  Timestamp ct;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.ct);
+  }
+};
+
+/// Read-only transactions end without a 2PC; this clears the coordinator's
+/// transaction context (the paper GCs contexts on a timeout; an explicit end
+/// message is equivalent and keeps the simulation memory bounded).
+struct TxEnd : MessageBase<TxEnd, MsgType::kTxEnd> {
+  TxId tx;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator <-> cohort messages (Alg. 2 / Alg. 3).
+// ---------------------------------------------------------------------------
+
+struct ReadSliceReq : MessageBase<ReadSliceReq, MsgType::kReadSliceReq> {
+  TxId tx;
+  Timestamp snapshot;
+  std::uint8_t mode = 0;  ///< ReadMode
+  std::vector<Key> keys;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.snapshot);
+    f(s.mode);
+    f(s.keys);
+  }
+};
+
+struct ReadSliceResp : MessageBase<ReadSliceResp, MsgType::kReadSliceResp> {
+  TxId tx;
+  std::vector<Item> items;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.items);
+  }
+};
+
+struct PrepareReq : MessageBase<PrepareReq, MsgType::kPrepareReq> {
+  TxId tx;
+  PartitionId partition = 0;
+  Timestamp snapshot;  ///< transaction snapshot (ust at start)
+  Timestamp ht;        ///< max(snapshot, client hwt), Alg. 2 line 19
+  std::vector<WriteKV> writes;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.partition);
+    f(s.snapshot);
+    f(s.ht);
+    f(s.writes);
+  }
+};
+
+struct PrepareResp : MessageBase<PrepareResp, MsgType::kPrepareResp> {
+  TxId tx;
+  PartitionId partition = 0;
+  Timestamp pt;  ///< proposed commit timestamp
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.partition);
+    f(s.pt);
+  }
+};
+
+struct Commit2pc : MessageBase<Commit2pc, MsgType::kCommit2pc> {
+  TxId tx;
+  Timestamp ct;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.tx);
+    f(s.ct);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Replication & stabilization (Alg. 4).
+// ---------------------------------------------------------------------------
+
+/// Batch of applied transactions shipped to peer replicas of a partition,
+/// grouped by commit timestamp, in increasing ct order. `upto` is the
+/// sender's version-clock upper bound (a merged heartbeat): the sender
+/// guarantees every future ct from it exceeds `upto`.
+struct ReplicateBatch : MessageBase<ReplicateBatch, MsgType::kReplicateBatch> {
+  PartitionId partition = 0;
+  Timestamp upto;
+  std::vector<ReplicateGroup> groups;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.partition);
+    f(s.upto);
+    f(s.groups);
+  }
+};
+
+/// Version-clock advance in the absence of updates (Alg. 4 line 21).
+struct Heartbeat : MessageBase<Heartbeat, MsgType::kHeartbeat> {
+  PartitionId partition = 0;
+  Timestamp t;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.partition);
+    f(s.t);
+  }
+};
+
+/// Intra-DC stabilization tree, child -> parent: the subtree's minimum
+/// version-vector entry and oldest active snapshot (for GC, §IV-B).
+struct GossipUp : MessageBase<GossipUp, MsgType::kGossipUp> {
+  Timestamp min_vv;
+  Timestamp oldest_active;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.min_vv);
+    f(s.oldest_active);
+  }
+};
+
+/// Root -> remote roots: this DC's global stable time (GST).
+struct GossipRoot : MessageBase<GossipRoot, MsgType::kGossipRoot> {
+  DcId dc = 0;
+  Timestamp gst;
+  Timestamp oldest_active;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.dc);
+    f(s.gst);
+    f(s.oldest_active);
+  }
+};
+
+/// Root -> subtree: the universal stable time and GC watermark.
+struct UstDown : MessageBase<UstDown, MsgType::kUstDown> {
+  Timestamp ust;
+  Timestamp gc_watermark;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.ust);
+    f(s.gc_watermark);
+  }
+};
+
+/// X-macro over every concrete message type (used by the codec registry and
+/// by tests that fuzz the codec).
+#define PARIS_FOREACH_MESSAGE(X) \
+  X(ClientStartReq)              \
+  X(ClientStartResp)             \
+  X(ClientReadReq)               \
+  X(ClientReadResp)              \
+  X(ClientCommitReq)             \
+  X(ClientCommitResp)            \
+  X(TxEnd)                       \
+  X(ReadSliceReq)                \
+  X(ReadSliceResp)               \
+  X(PrepareReq)                  \
+  X(PrepareResp)                 \
+  X(Commit2pc)                   \
+  X(ReplicateBatch)              \
+  X(Heartbeat)                   \
+  X(GossipUp)                    \
+  X(GossipRoot)                  \
+  X(UstDown)
+
+}  // namespace paris::wire

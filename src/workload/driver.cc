@@ -1,0 +1,41 @@
+#include "workload/driver.h"
+
+namespace paris::workload {
+
+void Collector::record_tx(sim::SimTime started, sim::SimTime finished, bool multi_dc) {
+  if (finished < begin_ || finished >= end_) return;
+  ++committed_;
+  const sim::SimTime lat = finished - started;
+  latency_.record(lat);
+  (multi_dc ? latency_multi_ : latency_local_).record(lat);
+}
+
+Session::Session(sim::Simulation& sim, proto::Client& client, TxGenerator gen,
+                 Collector& collector)
+    : sim_(sim), client_(client), gen_(std::move(gen)), collector_(collector) {}
+
+void Session::next_tx() {
+  tx_start_ = sim_.now();
+  plan_ = gen_.next();
+
+  client_.start_tx([this](TxId, Timestamp) {
+    if (plan_.reads.empty()) {
+      write_and_commit();  // write-only transaction
+      return;
+    }
+    // Phase 1: all reads in parallel (the paper's transaction shape).
+    client_.read(plan_.reads, [this](std::vector<wire::Item>) { write_and_commit(); });
+  });
+}
+
+void Session::write_and_commit() {
+  // Phase 2: buffer all writes, then commit atomically.
+  if (!plan_.writes.empty()) client_.write(plan_.writes);
+  client_.commit([this](Timestamp) {
+    collector_.record_tx(tx_start_, sim_.now(), plan_.multi_dc);
+    ++txs_done_;
+    next_tx();
+  });
+}
+
+}  // namespace paris::workload

@@ -1,0 +1,66 @@
+#pragma once
+// Closed-loop workload driver. A Session emulates one client thread of the
+// paper's benchmark: start tx -> parallel reads -> buffered writes ->
+// commit, immediately followed by the next transaction. The Collector
+// aggregates committed-transaction latency/throughput over a measurement
+// window (events outside the window — warmup and drain — are discarded).
+
+#include <memory>
+#include <vector>
+
+#include "proto/client.h"
+#include "stats/histogram.h"
+#include "workload/generator.h"
+
+namespace paris::workload {
+
+class Collector {
+ public:
+  void set_window(sim::SimTime begin, sim::SimTime end) {
+    begin_ = begin;
+    end_ = end;
+  }
+
+  void record_tx(sim::SimTime started, sim::SimTime finished, bool multi_dc);
+
+  std::uint64_t committed() const { return committed_; }
+  double window_seconds() const { return static_cast<double>(end_ - begin_) / 1e6; }
+  double throughput_tx_s() const {
+    return window_seconds() > 0 ? static_cast<double>(committed_) / window_seconds() : 0;
+  }
+  const stats::Histogram& latency() const { return latency_; }
+  const stats::Histogram& latency_local() const { return latency_local_; }
+  const stats::Histogram& latency_multi() const { return latency_multi_; }
+
+ private:
+  sim::SimTime begin_ = 0, end_ = 0;
+  std::uint64_t committed_ = 0;
+  stats::Histogram latency_;        // µs, all transactions
+  stats::Histogram latency_local_;  // µs, local-DC transactions
+  stats::Histogram latency_multi_;  // µs, multi-DC transactions
+};
+
+class Session {
+ public:
+  Session(sim::Simulation& sim, proto::Client& client, TxGenerator gen, Collector& collector);
+
+  /// Kicks off the closed loop; transactions chain until the simulation
+  /// stops being run.
+  void run() { next_tx(); }
+
+  std::uint64_t txs_done() const { return txs_done_; }
+
+ private:
+  void next_tx();
+  void write_and_commit();
+
+  sim::Simulation& sim_;
+  proto::Client& client_;
+  TxGenerator gen_;
+  Collector& collector_;
+  TxPlan plan_;
+  sim::SimTime tx_start_ = 0;
+  std::uint64_t txs_done_ = 0;
+};
+
+}  // namespace paris::workload

@@ -1,0 +1,141 @@
+#include "workload/experiment.h"
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "verify/history.h"
+#include "workload/driver.h"
+
+namespace paris::workload {
+
+namespace {
+
+/// Tracer used by experiments: optional full-history recording (for the
+/// exactness checker) plus sampled update-visibility measurement.
+class ExperimentTracer : public proto::Tracer {
+ public:
+  ExperimentTracer(bool check, bool visibility, std::uint32_t sample_shift)
+      : check_(check), visibility_(visibility), sample_mask_((1u << sample_shift) - 1) {
+    if (check_) history_ = std::make_unique<verify::HistoryRecorder>();
+  }
+
+  bool sampled(TxId tx) const {
+    return (splitmix64(tx.raw) & sample_mask_) == 0;
+  }
+
+  void on_commit_writes(TxId tx, DcId origin,
+                        const std::vector<wire::WriteKV>& writes) override {
+    if (history_) history_->on_commit_writes(tx, origin, writes);
+  }
+
+  void on_commit_decided(TxId tx, Timestamp ct, DcId origin, sim::SimTime now) override {
+    if (history_) history_->on_commit_decided(tx, ct, origin, now);
+    if (visibility_ && sampled(tx)) commit_wall_[tx] = now;
+  }
+
+  void on_slice_served(DcId dc, PartitionId p, TxId tx, Timestamp snapshot,
+                       std::uint8_t mode, const std::vector<wire::Item>& items,
+                       sim::SimTime now) override {
+    if (history_) history_->on_slice_served(dc, p, tx, snapshot, mode, items, now);
+  }
+
+  bool want_visibility(TxId tx) const override { return visibility_ && sampled(tx); }
+
+  void on_visible(DcId, PartitionId, TxId tx, Timestamp, sim::SimTime now) override {
+    const auto it = commit_wall_.find(tx);
+    // An apply can race ahead of the commit_wall_ record only if the tx was
+    // not sampled; sampled() gates both sides, so a miss means the commit
+    // happened before tracing was relevant (e.g. warmup overlap) — skip.
+    if (it == commit_wall_.end()) return;
+    visibility_hist_.record(now >= it->second ? now - it->second : 0);
+  }
+
+  verify::HistoryRecorder* history() { return history_.get(); }
+  const stats::Histogram& visibility() const { return visibility_hist_; }
+
+ private:
+  bool check_;
+  bool visibility_;
+  std::uint64_t sample_mask_;
+  std::unique_ptr<verify::HistoryRecorder> history_;
+  std::unordered_map<TxId, sim::SimTime> commit_wall_;
+  stats::Histogram visibility_hist_;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  proto::DeploymentConfig dc;
+  dc.system = cfg.system;
+  dc.topo = {cfg.num_dcs, cfg.num_partitions, cfg.replication};
+  dc.protocol = cfg.protocol;
+  dc.cost = cfg.cost;
+  dc.codec = cfg.codec;
+  dc.aws_latency = cfg.aws_latency;
+  dc.seed = cfg.seed;
+
+  ExperimentTracer tracer(cfg.check_consistency, cfg.measure_visibility,
+                          cfg.visibility_sample_shift);
+  proto::Deployment dep(dc, &tracer);
+  dep.start();
+
+  Collector collector;
+  collector.set_window(cfg.warmup_us, cfg.warmup_us + cfg.measure_us);
+
+  // One client process per partition per DC, threads_per_process sessions
+  // each, collocated with their coordinator (§V-A).
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (DcId d = 0; d < dep.topo().num_dcs(); ++d) {
+    for (PartitionId p : dep.topo().partitions_at(d)) {
+      for (std::uint32_t t = 0; t < cfg.threads_per_process; ++t) {
+        auto& client = dep.add_client(d, p);
+        const std::uint64_t seed =
+            splitmix64(cfg.seed ^ (static_cast<std::uint64_t>(d) << 40) ^
+                       (static_cast<std::uint64_t>(p) << 20) ^ t);
+        sessions.push_back(std::make_unique<Session>(
+            dep.sim(), client, TxGenerator(dep.topo(), cfg.workload, d, seed), collector));
+      }
+    }
+  }
+  for (auto& s : sessions) s->run();
+
+  dep.run_for(cfg.warmup_us + cfg.measure_us);
+
+  ExperimentResult res;
+  res.throughput_tx_s = collector.throughput_tx_s();
+  res.committed = collector.committed();
+  res.latency_hist = collector.latency();
+  res.latency_local_hist = collector.latency_local();
+  res.latency_multi_hist = collector.latency_multi();
+  res.latency_us = stats::Summary::of(res.latency_hist);
+
+  const auto server_stats = dep.total_server_stats();
+  res.blocked_reads = server_stats.reads_blocked;
+  res.avg_block_ms = server_stats.reads_blocked
+                         ? static_cast<double>(server_stats.blocked_time_us) /
+                               static_cast<double>(server_stats.reads_blocked) / 1000.0
+                         : 0.0;
+
+  res.gossip_msgs = server_stats.gossip_msgs_sent;
+  std::uint64_t reads = 0, hits = 0;
+  for (const auto& c : dep.clients()) {
+    res.max_client_cache = std::max(res.max_client_cache, c->stats().max_cache_size);
+    reads += c->stats().keys_read;
+    hits += c->stats().local_hits;
+  }
+  res.local_hit_rate = reads ? static_cast<double>(hits) / static_cast<double>(reads) : 0;
+
+  res.visibility_hist = tracer.visibility();
+  res.sim_events = dep.sim().events_executed();
+  res.bytes_sent = dep.net().total_bytes_sent();
+  if (tracer.history() != nullptr) res.violations = tracer.history()->check();
+
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return res;
+}
+
+}  // namespace paris::workload

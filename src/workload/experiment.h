@@ -1,0 +1,86 @@
+#pragma once
+// End-to-end experiment runner: builds a deployment, populates it with
+// closed-loop client sessions (one client process per partition per DC,
+// `threads_per_process` sessions each, as in §V-A), runs warmup +
+// measurement, and returns aggregate results. Every figure benchmark in
+// bench/ is a parameter sweep over run_experiment().
+
+#include <string>
+#include <vector>
+
+#include "proto/deployment.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "workload/spec.h"
+
+namespace paris::workload {
+
+struct ExperimentConfig {
+  proto::System system = proto::System::kParis;
+
+  // Cluster shape.
+  std::uint32_t num_dcs = 5;
+  std::uint32_t num_partitions = 45;
+  std::uint32_t replication = 2;
+
+  WorkloadSpec workload;
+  /// Client threads per (DC, partition) client process; the load knob the
+  /// paper sweeps to trace the throughput/latency curves.
+  std::uint32_t threads_per_process = 4;
+
+  sim::SimTime warmup_us = 300'000;
+  sim::SimTime measure_us = 1'000'000;
+  std::uint64_t seed = 1;
+
+  /// Record every slice and run the offline exactness checker afterwards
+  /// (memory-heavy; tests and small runs only).
+  bool check_consistency = false;
+  /// Track update visibility latency (Fig. 4); transactions are sampled at
+  /// 1 / (1 << visibility_sample_shift).
+  bool measure_visibility = false;
+  std::uint32_t visibility_sample_shift = 4;
+
+  proto::ProtocolConfig protocol;
+  proto::CostModel cost;
+  bool aws_latency = true;
+  /// Benchmarks default to size-only codec accounting; tests use kBytes to
+  /// exercise the serialization on every delivery.
+  sim::CodecMode codec = sim::CodecMode::kSizeOnly;
+
+  /// machines per DC for this config (each machine hosts one partition
+  /// replica): N * R / M.
+  double machines_per_dc() const {
+    return static_cast<double>(num_partitions) * replication / num_dcs;
+  }
+};
+
+struct ExperimentResult {
+  double throughput_tx_s = 0;
+  std::uint64_t committed = 0;
+  stats::Summary latency_us;
+  stats::Histogram latency_hist;        // µs
+  stats::Histogram latency_local_hist;  // µs
+  stats::Histogram latency_multi_hist;  // µs
+
+  // BPR read blocking (whole run, §V-B "Blocking time").
+  std::uint64_t blocked_reads = 0;
+  double avg_block_ms = 0;
+
+  // Update visibility latency (µs), all replicas of sampled transactions.
+  stats::Histogram visibility_hist;
+
+  // Stabilization / client-cache footprint (ablations).
+  std::uint64_t gossip_msgs = 0;
+  std::size_t max_client_cache = 0;
+  double local_hit_rate = 0;
+
+  // Run health / cost.
+  std::uint64_t sim_events = 0;
+  std::uint64_t bytes_sent = 0;
+  double wall_seconds = 0;
+  std::vector<std::string> violations;  // non-empty => consistency bug
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace paris::workload

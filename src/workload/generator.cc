@@ -1,0 +1,56 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace paris::workload {
+
+TxGenerator::TxGenerator(const cluster::Topology& topo, const WorkloadSpec& spec,
+                         DcId client_dc, std::uint64_t seed)
+    : topo_(topo), spec_(spec), dc_(client_dc), rng_(seed),
+      zipf_(spec.keys_per_partition, spec.zipf_theta) {
+  PARIS_CHECK(spec.writes_per_tx <= spec.ops_per_tx);
+  PARIS_CHECK(spec.partitions_per_tx >= 1);
+}
+
+Value TxGenerator::make_value() {
+  // Distinct, fixed-size payloads; uniqueness lets the checker compare
+  // values, not just version tuples.
+  const std::uint64_t tag = splitmix64((static_cast<std::uint64_t>(dc_) << 48) ^ ++value_seq_);
+  Value v(spec_.value_size, '\0');
+  for (std::uint32_t i = 0; i < spec_.value_size; ++i)
+    v[i] = static_cast<char>((tag >> (8 * (i % 8))) & 0xff);
+  return v;
+}
+
+TxPlan TxGenerator::next() {
+  TxPlan plan;
+  plan.multi_dc = rng_.chance(spec_.multi_dc_ratio);
+
+  // Eligible partitions: only those replicated in the local DC for a
+  // local-DC transaction; all partitions for a multi-DC one.
+  const std::vector<PartitionId>* local = &topo_.partitions_at(dc_);
+  const std::uint32_t domain = plan.multi_dc ? topo_.num_partitions()
+                                             : static_cast<std::uint32_t>(local->size());
+  PARIS_CHECK_MSG(domain > 0, "DC hosts no partitions");
+  const std::uint32_t k = std::min(spec_.partitions_per_tx, domain);
+  const auto picks = sample_distinct(rng_, domain, k);
+
+  std::vector<PartitionId> parts(k);
+  for (std::uint32_t i = 0; i < k; ++i)
+    parts[i] = plan.multi_dc ? picks[i] : (*local)[picks[i]];
+
+  // Round-robin the operations over the chosen partitions: reads first,
+  // then writes, so both phases touch all partitions (the paper's
+  // "4 partitions involved per transaction").
+  const std::uint32_t reads = spec_.reads_per_tx();
+  plan.reads.reserve(reads);
+  for (std::uint32_t i = 0; i < reads; ++i) plan.reads.push_back(draw_key(parts[i % k]));
+  plan.writes.reserve(spec_.writes_per_tx);
+  for (std::uint32_t i = 0; i < spec_.writes_per_tx; ++i)
+    plan.writes.push_back(wire::WriteKV{draw_key(parts[i % k]), make_value()});
+  return plan;
+}
+
+}  // namespace paris::workload

@@ -1,0 +1,44 @@
+#pragma once
+// Per-client transaction generator: picks the partitions a transaction
+// touches (local-DC or anywhere, §V-A), spreads the 20 operations
+// round-robin over them, and draws keys zipfian within each partition.
+
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "wire/messages.h"
+#include "workload/spec.h"
+
+namespace paris::workload {
+
+/// One planned transaction: the reads execute first (in parallel), then the
+/// writes (buffered, committed together) — the paper's transaction shape.
+struct TxPlan {
+  std::vector<Key> reads;
+  std::vector<wire::WriteKV> writes;
+  bool multi_dc = false;
+};
+
+class TxGenerator {
+ public:
+  TxGenerator(const cluster::Topology& topo, const WorkloadSpec& spec, DcId client_dc,
+              std::uint64_t seed);
+
+  TxPlan next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  Key draw_key(PartitionId p) { return topo_.make_key(p, zipf_.draw(rng_)); }
+  Value make_value();
+
+  const cluster::Topology& topo_;
+  WorkloadSpec spec_;
+  DcId dc_;
+  Rng rng_;
+  Zipfian zipf_;
+  std::uint64_t value_seq_ = 0;
+};
+
+}  // namespace paris::workload

@@ -1,0 +1,16 @@
+#include "workload/spec.h"
+
+#include <cstdio>
+
+namespace paris::workload {
+
+std::string WorkloadSpec::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%u ops/tx (%ur:%uw), %u partitions/tx, local:multi %.0f:%.0f, zipf %.2f",
+                ops_per_tx, reads_per_tx(), writes_per_tx, partitions_per_tx,
+                (1.0 - multi_dc_ratio) * 100.0, multi_dc_ratio * 100.0, zipf_theta);
+  return buf;
+}
+
+}  // namespace paris::workload

@@ -1,0 +1,40 @@
+#pragma once
+// Workload specification (§V-A): YCSB-style read/write mixes, zipfian key
+// popularity, transaction shapes and the local-DC : multi-DC locality ratio.
+
+#include <cstdint>
+#include <string>
+
+namespace paris::workload {
+
+struct WorkloadSpec {
+  /// Operations per transaction (the paper always uses 20).
+  std::uint32_t ops_per_tx = 20;
+  /// Writes among those (1 -> 95:5 "workload B"; 10 -> 50:50 "workload A").
+  std::uint32_t writes_per_tx = 1;
+  /// Distinct partitions a transaction touches (paper default: 4).
+  std::uint32_t partitions_per_tx = 4;
+  /// Fraction of transactions that may touch partitions outside the local
+  /// DC (0.05 = the paper's default 95:5 local:multi ratio).
+  double multi_dc_ratio = 0.05;
+  /// Keys per partition; zipfian ranks are drawn within a partition.
+  std::uint64_t keys_per_partition = 10'000;
+  /// YCSB default skew.
+  double zipf_theta = 0.99;
+  /// Item payload size (the paper uses small 8-byte items).
+  std::uint32_t value_size = 8;
+
+  /// YCSB-B-like: 95:5 r:w => 19 reads + 1 write.
+  static WorkloadSpec read_heavy() { return WorkloadSpec{}; }
+  /// YCSB-A-like: 50:50 r:w => 10 reads + 10 writes.
+  static WorkloadSpec write_heavy() {
+    WorkloadSpec s;
+    s.writes_per_tx = 10;
+    return s;
+  }
+
+  std::uint32_t reads_per_tx() const { return ops_per_tx - writes_per_tx; }
+  std::string describe() const;
+};
+
+}  // namespace paris::workload

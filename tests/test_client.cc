@@ -1,0 +1,195 @@
+// Client-session semantics (Alg. 1): write-set buffering, read-your-writes
+// via the write cache, cache pruning against the UST, repeatable reads, and
+// the BPR client variant (no cache, hwt folded into the snapshot).
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace paris::test {
+namespace {
+
+TEST(Client, WriteSetOverwriteInPlace) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  const Key k = dep.topo().make_key(0, 1);
+
+  sc.start();
+  sc.write(k, "v1");
+  sc.write(k, "v2");
+  EXPECT_EQ(sc.read1(k).v, "v2") << "WS read returns the latest buffered value";
+  const Timestamp ct = sc.commit();
+  EXPECT_FALSE(ct.is_zero());
+
+  settle(dep);
+  auto& c2 = dep.add_client(1, dep.topo().partitions_at(1)[0]);
+  SyncClient sc2(dep.sim(), c2);
+  sc2.start();
+  EXPECT_EQ(sc2.read1(k).v, "v2") << "only the final value commits";
+  sc2.commit();
+}
+
+TEST(Client, OwnUncommittedWriteTaggedWithCurrentTx) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  const Key k = dep.topo().make_key(0, 2);
+
+  sc.start();
+  sc.write(k, "mine");
+  const Item it = sc.read1(k);
+  EXPECT_EQ(it.v, "mine");
+  EXPECT_TRUE(it.ut.is_zero()) << "uncommitted: no commit timestamp yet";
+  sc.commit();
+}
+
+TEST(Client, CachePrunedOnceUstCoversCommit) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  settle(dep);
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  const Key k = dep.topo().make_key(0, 3);
+
+  sc.put({{k, "cached"}});
+  EXPECT_EQ(c.cache_size(), 1u) << "committed write parked in WC until stable";
+
+  // Starting immediately: UST cannot have covered ct yet (gossip lag);
+  // the entry must still be there so read-your-writes holds.
+  const Timestamp snap = sc.start();
+  EXPECT_LT(snap, c.hwt());
+  EXPECT_EQ(c.cache_size(), 1u);
+  EXPECT_EQ(sc.read1(k).v, "cached");
+  sc.commit();
+
+  // After stabilization the snapshot covers ct and the cache is pruned.
+  settle(dep);
+  const Timestamp snap2 = sc.start();
+  EXPECT_GE(snap2, c.hwt());
+  EXPECT_EQ(c.cache_size(), 0u);
+  EXPECT_EQ(sc.read1(k).v, "cached") << "now served by the store itself";
+  sc.commit();
+}
+
+TEST(Client, ReadYourWritesAcrossTransactionsBeforeStabilization) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  settle(dep);
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  const Key k = dep.topo().make_key(1, 9);
+
+  // Chain of updates with no settling: each next transaction must observe
+  // the previous one through the cache even though the UST lags.
+  for (int i = 0; i < 5; ++i) {
+    sc.start();
+    const Item prev = sc.read1(k);
+    if (i > 0) {
+      EXPECT_EQ(prev.v, "gen" + std::to_string(i - 1));
+    }
+    sc.write(k, "gen" + std::to_string(i));
+    sc.commit();
+  }
+}
+
+TEST(Client, ReadOnlyCommitReturnsZeroAndKeepsHwt) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+
+  const Timestamp ct = sc.put({{dep.topo().make_key(0, 1), "x"}});
+  sc.start();
+  sc.read({dep.topo().make_key(0, 1)});
+  EXPECT_TRUE(sc.commit().is_zero());
+  EXPECT_EQ(c.hwt(), ct) << "read-only transactions do not change hwt";
+}
+
+TEST(Client, ReadResultsPreserveRequestOrder) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  auto& c = dep.add_client(0, topo.partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+
+  std::vector<Key> keys;
+  std::vector<wire::WriteKV> writes;
+  for (int i = 0; i < 6; ++i) {
+    const Key k = topo.make_key(topo.partitions_at(0)[i % 3], 100 + i);
+    keys.push_back(k);
+    writes.push_back({k, "val" + std::to_string(i)});
+  }
+  sc.put(writes);
+  settle(dep);
+
+  sc.start();
+  // Reverse order request; results must align with the request.
+  std::vector<Key> rev(keys.rbegin(), keys.rend());
+  const auto items = sc.read(rev);
+  ASSERT_EQ(items.size(), rev.size());
+  for (std::size_t i = 0; i < rev.size(); ++i) {
+    EXPECT_EQ(items[i].k, rev[i]);
+    EXPECT_EQ(items[i].v, "val" + std::to_string(rev.size() - 1 - i));
+  }
+  sc.commit();
+}
+
+TEST(Client, LocalHitStatsCountCacheAndSets) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  const Key k = dep.topo().make_key(0, 4);
+
+  sc.start();
+  sc.write(k, "a");
+  sc.read({k});  // WS hit
+  sc.read({k});  // WS hit again
+  sc.commit();
+  sc.start();
+  sc.read({k});  // cache hit (UST lag)
+  sc.commit();
+  EXPECT_EQ(c.stats().local_hits, 3u);
+}
+
+TEST(Client, BprClientHasNoCacheButReadsItsWrites) {
+  Deployment dep(small_config(System::kBpr, 3, 6, 2));
+  dep.start();
+  settle(dep);
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  const Key k = dep.topo().make_key(0, 5);
+
+  const Timestamp ct = sc.put({{k, "fresh"}});
+  EXPECT_EQ(c.cache_size(), 0u) << "BPR does not use the write cache";
+
+  const Timestamp snap = sc.start();
+  EXPECT_GE(snap, ct) << "BPR folds hwt into the snapshot";
+  EXPECT_EQ(sc.read1(k).v, "fresh") << "read-your-writes via fresh snapshot + blocking";
+  sc.commit();
+}
+
+TEST(Client, SnapshotsAdvanceMonotonicallyPerClient) {
+  for (auto sys : {System::kParis, System::kBpr}) {
+    Deployment dep(small_config(sys, 3, 6, 2));
+    dep.start();
+    auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+    SyncClient sc(dep.sim(), c);
+    Timestamp prev = kTsZero;
+    for (int i = 0; i < 10; ++i) {
+      const Timestamp s = sc.start();
+      EXPECT_GE(s, prev);
+      prev = s;
+      if (i % 2) sc.write(dep.topo().make_key(0, 1), "x" + std::to_string(i));
+      sc.commit();
+      dep.run_for(20'000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paris::test

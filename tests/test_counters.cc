@@ -1,0 +1,243 @@
+// Convergent-counter conflict resolution (§II-B extension point): the paper
+// resolves conflicts with LWW by default but allows any commutative,
+// associative merge. Counter deltas merge by summation, so concurrent
+// increments from different DCs all survive — exactly what LWW cannot do.
+
+#include <gtest/gtest.h>
+
+#include "storage/mv_store.h"
+#include "test_util.h"
+
+namespace paris::test {
+namespace {
+
+using store::MvStore;
+using wire::ReadMode;
+using wire::WriteKind;
+
+Timestamp ts(std::uint64_t p) { return Timestamp::from_physical(p); }
+
+// ---------------------------------------------------------------------------
+// Storage level.
+// ---------------------------------------------------------------------------
+
+TEST(CounterStore, SumsVisibleDeltas) {
+  MvStore s;
+  s.apply(1, "5", ts(100), TxId::make(1, 1), 0, /*kind=*/1);
+  s.apply(1, "3", ts(200), TxId::make(1, 2), 1, /*kind=*/1);
+  s.apply(1, "-2", ts(300), TxId::make(1, 3), 0, /*kind=*/1);
+
+  EXPECT_EQ(s.read_counter(1, ts(50)).first, 0);
+  EXPECT_EQ(s.read_counter(1, ts(150)).first, 5);
+  EXPECT_EQ(s.read_counter(1, ts(250)).first, 8);
+  EXPECT_EQ(s.read_counter(1, ts(999)).first, 6);
+  EXPECT_EQ(s.read_counter(1, ts(999)).second->ut, ts(300));
+}
+
+TEST(CounterStore, RegisterWriteResetsBase) {
+  MvStore s;
+  s.apply(1, "10", ts(100), TxId::make(1, 1), 0, /*kind=*/1);
+  s.apply(1, "100", ts(200), TxId::make(1, 2), 0, /*kind=*/0);  // register base
+  s.apply(1, "7", ts(300), TxId::make(1, 3), 0, /*kind=*/1);
+  EXPECT_EQ(s.read_counter(1, ts(150)).first, 10);
+  EXPECT_EQ(s.read_counter(1, ts(250)).first, 100);
+  EXPECT_EQ(s.read_counter(1, ts(999)).first, 107);
+}
+
+TEST(CounterStore, GcFoldsPrunedDeltasIntoBase) {
+  MvStore s;
+  for (std::uint64_t i = 1; i <= 10; ++i)
+    s.apply(1, "1", ts(i * 100), TxId::make(1, i), 0, /*kind=*/1);
+  ASSERT_EQ(s.read_counter(1, ts(10'000)).first, 10);
+
+  // GC at watermark 550: versions 100..400 fold into the version at 500.
+  const std::size_t removed = s.gc(ts(550));
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(s.chain_length(1), 6u);
+  EXPECT_EQ(s.read_counter(1, ts(10'000)).first, 10) << "GC must preserve the sum";
+  EXPECT_EQ(s.read_counter(1, ts(550)).first, 5) << "sum at the watermark preserved";
+  EXPECT_EQ(s.read_counter(1, ts(750)).first, 7);
+}
+
+TEST(CounterStore, GcDoesNotTouchPureRegisterValues) {
+  MvStore s;
+  s.apply(1, "old", ts(100), TxId::make(1, 1), 0, /*kind=*/0);
+  s.apply(1, "new", ts(200), TxId::make(1, 2), 0, /*kind=*/0);
+  s.gc(ts(250));
+  EXPECT_EQ(s.read(1, ts(999))->v, "new");
+  EXPECT_EQ(s.chain_length(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire level.
+// ---------------------------------------------------------------------------
+
+TEST(CounterWire, KindAndModeRoundtrip) {
+  wire::ClientReadReq req;
+  req.tx = TxId::make(1, 1);
+  req.mode = static_cast<std::uint8_t>(ReadMode::kCounter);
+  req.keys = {1, 2};
+  std::vector<std::uint8_t> buf;
+  wire::encode_message(req, buf);
+  wire::Decoder d(buf);
+  auto decoded = wire::decode_message(d);
+  const auto& r = static_cast<const wire::ClientReadReq&>(*decoded);
+  EXPECT_EQ(r.mode, static_cast<std::uint8_t>(ReadMode::kCounter));
+
+  wire::WriteKV w(7, "42", WriteKind::kCounterAdd);
+  EXPECT_EQ(w.write_kind(), WriteKind::kCounterAdd);
+  wire::PrepareReq p;
+  p.writes = {w};
+  buf.clear();
+  wire::encode_message(p, buf);
+  wire::Decoder d2(buf);
+  auto decoded2 = wire::decode_message(d2);
+  EXPECT_EQ(static_cast<const wire::PrepareReq&>(*decoded2).writes[0].write_kind(),
+            WriteKind::kCounterAdd);
+}
+
+// ---------------------------------------------------------------------------
+// End to end.
+// ---------------------------------------------------------------------------
+
+std::int64_t counter_value(SyncClient& sc, sim::Simulation& sim, proto::Client& c, Key k) {
+  sc.start();
+  bool done = false;
+  std::int64_t out = 0;
+  c.read({k},
+         [&](std::vector<wire::Item> items) {
+           out = items[0].v.empty() ? 0 : std::stoll(items[0].v);
+           done = true;
+         },
+         ReadMode::kCounter);
+  run_until_flag(sim, done);
+  sc.commit();
+  return out;
+}
+
+TEST(CounterE2E, ConcurrentIncrementsFromAllDcsAllSurvive) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/101));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const PartitionId p = 0;
+  const Key k = topo.make_key(p, 77);
+
+  // Clients in every DC increment concurrently, WITHOUT settling in
+  // between: every DC race-writes the same key.
+  std::vector<SyncClient> clients;
+  std::vector<proto::Client*> raw;
+  for (DcId d = 0; d < 3; ++d) {
+    auto& c = dep.add_client(d, topo.partitions_at(d)[0]);
+    raw.push_back(&c);
+    clients.emplace_back(dep.sim(), c);
+  }
+  const int rounds = 5;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      clients[i].start();
+      raw[i]->add(k, 1);
+      clients[i].commit();
+    }
+  }
+  settle(dep, 800'000);
+
+  // Every increment survives: 3 DCs x 5 rounds = 15. Under LWW nearly all
+  // concurrent increments would have been lost.
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_EQ(counter_value(clients[i], dep.sim(), *raw[i], k), rounds * 3)
+        << "DC " << i << " lost increments";
+  }
+}
+
+TEST(CounterE2E, ReadYourOwnIncrementsBeforeStabilization) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/103));
+  dep.start();
+  settle(dep);
+  const Key k = dep.topo().make_key(1, 88);
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+
+  // Commit three increments back-to-back: the UST cannot cover them yet,
+  // so they live in the counter cache — and must still be counted.
+  for (int i = 0; i < 3; ++i) {
+    sc.start();
+    c.add(k, 10);
+    sc.commit();
+  }
+  EXPECT_EQ(counter_value(sc, dep.sim(), c, k), 30)
+      << "read-your-writes must hold for counters via the counter cache";
+
+  // In-transaction uncommitted delta also folds in.
+  sc.start();
+  c.add(k, 5);
+  bool done = false;
+  std::int64_t val = 0;
+  c.read({k},
+         [&](std::vector<wire::Item> items) {
+           val = std::stoll(items[0].v);
+           done = true;
+         },
+         ReadMode::kCounter);
+  run_until_flag(dep.sim(), done);
+  sc.commit();
+  EXPECT_EQ(val, 35);
+
+  // After stabilization the server-side sum takes over and the cache drains.
+  settle(dep, 800'000);
+  EXPECT_EQ(counter_value(sc, dep.sim(), c, k), 35);
+  sc.start();
+  sc.commit();
+  EXPECT_EQ(c.cache_size(), 0u);
+}
+
+TEST(CounterE2E, CountersSurviveGcChurn) {
+  auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/107);
+  cfg.protocol.gc_interval_us = 20'000;
+  Deployment dep(cfg);
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const PartitionId p = 0;
+  const Key k = topo.make_key(p, 99);
+  auto& c = dep.add_client(0, p);
+  SyncClient sc(dep.sim(), c);
+
+  for (int i = 0; i < 120; ++i) {
+    sc.start();
+    c.add(k, 1);
+    sc.commit();
+    dep.run_for(4'000);
+  }
+  settle(dep, 800'000);
+
+  EXPECT_EQ(counter_value(sc, dep.sim(), c, k), 120)
+      << "GC folding must not change counter sums";
+  // And GC did actually trim the delta chain.
+  for (DcId d : topo.replicas(p))
+    EXPECT_LT(dep.server(d, p).kvstore().chain_length(k), 30u);
+}
+
+TEST(CounterE2E, BprCountersWorkThroughBlocking) {
+  Deployment dep(small_config(System::kBpr, 3, 6, 2, /*seed=*/109));
+  dep.start();
+  settle(dep);
+  const Key k = dep.topo().make_key(0, 55);
+  auto& c0 = dep.add_client(0, 0);
+  auto& c1 = dep.add_client(1, 0);
+  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+
+  a.start();
+  c0.add(k, 4);
+  a.commit();
+  b.start();
+  c1.add(k, 6);
+  b.commit();
+  settle(dep, 400'000);
+
+  EXPECT_EQ(counter_value(a, dep.sim(), c0, k), 10);
+  EXPECT_EQ(counter_value(b, dep.sim(), c1, k), 10);
+}
+
+}  // namespace
+}  // namespace paris::test

@@ -1,0 +1,118 @@
+// Deployment builder tests: server placement, accessors, stats
+// aggregation, codec modes and cross-run determinism of the full stack.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace paris::test {
+namespace {
+
+TEST(Deployment, OneServerPerReplicaPlacement) {
+  Deployment dep(small_config(System::kParis, 5, 45, 2));
+  EXPECT_EQ(dep.servers().size(), 90u);  // N * R
+  for (DcId d = 0; d < 5; ++d) {
+    for (PartitionId p : dep.topo().partitions_at(d)) {
+      auto& s = dep.server(d, p);
+      EXPECT_EQ(s.dc(), d);
+      EXPECT_EQ(s.partition(), p);
+      EXPECT_EQ(s.replica_idx(), dep.topo().replica_idx(d, p));
+    }
+  }
+}
+
+TEST(Deployment, TypedServerAccessors) {
+  Deployment paris(small_config(System::kParis, 3, 6, 2));
+  EXPECT_NE(paris.paris_server(0, 0), nullptr);
+  EXPECT_EQ(paris.bpr_server(0, 0), nullptr);
+
+  Deployment bpr(small_config(System::kBpr, 3, 6, 2));
+  EXPECT_EQ(bpr.paris_server(0, 0), nullptr);
+  EXPECT_NE(bpr.bpr_server(0, 0), nullptr);
+}
+
+TEST(Deployment, ClientRejectsNonLocalCoordinator) {
+  Deployment dep(small_config(System::kParis, 4, 4, 2));
+  dep.start();
+  // Partition 1 is replicated at DCs {1, 2}; DC0 cannot host its client.
+  ASSERT_FALSE(dep.topo().dc_replicates(0, 1));
+  EXPECT_DEATH(dep.add_client(0, 1), "coordinator");
+}
+
+TEST(Deployment, StatsAggregateAcrossServers) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  settle(dep);
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  for (int i = 0; i < 5; ++i) {
+    sc.start();
+    sc.read({dep.topo().make_key(i % 6, i)});
+    sc.write(dep.topo().make_key(i % 6, i), "x");
+    sc.commit();
+  }
+  const auto st = dep.total_server_stats();
+  EXPECT_EQ(st.txs_coordinated, 5u);
+  EXPECT_GE(st.slices_served, 5u);
+  EXPECT_GE(st.cohort_prepares, 5u);
+  EXPECT_GE(st.applied_writes, 5u);
+  EXPECT_GT(st.heartbeats_sent + st.replicate_batches_sent, 0u);
+  EXPECT_GT(st.gossip_msgs_sent, 0u);
+}
+
+TEST(Deployment, WholeStackDeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Deployment dep(small_config(System::kParis, 3, 6, 2, seed));
+    dep.start();
+    auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+    SyncClient sc(dep.sim(), c);
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 10; ++i) {
+      trace.push_back(sc.put({{dep.topo().make_key(i % 6, i), "v"}}).raw);
+      trace.push_back(dep.sim().events_executed());
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Deployment, CodecModesProduceSameProtocolOutcome) {
+  auto run = [](sim::CodecMode mode) {
+    auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/5);
+    cfg.codec = mode;
+    Deployment dep(cfg);
+    dep.start();
+    settle(dep);
+    auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+    SyncClient sc(dep.sim(), c);
+    sc.put({{dep.topo().make_key(0, 1), "same"}});
+    settle(dep);
+    sc.start();
+    const Item it = sc.read1(dep.topo().make_key(0, 1));
+    sc.commit();
+    return it.v;
+  };
+  EXPECT_EQ(run(sim::CodecMode::kBytes), run(sim::CodecMode::kSizeOnly));
+}
+
+TEST(Deployment, BytesAccountedOnTheWire) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2));
+  dep.start();
+  dep.run_for(100'000);
+  EXPECT_GT(dep.net().total_bytes_sent(), 1000u) << "heartbeats + gossip traffic";
+  // Each registered server saw traffic.
+  std::uint64_t with_traffic = 0;
+  for (const auto& s : dep.servers())
+    if (dep.net().counters(s->node()).msgs_sent > 0) ++with_traffic;
+  EXPECT_EQ(with_traffic, dep.servers().size());
+}
+
+TEST(Deployment, StartTwiceIsRejected) {
+  Deployment dep(small_config(System::kParis, 2, 2, 1));
+  dep.start();
+  EXPECT_DEATH(dep.start(), "twice");
+}
+
+}  // namespace
+}  // namespace paris::test

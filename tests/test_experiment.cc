@@ -1,0 +1,106 @@
+// Experiment-runner sanity: both systems sustain load on a mid-size
+// cluster, produce sane latency/throughput numbers, and pass the offline
+// exactness checker (which subsumes causal-snapshot and atomicity checks)
+// while every message goes through the wire codec.
+
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace paris::test {
+namespace {
+
+using workload::ExperimentConfig;
+using workload::ExperimentResult;
+using workload::WorkloadSpec;
+
+ExperimentConfig base_config(proto::System sys) {
+  ExperimentConfig cfg;
+  cfg.system = sys;
+  cfg.num_dcs = 3;
+  cfg.num_partitions = 9;
+  cfg.replication = 2;
+  cfg.workload = WorkloadSpec::read_heavy();
+  cfg.workload.keys_per_partition = 200;  // contention -> version churn
+  cfg.threads_per_process = 2;
+  cfg.warmup_us = 200'000;
+  cfg.measure_us = 400'000;
+  cfg.check_consistency = true;
+  cfg.codec = sim::CodecMode::kBytes;
+  return cfg;
+}
+
+TEST(Experiment, ParisReadHeavyIsConsistent) {
+  auto cfg = base_config(proto::System::kParis);
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GT(res.committed, 500u);
+  EXPECT_GT(res.throughput_tx_s, 100.0);
+  EXPECT_GT(res.latency_us.p50, 0u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+TEST(Experiment, ParisWriteHeavyIsConsistent) {
+  auto cfg = base_config(proto::System::kParis);
+  cfg.workload = WorkloadSpec::write_heavy();
+  cfg.workload.keys_per_partition = 200;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GT(res.committed, 500u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+TEST(Experiment, BprReadHeavyIsConsistent) {
+  auto cfg = base_config(proto::System::kBpr);
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GT(res.committed, 100u);
+  // BPR must actually block some reads on this WAN cluster.
+  EXPECT_GT(res.blocked_reads, 0u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+TEST(Experiment, BprWriteHeavyIsConsistent) {
+  auto cfg = base_config(proto::System::kBpr);
+  cfg.workload = WorkloadSpec::write_heavy();
+  cfg.workload.keys_per_partition = 200;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GT(res.committed, 100u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+TEST(Experiment, ParisLatencyWellBelowBpr) {
+  auto pcfg = base_config(proto::System::kParis);
+  auto bcfg = base_config(proto::System::kBpr);
+  pcfg.check_consistency = bcfg.check_consistency = false;
+  pcfg.codec = bcfg.codec = sim::CodecMode::kSizeOnly;
+  const auto p = run_experiment(pcfg);
+  const auto b = run_experiment(bcfg);
+  EXPECT_LT(p.latency_us.mean, b.latency_us.mean)
+      << "non-blocking reads must beat blocking reads on latency";
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  auto cfg = base_config(proto::System::kParis);
+  cfg.check_consistency = false;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.latency_us.p99, b.latency_us.p99);
+  cfg.seed = 99;
+  const auto c = run_experiment(cfg);
+  EXPECT_NE(a.sim_events, c.sim_events) << "different seed should perturb the run";
+}
+
+TEST(Experiment, VisibilityMeasurement) {
+  auto cfg = base_config(proto::System::kParis);
+  cfg.check_consistency = false;
+  cfg.measure_visibility = true;
+  cfg.visibility_sample_shift = 0;  // sample every tx
+  const auto res = run_experiment(cfg);
+  ASSERT_GT(res.visibility_hist.count(), 0u);
+  // PaRiS visibility is bounded below by the gossip lag; with 20ms WAN it
+  // must exceed a couple of milliseconds.
+  EXPECT_GT(res.visibility_hist.percentile(0.5), 2'000u);
+}
+
+}  // namespace
+}  // namespace paris::test

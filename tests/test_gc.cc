@@ -1,0 +1,125 @@
+// Garbage-collection protocol tests: version chains stay bounded under
+// churn, long-running transactions protect their snapshot, and GC never
+// breaks snapshot reads.
+
+#include <gtest/gtest.h>
+
+#include "proto/paris_server.h"
+#include "test_util.h"
+
+namespace paris::test {
+namespace {
+
+TEST(Gc, ChainsStayBoundedUnderChurn) {
+  auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/61);
+  cfg.protocol.gc_interval_us = 20'000;
+  Deployment dep(cfg);
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const PartitionId p = 0;
+  const Key k = topo.make_key(p, 1);
+
+  auto& c = dep.add_client(topo.replicas(p)[0], p);
+  SyncClient sc(dep.sim(), c);
+  for (int i = 0; i < 200; ++i) {
+    sc.put({{k, "gen" + std::to_string(i)}});
+    dep.run_for(3'000);
+  }
+  settle(dep, 800'000);
+
+  for (DcId d : topo.replicas(p)) {
+    const auto len = dep.server(d, p).kvstore().chain_length(k);
+    EXPECT_GE(len, 1u);
+    EXPECT_LT(len, 20u) << "GC failed to prune churned versions at dc=" << d;
+    EXPECT_EQ(dep.server(d, p).kvstore().latest(k)->v, "gen199");
+  }
+  EXPECT_GT(dep.server(topo.replicas(p)[0], p).kvstore().stats().gc_removed, 50u);
+}
+
+TEST(Gc, WatermarkNeverExceedsUst) {
+  auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/67);
+  cfg.protocol.gc_interval_us = 20'000;
+  Deployment dep(cfg);
+  dep.start();
+  auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
+  SyncClient sc(dep.sim(), c);
+  for (int i = 0; i < 30; ++i) {
+    sc.put({{dep.topo().make_key(i % 6, i), "v"}});
+    dep.run_for(20'000);
+    for (const auto& s : dep.servers()) {
+      auto* ps = dynamic_cast<proto::ParisServer*>(s.get());
+      ASSERT_NE(ps, nullptr);
+      EXPECT_LE(ps->gc_watermark_value(), ps->ust());
+    }
+  }
+}
+
+TEST(Gc, LongRunningTransactionProtectsItsSnapshot) {
+  auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/71);
+  cfg.protocol.gc_interval_us = 20'000;
+  Deployment dep(cfg);
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const PartitionId p = 0;
+  const Key hot = topo.make_key(p, 2);    // churned during the long tx
+  const Key probe = topo.make_key(p, 3);  // written once, then churned
+
+  auto& wc = dep.add_client(topo.replicas(p)[0], p);
+  SyncClient w(dep.sim(), wc);
+  w.put({{probe, "old-probe"}});
+  settle(dep);
+
+  // Reader opens a transaction and holds it while the writer churns.
+  auto& rc = dep.add_client(topo.replicas(p)[1], p);
+  SyncClient r(dep.sim(), rc);
+  const Timestamp snap = r.start();
+  ASSERT_FALSE(snap.is_zero());
+
+  for (int i = 0; i < 100; ++i) {
+    w.put({{hot, "churn"}, {probe, "new-probe-" + std::to_string(i)}});
+    dep.run_for(5'000);
+  }
+  settle(dep, 400'000);
+
+  // The long-running tx reads probe LATE: the pre-churn version (within its
+  // snapshot) must have survived GC because the oldest-active aggregation
+  // holds the watermark below snap.
+  const Item got = r.read1(probe);
+  EXPECT_EQ(got.v, "old-probe") << "GC pruned a version a live snapshot needed";
+  EXPECT_LE(got.ut, snap);
+  r.commit();
+
+  // With the transaction finished, GC may advance and trim the chain.
+  settle(dep, 600'000);
+  for (DcId d : topo.replicas(p)) {
+    EXPECT_LT(dep.server(d, p).kvstore().chain_length(probe), 10u);
+  }
+}
+
+TEST(Gc, BprRetentionWindowPrunesOldVersions) {
+  auto cfg = small_config(System::kBpr, 3, 6, 2, /*seed=*/73);
+  cfg.protocol.gc_interval_us = 20'000;
+  cfg.protocol.bpr_gc_retention_us = 100'000;
+  Deployment dep(cfg);
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const PartitionId p = 0;
+  const Key k = topo.make_key(p, 4);
+
+  auto& c = dep.add_client(topo.replicas(p)[0], p);
+  SyncClient sc(dep.sim(), c);
+  for (int i = 0; i < 100; ++i) {
+    sc.put({{k, "g" + std::to_string(i)}});
+    dep.run_for(4'000);
+  }
+  settle(dep, 500'000);
+  for (DcId d : topo.replicas(p)) {
+    EXPECT_LT(dep.server(d, p).kvstore().chain_length(k), 40u);
+  }
+}
+
+}  // namespace
+}  // namespace paris::test

@@ -1,0 +1,94 @@
+// Hybrid Logical Clock unit tests: encoding, ordering, and the three HLC
+// transition rules (local tick, receive tick, passive observe).
+
+#include <gtest/gtest.h>
+
+#include "common/hlc.h"
+
+namespace paris {
+namespace {
+
+TEST(Timestamp, PartsRoundtrip) {
+  const auto ts = Timestamp::from_parts(123456789, 42);
+  EXPECT_EQ(ts.physical_us(), 123456789u);
+  EXPECT_EQ(ts.logical(), 42u);
+}
+
+TEST(Timestamp, OrderingIsPhysicalThenLogical) {
+  EXPECT_LT(Timestamp::from_parts(100, 65535), Timestamp::from_parts(101, 0));
+  EXPECT_LT(Timestamp::from_parts(100, 1), Timestamp::from_parts(100, 2));
+  EXPECT_EQ(Timestamp::from_parts(5, 7), Timestamp::from_parts(5, 7));
+}
+
+TEST(Timestamp, NextIncrementsLogical) {
+  const auto ts = Timestamp::from_parts(100, 3);
+  EXPECT_EQ(ts.next().physical_us(), 100u);
+  EXPECT_EQ(ts.next().logical(), 4u);
+}
+
+TEST(Timestamp, LogicalOverflowCarriesIntoPhysical) {
+  const auto ts = Timestamp::from_parts(100, 65535);
+  EXPECT_EQ(ts.next().physical_us(), 101u);
+  EXPECT_EQ(ts.next().logical(), 0u);
+}
+
+TEST(Timestamp, ToStringFormat) {
+  EXPECT_EQ(to_string(Timestamp::from_parts(42, 7)), "42.7");
+  EXPECT_EQ(to_string(kTsZero), "0.0");
+}
+
+TEST(Hlc, TickFollowsPhysicalClock) {
+  Hlc h;
+  EXPECT_EQ(h.tick(1000), Timestamp::from_physical(1000));
+  EXPECT_EQ(h.tick(2000), Timestamp::from_physical(2000));
+}
+
+TEST(Hlc, TickIsStrictlyMonotonicEvenWithFrozenClock) {
+  Hlc h;
+  Timestamp prev = h.tick(1000);
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp cur = h.tick(1000);  // physical clock stuck
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_EQ(prev.physical_us(), 1000u);
+  EXPECT_EQ(prev.logical(), 100u);
+}
+
+TEST(Hlc, TickPastAdvancesOverObserved) {
+  Hlc h;
+  h.tick(1000);
+  const auto remote = Timestamp::from_parts(5000, 9);
+  const Timestamp t = h.tick_past(1000, remote);
+  EXPECT_GT(t, remote) << "receive rule must move past the incoming event";
+  EXPECT_EQ(t, remote.next());
+}
+
+TEST(Hlc, TickPastUsesPhysicalWhenAhead) {
+  Hlc h;
+  const Timestamp t = h.tick_past(9000, Timestamp::from_physical(100));
+  EXPECT_EQ(t, Timestamp::from_physical(9000));
+}
+
+TEST(Hlc, ObserveNeverGoesBackward) {
+  Hlc h;
+  h.tick(5000);
+  const Timestamp before = h.value();
+  h.observe(1000, Timestamp::from_physical(100));  // both older
+  EXPECT_EQ(h.value(), before);
+  h.observe(1000, Timestamp::from_parts(7000, 3));
+  EXPECT_EQ(h.value(), Timestamp::from_parts(7000, 3));
+}
+
+TEST(Hlc, SkewedReplicasConvergeThroughMessages) {
+  // A fast clock at 10ms and a slow one at 9ms exchange events; the slow
+  // side's HLC runs ahead of its physical clock, as HLCs are designed to.
+  Hlc fast, slow;
+  Timestamp msg = fast.tick(10'000);
+  const Timestamp got = slow.tick_past(9'000, msg);
+  EXPECT_GT(got, msg);
+  EXPECT_EQ(got.physical_us(), 10'000u);
+}
+
+}  // namespace
+}  // namespace paris

@@ -1,0 +1,198 @@
+// The paper's §III-A partial-replication challenge scenarios, exercised
+// directly. Placement with M=4, R=2 gives p0 -> {DC0,DC1}, p1 -> {DC1,DC2},
+// p2 -> {DC2,DC3}, p3 -> {DC3,DC0}: dependent writes land on partitions with
+// disjoint replica sets, and a reader in a third DC assembles its snapshot
+// from servers in different DCs — exactly the hard case for consistency and
+// atomicity under partial replication.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace paris::test {
+namespace {
+
+int decode_gen(const Value& v) { return v.empty() ? -1 : std::stoi(v); }
+
+TEST(ParisCausal, DependentWritesNeverReadOutOfOrder_AcrossDcs) {
+  Deployment dep(small_config(System::kParis, 4, 4, 2, /*seed=*/7));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+
+  const Key x = topo.make_key(0, 1);  // partition 0: DCs {0,1}
+  const Key y = topo.make_key(1, 1);  // partition 1: DCs {1,2}
+  ASSERT_FALSE(topo.dc_replicates(3, 0));
+  ASSERT_FALSE(topo.dc_replicates(3, 1));
+
+  // Writer in DC0: X_i then Y_i, Y_i causally depends on X_i (same session,
+  // read of x in between makes the dependency explicit).
+  auto& wc = dep.add_client(0, topo.partitions_at(0)[0]);
+  SyncClient w(dep.sim(), wc);
+  // Reader in DC3 reads both keys from remote DCs.
+  auto& rc = dep.add_client(3, topo.partitions_at(3)[0]);
+  SyncClient r(dep.sim(), rc);
+
+  for (int gen = 0; gen < 8; ++gen) {
+    w.put({{x, std::to_string(gen)}});
+    w.start();
+    EXPECT_EQ(decode_gen(w.read1(x).v), gen);  // x -> y dependency
+    w.write(y, std::to_string(gen));
+    w.commit();
+
+    // Poll at many offsets relative to replication/stabilization progress.
+    for (int poll = 0; poll < 6; ++poll) {
+      dep.run_for(23'000);
+      r.start();
+      const auto items = r.read({x, y});
+      const int gx = decode_gen(items[0].v), gy = decode_gen(items[1].v);
+      EXPECT_GE(gx, gy) << "saw Y_" << gy << " without X_" << gy
+                        << " (causality violated across DCs)";
+      r.commit();
+    }
+  }
+}
+
+TEST(ParisCausal, MultiPartitionWritesAreAtomic_AcrossDcs) {
+  Deployment dep(small_config(System::kParis, 4, 4, 2, /*seed=*/11));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+
+  const Key y = topo.make_key(1, 2);  // DCs {1,2}
+  const Key z = topo.make_key(3, 2);  // DCs {3,0}
+  auto& wc = dep.add_client(0, topo.partitions_at(0)[0]);
+  SyncClient w(dep.sim(), wc);
+  auto& rc = dep.add_client(2, topo.partitions_at(2)[0]);
+  SyncClient r(dep.sim(), rc);
+
+  for (int gen = 0; gen < 8; ++gen) {
+    // One transaction writes both keys; replicas of y and z share no DC.
+    w.start();
+    w.write({{y, std::to_string(gen)}, {z, std::to_string(gen)}});
+    w.commit();
+
+    for (int poll = 0; poll < 6; ++poll) {
+      dep.run_for(17'000);
+      r.start();
+      const auto items = r.read({y, z});
+      EXPECT_EQ(decode_gen(items[0].v), decode_gen(items[1].v))
+          << "atomicity violated: transaction became visible piecewise";
+      r.commit();
+    }
+  }
+}
+
+TEST(ParisCausal, TransitiveDependencyThroughThirdClient) {
+  // u1 -> u3 (read by middle client) -> u2: reader must never see u2
+  // without u1 (§II-A case iii).
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/13));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+
+  const Key a = topo.make_key(0, 7);
+  const Key b = topo.make_key(1, 7);
+  const Key c = topo.make_key(2, 7);
+
+  auto& alice = dep.add_client(0, topo.partitions_at(0)[0]);
+  auto& bob = dep.add_client(1, topo.partitions_at(1)[0]);
+  auto& carol = dep.add_client(2, topo.partitions_at(2)[0]);
+  SyncClient A(dep.sim(), alice), B(dep.sim(), bob), C(dep.sim(), carol);
+
+  A.put({{a, "1"}});  // u1
+  settle(dep);
+
+  B.start();
+  ASSERT_EQ(B.read1(a).v, "1");  // B observed u1
+  B.write(b, "1");               // u3 depends on u1
+  B.commit();
+  settle(dep);
+
+  C.start();
+  ASSERT_EQ(C.read1(b).v, "1");  // C observed u3
+  C.write(c, "1");               // u2 depends on u3 -> depends on u1
+  C.commit();
+  settle(dep);
+
+  // A fresh reader that sees c must see a (and b).
+  auto& dave = dep.add_client(0, topo.partitions_at(0)[1]);
+  SyncClient D(dep.sim(), dave);
+  D.start();
+  const auto items = D.read({a, b, c});
+  if (items[2].v == "1") {
+    EXPECT_EQ(items[0].v, "1") << "transitive dependency violated (a missing)";
+    EXPECT_EQ(items[1].v, "1") << "transitive dependency violated (b missing)";
+  }
+  D.commit();
+}
+
+TEST(ParisCausal, CommitTimestampsRespectCausality) {
+  // Proposition 1: u1 -> u2 implies u1.ut < u2.ut, across clients and DCs.
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/17));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const Key k1 = topo.make_key(0, 3), k2 = topo.make_key(3, 3);
+
+  auto& c0 = dep.add_client(0, topo.partitions_at(0)[0]);
+  auto& c1 = dep.add_client(1, topo.partitions_at(1)[0]);
+  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+
+  const Timestamp ct1 = a.put({{k1, "u1"}});
+  settle(dep);
+
+  b.start();
+  const Item got = b.read1(k1);
+  ASSERT_EQ(got.v, "u1");
+  b.write(k2, "u2");
+  const Timestamp ct2 = b.commit();
+  EXPECT_LT(ct1, ct2) << "dependent update must carry a larger timestamp";
+
+  // Same-session chain (case i): each commit exceeds the previous.
+  Timestamp prev = ct2;
+  for (int i = 0; i < 5; ++i) {
+    const Timestamp ct = b.put({{k2, "u" + std::to_string(i)}});
+    EXPECT_GT(ct, prev);
+    prev = ct;
+  }
+}
+
+TEST(ParisCausal, ConcurrentConflictingWritesConvergeEverywhere) {
+  // Two clients in different DCs race on the same key; after quiescence all
+  // replicas must agree on the LWW winner.
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/19));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+  const PartitionId p = 0;
+  const Key k = topo.make_key(p, 5);
+
+  auto& c0 = dep.add_client(topo.replicas(p)[0], p);
+  auto& c1 = dep.add_client(topo.replicas(p)[1], p);
+  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+
+  // Interleave conflicting updates without settling.
+  for (int i = 0; i < 10; ++i) {
+    a.put({{k, "a" + std::to_string(i)}});
+    b.put({{k, "b" + std::to_string(i)}});
+  }
+  settle(dep, 500'000);
+
+  const store::Version* v0 = nullptr;
+  std::string value;
+  for (DcId d : topo.replicas(p)) {
+    const auto* v = dep.server(d, p).kvstore().latest(k);
+    ASSERT_NE(v, nullptr);
+    if (v0 == nullptr) {
+      v0 = v;
+      value = v->v;
+    } else {
+      EXPECT_EQ(v->ut, v0->ut) << "replicas diverged on winning timestamp";
+      EXPECT_EQ(v->v, value) << "replicas diverged on winning value";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paris::test

@@ -1,0 +1,119 @@
+// Property-based protocol validation: randomized workloads across seeds,
+// systems, workload mixes and cluster shapes, each checked offline against
+// the exactness property (LWW winner within snapshot — subsumes causal
+// snapshots and atomicity; see verify/history.h). All runs use the kBytes
+// codec, so serialization is exercised on every message too.
+
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace paris::test {
+namespace {
+
+using workload::ExperimentConfig;
+using workload::WorkloadSpec;
+
+struct PropertyCase {
+  proto::System system;
+  std::uint32_t dcs;
+  std::uint32_t partitions;
+  std::uint32_t replication;
+  std::uint32_t writes_per_tx;
+  double multi_ratio;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  const auto& p = info.param;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_M%u_N%u_R%u_w%u_multi%02d_seed%llu",
+                p.system == proto::System::kParis ? "paris" : "bpr", p.dcs, p.partitions,
+                p.replication, p.writes_per_tx, static_cast<int>(p.multi_ratio * 100),
+                static_cast<unsigned long long>(p.seed));
+  return buf;
+}
+
+class ProtocolProperty : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ProtocolProperty, HistoryIsExact) {
+  const auto& p = GetParam();
+  ExperimentConfig cfg;
+  cfg.system = p.system;
+  cfg.num_dcs = p.dcs;
+  cfg.num_partitions = p.partitions;
+  cfg.replication = p.replication;
+  cfg.workload.ops_per_tx = 8;
+  cfg.workload.writes_per_tx = p.writes_per_tx;
+  cfg.workload.partitions_per_tx = 3;
+  cfg.workload.multi_dc_ratio = p.multi_ratio;
+  cfg.workload.keys_per_partition = 60;  // heavy contention
+  cfg.threads_per_process = 2;
+  cfg.warmup_us = 100'000;
+  cfg.measure_us = 250'000;
+  cfg.seed = p.seed;
+  cfg.check_consistency = true;
+  cfg.codec = sim::CodecMode::kBytes;
+  cfg.aws_latency = false;  // uniform 40ms WAN: higher tx counts per window
+
+  const auto res = run_experiment(cfg);
+  // All-remote workloads commit slowly (every tx pays a WAN round trip).
+  const std::uint64_t floor = p.multi_ratio >= 0.99 ? 10 : 30;
+  EXPECT_GT(res.committed, floor) << "workload barely ran";
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  // Seed sweep on the canonical mixed configuration, both systems.
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull, 77777ull}) {
+    cases.push_back({proto::System::kParis, 3, 9, 2, 2, 0.3, seed});
+    cases.push_back({proto::System::kBpr, 3, 9, 2, 2, 0.3, seed});
+  }
+  // Shape sweep: more DCs, different replication factors, write-heavy,
+  // all-local and all-remote extremes.
+  cases.push_back({proto::System::kParis, 5, 10, 2, 4, 0.5, 5});
+  cases.push_back({proto::System::kParis, 4, 8, 3, 2, 0.2, 6});
+  cases.push_back({proto::System::kParis, 2, 4, 2, 1, 0.0, 8});
+  cases.push_back({proto::System::kParis, 5, 5, 1, 2, 1.0, 9});
+  cases.push_back({proto::System::kParis, 3, 9, 2, 8, 0.3, 10});
+  cases.push_back({proto::System::kBpr, 5, 10, 2, 4, 0.5, 11});
+  cases.push_back({proto::System::kBpr, 4, 8, 3, 2, 0.2, 12});
+  cases.push_back({proto::System::kBpr, 3, 9, 2, 8, 0.3, 13});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProtocolProperty, testing::ValuesIn(make_cases()),
+                         case_name);
+
+// Zipfian-free uniform contention catches different interleavings than the
+// default skew: every client hammers a tiny uniform key space.
+class UniformContention : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformContention, ParisExactUnderMaxContention) {
+  ExperimentConfig cfg;
+  cfg.system = proto::System::kParis;
+  cfg.num_dcs = 3;
+  cfg.num_partitions = 6;
+  cfg.replication = 2;
+  cfg.workload.ops_per_tx = 6;
+  cfg.workload.writes_per_tx = 3;
+  cfg.workload.partitions_per_tx = 2;
+  cfg.workload.multi_dc_ratio = 0.4;
+  cfg.workload.keys_per_partition = 8;  // brutal write contention
+  cfg.workload.zipf_theta = 0.01;       // ~uniform
+  cfg.threads_per_process = 2;
+  cfg.warmup_us = 50'000;
+  cfg.measure_us = 200'000;
+  cfg.seed = GetParam();
+  cfg.check_consistency = true;
+  cfg.codec = sim::CodecMode::kBytes;
+
+  const auto res = run_experiment(cfg);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformContention, testing::Values(3, 19, 23, 101));
+
+}  // namespace
+}  // namespace paris::test

@@ -1,0 +1,138 @@
+// RNG, zipfian generator and physical-clock model tests.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/phys_clock.h"
+#include "common/rng.h"
+
+namespace paris {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    EXPECT_EQ(r.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.range(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Zipfian, DrawsWithinDomain) {
+  Rng r(3);
+  Zipfian z(100, 0.99);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.draw(r), 100u);
+}
+
+TEST(Zipfian, RankZeroIsHottest) {
+  Rng r(5);
+  Zipfian z(1000, 0.99);
+  std::map<std::uint64_t, int> freq;
+  for (int i = 0; i < 100'000; ++i) ++freq[z.draw(r)];
+  int max_count = 0;
+  std::uint64_t max_rank = ~0ull;
+  for (const auto& [rank, count] : freq)
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  EXPECT_EQ(max_rank, 0u);
+  // With theta=.99 over 1000 keys, rank 0 draws a sizable share.
+  EXPECT_GT(max_count, 100'000 / 20);
+}
+
+TEST(Zipfian, HigherThetaIsMoreSkewed) {
+  Rng r1(7), r2(7);
+  Zipfian mild(1000, 0.5), strong(1000, 0.99);
+  int mild_zero = 0, strong_zero = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    mild_zero += mild.draw(r1) == 0;
+    strong_zero += strong.draw(r2) == 0;
+  }
+  EXPECT_GT(strong_zero, mild_zero);
+}
+
+TEST(SampleDistinct, ProducesDistinctValuesInRange) {
+  Rng r(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = sample_distinct(r, 20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    std::set<std::uint32_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (auto v : s) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(SampleDistinct, FullSampleIsPermutation) {
+  Rng r(19);
+  const auto s = sample_distinct(r, 10, 10);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(PhysClock, OffsetBounded) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto c = PhysClock::sample(r, 500, 50);
+    EXPECT_LE(std::abs(c.offset_us()), 500);
+    EXPECT_LE(std::abs(c.drift_ppm()), 50.0);
+  }
+}
+
+TEST(PhysClock, ReadIsMonotonic) {
+  Rng r(29);
+  const auto c = PhysClock::sample(r, 1000, 100);
+  std::uint64_t prev = 0;
+  for (std::uint64_t t = 0; t < 10'000'000; t += 97'531) {
+    const auto v = c.read_us(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(PhysClock, SkewStaysNearOffset) {
+  const PhysClock c(250, 0.0);
+  EXPECT_EQ(c.read_us(1'000'000), 1'000'250u);
+  const PhysClock neg(-250, 0.0);
+  EXPECT_EQ(neg.read_us(1'000'000), 999'750u);
+  EXPECT_EQ(neg.read_us(100), 0u) << "clamps at zero rather than underflowing";
+}
+
+}  // namespace
+}  // namespace paris

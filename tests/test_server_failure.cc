@@ -1,0 +1,132 @@
+// Server-failure scenarios (§III-C "Failures within a DC"): a crashed
+// server stalls the UST system-wide — but only until a (state-preserving)
+// backup takes over — and abandoned client transaction contexts are reaped
+// by timeout so they cannot pin the GC watermark forever.
+
+#include <gtest/gtest.h>
+
+#include "proto/paris_server.h"
+#include "test_util.h"
+
+namespace paris::test {
+namespace {
+
+TEST(ServerFailure, CrashedServerFreezesUstUntilFailover) {
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/81));
+  dep.start();
+  settle(dep);
+
+  auto* victim = dep.paris_server(1, dep.topo().partitions_at(1)[0]);
+  ASSERT_NE(victim, nullptr);
+  auto* observer = dep.paris_server(0, dep.topo().partitions_at(0)[0]);
+
+  const Timestamp before = observer->ust();
+  ASSERT_FALSE(before.is_zero());
+
+  // Crash: the server stops applying, heartbeating and gossiping; its
+  // inbound messages queue at the network layer.
+  dep.net().pause_node(victim->node());
+  dep.run_for(400'000);
+  const Timestamp frozen = observer->ust();
+  // The UST may advance by at most the in-flight slack, then stalls.
+  EXPECT_LE(frozen.physical_us(), before.physical_us() + 100'000);
+  dep.run_for(300'000);
+  EXPECT_LE(observer->ust().physical_us(), frozen.physical_us() + 20'000)
+      << "UST kept advancing past a crashed contributor";
+
+  // Failover: the backup resumes with the replicated state; queued
+  // messages drain, heartbeats resume, the UST catches up.
+  dep.net().resume_node(victim->node());
+  settle(dep, 600'000);
+  EXPECT_GT(observer->ust(), frozen) << "UST must recover after failover";
+  const auto lag = dep.sim().now() - observer->ust().physical_us();
+  EXPECT_LT(lag, 200'000u) << "UST should return to steady-state lag";
+}
+
+TEST(ServerFailure, ReadsNonBlockingWhileServerCrashed) {
+  // Reads access the stable snapshot, so a crashed server elsewhere never
+  // blocks a read served by a live replica (§III-C: "reads are non-blocking
+  // also with such mechanisms enabled").
+  Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/83));
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+
+  // Crash DC1's replica of partition 0 (replicas {0,1}); read partition 0
+  // in DC0 (live replica).
+  dep.net().pause_node(dep.server(1, 0).node());
+  dep.run_for(100'000);
+
+  auto& c = dep.add_client(0, 0);
+  SyncClient sc(dep.sim(), c);
+  const sim::SimTime t0 = dep.sim().now();
+  sc.start();
+  sc.read({topo.make_key(0, 3)});
+  sc.commit();
+  EXPECT_LT(dep.sim().now() - t0, 10'000u);
+  dep.net().resume_node(dep.server(1, 0).node());
+}
+
+TEST(ServerFailure, AbandonedTxContextReapedByTimeout) {
+  auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/87);
+  cfg.protocol.tx_context_timeout_us = 300'000;  // short for the test
+  Deployment dep(cfg);
+  dep.start();
+  settle(dep);
+  const PartitionId p = dep.topo().partitions_at(0)[0];
+
+  // A client starts a transaction and "crashes" (never commits/ends it).
+  auto& ghost = dep.add_client(0, p);
+  SyncClient gs(dep.sim(), ghost);
+  const Timestamp abandoned_snap = gs.start();
+  ASSERT_FALSE(abandoned_snap.is_zero());
+
+  // While the context lives, it pins the GC watermark at its snapshot.
+  auto* server = dep.paris_server(0, p);
+  dep.run_for(150'000);
+  EXPECT_LE(server->gc_watermark_value(), abandoned_snap);
+
+  // After the timeout the reaper drops it and the watermark moves past.
+  dep.run_for(1'200'000);
+  EXPECT_GT(server->gc_watermark_value(), abandoned_snap)
+      << "abandoned context still pinning GC";
+}
+
+TEST(ServerFailure, CommittingContextIsNeverReaped) {
+  // Cut the network mid-2PC so a commit stays in flight well past the
+  // context timeout: the reaper must leave it alone, and the commit must
+  // complete after heal.
+  auto cfg = small_config(System::kParis, 3, 6, 2, /*seed=*/89);
+  cfg.protocol.tx_context_timeout_us = 200'000;
+  Deployment dep(cfg);
+  dep.start();
+  settle(dep);
+  const auto& topo = dep.topo();
+
+  // Find a partition whose preferred target from DC0 is remote (DC2), so
+  // the prepare crosses the DC0-DC2 link.
+  PartitionId remote_p = topo.num_partitions();
+  for (PartitionId p = 0; p < topo.num_partitions(); ++p)
+    if (topo.target_dc(0, p) == 2) {
+      remote_p = p;
+      break;
+    }
+  ASSERT_LT(remote_p, topo.num_partitions());
+
+  auto& c = dep.add_client(0, topo.partitions_at(0)[0]);
+  bool committed = false;
+  c.start_tx([&](TxId, Timestamp) {
+    dep.net().partition_dcs(0, 2);  // strand the prepare
+    c.write({{topo.make_key(remote_p, 1), "stranded"}});
+    c.commit([&](Timestamp) { committed = true; });
+  });
+  dep.run_for(1'000'000);  // 5x the context timeout
+  EXPECT_FALSE(committed);
+
+  dep.net().heal_all();
+  dep.run_for(500'000);
+  EXPECT_TRUE(committed) << "2PC must complete after heal (context survived)";
+}
+
+}  // namespace
+}  // namespace paris::test

@@ -1,0 +1,271 @@
+// Simulator tests: deterministic event ordering, timers, the network's
+// FIFO/latency/partition behavior and the per-node CPU service queue.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace paris::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulation, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(5, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulation, RunUntilLeavesLaterEventsQueued) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(100, [&] { ++fired; });
+  sim.at(200, [&] { ++fired; });
+  sim.run_until(150);
+  EXPECT_EQ(fired, 1);
+  sim.run_until(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, PeriodicFiresAndCancels) {
+  Simulation sim;
+  int count = 0;
+  {
+    auto h = sim.every(10, 0, [&] { ++count; });
+    sim.run_until(55);
+    EXPECT_EQ(count, 6);  // t=0,10,20,30,40,50
+  }                       // handle destroyed -> cancelled
+  sim.run_until(200);
+  EXPECT_EQ(count, 6);
+}
+
+TEST(Simulation, EventsDuringEventsKeepOrdering) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(10, [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(2); });
+    sim.after(5, [&] { order.push_back(3); });
+  });
+  sim.at(12, [&] { order.push_back(4); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+}
+
+class Recorder : public Actor {
+ public:
+  struct Rx {
+    NodeId from;
+    wire::MsgType type;
+    SimTime at;
+    Timestamp payload;
+  };
+  explicit Recorder(Simulation& sim) : sim_(sim) {}
+  void on_message(NodeId from, const wire::Message& m) override {
+    Timestamp p;
+    if (m.type() == wire::MsgType::kHeartbeat)
+      p = static_cast<const wire::Heartbeat&>(m).t;
+    got.push_back(Rx{from, m.type(), sim_.now(), p});
+  }
+  std::vector<Rx> got;
+
+ private:
+  Simulation& sim_;
+};
+
+wire::MessagePtr heartbeat(std::uint64_t seq) {
+  auto h = std::make_shared<wire::Heartbeat>();
+  h->partition = 0;
+  h->t = Timestamp{seq};
+  return h;
+}
+
+TEST(Network, DeliversWithLatencyAndDecodesBytes) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(2, 10'000, 100), CodecMode::kBytes);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 1);
+  net.send(na, nb, heartbeat(7));
+  sim.run_all();
+  ASSERT_EQ(b.got.size(), 1u);
+  EXPECT_EQ(b.got[0].from, na);
+  EXPECT_EQ(b.got[0].payload.raw, 7u);
+  // 10ms +-5% jitter
+  EXPECT_GE(b.got[0].at, 9'500u);
+  EXPECT_LE(b.got[0].at, 10'500u);
+}
+
+TEST(Network, FifoPerChannelDespiteJitter) {
+  Simulation sim(99);
+  auto lat = LatencyModel::uniform(2, 10'000, 100);
+  lat.set_jitter(0.5);  // aggressive jitter to provoke reordering attempts
+  Network net(sim, lat, CodecMode::kSizeOnly);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 1);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sim.at(i * 10, [&net, na, nb, i] { net.send(na, nb, heartbeat(i)); });
+  }
+  sim.run_all();
+  ASSERT_EQ(b.got.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i)
+    EXPECT_EQ(b.got[i].payload.raw, i) << "FIFO violated at " << i;
+}
+
+TEST(Network, ColocatedPairUsesLoopback) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(2, 10'000, 500), CodecMode::kSizeOnly);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 0);
+  net.set_colocated(na, nb);
+  net.send(na, nb, heartbeat(1));
+  sim.run_all();
+  ASSERT_EQ(b.got.size(), 1u);
+  EXPECT_LE(b.got[0].at, 30u);  // loopback ~20µs, not 500µs intra-DC
+}
+
+TEST(Network, ServiceQueueSerializesProcessing) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(1, 0, 100), CodecMode::kSizeOnly);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  // Every message takes 50µs of CPU at b.
+  const NodeId nb = net.add_node(&b, 0, [](const wire::Message&) { return SimTime{50}; });
+  for (int i = 0; i < 4; ++i) net.send(na, nb, heartbeat(i));
+  sim.run_all();
+  ASSERT_EQ(b.got.size(), 4u);
+  // All arrive ~100µs, then process serially: 150, 200, 250, 300.
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(b.got[i].at - b.got[i - 1].at, 50u) << "serial CPU expected";
+  EXPECT_EQ(net.counters(nb).cpu_busy_us, 200u);
+}
+
+TEST(Network, ChargeCpuDelaysSubsequentMessages) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(1, 0, 100), CodecMode::kSizeOnly);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 0, [](const wire::Message&) { return SimTime{10}; });
+  sim.at(0, [&] { net.charge_cpu(nb, 1'000); });
+  net.send(na, nb, heartbeat(1));
+  sim.run_all();
+  ASSERT_EQ(b.got.size(), 1u);
+  EXPECT_GE(b.got[0].at, 1'010u);
+}
+
+TEST(Network, PartitionBuffersAndHealsInOrder) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(2, 5'000, 100), CodecMode::kSizeOnly);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 1);
+
+  net.partition_dcs(0, 1);
+  EXPECT_TRUE(net.dcs_partitioned(0, 1));
+  for (std::uint64_t i = 0; i < 5; ++i) net.send(na, nb, heartbeat(i));
+  sim.run_until(100'000);
+  EXPECT_TRUE(b.got.empty()) << "messages must stall across a partition";
+
+  net.heal_dcs(0, 1);
+  sim.run_until(200'000);
+  ASSERT_EQ(b.got.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(b.got[i].payload.raw, i);
+  EXPECT_GE(b.got[0].at, 100'000u) << "delivery only after heal";
+}
+
+TEST(Network, IsolateDcBlocksAllPairsAndHealAllRestores) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(3, 5'000, 100), CodecMode::kSizeOnly);
+  Recorder a(sim), b(sim), c(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 1);
+  const NodeId nc = net.add_node(&c, 2);
+  net.isolate_dc(0);
+  EXPECT_TRUE(net.dcs_partitioned(0, 1));
+  EXPECT_TRUE(net.dcs_partitioned(0, 2));
+  EXPECT_FALSE(net.dcs_partitioned(1, 2));
+  net.send(na, nb, heartbeat(1));
+  net.send(nc, na, heartbeat(2));
+  net.send(nb, nc, heartbeat(3));
+  sim.run_until(50'000);
+  EXPECT_TRUE(b.got.empty());
+  EXPECT_TRUE(a.got.empty());
+  EXPECT_EQ(c.got.size(), 1u) << "1<->2 unaffected";
+  net.heal_all();
+  sim.run_until(100'000);
+  EXPECT_EQ(b.got.size(), 1u);
+  EXPECT_EQ(a.got.size(), 1u);
+}
+
+TEST(Network, CountersTrackTraffic) {
+  Simulation sim;
+  Network net(sim, LatencyModel::uniform(2, 1'000, 100), CodecMode::kBytes);
+  Recorder a(sim), b(sim);
+  const NodeId na = net.add_node(&a, 0);
+  const NodeId nb = net.add_node(&b, 1);
+  net.send(na, nb, heartbeat(300));
+  sim.run_all();
+  EXPECT_EQ(net.counters(na).msgs_sent, 1u);
+  EXPECT_EQ(net.counters(nb).msgs_recv, 1u);
+  EXPECT_GT(net.counters(na).bytes_sent, 1u);
+  EXPECT_EQ(net.counters(na).bytes_sent, net.counters(nb).bytes_recv);
+  EXPECT_EQ(net.total_bytes_sent(), net.counters(na).bytes_sent);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    auto lat = LatencyModel::uniform(2, 10'000, 100);
+    lat.set_jitter(0.3);
+    Network net(sim, lat, CodecMode::kSizeOnly);
+    Recorder a(sim), b(sim);
+    const NodeId na = net.add_node(&a, 0);
+    const NodeId nb = net.add_node(&b, 1);
+    for (std::uint64_t i = 0; i < 50; ++i)
+      sim.at(i * 100, [&net, na, nb, i] { net.send(na, nb, heartbeat(i)); });
+    sim.run_all();
+    std::vector<SimTime> times;
+    for (const auto& rx : b.got) times.push_back(rx.at);
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(LatencyModel, AwsMatrixSymmetricAndPositive) {
+  const auto m = LatencyModel::aws(10);
+  for (DcId a = 0; a < 10; ++a) {
+    for (DcId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(m.mean_one_way_us(a, b), m.mean_one_way_us(b, a));
+      EXPECT_GT(m.mean_one_way_us(a, b), 5'000u) << "inter-region >= 5ms one-way";
+    }
+  }
+  // Virginia <-> Ohio is the closest pair in the table (12ms RTT).
+  EXPECT_EQ(m.mean_one_way_us(0, 9), 6'000u);
+}
+
+}  // namespace
+}  // namespace paris::sim

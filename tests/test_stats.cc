@@ -1,0 +1,140 @@
+// Histogram and summary tests: bounded relative error, percentiles, merge,
+// CDF monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace paris::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 31u);
+  EXPECT_NEAR(h.mean(), 15.5, 1e-9);
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  Rng rng(77);
+  Histogram h;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = 1 + (rng.next_u64() >> (rng.next_below(40) + 14));
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const auto exact = vals[static_cast<std::size_t>(q * (vals.size() - 1))];
+    const auto approx = h.percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.04 + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentilesAreMonotonic) {
+  Rng rng(5);
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) h.record(rng.next_below(1'000'000));
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const auto v = h.percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, MergeEqualsUnion) {
+  Rng rng(9);
+  Histogram a, b, u;
+  for (int i = 0; i < 5'000; ++i) {
+    const auto v = rng.next_below(100'000);
+    if (i % 2) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    u.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), u.count());
+  EXPECT_EQ(a.min(), u.min());
+  EXPECT_EQ(a.max(), u.max());
+  for (double q : {0.25, 0.5, 0.75, 0.99}) EXPECT_EQ(a.percentile(q), u.percentile(q));
+}
+
+TEST(Histogram, RecordNWeighting) {
+  Histogram h;
+  h.record_n(10, 99);
+  h.record_n(1'000'000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.percentile(0.5), 10u);
+  EXPECT_GT(h.percentile(0.999), 900'000u);
+}
+
+TEST(Histogram, CdfIsMonotonicAndEndsAtOne) {
+  Rng rng(11);
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) h.record(rng.next_below(1'000'000) + 1);
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_frac = 0;
+  std::uint64_t prev_val = 0;
+  for (const auto& [v, f] : cdf) {
+    EXPECT_GE(v, prev_val);
+    EXPECT_GE(f, prev_frac);
+    prev_val = v;
+    prev_frac = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Summary, ReflectsHistogram) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 100);
+  const auto s = Summary::of(h);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_GT(s.p90, s.p50);
+  EXPECT_GE(s.p99, s.p90);
+  EXPECT_GE(s.max, s.p999);
+  EXPECT_NEAR(s.mean, 50'050.0, 2000.0);
+}
+
+TEST(Format, UsToMs) {
+  EXPECT_EQ(us_to_ms(12'345.0), "12.35");
+  EXPECT_EQ(us_to_ms(12'345.0, 1), "12.3");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace paris::stats

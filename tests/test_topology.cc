@@ -1,0 +1,134 @@
+// Topology/placement tests: replica coverage, the paper's machines-per-DC
+// arithmetic, preferred-remote-replica routing, and the stabilization tree.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/topology.h"
+#include "cluster/tree.h"
+
+namespace paris::cluster {
+namespace {
+
+TEST(Topology, EveryPartitionHasExactlyRReplicas) {
+  Topology topo({5, 45, 2});
+  for (PartitionId p = 0; p < 45; ++p) {
+    const auto& reps = topo.replicas(p);
+    ASSERT_EQ(reps.size(), 2u);
+    EXPECT_NE(reps[0], reps[1]);
+    for (DcId d : reps) {
+      EXPECT_LT(d, 5u);
+      EXPECT_TRUE(topo.dc_replicates(d, p));
+    }
+  }
+}
+
+TEST(Topology, PaperDeploymentGives18MachinesPerDc) {
+  // §V-A: 45 partitions, R=2, 5 DCs -> 18 servers per DC, 90 total.
+  Topology topo({5, 45, 2});
+  for (DcId d = 0; d < 5; ++d) EXPECT_EQ(topo.servers_per_dc(d), 18u);
+  EXPECT_EQ(topo.total_servers(), 90u);
+}
+
+TEST(Topology, ReplicaIdxConsistentWithReplicaList) {
+  Topology topo({4, 10, 3});
+  for (PartitionId p = 0; p < 10; ++p) {
+    const auto& reps = topo.replicas(p);
+    for (ReplicaIdx i = 0; i < reps.size(); ++i)
+      EXPECT_EQ(topo.replica_idx(reps[i], p), i);
+    for (DcId d = 0; d < 4; ++d) {
+      const bool in_list = std::find(reps.begin(), reps.end(), d) != reps.end();
+      EXPECT_EQ(topo.dc_replicates(d, p), in_list);
+    }
+  }
+}
+
+TEST(Topology, KeyMappingRoundtrips) {
+  Topology topo({3, 7, 2});
+  for (PartitionId p = 0; p < 7; ++p) {
+    for (std::uint64_t rank = 0; rank < 100; ++rank) {
+      EXPECT_EQ(topo.partition_of(topo.make_key(p, rank)), p);
+    }
+  }
+}
+
+TEST(Topology, TargetDcPrefersLocalReplica) {
+  Topology topo({5, 45, 2});
+  for (DcId d = 0; d < 5; ++d) {
+    for (PartitionId p : topo.partitions_at(d)) EXPECT_EQ(topo.target_dc(d, p), d);
+  }
+}
+
+TEST(Topology, TargetDcForRemotePartitionIsAReplicaAndBalanced) {
+  Topology topo({5, 45, 2});
+  std::map<DcId, int> hits;
+  for (DcId d = 0; d < 5; ++d) {
+    for (PartitionId p = 0; p < 45; ++p) {
+      if (topo.dc_replicates(d, p)) continue;
+      const DcId t = topo.target_dc(d, p);
+      EXPECT_NE(t, d);
+      EXPECT_TRUE(topo.dc_replicates(t, p));
+      ++hits[t];
+    }
+  }
+  // Round-robin preference spreads remote load over all DCs.
+  EXPECT_EQ(hits.size(), 5u);
+  for (const auto& [dc, n] : hits) EXPECT_GT(n, 10) << "DC " << dc << " starved";
+}
+
+TEST(Topology, SinglePartitionSingleDc) {
+  Topology topo({1, 1, 1});
+  EXPECT_EQ(topo.partitions_at(0).size(), 1u);
+  EXPECT_EQ(topo.target_dc(0, 0), 0u);
+}
+
+TEST(Topology, RejectsBadConfigs) {
+  EXPECT_DEATH(Topology({2, 4, 3}), "replication");  // R > M
+  EXPECT_DEATH(Topology({0, 4, 1}), "DC");
+}
+
+TEST(Directory, StoresAndLooksUpServers) {
+  Topology topo({3, 6, 2});
+  Directory dir(topo);
+  dir.set_server(0, 0, 17);
+  EXPECT_TRUE(dir.has_server(0, 0));
+  EXPECT_FALSE(dir.has_server(1, 1));
+  EXPECT_EQ(dir.server(0, 0), 17u);
+}
+
+TEST(StabTree, BinaryTreeShape) {
+  StabTree t(7, 2);
+  EXPECT_TRUE(t.is_root(0));
+  EXPECT_EQ(t.children(0), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(t.children(1), (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(t.children(2), (std::vector<std::uint32_t>{5, 6}));
+  EXPECT_TRUE(t.children(3).empty());
+  for (std::uint32_t i = 1; i < 7; ++i) EXPECT_EQ(t.parent(i), (i - 1) / 2);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(StabTree, EveryNodeReachesRoot) {
+  for (std::uint32_t n : {1u, 2u, 5u, 18u, 64u}) {
+    for (std::uint32_t fanout : {1u, 2u, 4u}) {
+      StabTree t(n, fanout);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t cur = i, hops = 0;
+        while (!t.is_root(cur)) {
+          cur = t.parent(cur);
+          ASSERT_LT(++hops, n) << "cycle in tree";
+        }
+      }
+    }
+  }
+}
+
+TEST(StabTree, ChildrenAndParentAgree) {
+  StabTree t(18, 2);
+  for (std::uint32_t i = 0; i < 18; ++i) {
+    for (std::uint32_t c : t.children(i)) EXPECT_EQ(t.parent(c), i);
+  }
+}
+
+}  // namespace
+}  // namespace paris::cluster

@@ -1,0 +1,108 @@
+#pragma once
+// Shared test helpers: synchronous client wrapper and small deployment
+// factories (uniform latency for speed and easy reasoning; kBytes codec so
+// every test also exercises serialization).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/deployment.h"
+
+namespace paris::test {
+
+using proto::Client;
+using proto::Deployment;
+using proto::DeploymentConfig;
+using proto::System;
+using wire::Item;
+using wire::WriteKV;
+
+/// Small deployment config: M DCs, N partitions, R replicas, uniform
+/// inter-DC latency (default 20ms one-way), intra-DC 150µs.
+inline DeploymentConfig small_config(System sys, std::uint32_t dcs, std::uint32_t partitions,
+                                     std::uint32_t replication, std::uint64_t seed = 1,
+                                     sim::SimTime inter_dc_us = 20'000) {
+  DeploymentConfig cfg;
+  cfg.system = sys;
+  cfg.topo = {dcs, partitions, replication};
+  cfg.aws_latency = false;
+  cfg.uniform_inter_dc_us = inter_dc_us;
+  cfg.codec = sim::CodecMode::kBytes;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Runs the simulation until `done` becomes true (bounded by max_steps so a
+/// protocol bug fails the test instead of hanging it).
+inline void run_until_flag(sim::Simulation& sim, const bool& done,
+                           std::uint64_t max_steps = 50'000'000) {
+  std::uint64_t steps = 0;
+  while (!done) {
+    ASSERT_TRUE(sim.step()) << "simulation drained before operation completed";
+    ASSERT_LT(++steps, max_steps) << "operation did not complete (deadlock?)";
+  }
+}
+
+/// Blocking facade over the continuation-based client API.
+class SyncClient {
+ public:
+  SyncClient(sim::Simulation& sim, Client& c) : sim_(sim), c_(c) {}
+
+  Timestamp start() {
+    bool done = false;
+    Timestamp snap;
+    c_.start_tx([&](TxId, Timestamp s) {
+      snap = s;
+      done = true;
+    });
+    run_until_flag(sim_, done);
+    return snap;
+  }
+
+  std::vector<Item> read(std::vector<Key> keys) {
+    bool done = false;
+    std::vector<Item> out;
+    c_.read(std::move(keys), [&](std::vector<Item> items) {
+      out = std::move(items);
+      done = true;
+    });
+    run_until_flag(sim_, done);
+    return out;
+  }
+
+  Item read1(Key k) { return read({k})[0]; }
+
+  void write(Key k, Value v) { c_.write({WriteKV{k, std::move(v)}}); }
+  void write(std::vector<WriteKV> kvs) { c_.write(std::move(kvs)); }
+
+  Timestamp commit() {
+    bool done = false;
+    Timestamp ct;
+    c_.commit([&](Timestamp t) {
+      ct = t;
+      done = true;
+    });
+    run_until_flag(sim_, done);
+    return ct;
+  }
+
+  /// start + write + commit in one shot; returns the commit timestamp.
+  Timestamp put(std::vector<WriteKV> kvs) {
+    start();
+    write(std::move(kvs));
+    return commit();
+  }
+
+  Client& raw() { return c_; }
+
+ private:
+  sim::Simulation& sim_;
+  Client& c_;
+};
+
+/// Let replication, gossip and the UST settle (a few gossip rounds plus the
+/// largest WAN round trip).
+inline void settle(Deployment& dep, sim::SimTime us = 300'000) { dep.run_for(us); }
+
+}  // namespace paris::test

@@ -1,0 +1,146 @@
+// Workload generator and driver tests: transaction shape, locality ratios,
+// partition fan-out, zipfian targeting and collector windowing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/driver.h"
+#include "workload/generator.h"
+
+namespace paris::workload {
+namespace {
+
+cluster::Topology paper_topo() { return cluster::Topology({5, 45, 2}); }
+
+TEST(WorkloadSpec, PresetsMatchPaper) {
+  const auto b = WorkloadSpec::read_heavy();
+  EXPECT_EQ(b.ops_per_tx, 20u);
+  EXPECT_EQ(b.reads_per_tx(), 19u);
+  EXPECT_EQ(b.writes_per_tx, 1u);
+  const auto a = WorkloadSpec::write_heavy();
+  EXPECT_EQ(a.reads_per_tx(), 10u);
+  EXPECT_EQ(a.writes_per_tx, 10u);
+  EXPECT_NE(a.describe().find("10r:10w"), std::string::npos);
+}
+
+TEST(TxGenerator, TransactionShape) {
+  const auto topo = paper_topo();
+  TxGenerator gen(topo, WorkloadSpec::read_heavy(), /*dc=*/0, /*seed=*/1);
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = gen.next();
+    EXPECT_EQ(plan.reads.size(), 19u);
+    EXPECT_EQ(plan.writes.size(), 1u);
+    for (const auto& w : plan.writes) EXPECT_EQ(w.v.size(), 8u);
+  }
+}
+
+TEST(TxGenerator, LocalTxOnlyTouchesLocalPartitions) {
+  const auto topo = paper_topo();
+  auto spec = WorkloadSpec::read_heavy();
+  spec.multi_dc_ratio = 0.0;
+  TxGenerator gen(topo, spec, /*dc=*/2, /*seed=*/3);
+  for (int i = 0; i < 300; ++i) {
+    const auto plan = gen.next();
+    EXPECT_FALSE(plan.multi_dc);
+    for (Key k : plan.reads)
+      EXPECT_TRUE(topo.dc_replicates(2, topo.partition_of(k)))
+          << "local-DC tx read a non-local partition";
+    for (const auto& w : plan.writes)
+      EXPECT_TRUE(topo.dc_replicates(2, topo.partition_of(w.k)));
+  }
+}
+
+TEST(TxGenerator, MultiRatioIsCalibrated) {
+  const auto topo = paper_topo();
+  auto spec = WorkloadSpec::read_heavy();
+  spec.multi_dc_ratio = 0.10;
+  TxGenerator gen(topo, spec, 0, 5);
+  int multi = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) multi += gen.next().multi_dc;
+  EXPECT_NEAR(static_cast<double>(multi) / n, 0.10, 0.01);
+}
+
+TEST(TxGenerator, TouchesExactlyRequestedPartitionCount) {
+  const auto topo = paper_topo();
+  auto spec = WorkloadSpec::read_heavy();
+  spec.partitions_per_tx = 4;
+  TxGenerator gen(topo, spec, 1, 7);
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = gen.next();
+    std::set<PartitionId> parts;
+    for (Key k : plan.reads) parts.insert(topo.partition_of(k));
+    for (const auto& w : plan.writes) parts.insert(topo.partition_of(w.k));
+    EXPECT_EQ(parts.size(), 4u);
+  }
+}
+
+TEST(TxGenerator, WritesSpreadAcrossPartitionsInWriteHeavyMix) {
+  const auto topo = paper_topo();
+  TxGenerator gen(topo, WorkloadSpec::write_heavy(), 0, 9);
+  const auto plan = gen.next();
+  std::set<PartitionId> wparts;
+  for (const auto& w : plan.writes) wparts.insert(topo.partition_of(w.k));
+  EXPECT_GE(wparts.size(), 2u) << "10 writes round-robin over 4 partitions";
+}
+
+TEST(TxGenerator, KeysAreZipfSkewed) {
+  const auto topo = paper_topo();
+  auto spec = WorkloadSpec::read_heavy();
+  spec.multi_dc_ratio = 0;
+  TxGenerator gen(topo, spec, 0, 11);
+  std::map<std::uint64_t, int> rank_freq;
+  for (int i = 0; i < 3000; ++i) {
+    const auto plan = gen.next();
+    for (Key k : plan.reads) rank_freq[k / topo.num_partitions()]++;
+  }
+  // Rank 0 must dominate under zipf(0.99).
+  int max_rank_count = 0;
+  std::uint64_t hottest = 1;
+  for (const auto& [rank, cnt] : rank_freq)
+    if (cnt > max_rank_count) {
+      max_rank_count = cnt;
+      hottest = rank;
+    }
+  EXPECT_EQ(hottest, 0u);
+}
+
+TEST(TxGenerator, DeterministicPerSeed) {
+  const auto topo = paper_topo();
+  TxGenerator g1(topo, WorkloadSpec::read_heavy(), 0, 42);
+  TxGenerator g2(topo, WorkloadSpec::read_heavy(), 0, 42);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = g1.next(), b = g2.next();
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+  }
+}
+
+TEST(TxGenerator, ValuesAreUnique) {
+  const auto topo = paper_topo();
+  TxGenerator gen(topo, WorkloadSpec::write_heavy(), 0, 13);
+  std::set<Value> values;
+  for (int i = 0; i < 100; ++i)
+    for (const auto& w : gen.next().writes) values.insert(w.v);
+  EXPECT_EQ(values.size(), 1000u) << "checker relies on distinguishable values";
+}
+
+TEST(Collector, WindowFiltersAndAggregates) {
+  Collector col;
+  col.set_window(1000, 2000);
+  col.record_tx(500, 900, false);    // before window: dropped
+  col.record_tx(900, 1100, false);   // finished inside: counted
+  col.record_tx(1500, 1800, true);   // inside: counted (multi)
+  col.record_tx(1900, 2000, false);  // finishes at end boundary: dropped
+  EXPECT_EQ(col.committed(), 2u);
+  EXPECT_EQ(col.latency().count(), 2u);
+  EXPECT_EQ(col.latency_local().count(), 1u);
+  EXPECT_EQ(col.latency_multi().count(), 1u);
+  EXPECT_DOUBLE_EQ(col.window_seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(col.throughput_tx_s(), 2000.0);
+}
+
+}  // namespace
+}  // namespace paris::workload

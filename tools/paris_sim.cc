@@ -1,0 +1,155 @@
+// paris_sim — command-line driver for one-off experiments.
+//
+// Examples:
+//   paris_sim --system=paris --dcs=5 --partitions=45 --replication=2
+//     --threads=32 --writes=1 --multi=0.05 --measure-ms=1000
+//   paris_sim --system=bpr --threads=256 --visibility
+//
+// Prints throughput, the latency distribution, blocking statistics (BPR)
+// and, with --visibility, the update-visibility percentiles.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/experiment.h"
+
+using namespace paris;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --system=paris|bpr      protocol under test (default paris)\n"
+      "  --dcs=M                 number of data centers (default 5)\n"
+      "  --partitions=N          number of partitions (default 45)\n"
+      "  --replication=R         replication factor (default 2)\n"
+      "  --threads=T             client threads per (DC, partition) process (default 8)\n"
+      "  --ops=K                 operations per transaction (default 20)\n"
+      "  --writes=W              writes among those (default 1)\n"
+      "  --parts-per-tx=P        partitions touched per transaction (default 4)\n"
+      "  --multi=F               multi-DC transaction ratio in [0,1] (default 0.05)\n"
+      "  --keys=K                keys per partition (default 10000)\n"
+      "  --zipf=T                zipfian theta (default 0.99)\n"
+      "  --warmup-ms=W           warmup (default 300)\n"
+      "  --measure-ms=M          measurement window (default 1000)\n"
+      "  --seed=S                RNG seed (default 42)\n"
+      "  --uniform-latency       uniform 40ms WAN instead of the AWS matrix\n"
+      "  --visibility            measure update visibility latency\n"
+      "  --check                 run the offline exactness checker (slow)\n"
+      "  --codec-bytes           encode/decode every message (default: size only)\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_flag(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::ExperimentConfig cfg;
+  cfg.threads_per_process = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (parse_flag(argv[i], "--system", &v) && v) {
+      if (std::string(v) == "paris") {
+        cfg.system = proto::System::kParis;
+      } else if (std::string(v) == "bpr") {
+        cfg.system = proto::System::kBpr;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "--dcs", &v) && v) {
+      cfg.num_dcs = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--partitions", &v) && v) {
+      cfg.num_partitions = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--replication", &v) && v) {
+      cfg.replication = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--threads", &v) && v) {
+      cfg.threads_per_process = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--ops", &v) && v) {
+      cfg.workload.ops_per_tx = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--writes", &v) && v) {
+      cfg.workload.writes_per_tx = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--parts-per-tx", &v) && v) {
+      cfg.workload.partitions_per_tx = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--multi", &v) && v) {
+      cfg.workload.multi_dc_ratio = std::atof(v);
+    } else if (parse_flag(argv[i], "--keys", &v) && v) {
+      cfg.workload.keys_per_partition = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (parse_flag(argv[i], "--zipf", &v) && v) {
+      cfg.workload.zipf_theta = std::atof(v);
+    } else if (parse_flag(argv[i], "--warmup-ms", &v) && v) {
+      cfg.warmup_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
+    } else if (parse_flag(argv[i], "--measure-ms", &v) && v) {
+      cfg.measure_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
+    } else if (parse_flag(argv[i], "--seed", &v) && v) {
+      cfg.seed = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--uniform-latency", &v)) {
+      cfg.aws_latency = false;
+    } else if (parse_flag(argv[i], "--visibility", &v)) {
+      cfg.measure_visibility = true;
+    } else if (parse_flag(argv[i], "--check", &v)) {
+      cfg.check_consistency = true;
+    } else if (parse_flag(argv[i], "--codec-bytes", &v)) {
+      cfg.codec = sim::CodecMode::kBytes;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::printf("system=%s M=%u N=%u R=%u (%.0f machines/DC) threads=%u\n",
+              proto::system_name(cfg.system), cfg.num_dcs, cfg.num_partitions,
+              cfg.replication, cfg.machines_per_dc(), cfg.threads_per_process);
+  std::printf("workload: %s\n", cfg.workload.describe().c_str());
+
+  const auto res = workload::run_experiment(cfg);
+
+  std::printf("\nthroughput      %10.1f ktx/s (%s tx in %.0f ms)\n",
+              res.throughput_tx_s / 1000.0, stats::with_commas(res.committed).c_str(),
+              cfg.measure_us / 1000.0);
+  std::printf("latency mean    %10.2f ms\n", res.latency_us.mean / 1000.0);
+  std::printf("latency p50     %10.2f ms\n", res.latency_us.p50 / 1000.0);
+  std::printf("latency p95     %10.2f ms\n", res.latency_us.p95 / 1000.0);
+  std::printf("latency p99     %10.2f ms\n", res.latency_us.p99 / 1000.0);
+  if (res.blocked_reads > 0) {
+    std::printf("blocked reads   %10s (avg %.1f ms)\n",
+                stats::with_commas(res.blocked_reads).c_str(), res.avg_block_ms);
+  }
+  if (cfg.measure_visibility && res.visibility_hist.count() > 0) {
+    std::printf("visibility p50  %10.2f ms\n",
+                res.visibility_hist.percentile(0.5) / 1000.0);
+    std::printf("visibility p99  %10.2f ms\n",
+                res.visibility_hist.percentile(0.99) / 1000.0);
+  }
+  std::printf("local-hit rate  %10.1f %%   max client cache %zu entries\n",
+              res.local_hit_rate * 100.0, res.max_client_cache);
+  std::printf("sim events      %10s    bytes on wire %s\n",
+              stats::with_commas(res.sim_events).c_str(),
+              stats::with_commas(res.bytes_sent).c_str());
+
+  if (cfg.check_consistency) {
+    if (res.violations.empty()) {
+      std::printf("consistency     OK (exactness checker passed)\n");
+    } else {
+      for (const auto& viol : res.violations) std::printf("VIOLATION: %s\n", viol.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

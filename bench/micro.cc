@@ -1,66 +1,293 @@
-// Micro-benchmarks (google-benchmark) for the hot substrate paths: HLC
-// updates, storage reads/writes, wire encode/decode, zipfian draws, the
-// event queue and histogram recording.
+// Micro-benchmarks for the hot substrate paths: the simulator event loop,
+// network message flow, storage reads/writes, counter reads, wire
+// encode/decode and HLC updates.
+//
+// Self-contained harness (no google-benchmark): every benchmark reports
+// ops/sec, ns/op and — via a counting global operator new — heap
+// allocations per op. Results are printed as a table and written as
+// machine-readable JSON to BENCH_micro.json (override with PARIS_BENCH_OUT)
+// so every perf PR can show a before/after curve.
+//
+// Environment knobs:
+//   PARIS_BENCH_FAST=1   short runs (CI smoke)
+//   PARIS_BENCH_OUT=path JSON output path
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
 
+#include "common/assert.h"
 #include "common/hlc.h"
 #include "common/rng.h"
-#include "sim/event_queue.h"
-#include "stats/histogram.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
 #include "storage/mv_store.h"
 #include "wire/messages.h"
 
+// ---------------------------------------------------------------------------
+// Counting allocator hook: every global new/delete is counted, so benchmarks
+// can report allocations/op and assert allocation-free steady state.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t g_alloc_count = 0;
+std::uint64_t g_alloc_bytes = 0;
+}  // namespace
+
+// GCC warns that free() doesn't match the replaced operator new; the pairing
+// here (malloc in new, free in delete) is the canonical replacement idiom.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  g_alloc_bytes += size;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace paris::bench {
 namespace {
 
-using namespace paris;
+using Clock = std::chrono::steady_clock;
 
-void BM_HlcTick(benchmark::State& state) {
-  Hlc hlc;
-  std::uint64_t now = 1'000'000;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hlc.tick(now));
-    now += 1;
-  }
+bool fast_mode() {
+  const char* v = std::getenv("PARIS_BENCH_FAST");
+  return v != nullptr && *v != '0';
 }
-BENCHMARK(BM_HlcTick);
 
-void BM_HlcTickPast(benchmark::State& state) {
-  Hlc hlc;
-  std::uint64_t now = 1'000'000;
-  const Timestamp observed = Timestamp::from_physical(2'000'000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hlc.tick_past(now, observed));
-    now += 1;
-  }
+struct Result {
+  std::string name;
+  double ops_per_sec = 0;
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+  double events_per_sec = 0;  ///< only for simulator-loop benchmarks
+};
+
+std::vector<Result>& results() {
+  static std::vector<Result> r;
+  return r;
 }
-BENCHMARK(BM_HlcTickPast);
 
-void BM_StoreApply(benchmark::State& state) {
+/// Runs `body(ops_per_batch)` in batches until `seconds` of wall time have
+/// elapsed (after one untimed warmup batch), then records the result.
+/// `body` returns the number of operations performed in the batch.
+template <class F>
+Result run_bench(const std::string& name, F&& body, double events_per_op = 0) {
+  const double seconds = fast_mode() ? 0.05 : 0.4;
+  (void)body();  // warmup: populate pools, grow vectors, fault pages
+  std::uint64_t ops = 0;
+  const std::uint64_t allocs_before = g_alloc_count;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    ops += body();
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < seconds);
+  const std::uint64_t allocs = g_alloc_count - allocs_before;
+
+  Result r;
+  r.name = name;
+  r.ops_per_sec = static_cast<double>(ops) / elapsed;
+  r.ns_per_op = elapsed * 1e9 / static_cast<double>(ops);
+  r.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(ops);
+  r.events_per_sec = events_per_op * r.ops_per_sec;
+  std::printf("%-32s %14.0f ops/s %10.1f ns/op %8.3f allocs/op\n", name.c_str(),
+              r.ops_per_sec, r.ns_per_op, r.allocs_per_op);
+  std::fflush(stdout);
+  results().push_back(r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Event queue: push/pop batches through the Simulation API.
+// ---------------------------------------------------------------------------
+
+void bench_event_queue() {
+  sim::Simulation sim;
+  Rng rng(3);
+  std::uint64_t sink = 0;
+  run_bench("event_queue_push_pop", [&] {
+    const int kBatch = 1024;
+    const sim::SimTime base = sim.now();
+    for (int i = 0; i < kBatch; ++i)
+      sim.at(base + rng.next_below(1000), [&sink] { ++sink; });
+    while (sim.step()) {
+    }
+    return kBatch;
+  });
+  PARIS_CHECK(sink > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator + network steady-state loop: actor pairs ping-ponging heartbeat
+// messages through the full send/transmit/deliver/CPU-queue path. This is
+// the closest proxy for "simulated events per second" of the real benches.
+// ---------------------------------------------------------------------------
+
+class PingActor : public sim::Actor {
+ public:
+  PingActor(sim::Network& net) : net_(&net) {}
+  void attach(NodeId self, NodeId peer) {
+    self_ = self;
+    peer_ = peer;
+  }
+  void on_message(NodeId /*from*/, const wire::Message& m) override {
+    ++received_;
+    auto hb = net_->msg_pool().make<wire::Heartbeat>();
+    hb->partition = 0;
+    hb->t = static_cast<const wire::Heartbeat&>(m).t.next();
+    net_->send(self_, peer_, std::move(hb));
+  }
+  std::uint64_t received() const { return received_; }
+
+ private:
+  sim::Network* net_;
+  NodeId self_ = kInvalidNode;
+  NodeId peer_ = kInvalidNode;
+  std::uint64_t received_ = 0;
+};
+
+void bench_sim_loop() {
+  sim::Simulation sim(7);
+  auto lat = sim::LatencyModel::uniform(2, 1000, 100);
+  lat.set_jitter(0.1);
+  sim::Network net(sim, lat, sim::CodecMode::kSizeOnly);
+
+  constexpr int kPairs = 8;
+  std::vector<PingActor> actors(2 * kPairs, PingActor(net));
+  for (int i = 0; i < kPairs; ++i) {
+    const NodeId a = net.add_node(&actors[2 * i], 0);
+    const NodeId b = net.add_node(&actors[2 * i + 1], 1);
+    actors[2 * i].attach(a, b);
+    actors[2 * i + 1].attach(b, a);
+    auto hb = net.msg_pool().make<wire::Heartbeat>();
+    hb->t = Timestamp::from_physical(1);
+    net.send(a, b, std::move(hb));
+  }
+  // Warm up: several round trips populate channel maps, slabs and pools.
+  sim.run_until(sim.now() + 200'000);
+
+  std::uint64_t events_before = sim.events_executed();
+  auto r = run_bench(
+      "sim_network_pingpong",
+      [&] {
+        const std::uint64_t start_events = sim.events_executed();
+        sim.run_until(sim.now() + 50'000);
+        return sim.events_executed() - start_events;
+      },
+      /*events_per_op=*/1);
+  PARIS_CHECK(sim.events_executed() > events_before);
+  (void)r;
+
+  // The whole simulator loop — event queue slab, network, pooled messages —
+  // must be allocation-free in steady state. A regression in any of the
+  // hot-path layers (slab recycling, pool reuse, closure inlining) trips
+  // this check. Measured over a pure sim window (no harness bookkeeping).
+  const std::uint64_t allocs_before = g_alloc_count;
+  const std::uint64_t events_start = sim.events_executed();
+  sim.run_until(sim.now() + 200'000);
+  PARIS_CHECK(sim.events_executed() > events_start + 1'000);
+  PARIS_CHECK_MSG(g_alloc_count == allocs_before,
+                  "steady-state event loop allocated; hot path regressed");
+}
+
+// Message pool: acquire/fill/release cycle must reuse pooled objects
+// (vectors keep capacity) without touching the heap.
+void bench_message_pool() {
+  sim::Simulation sim;
+  sim::Network net(sim, sim::LatencyModel::uniform(1, 0, 10), sim::CodecMode::kSizeOnly);
+  auto& pool = net.msg_pool();
+  std::uint64_t sink = 0;
+  const auto cycle = [&](int b) {
+    auto req = pool.make<wire::ReadSliceReq>();
+    req->tx = TxId::make(1, static_cast<std::uint32_t>(b));
+    req->snapshot = Timestamp::from_physical(42);
+    for (Key k = 0; k < 4; ++k) req->keys.push_back(k);
+    sink += req->wire_size();
+  };  // released here -> returns to the pool
+  run_bench("message_pool_cycle", [&] {
+    const int kBatch = 1024;
+    for (int b = 0; b < kBatch; ++b) cycle(b);
+    return kBatch;
+  });
+  PARIS_CHECK(sink > 0);
+  PARIS_CHECK_MSG(pool.stats().reused > pool.stats().allocated,
+                  "pool must recycle messages in steady state");
+}
+
+// ---------------------------------------------------------------------------
+// Storage.
+// ---------------------------------------------------------------------------
+
+void bench_store_apply() {
   store::MvStore s;
   std::uint64_t i = 0;
-  for (auto _ : state) {
-    s.apply(i % 4096, "12345678", Timestamp::from_physical(i + 1), TxId::make(1, i & 0xffffffff),
-            0);
-    ++i;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+  run_bench("store_apply_register", [&] {
+    const int kBatch = 1024;
+    for (int b = 0; b < kBatch; ++b) {
+      s.apply(i % 4096, "12345678", Timestamp::from_physical(i + 1),
+              TxId::make(1, static_cast<std::uint32_t>(i)), 0);
+      ++i;
+    }
+    return kBatch;
+  });
 }
-BENCHMARK(BM_StoreApply);
 
-void BM_StoreSnapshotRead(benchmark::State& state) {
+void bench_store_read() {
   store::MvStore s;
   for (std::uint64_t i = 0; i < 4096; ++i)
     for (std::uint64_t v = 0; v < 4; ++v)
-      s.apply(i, "12345678", Timestamp::from_physical(100 * (v + 1)), TxId::make(1, i * 4 + v), 0);
+      s.apply(i, "12345678", Timestamp::from_physical(100 * (v + 1)),
+              TxId::make(1, static_cast<std::uint32_t>(i * 4 + v)), 0);
   const Timestamp snap = Timestamp::from_physical(250);
   std::uint64_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(s.read(i % 4096, snap));
-    ++i;
-  }
+  const store::Version* sink = nullptr;
+  run_bench("store_snapshot_read", [&] {
+    const int kBatch = 1024;
+    for (int b = 0; b < kBatch; ++b) {
+      sink = s.read(i % 4096, snap);
+      ++i;
+    }
+    return kBatch;
+  });
+  PARIS_CHECK(sink != nullptr);
 }
-BENCHMARK(BM_StoreSnapshotRead);
+
+void bench_store_read_counter() {
+  store::MvStore s;
+  // 1024 keys, each a chain of 8 binary counter deltas.
+  for (std::uint64_t k = 0; k < 1024; ++k)
+    for (std::uint64_t v = 0; v < 8; ++v)
+      s.apply(k, Value{}, /*delta=*/3, Timestamp::from_physical(100 * (v + 1)),
+              TxId::make(1, static_cast<std::uint32_t>(k * 8 + v)), 0, /*kind=*/1);
+  const Timestamp snap = Timestamp::from_physical(100 * 9);
+  std::uint64_t i = 0;
+  std::int64_t sink = 0;
+  run_bench("store_read_counter8", [&] {
+    const int kBatch = 1024;
+    for (int b = 0; b < kBatch; ++b) {
+      sink += s.read_counter(i % 1024, snap).first;
+      ++i;
+    }
+    return kBatch;
+  });
+  PARIS_CHECK(sink > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+// ---------------------------------------------------------------------------
 
 wire::ReplicateBatch make_batch(int txs, int writes) {
   wire::ReplicateBatch b;
@@ -70,7 +297,7 @@ wire::ReplicateBatch make_batch(int txs, int writes) {
   g.ct = Timestamp::from_physical(123000);
   for (int t = 0; t < txs; ++t) {
     wire::ReplicateTxn tx;
-    tx.tx = TxId::make(3, t);
+    tx.tx = TxId::make(3, static_cast<std::uint32_t>(t));
     for (int w = 0; w < writes; ++w)
       tx.writes.push_back(wire::WriteKV{static_cast<Key>(t * writes + w), "abcdefgh"});
     g.txs.push_back(std::move(tx));
@@ -79,58 +306,98 @@ wire::ReplicateBatch make_batch(int txs, int writes) {
   return b;
 }
 
-void BM_WireEncodeReplicateBatch(benchmark::State& state) {
+void bench_wire() {
   const auto batch = make_batch(8, 4);
   std::vector<std::uint8_t> buf;
-  for (auto _ : state) {
-    buf.clear();
-    wire::encode_message(batch, buf);
-    benchmark::DoNotOptimize(buf.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * buf.size()));
+  run_bench("wire_encode_replicate_batch", [&] {
+    const int kBatch = 256;
+    for (int b = 0; b < kBatch; ++b) {
+      buf.clear();
+      wire::encode_message(batch, buf);
+    }
+    return kBatch;
+  });
+  run_bench("wire_roundtrip_replicate_batch", [&] {
+    const int kBatch = 256;
+    for (int b = 0; b < kBatch; ++b) {
+      buf.clear();
+      wire::encode_message(batch, buf);
+      wire::Decoder d(buf);
+      auto copy = wire::decode_message(d);
+      PARIS_CHECK(copy->type() == wire::MsgType::kReplicateBatch);
+    }
+    return kBatch;
+  });
 }
-BENCHMARK(BM_WireEncodeReplicateBatch);
 
-void BM_WireRoundtripReplicateBatch(benchmark::State& state) {
-  const auto batch = make_batch(8, 4);
-  std::vector<std::uint8_t> buf;
-  for (auto _ : state) {
-    buf.clear();
-    wire::encode_message(batch, buf);
-    wire::Decoder d(buf);
-    auto copy = wire::decode_message(d);
-    benchmark::DoNotOptimize(copy.get());
-  }
+// ---------------------------------------------------------------------------
+// HLC + zipfian (cheap sanity rows for the trajectory).
+// ---------------------------------------------------------------------------
+
+void bench_hlc() {
+  Hlc hlc;
+  std::uint64_t now = 1'000'000;
+  Timestamp sink;
+  run_bench("hlc_tick", [&] {
+    const int kBatch = 4096;
+    for (int b = 0; b < kBatch; ++b) sink = hlc.tick(now++);
+    return kBatch;
+  });
+  PARIS_CHECK(!sink.is_zero());
 }
-BENCHMARK(BM_WireRoundtripReplicateBatch);
 
-void BM_ZipfianDraw(benchmark::State& state) {
+void bench_zipfian() {
   Rng rng(7);
-  Zipfian z(static_cast<std::uint64_t>(state.range(0)), 0.99);
-  for (auto _ : state) benchmark::DoNotOptimize(z.draw(rng));
+  Zipfian z(100'000, 0.99);
+  std::uint64_t sink = 0;
+  run_bench("zipfian_draw_100k", [&] {
+    const int kBatch = 4096;
+    for (int b = 0; b < kBatch; ++b) sink += z.draw(rng);
+    return kBatch;
+  });
+  PARIS_CHECK(sink > 0);
 }
-BENCHMARK(BM_ZipfianDraw)->Arg(1000)->Arg(100000);
 
-void BM_EventQueuePushPop(benchmark::State& state) {
-  sim::EventQueue q;
-  std::uint64_t t = 0;
-  Rng rng(3);
-  for (auto _ : state) {
-    for (int i = 0; i < 16; ++i) q.push(t + rng.next_below(1000), [] {});
-    sim::SimTime at;
-    for (int i = 0; i < 16; ++i) benchmark::DoNotOptimize(q.pop(&at));
-    ++t;
+// ---------------------------------------------------------------------------
+// JSON output.
+// ---------------------------------------------------------------------------
+
+void write_json() {
+  const char* path = std::getenv("PARIS_BENCH_OUT");
+  if (path == nullptr) path = "BENCH_micro.json";
+  std::FILE* f = std::fopen(path, "w");
+  PARIS_CHECK_MSG(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n  \"bench\": \"micro\",\n  \"fast\": %s,\n  \"results\": [\n",
+               fast_mode() ? "true" : "false");
+  for (std::size_t i = 0; i < results().size(); ++i) {
+    const auto& r = results()[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops_per_sec\": %.0f, \"ns_per_op\": %.2f, "
+                 "\"allocs_per_op\": %.4f%s}%s\n",
+                 r.name.c_str(), r.ops_per_sec, r.ns_per_op, r.allocs_per_op,
+                 r.events_per_sec > 0 ? ", \"is_sim_loop\": true" : "",
+                 i + 1 < results().size() ? "," : "");
   }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
 }
-BENCHMARK(BM_EventQueuePushPop);
-
-void BM_HistogramRecord(benchmark::State& state) {
-  stats::Histogram h;
-  Rng rng(5);
-  for (auto _ : state) h.record(rng.next_below(1'000'000));
-}
-BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
+}  // namespace paris::bench
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace paris::bench;
+  std::printf("%-32s %20s %16s %18s\n", "benchmark", "throughput", "latency", "allocations");
+  bench_event_queue();
+  bench_sim_loop();
+  bench_message_pool();
+  bench_store_apply();
+  bench_store_read();
+  bench_store_read_counter();
+  bench_wire();
+  bench_hlc();
+  bench_zipfian();
+  write_json();
+  return 0;
+}

@@ -1,0 +1,106 @@
+#pragma once
+// MinTracker: allocation-free replacement for std::multiset in the common
+// server pattern "insert value / erase value / query minimum". A pair of
+// binary heaps over flat vectors (live + lazily-deleted) gives O(log n)
+// operations without the per-node heap traffic of a red-black tree: erases
+// push onto the dead heap, and matching tops annihilate when the minimum is
+// queried. Vectors keep their capacity, so a warmed-up tracker never
+// allocates.
+//
+// Requirement: erase(v) may only be called for a value currently contained
+// (standard multiset discipline at the call sites: every snapshot/prepared
+// timestamp is inserted exactly once and erased exactly once). Under that
+// contract the dead top can never be smaller than the live top.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace paris {
+
+template <class T, class Cmp = std::less<T>>
+class MinTracker {
+ public:
+  void insert(const T& v) {
+    push(live_, v);
+    ++size_;
+  }
+
+  /// Marks one occurrence of v (which must be present) as erased. Deleted
+  /// entries are reclaimed eagerly enough to keep memory O(live): matching
+  /// tops annihilate here and in min(), a drained tracker drops both heaps
+  /// wholesale, and when dead entries outnumber live ones the heaps are
+  /// compacted (amortized O(log n) per operation).
+  void erase(const T& v) {
+    PARIS_DCHECK(size_ > 0);
+    --size_;
+    if (size_ == 0) {  // equal multisets: nothing left alive
+      live_.clear();
+      dead_.clear();
+      return;
+    }
+    push(dead_, v);
+    prune();
+    if (dead_.size() > live_.size() / 2) compact();
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  /// Heap entries actually held (live + lazily deleted); tests assert this
+  /// stays O(size) under churn.
+  std::size_t internal_entries() const { return live_.size() + dead_.size(); }
+
+  /// Smallest non-erased value; tracker must not be empty.
+  const T& min() const {
+    PARIS_DCHECK(size_ > 0);
+    prune();
+    return live_.front();
+  }
+
+ private:
+  // std::*_heap are max-heaps; invert the comparator for min-at-front.
+  struct Later {
+    bool operator()(const T& a, const T& b) const { return Cmp{}(b, a); }
+  };
+  static void push(std::vector<T>& h, const T& v) {
+    h.push_back(v);
+    std::push_heap(h.begin(), h.end(), Later{});
+  }
+  static void pop(std::vector<T>& h) {
+    std::pop_heap(h.begin(), h.end(), Later{});
+    h.pop_back();
+  }
+  static bool equiv(const T& a, const T& b) { return !Cmp{}(a, b) && !Cmp{}(b, a); }
+
+  void prune() const {
+    while (!dead_.empty() && equiv(dead_.front(), live_.front())) {
+      pop(live_);
+      pop(dead_);
+    }
+  }
+
+  /// Rebuilds live_ as the multiset difference live_ \ dead_ and empties
+  /// dead_. All vectors keep their capacity.
+  void compact() {
+    std::sort(live_.begin(), live_.end(), Cmp{});
+    std::sort(dead_.begin(), dead_.end(), Cmp{});
+    scratch_.clear();
+    std::set_difference(live_.begin(), live_.end(), dead_.begin(), dead_.end(),
+                        std::back_inserter(scratch_), Cmp{});
+    live_.swap(scratch_);
+    std::make_heap(live_.begin(), live_.end(), Later{});
+    dead_.clear();
+    PARIS_DCHECK(live_.size() == size_);
+  }
+
+  mutable std::vector<T> live_;
+  mutable std::vector<T> dead_;
+  std::vector<T> scratch_;  ///< compaction buffer, capacity reused
+  std::size_t size_ = 0;
+};
+
+}  // namespace paris

@@ -18,7 +18,7 @@ void Client::start_tx(StartCb cb) {
   start_cb_ = std::move(cb);
   ++stats_.txs_started;
 
-  auto req = std::make_shared<ClientStartReq>();
+  auto req = rt_.net.msg_pool().make<ClientStartReq>();
   // Alg. 1 line 2: piggyback the last observed snapshot. BPR additionally
   // folds in the last commit time so the fresh snapshot covers it.
   req->ust_c = opt_.fold_hwt_into_seen ? std::max(ust_c_, hwt_) : ust_c_;
@@ -37,7 +37,8 @@ void Client::read(std::vector<Key> keys, ReadCb cb, ReadMode mode) {
   // Alg. 1 lines 10-14: serve from WS, RS, WC (in that order). Counter
   // reads always consult the server (the merged sum needs the global
   // history); local deltas are folded in on delivery.
-  std::vector<Key> remote;
+  std::vector<Key>& remote = remote_scratch_;  // reused across reads
+  remote.clear();
   for (Key k : pending_keys_) {
     if (pending_found_.count(k)) continue;  // duplicate key in request
     if (mode == ReadMode::kCounter) {
@@ -83,10 +84,10 @@ void Client::read(std::vector<Key> keys, ReadCb cb, ReadMode mode) {
     rt_.sim.after(0, [this] { deliver_read(); });
     return;
   }
-  auto req = std::make_shared<ClientReadReq>();
+  auto req = rt_.net.msg_pool().make<ClientReadReq>();
   req->tx = current_tx_;
   req->mode = static_cast<std::uint8_t>(mode);
-  req->keys = std::move(remote);
+  req->keys.assign(remote.begin(), remote.end());  // keep pooled capacity
   rt_.net.send(self_, coord_, std::move(req));
 }
 
@@ -98,9 +99,10 @@ void Client::add(Key k, std::int64_t delta) {
   if (it != ws_.end()) {
     PARIS_CHECK_MSG(it->write_kind() == WriteKind::kCounterAdd,
                     "mixing register and counter writes on one key");
-    it->v = std::to_string(std::strtoll(it->v.c_str(), nullptr, 10) + delta);
+    it->num = it->delta() + delta;
+    it->v.clear();  // delta is binary from here on
   } else {
-    ws_.emplace_back(k, std::to_string(delta), WriteKind::kCounterAdd);
+    ws_.emplace_back(k, delta);  // binary counter delta, no string round-trip
   }
 }
 
@@ -125,7 +127,7 @@ void Client::commit(CommitCb cb) {
 
   if (ws_.empty()) {
     // Read-only: release the coordinator context, no 2PC (§II-D).
-    auto req = std::make_shared<TxEnd>();
+    auto req = rt_.net.msg_pool().make<TxEnd>();
     req->tx = current_tx_;
     rt_.net.send(self_, coord_, std::move(req));
     ++stats_.read_only_txs;
@@ -136,7 +138,7 @@ void Client::commit(CommitCb cb) {
     return;
   }
 
-  auto req = std::make_shared<ClientCommitReq>();
+  auto req = rt_.net.msg_pool().make<ClientCommitReq>();
   req->tx = current_tx_;
   req->hwt = hwt_;  // Alg. 1 line 27
   req->writes = ws_;
@@ -183,16 +185,18 @@ void Client::on_message(NodeId /*from*/, const Message& m) {
         if (pending_mode_ == ReadMode::kCounter) {
           // Fold in this client's own deltas the stable snapshot cannot
           // contain yet: committed-but-unstable (counter cache, all with
-          // ct > snapshot) and uncommitted (write set).
+          // ct > snapshot) and uncommitted (write set). Everything merges
+          // as binary int64s; the decimal string is materialized once at
+          // the API surface (items expose both .num and .v).
           Item merged = item;
-          std::int64_t sum = merged.v.empty() ? 0 : std::strtoll(merged.v.c_str(), nullptr, 10);
+          std::int64_t sum = merged.num;
           if (opt_.use_write_cache) {
             if (const auto cc = counter_cache_.find(item.k); cc != counter_cache_.end())
               for (const auto& [ct, d] : cc->second) sum += d;
           }
           for (const auto& w : ws_)
-            if (w.k == item.k && w.write_kind() == WriteKind::kCounterAdd)
-              sum += std::strtoll(w.v.c_str(), nullptr, 10);
+            if (w.k == item.k && w.write_kind() == WriteKind::kCounterAdd) sum += w.delta();
+          merged.num = sum;
           merged.v = std::to_string(sum);
           pending_found_.emplace(item.k, std::move(merged));
         } else {
@@ -212,8 +216,7 @@ void Client::on_message(NodeId /*from*/, const Message& m) {
         // of overwriting — each unstable increment must keep contributing.
         for (auto& w : ws_) {
           if (w.write_kind() == WriteKind::kCounterAdd) {
-            counter_cache_[w.k].emplace_back(r.ct,
-                                             std::strtoll(w.v.c_str(), nullptr, 10));
+            counter_cache_[w.k].emplace_back(r.ct, w.delta());
             continue;
           }
           Item item;

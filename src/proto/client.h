@@ -109,6 +109,7 @@ class Client : public sim::Actor {
   ReadCb read_cb_;
   CommitCb commit_cb_;
   std::vector<Key> pending_keys_;                    ///< full request order
+  std::vector<Key> remote_scratch_;                  ///< keys not served locally
   std::unordered_map<Key, wire::Item> pending_found_;  ///< local + server hits
   wire::ReadMode pending_mode_ = wire::ReadMode::kRegister;
 

@@ -124,7 +124,7 @@ void ParisServer::gst_tick() {
   }
 
   if (!tree_.is_root(local_idx_)) {
-    auto up = std::make_shared<GossipUp>();
+    auto up = make_msg<GossipUp>();
     up->min_vv = sub_min;
     up->oldest_active = sub_oldest;
     send(parent_node_, std::move(up));
@@ -135,13 +135,14 @@ void ParisServer::gst_tick() {
   // Root: this is the DC's GST; exchange with the other DC roots.
   gsv_[dc_] = std::max(gsv_[dc_], sub_min);
   oldest_by_dc_[dc_] = sub_oldest;
-  auto root_msg = std::make_shared<GossipRoot>();
+  auto root_msg = make_msg<GossipRoot>();
   root_msg->dc = dc_;
   root_msg->gst = gsv_[dc_];
   root_msg->oldest_active = oldest_by_dc_[dc_];
+  const wire::MessagePtr root_shared = std::move(root_msg);
   for (DcId d = 0; d < rt_.topo.num_dcs(); ++d) {
     if (d == dc_ || dc_roots_[d] == kInvalidNode) continue;
-    send(dc_roots_[d], root_msg);
+    send(dc_roots_[d], root_shared);
     ++stats_.gossip_msgs_sent;
   }
 }
@@ -179,11 +180,12 @@ void ParisServer::ust_tick() {
   // GC below both every DC's oldest active snapshot and the UST itself.
   gc_watermark_ = std::max(gc_watermark_, std::min(oldest, ust_));
 
-  auto down = std::make_shared<UstDown>();
+  auto down = make_msg<UstDown>();
   down->ust = ust_;
   down->gc_watermark = gc_watermark_;
+  const wire::MessagePtr down_shared = std::move(down);
   for (NodeId child : child_nodes_) {
-    send(child, down);
+    send(child, down_shared);
     ++stats_.gossip_msgs_sent;
   }
 }
@@ -192,11 +194,12 @@ void ParisServer::handle_ust_down(NodeId /*from*/, const UstDown& m) {
   resolve_tree_nodes();
   set_ust(std::max(ust_, m.ust));
   gc_watermark_ = std::max(gc_watermark_, m.gc_watermark);
-  auto down = std::make_shared<UstDown>();
+  auto down = make_msg<UstDown>();
   down->ust = ust_;
   down->gc_watermark = gc_watermark_;
+  const wire::MessagePtr down_shared = std::move(down);
   for (NodeId child : child_nodes_) {
-    send(child, down);
+    send(child, down_shared);
     ++stats_.gossip_msgs_sent;
   }
 }

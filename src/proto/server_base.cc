@@ -145,7 +145,7 @@ void ServerBase::handle_start(NodeId from, const ClientStartReq& m) {
   tx_.emplace(tx, TxCtx{snapshot, from, {}, {}, false, rt_.sim.now()});
   active_snapshots_.insert(snapshot);
 
-  auto resp = std::make_shared<ClientStartResp>();
+  auto resp = make_msg<ClientStartResp>();
   resp->tx = tx;
   resp->snapshot = snapshot;
   send(from, std::move(resp));
@@ -164,20 +164,35 @@ void ServerBase::handle_client_read(NodeId from, const ClientReadReq& m) {
   (void)from;
 
   // Group keys by serving node (local replica if present, else the DC's
-  // preferred remote replica; Alg. 2 lines 9-12).
-  std::unordered_map<NodeId, std::vector<Key>> by_node;
-  for (Key k : m.keys) by_node[route_to_partition(rt_.topo.partition_of(k))].push_back(k);
+  // preferred remote replica; Alg. 2 lines 9-12) in the reusable scratch.
+  fan_nodes_.clear();
+  for (Key k : m.keys)
+    fan_keys_[fan_group(route_to_partition(rt_.topo.partition_of(k)))].push_back(k);
 
-  ctx.read.outstanding = static_cast<std::uint32_t>(by_node.size());
+  ctx.read.outstanding = static_cast<std::uint32_t>(fan_nodes_.size());
   ctx.read.items.clear();
-  for (auto& [node, keys] : by_node) {
-    auto req = std::make_shared<ReadSliceReq>();
+  for (std::size_t i = 0; i < fan_nodes_.size(); ++i) {
+    auto req = make_msg<ReadSliceReq>();
     req->tx = m.tx;
     req->snapshot = ctx.snapshot;
     req->mode = m.mode;
-    req->keys = std::move(keys);
-    send(node, std::move(req));
+    req->keys.assign(fan_keys_[i].begin(), fan_keys_[i].end());
+    send(fan_nodes_[i], std::move(req));
   }
+}
+
+/// Index of `node` in the current fan-out, adding (and clearing) its group
+/// lazily. Linear scan: a transaction touches a handful of partitions.
+std::size_t ServerBase::fan_group(NodeId node) {
+  for (std::size_t i = 0; i < fan_nodes_.size(); ++i)
+    if (fan_nodes_[i] == node) return i;
+  fan_nodes_.push_back(node);
+  const std::size_t gi = fan_nodes_.size() - 1;
+  if (fan_keys_.size() <= gi) fan_keys_.emplace_back();
+  if (fan_writes_.size() <= gi) fan_writes_.emplace_back();
+  fan_keys_[gi].clear();
+  fan_writes_[gi].clear();
+  return gi;
 }
 
 void ServerBase::handle_slice_resp(NodeId /*from*/, const ReadSliceResp& m) {
@@ -188,9 +203,11 @@ void ServerBase::handle_slice_resp(NodeId /*from*/, const ReadSliceResp& m) {
   ctx.read.items.insert(ctx.read.items.end(), m.items.begin(), m.items.end());
   if (--ctx.read.outstanding > 0) return;
 
-  auto resp = std::make_shared<ClientReadResp>();
+  auto resp = make_msg<ClientReadResp>();
   resp->tx = m.tx;
-  resp->items = std::move(ctx.read.items);
+  // Copy, don't move: a move-assign would free the pooled vector's warmed
+  // buffer and defeat the pool's capacity reuse.
+  resp->items.assign(ctx.read.items.begin(), ctx.read.items.end());
   ctx.read.items.clear();
   send(ctx.client, std::move(resp));
 }
@@ -207,22 +224,22 @@ void ServerBase::handle_client_commit(NodeId from, const ClientCommitReq& m) {
 
   const Timestamp ht = std::max(ctx.snapshot, m.hwt);  // Alg. 2 line 19
 
-  std::unordered_map<NodeId, std::vector<WriteKV>> by_node;
+  fan_nodes_.clear();
   for (const auto& w : m.writes)
-    by_node[route_to_partition(rt_.topo.partition_of(w.k))].push_back(w);
+    fan_writes_[fan_group(route_to_partition(rt_.topo.partition_of(w.k)))].push_back(w);
 
-  ctx.commit.outstanding = static_cast<std::uint32_t>(by_node.size());
+  ctx.commit.outstanding = static_cast<std::uint32_t>(fan_nodes_.size());
   ctx.commit.max_pt = kTsZero;
   ctx.commit.cohort_nodes.clear();
-  for (auto& [node, writes] : by_node) {
-    ctx.commit.cohort_nodes.push_back(node);
-    auto req = std::make_shared<PrepareReq>();
+  for (std::size_t i = 0; i < fan_nodes_.size(); ++i) {
+    ctx.commit.cohort_nodes.push_back(fan_nodes_[i]);
+    auto req = make_msg<PrepareReq>();
     req->tx = m.tx;
     req->partition = partition_;  // coordinator partition, informational
     req->snapshot = ctx.snapshot;
     req->ht = ht;
-    req->writes = std::move(writes);
-    send(node, std::move(req));
+    req->writes.assign(fan_writes_[i].begin(), fan_writes_[i].end());
+    send(fan_nodes_[i], std::move(req));
   }
 }
 
@@ -237,14 +254,14 @@ void ServerBase::handle_prepare_resp(NodeId /*from*/, const PrepareResp& m) {
   // Alg. 2 lines 26-29: ct = max proposed; fan out, reply to client, clear.
   const Timestamp ct = ctx.commit.max_pt;
   for (NodeId cohort : ctx.commit.cohort_nodes) {
-    auto cm = std::make_shared<Commit2pc>();
+    auto cm = make_msg<Commit2pc>();
     cm->tx = m.tx;
     cm->ct = ct;
     send(cohort, std::move(cm));
   }
   if (rt_.tracer) rt_.tracer->on_commit_decided(m.tx, ct, dc_, rt_.sim.now());
 
-  auto resp = std::make_shared<ClientCommitResp>();
+  auto resp = make_msg<ClientCommitResp>();
   resp->tx = m.tx;
   resp->ct = ct;
   send(ctx.client, std::move(resp));
@@ -260,9 +277,7 @@ void ServerBase::handle_tx_end(NodeId /*from*/, const TxEnd& m) {
 void ServerBase::finish_tx(TxId tx) {
   auto it = tx_.find(tx);
   if (it == tx_.end()) return;
-  auto snap_it = active_snapshots_.find(it->second.snapshot);
-  PARIS_DCHECK(snap_it != active_snapshots_.end());
-  active_snapshots_.erase(snap_it);
+  active_snapshots_.erase(it->second.snapshot);
   tx_.erase(it);
 }
 
@@ -273,9 +288,7 @@ void ServerBase::reap_stale_contexts() {
     // Never reap a transaction whose 2PC is in flight — cohorts hold
     // prepared state keyed to it.
     if (!it->second.committing && it->second.created + timeout <= now) {
-      auto snap_it = active_snapshots_.find(it->second.snapshot);
-      PARIS_DCHECK(snap_it != active_snapshots_.end());
-      active_snapshots_.erase(snap_it);
+      active_snapshots_.erase(it->second.snapshot);
       it = tx_.erase(it);
     } else {
       ++it;
@@ -284,7 +297,7 @@ void ServerBase::reap_stale_contexts() {
 }
 
 Timestamp ServerBase::oldest_active_snapshot(Timestamp fallback) const {
-  return active_snapshots_.empty() ? fallback : *active_snapshots_.begin();
+  return active_snapshots_.empty() ? fallback : active_snapshots_.min();
 }
 
 // ---------------------------------------------------------------------------
@@ -293,17 +306,19 @@ Timestamp ServerBase::oldest_active_snapshot(Timestamp fallback) const {
 
 void ServerBase::serve_slice(NodeId from, const ReadSliceReq& req) {
   const auto mode = static_cast<ReadMode>(req.mode);
-  auto resp = std::make_shared<ReadSliceResp>();
+  auto resp = make_msg<ReadSliceResp>();
   resp->tx = req.tx;
   resp->items.reserve(req.keys.size());
   for (Key k : req.keys) {
     Item item;
     item.k = k;
     if (mode == ReadMode::kCounter) {
-      // Convergent counter (§II-B): merge visible deltas by summation.
+      // Convergent counter (§II-B): merge visible deltas by summation. The
+      // sum travels as a binary int64 (item.num); the client materializes
+      // the string form at the API surface.
       const auto [sum, newest] = store_.read_counter(k, req.snapshot);
       if (newest != nullptr) {
-        item.v = std::to_string(sum);
+        item.num = sum;
         item.ut = newest->ut;
         item.tx = newest->tx;
         item.sr = newest->sr;
@@ -311,7 +326,7 @@ void ServerBase::serve_slice(NodeId from, const ReadSliceReq& req) {
     } else {
       const store::Version* ver = store_.read(k, req.snapshot);
       if (ver != nullptr) {
-        item.v = ver->v;
+        item.v = ver->v;  // register payload; .num stays 0 (counter-only field)
         item.ut = ver->ut;
         item.tx = ver->tx;
         item.sr = ver->sr;
@@ -334,7 +349,7 @@ void ServerBase::handle_prepare(NodeId from, const PrepareReq& m) {
   prepared_pts_.insert(pt);
   stats_.cohort_prepares++;
 
-  auto resp = std::make_shared<PrepareResp>();
+  auto resp = make_msg<PrepareResp>();
   resp->tx = m.tx;
   resp->partition = partition_;
   resp->pt = pt;
@@ -345,9 +360,7 @@ void ServerBase::handle_commit2pc(NodeId /*from*/, const Commit2pc& m) {
   hlc_.observe(clock_us(), m.ct);  // Alg. 3 line 16
   auto it = prepared_.find(m.tx);
   PARIS_CHECK_MSG(it != prepared_.end(), "commit for unknown prepared transaction");
-  auto pt_it = prepared_pts_.find(it->second.pt);
-  PARIS_DCHECK(pt_it != prepared_pts_.end());
-  prepared_pts_.erase(pt_it);
+  prepared_pts_.erase(it->second.pt);
   PARIS_DCHECK(m.ct >= it->second.pt);
   committed_.emplace(std::make_pair(m.ct, m.tx), std::move(it->second.writes));
   prepared_.erase(it);
@@ -368,7 +381,7 @@ void ServerBase::apply_tick() {
   // empty (Alg. 4 lines 6-7).
   Timestamp ub;
   if (!prepared_pts_.empty()) {
-    ub = Timestamp{prepared_pts_.begin()->raw - 1};
+    ub = Timestamp{prepared_pts_.min().raw - 1};
   } else {
     ub = std::max(Timestamp::from_physical(clock_us()), hlc_.value());
     // Fold ub into the HLC: the version clock promises every future commit
@@ -386,7 +399,7 @@ void ServerBase::apply_tick() {
     if (groups.empty() || groups.back().ct != ct) groups.push_back(ReplicateGroup{ct, {}});
     const TxId tx = it->first.second;
     for (const auto& w : it->second) {
-      store_.apply(w.k, w.v, ct, tx, dc_, w.kind);
+      store_.apply(w.k, w.v, w.kind != 0 ? w.delta() : 0, ct, tx, dc_, w.kind);
       ++stats_.applied_writes;
       apply_cost += rt_.cost.apply_per_write_us;
     }
@@ -399,13 +412,14 @@ void ServerBase::apply_tick() {
 
   bool shipped = false;
   if (!groups.empty()) {
-    auto batch = std::make_shared<ReplicateBatch>();
+    auto batch = make_msg<ReplicateBatch>();
     batch->partition = partition_;
     batch->upto = ub;
     batch->groups = std::move(groups);
+    const wire::MessagePtr batch_msg = std::move(batch);  // shared across peers
     for (DcId peer : rt_.topo.replicas(partition_)) {
       if (peer == dc_) continue;
-      send(rt_.dir.server(peer, partition_), batch);
+      send(rt_.dir.server(peer, partition_), batch_msg);
       ++stats_.replicate_batches_sent;
       shipped = true;
     }
@@ -422,7 +436,7 @@ void ServerBase::apply_tick() {
     // updates.
     for (DcId peer : rt_.topo.replicas(partition_)) {
       if (peer == dc_) continue;
-      auto hb = std::make_shared<Heartbeat>();
+      auto hb = make_msg<Heartbeat>();
       hb->partition = partition_;
       hb->t = ub;
       send(rt_.dir.server(peer, partition_), std::move(hb));
@@ -437,7 +451,7 @@ void ServerBase::handle_replicate(NodeId from, const ReplicateBatch& m) {
   for (const auto& g : m.groups) {
     for (const auto& t : g.txs) {
       for (const auto& w : t.writes) {
-        store_.apply(w.k, w.v, g.ct, t.tx, sender_dc, w.kind);
+        store_.apply(w.k, w.v, w.kind != 0 ? w.delta() : 0, g.ct, t.tx, sender_dc, w.kind);
         ++stats_.applied_writes;
       }
       if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, t.tx, g.ct, rt_.sim.now());

@@ -15,10 +15,10 @@
 //    vector advances in the absence of updates.
 
 #include <map>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "common/min_tracker.h"
 #include "common/phys_clock.h"
 #include "proto/runtime.h"
 #include "sim/actor.h"
@@ -116,6 +116,11 @@ class ServerBase : public sim::Actor {
 
   std::uint64_t clock_us() const { return clock_.read_us(rt_.sim.now()); }
   void send(NodeId to, wire::MessagePtr m) { rt_.net.send(self_, to, std::move(m)); }
+  /// Acquires a pooled outgoing message (returned to the pool on release).
+  template <class T>
+  wire::PooledPtr<T> make_msg() {
+    return rt_.net.msg_pool().make<T>();
+  }
   /// Node serving partition p for requests originating in this server's DC.
   NodeId route_to_partition(PartitionId p) const;
 
@@ -171,8 +176,18 @@ class ServerBase : public sim::Actor {
   void reap_stale_contexts();
 
   std::unordered_map<TxId, TxCtx> tx_;
-  std::multiset<Timestamp> active_snapshots_;
+  MinTracker<Timestamp> active_snapshots_;  ///< min = oldest active snapshot
   std::uint32_t next_tx_seq_ = 1;
+
+  // Reusable fan-out scratch for handle_client_read / handle_client_commit:
+  // by-node grouping without a per-call map. fan_nodes_ holds the distinct
+  // serving nodes of the current request (first-appearance order, which is
+  // deterministic in the request's key order); fan_keys_/fan_writes_ are
+  // parallel groups whose capacity persists across calls.
+  std::vector<NodeId> fan_nodes_;
+  std::vector<std::vector<Key>> fan_keys_;
+  std::vector<std::vector<wire::WriteKV>> fan_writes_;
+  std::size_t fan_group(NodeId node);
 
   // --- cohort state (Alg. 3 / Alg. 4) ---
   struct PrepEntry {
@@ -180,7 +195,7 @@ class ServerBase : public sim::Actor {
     std::vector<wire::WriteKV> writes;
   };
   std::unordered_map<TxId, PrepEntry> prepared_;
-  std::multiset<Timestamp> prepared_pts_;
+  MinTracker<Timestamp> prepared_pts_;  ///< min = apply upper-bound fence
   std::map<std::pair<Timestamp, TxId>, std::vector<wire::WriteKV>> committed_;
 
   sim::Simulation::PeriodicHandle apply_timer_;

@@ -1,27 +1,98 @@
 #include "sim/event_queue.h"
 
-#include "common/assert.h"
-
 namespace paris::sim {
 
-void EventQueue::push(SimTime at, Fn fn) {
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+EventQueue::~EventQueue() {
+  // Destroy callables of still-pending events (cancelled slots already did).
+  for (const Entry& e : heap_) {
+    Slot& s = slot_at(e.slot);
+    if (!s.cancelled) s.task.destroy();
+  }
 }
 
-SimTime EventQueue::next_time() const {
-  PARIS_DCHECK(!heap_.empty());
-  return heap_.top().at;
+bool EventQueue::cancel(EventId id) {
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slab_slots()) return false;
+  Slot& s = slot_at(idx);
+  // A stale generation means the event already ran (or was cancelled and its
+  // slot recycled); release_slot bumps gen, so ids never alias.
+  if (s.gen != gen || s.cancelled || !s.task.armed()) return false;
+  s.task.destroy();  // free captured resources eagerly
+  s.cancelled = true;
+  --live_;
+  return true;
 }
 
-EventQueue::Fn EventQueue::pop(SimTime* at) {
-  PARIS_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the move is safe because we pop
-  // immediately after and never touch the moved-from closure.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  *at = top.at;
-  Fn fn = std::move(top.fn);
-  heap_.pop();
-  return fn;
+SimTime EventQueue::next_time() {
+  PARIS_DCHECK(live_ > 0);
+  while (true) {
+    const Entry& top = heap_.front();
+    Slot& s = slot_at(top.slot);
+    if (!s.cancelled) return top.at;
+    const std::uint32_t idx = top.slot;
+    pop_top();
+    release_slot(idx);
+  }
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ == kNpos) {
+    const std::size_t base = slab_slots();
+    PARIS_CHECK_MSG(base + kBlockSlots <= kNpos, "event slab exhausted");
+    blocks_.push_back(std::make_unique<Slot[]>(kBlockSlots));
+    // Thread the fresh block onto the free list, last slot first so that
+    // allocation order within the block is ascending (cache-friendly).
+    for (std::size_t i = kBlockSlots; i-- > 0;) {
+      Slot& s = blocks_.back()[i];
+      s.next_free = free_head_;
+      free_head_ = static_cast<std::uint32_t>(base + i);
+    }
+  }
+  const std::uint32_t idx = free_head_;
+  Slot& s = slot_at(idx);
+  free_head_ = s.next_free;
+  s.next_free = kNpos;
+  return idx;
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slot_at(idx);
+  ++s.gen;  // invalidates outstanding EventIds for this slot
+  s.cancelled = false;
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace paris::sim

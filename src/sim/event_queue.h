@@ -1,42 +1,194 @@
 #pragma once
 // Min-heap of timestamped events. Ties are broken by insertion sequence so
 // that execution order is fully deterministic.
+//
+// Allocation-free steady state: event callables live in fixed-size slots of
+// a slab (recycled through a free list), and the heap orders small POD
+// entries (time, seq, slot) — no std::function, no per-event heap traffic.
+// push() returns an EventId that cancel() invalidates in O(1) (lazy
+// deletion: the heap entry is discarded when it surfaces), which is what
+// lets periodic timers reschedule without churning closures.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/assert.h"
 
 namespace paris::sim {
 
 /// Simulated time in microseconds since simulation start.
 using SimTime = std::uint64_t;
 
-class EventQueue {
+/// Type-erased callable with inline storage. Tasks are constructed in place
+/// inside a slab slot and relocated exactly once (onto the stack) when they
+/// run. Callables larger than the inline buffer fall back to a heap box —
+/// none of the simulator's hot-path closures do.
+class InlineTask {
  public:
-  using Fn = std::function<void()>;
+  static constexpr std::size_t kInlineBytes = 48;
 
-  void push(SimTime at, Fn fn);
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    void (*relocate)(void* dst, void* src);  ///< move-construct dst, destroy src
+  };
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
-  SimTime next_time() const;
+  InlineTask() = default;
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
 
-  /// Pops and returns the earliest event. Queue must not be empty.
-  Fn pop(SimTime* at);
+  template <class F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    PARIS_DCHECK(ops_ == nullptr);
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  bool armed() const { return ops_ != nullptr; }
+
+  /// Destroys the stored callable without running it.
+  void destroy() {
+    ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+
+  /// Moves the callable into `local` (kInlineBytes, max-aligned) and disarms
+  /// this task. The returned ops invoke/destroy the relocated copy.
+  const Ops* relocate_out(void* local) {
+    const Ops* ops = ops_;
+    ops->relocate(local, buf_);
+    ops_ = nullptr;
+    return ops;
+  }
 
  private:
+  template <class D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+  };
+  template <class D>
+  static constexpr Ops kBoxedOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* p) { delete *static_cast<D**>(p); },
+      [](void* dst, void* src) { std::memcpy(dst, src, sizeof(D*)); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+class EventQueue {
+ public:
+  /// Stable handle of a pending event: (slot generation << 32) | slot index.
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEventId = ~0ull;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
+
+  template <class F>
+  EventId push(SimTime at, F&& fn) {
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot_at(idx);
+    s.task.emplace(std::forward<F>(fn));
+    s.cancelled = false;
+    heap_.push_back(Entry{at, next_seq_++, idx});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    return (static_cast<EventId>(s.gen) << 32) | idx;
+  }
+
+  /// Cancels a pending event in O(1) (lazy deletion; the callable is
+  /// destroyed immediately). Returns true iff the event was still pending.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Earliest live event time; prunes cancelled entries off the top.
+  /// Queue must not be empty.
+  SimTime next_time();
+
+  /// Pops the earliest live event and runs it: calls pre(at) after the event
+  /// is removed but before its callable executes (so the caller can advance
+  /// its clock), then invokes the callable. The callable may freely push and
+  /// cancel events. Returns false if no live event remained.
+  template <class Pre>
+  bool run_next(Pre&& pre) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      pop_top();
+      Slot& s = slot_at(top.slot);
+      if (s.cancelled) {
+        release_slot(top.slot);
+        continue;
+      }
+      alignas(std::max_align_t) unsigned char local[InlineTask::kInlineBytes];
+      const InlineTask::Ops* ops = s.task.relocate_out(local);
+      release_slot(top.slot);
+      --live_;
+      pre(top.at);
+      ops->invoke(local);
+      ops->destroy(local);
+      return true;
+    }
+    return false;
+  }
+
+  /// Total slab capacity in slots (diagnostics: steady state must not grow).
+  std::size_t slab_slots() const { return blocks_.size() * kBlockSlots; }
+
+ private:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  static constexpr std::size_t kBlockSlots = 256;
+
+  struct Slot {
+    InlineTask task;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+    std::uint32_t next_free = kNpos;
+  };
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    Fn fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static bool earlier(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  Slot& slot_at(std::uint32_t idx) { return blocks_[idx / kBlockSlots][idx % kBlockSlots]; }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void pop_top();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<std::unique_ptr<Slot[]>> blocks_;  ///< stable slot storage
+  std::uint32_t free_head_ = kNpos;              ///< slot free list
+  std::vector<Entry> heap_;                      ///< (time, seq) binary min-heap
+  std::size_t live_ = 0;                         ///< non-cancelled pending events
   std::uint64_t next_seq_ = 0;
 };
 

@@ -9,7 +9,7 @@ namespace paris::sim {
 NodeId Network::add_node(Actor* actor, DcId dc, ServiceFn service) {
   PARIS_CHECK(actor != nullptr);
   PARIS_CHECK_MSG(dc < latency_.num_dcs(), "node DC outside latency model");
-  nodes_.push_back(Node{actor, dc, std::move(service), 0, {}});
+  nodes_.push_back(Node{actor, dc, std::move(service), 0, false, {}});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 

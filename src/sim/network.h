@@ -75,6 +75,11 @@ class Network {
   void heal_all();
   bool dcs_partitioned(DcId a, DcId b) const;
 
+  /// Message pool for the protocol send paths: servers and clients acquire
+  /// outgoing messages here so a warmed-up deployment sends without
+  /// allocating (see wire::MessagePool).
+  wire::MessagePool& msg_pool() { return pool_; }
+
   // --- introspection ---
   DcId dc_of(NodeId n) const { return nodes_[n].dc; }
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -114,6 +119,7 @@ class Network {
   Simulation& sim_;
   LatencyModel latency_;
   CodecMode mode_;
+  wire::MessagePool pool_;
   std::vector<Node> nodes_;
   std::unordered_map<std::uint64_t, SimTime> last_arrival_;   // channel FIFO clamp
   std::unordered_set<std::uint64_t> colocated_;               // node-pair keys

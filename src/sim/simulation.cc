@@ -1,29 +1,70 @@
 #include "sim/simulation.h"
 
-#include "common/assert.h"
-
 namespace paris::sim {
-
-void Simulation::at(SimTime t, EventQueue::Fn fn) {
-  PARIS_DCHECK(t >= now_);
-  queue_.push(t < now_ ? now_ : t, std::move(fn));
-}
 
 Simulation::PeriodicHandle Simulation::every(SimTime period, SimTime phase,
                                              std::function<void()> fn) {
   PARIS_CHECK(period > 0);
+  const std::uint32_t idx = acquire_timer();
+  Timer& t = timers_[idx];
+  t.fn = std::move(fn);
+  t.period = period;
+  t.alive = true;
+  t.pending = queue_.push(now_ + phase, TimerThunk{this, idx, t.gen});
+
   PeriodicHandle h;
-  h.alive_ = std::make_shared<bool>(true);
-  auto alive = h.alive_;
-  // Self-rescheduling closure; stops when the handle dies.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), alive, tick]() {
-    if (!*alive) return;
-    fn();
-    if (*alive) after(period, *tick);
-  };
-  after(phase, *tick);
+  h.sim_ = this;
+  h.idx_ = idx;
+  h.gen_ = t.gen;
   return h;
+}
+
+void Simulation::timer_fire(std::uint32_t idx, std::uint32_t gen) {
+  Timer& t = timers_[idx];  // deque: address stable even if fn() adds timers
+  if (t.gen != gen) return;  // slot already recycled for a newer timer
+  if (!t.alive) {            // cancelled while this fire was in flight
+    release_timer(idx);
+    return;
+  }
+  t.fn();
+  // fn() may have cancelled this timer (the slot is only recycled here, so
+  // gen cannot have moved): re-check before rescheduling.
+  if (!t.alive) {
+    release_timer(idx);
+    return;
+  }
+  t.pending = queue_.push(now_ + t.period, TimerThunk{this, idx, gen});
+}
+
+void Simulation::cancel_timer(std::uint32_t idx, std::uint32_t gen) {
+  if (idx >= timers_.size()) return;
+  Timer& t = timers_[idx];
+  if (t.gen != gen || !t.alive) return;
+  t.alive = false;
+  // If the next fire is still pending, kill it and recycle now; otherwise
+  // the timer is firing this very moment and timer_fire recycles it.
+  if (queue_.cancel(t.pending)) release_timer(idx);
+}
+
+std::uint32_t Simulation::acquire_timer() {
+  if (free_timer_ == kNoTimer) {
+    timers_.emplace_back();
+    return static_cast<std::uint32_t>(timers_.size() - 1);
+  }
+  const std::uint32_t idx = free_timer_;
+  free_timer_ = timers_[idx].next_free;
+  timers_[idx].next_free = kNoTimer;
+  return idx;
+}
+
+void Simulation::release_timer(std::uint32_t idx) {
+  Timer& t = timers_[idx];
+  ++t.gen;  // invalidates outstanding handles and in-flight thunks
+  t.alive = false;
+  t.fn = nullptr;
+  t.pending = EventQueue::kInvalidEventId;
+  t.next_free = free_timer_;
+  free_timer_ = idx;
 }
 
 void Simulation::run_until(SimTime t) {
@@ -37,14 +78,11 @@ void Simulation::run_all() {
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  SimTime at;
-  auto fn = queue_.pop(&at);
-  PARIS_DCHECK(at >= now_);
-  now_ = at;
-  ++events_executed_;
-  fn();
-  return true;
+  return queue_.run_next([this](SimTime at) {
+    PARIS_DCHECK(at >= now_);
+    now_ = at;
+    ++events_executed_;
+  });
 }
 
 }  // namespace paris::sim

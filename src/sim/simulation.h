@@ -5,11 +5,17 @@
 // protocol code observes only message deliveries and timer fires, both of
 // which are totally ordered by (time, insertion seq), so a run is a pure
 // function of its configuration and seed.
+//
+// Steady-state scheduling is allocation-free: one-shot events go through the
+// EventQueue slab, and periodic timers live in a recycled timer table — each
+// tick reschedules a 16-byte thunk instead of copying the user closure.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
+#include <utility>
 
+#include "common/assert.h"
 #include "common/rng.h"
 #include "sim/event_queue.h"
 
@@ -18,14 +24,23 @@ namespace paris::sim {
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
 
   /// Schedules fn at absolute time `at` (>= now).
-  void at(SimTime t, EventQueue::Fn fn);
+  template <class F>
+  void at(SimTime t, F&& fn) {
+    PARIS_DCHECK(t >= now_);
+    queue_.push(t < now_ ? now_ : t, std::forward<F>(fn));
+  }
   /// Schedules fn `delay` microseconds from now.
-  void after(SimTime delay, EventQueue::Fn fn) { at(now_ + delay, std::move(fn)); }
+  template <class F>
+  void after(SimTime delay, F&& fn) {
+    at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules fn every `period` µs starting at now + phase. The returned
   /// handle cancels the timer when destroyed or reset.
@@ -33,19 +48,31 @@ class Simulation {
    public:
     PeriodicHandle() = default;
     void cancel() {
-      if (alive_) *alive_ = false;
+      if (sim_ != nullptr) {
+        sim_->cancel_timer(idx_, gen_);
+        sim_ = nullptr;
+      }
     }
     ~PeriodicHandle() { cancel(); }
-    PeriodicHandle(PeriodicHandle&&) = default;
-    PeriodicHandle& operator=(PeriodicHandle&& o) {
-      cancel();
-      alive_ = std::move(o.alive_);
+    PeriodicHandle(PeriodicHandle&& o) noexcept : sim_(o.sim_), idx_(o.idx_), gen_(o.gen_) {
+      o.sim_ = nullptr;
+    }
+    PeriodicHandle& operator=(PeriodicHandle&& o) noexcept {
+      if (this != &o) {
+        cancel();
+        sim_ = o.sim_;
+        idx_ = o.idx_;
+        gen_ = o.gen_;
+        o.sim_ = nullptr;
+      }
       return *this;
     }
 
    private:
     friend class Simulation;
-    std::shared_ptr<bool> alive_;
+    Simulation* sim_ = nullptr;
+    std::uint32_t idx_ = 0;
+    std::uint32_t gen_ = 0;
   };
   PeriodicHandle every(SimTime period, SimTime phase, std::function<void()> fn);
 
@@ -59,10 +86,39 @@ class Simulation {
   std::uint64_t events_executed() const { return events_executed_; }
 
  private:
+  static constexpr std::uint32_t kNoTimer = 0xffffffffu;
+
+  struct Timer {
+    std::function<void()> fn;
+    SimTime period = 0;
+    EventQueue::EventId pending = EventQueue::kInvalidEventId;
+    std::uint32_t gen = 0;
+    bool alive = false;
+    std::uint32_t next_free = kNoTimer;
+  };
+
+  /// 16-byte rescheduling thunk; the closure itself stays in timers_.
+  struct TimerThunk {
+    Simulation* sim;
+    std::uint32_t idx;
+    std::uint32_t gen;
+    void operator()() const { sim->timer_fire(idx, gen); }
+  };
+
+  void timer_fire(std::uint32_t idx, std::uint32_t gen);
+  void cancel_timer(std::uint32_t idx, std::uint32_t gen);
+  std::uint32_t acquire_timer();
+  void release_timer(std::uint32_t idx);
+
   EventQueue queue_;
   SimTime now_ = 0;
   Rng rng_;
   std::uint64_t events_executed_ = 0;
+  // deque, not vector: timer_fire invokes t.fn() in place, and the callback
+  // may create timers — element addresses must survive growth. Slots are
+  // never erased (recycled via the free list), so references stay valid.
+  std::deque<Timer> timers_;
+  std::uint32_t free_timer_ = kNoTimer;
 };
 
 }  // namespace paris::sim

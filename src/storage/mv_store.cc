@@ -2,14 +2,25 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "common/assert.h"
 
 namespace paris::store {
 
-void MvStore::apply(Key k, Value v, Timestamp ut, TxId tx, DcId sr, std::uint8_t kind) {
+namespace {
+std::int64_t parse_i64(const Value& v) {
+  if (v.empty()) return 0;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+}  // namespace
+
+void MvStore::apply(Key k, const Value& v, std::int64_t delta, Timestamp ut, TxId tx,
+                    DcId sr, std::uint8_t kind) {
   auto& chain = chains_[k];
-  Version ver{std::move(v), ut, tx, sr, kind};
+  // Counter deltas are born with their binary payload; a register's numeric
+  // interpretation is parsed lazily on first counter-base use.
+  Version ver{v, delta, ut, tx, sr, kind, /*num_cached=*/kind != 0};
   // The common case is in-order append (apply runs in increasing ct order;
   // replication is FIFO), so probe from the back.
   auto pos = chain.end();
@@ -25,6 +36,11 @@ void MvStore::apply(Key k, Value v, Timestamp ut, TxId tx, DcId sr, std::uint8_t
   if (chain.size() > 1) multi_version_keys_.insert(k);
 }
 
+void MvStore::apply(Key k, const Value& v, Timestamp ut, TxId tx, DcId sr,
+                    std::uint8_t kind) {
+  apply(k, v, kind != 0 ? parse_i64(v) : 0, ut, tx, sr, kind);
+}
+
 const Version* MvStore::read(Key k, Timestamp snapshot) const {
   ++stats_.reads;
   const auto it = chains_.find(k);
@@ -35,13 +51,6 @@ const Version* MvStore::read(Key k, Timestamp snapshot) const {
     if (rit->ut <= snapshot) return &*rit;
   return nullptr;
 }
-
-namespace {
-std::int64_t parse_i64(const Value& v) {
-  if (v.empty()) return 0;
-  return std::strtoll(v.c_str(), nullptr, 10);
-}
-}  // namespace
 
 std::pair<std::int64_t, const Version*> MvStore::read_counter(Key k,
                                                               Timestamp snapshot) const {
@@ -56,7 +65,7 @@ std::pair<std::int64_t, const Version*> MvStore::read_counter(Key k,
   for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
     if (rit->ut > snapshot) continue;
     if (newest == nullptr) newest = &*rit;
-    sum += parse_i64(rit->v);
+    sum += rit->numeric();
     if (rit->kind == 0) break;  // register base: stop
   }
   return {sum, newest};
@@ -95,9 +104,13 @@ std::size_t MvStore::gc(Timestamp watermark) {
       if (has_delta) {
         std::int64_t sum = 0;
         for (std::size_t i = keep_from + 1; i-- > 0;) {
-          sum += parse_i64(chain[i].v);
+          sum += chain[i].numeric();
           if (chain[i].kind == 0) break;
         }
+        chain[keep_from].num = sum;
+        // Materialize the string form once per fold so register-mode reads
+        // of the synthetic base stay coherent (cold path, bounded by the GC
+        // cadence — never by the read rate).
         chain[keep_from].v = std::to_string(sum);
         chain[keep_from].kind = 0;  // now a register base
       }

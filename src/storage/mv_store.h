@@ -10,6 +10,7 @@
 // (§IV-B "Garbage collection").
 
 #include <cstdint>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -19,12 +20,30 @@
 
 namespace paris::store {
 
+/// One stored version. The payload is tagged by `kind`: register puts carry
+/// their bytes in `v`, counter deltas carry a binary int64 in `num` and
+/// leave `v` empty. A register's numeric interpretation (its value when it
+/// seeds a counter sum) is parsed lazily and cached in `num`, so neither
+/// the register apply path nor repeated counter reads pay for strtoll.
 struct Version {
-  Value v;
-  Timestamp ut;           ///< update (commit) timestamp
-  TxId tx;                ///< creating transaction
-  DcId sr = 0;            ///< source DC
-  std::uint8_t kind = 0;  ///< wire::WriteKind: register put or counter delta
+  Value v;                      ///< register payload (empty for counter deltas)
+  mutable std::int64_t num = 0; ///< binary payload / cached numeric value of v
+  Timestamp ut;                 ///< update (commit) timestamp
+  TxId tx;                      ///< creating transaction
+  DcId sr = 0;                  ///< source DC
+  std::uint8_t kind = 0;        ///< wire::WriteKind: register put or counter delta
+  mutable bool num_cached = false;
+
+  /// Numeric payload: the delta of a counter write, the (lazily parsed)
+  /// decimal value of a register. Single-threaded by design, like the rest
+  /// of the simulator — the cache is not synchronized.
+  std::int64_t numeric() const {
+    if (!num_cached) {
+      num = v.empty() ? 0 : std::strtoll(v.c_str(), nullptr, 10);
+      num_cached = true;
+    }
+    return num;
+  }
 
   /// Total version order: (ut, tx, sr), per §IV-B.
   friend bool operator<(const Version& a, const Version& b) {
@@ -46,7 +65,14 @@ class MvStore {
   /// version are rejected as duplicates and ignored; replication channels
   /// are FIFO so this only happens in tests). `kind` selects the
   /// convergence semantics of the write (register vs counter delta).
-  void apply(Key k, Value v, Timestamp ut, TxId tx, DcId sr, std::uint8_t kind = 0);
+  /// `delta` is the binary payload of a counter write; register writes
+  /// ignore it (their numeric cache is parsed from v once, here).
+  void apply(Key k, const Value& v, std::int64_t delta, Timestamp ut, TxId tx, DcId sr,
+             std::uint8_t kind);
+
+  /// String-payload convenience form: counter deltas are parsed from v
+  /// (legacy/test call sites; the protocol hot path passes binary deltas).
+  void apply(Key k, const Value& v, Timestamp ut, TxId tx, DcId sr, std::uint8_t kind = 0);
 
   /// Freshest version with ut <= snapshot, or nullptr if the key has no
   /// version inside the snapshot (callers surface a "key absent" item).
@@ -54,10 +80,11 @@ class MvStore {
 
   /// Counter semantics (§II-B extension): the sum of all visible delta
   /// versions since (and including) the last visible register write, whose
-  /// decimal value seeds the sum. Returns the sum and the newest
+  /// numeric value seeds the sum. Returns the sum and the newest
   /// contributing version (nullptr if nothing is visible). Summation is
   /// commutative and associative, so concurrent increments from different
-  /// DCs all survive — unlike LWW, which would keep only one.
+  /// DCs all survive — unlike LWW, which would keep only one. The walk is
+  /// purely over binary payloads; no string parsing.
   std::pair<std::int64_t, const Version*> read_counter(Key k, Timestamp snapshot) const;
 
   /// Latest version regardless of snapshot (diagnostics/convergence tests).

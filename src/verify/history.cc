@@ -44,6 +44,7 @@ struct WriteVersion {
   TxId tx;
   DcId sr;
   const Value* v;
+  std::int64_t num;  ///< binary counter delta (kind != 0)
   std::uint8_t kind;
 
   friend bool operator<(const WriteVersion& a, const WriteVersion& b) {
@@ -58,14 +59,17 @@ std::int64_t parse_i64(const Value& v) {
 }
 
 /// Expected counter value at `snapshot`: fold the sorted versions from the
-/// last register base (its decimal value seeds the sum) through the
+/// last register base (its numeric value seeds the sum) through the
 /// snapshot — mirrors MvStore::read_counter over the committed history.
 std::int64_t expected_counter(const std::vector<WriteVersion>& versions, Timestamp snapshot) {
   std::int64_t sum = 0;
   for (const auto& v : versions) {
     if (v.ct > snapshot) break;
-    if (v.kind == 0) sum = 0;  // register base resets
-    sum += parse_i64(*v.v);
+    if (v.kind == 0) {
+      sum = parse_i64(*v.v);  // register base resets
+    } else {
+      sum += v.num;
+    }
   }
   return sum;
 }
@@ -87,7 +91,8 @@ std::vector<std::string> HistoryRecorder::check() const {
   for (const auto& [tx, rec] : txs_) {
     if (rec.ct.is_zero()) continue;  // never decided (in flight at end of run)
     for (const auto& w : rec.writes) {
-      by_key[w.k].push_back(WriteVersion{rec.ct, tx, rec.origin, &w.v, w.kind});
+      by_key[w.k].push_back(
+          WriteVersion{rec.ct, tx, rec.origin, &w.v, w.kind != 0 ? w.delta() : 0, w.kind});
       if (w.kind != 0) has_delta[w.k] = true;
     }
   }
@@ -137,14 +142,15 @@ std::vector<std::string> HistoryRecorder::check() const {
         continue;
       }
       if (s.mode == static_cast<std::uint8_t>(wire::ReadMode::kCounter)) {
-        // Counter reads return the merged sum, not the newest raw value.
+        // Counter reads return the merged sum (binary, item.num), not the
+        // newest raw value.
         const std::int64_t expect = expected_counter(by_key[item.k], s.snapshot);
-        if (parse_i64(item.v) != expect) {
+        if (item.num != expect) {
           violations.push_back(
               fmt("slice@%llu key=%llu: counter sum %lld but expected %lld "
                   "(lost/duplicated delta)",
                   (unsigned long long)s.at, (unsigned long long)item.k,
-                  static_cast<long long>(parse_i64(item.v)), static_cast<long long>(expect)));
+                  static_cast<long long>(item.num), static_cast<long long>(expect)));
         }
       } else if (!has_delta[item.k] && item.v != *winner->v) {
         // Value comparison only for pure-register keys: GC legitimately

@@ -7,6 +7,8 @@
 // add the struct, add it to the MsgType enum, and register it in the
 // PARIS_FOREACH_MESSAGE X-macro.
 
+#include <array>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +51,7 @@ inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kUstDown) + 1;
 struct Item {
   Key k = 0;
   Value v;
+  std::int64_t num = 0;  ///< binary payload: merged sum for counter reads
   Timestamp ut;
   TxId tx;
   DcId sr = 0;
@@ -57,6 +60,7 @@ struct Item {
   static void fields(S& s, F&& f) {
     f(s.k);
     f(s.v);
+    f(s.num);
     f(s.ut);
     f(s.tx);
     f(s.sr);
@@ -78,22 +82,35 @@ enum class ReadMode : std::uint8_t {
   kCounter = 1,   ///< sum of visible deltas since the last register write
 };
 
-/// A buffered client write (key + new value or delta).
+/// A buffered client write (key + new value or delta). Counter deltas carry
+/// their value as a binary integer in `num` (v stays empty), so the apply
+/// and read paths never round-trip through decimal strings; the string form
+/// (v = "42", num = 0) is still accepted for hand-built writes.
 struct WriteKV {
   Key k = 0;
   Value v;
+  std::int64_t num = 0;   ///< binary counter delta (WriteKind::kCounterAdd)
   std::uint8_t kind = 0;  ///< WriteKind
 
   WriteKV() = default;
   WriteKV(Key key, Value val, WriteKind wk = WriteKind::kRegisterPut)
       : k(key), v(std::move(val)), kind(static_cast<std::uint8_t>(wk)) {}
+  /// Binary counter delta.
+  WriteKV(Key key, std::int64_t delta)
+      : k(key), num(delta), kind(static_cast<std::uint8_t>(WriteKind::kCounterAdd)) {}
 
   WriteKind write_kind() const { return static_cast<WriteKind>(kind); }
+
+  /// Numeric value of a counter delta, whichever form it was built in.
+  std::int64_t delta() const {
+    return v.empty() ? num : std::strtoll(v.c_str(), nullptr, 10);
+  }
 
   template <class S, class F>
   static void fields(S& s, F&& f) {
     f(s.k);
     f(s.v);
+    f(s.num);
     f(s.kind);
   }
   friend bool operator==(const WriteKV&, const WriteKV&) = default;
@@ -129,15 +146,196 @@ struct ReplicateGroup {
 // Message base.
 // ---------------------------------------------------------------------------
 
+class MessagePool;
+class MessagePtr;
+template <class T>
+class PooledPtr;
+template <class T>
+PooledPtr<T> make_message();
+
 struct Message {
   virtual ~Message() = default;
   virtual MsgType type() const = 0;
   virtual void encode(Encoder& e) const = 0;
   /// Wire size of the payload (excludes the 1-byte type tag).
   virtual std::size_t wire_size() const = 0;
+  /// Clears every payload field to its default while keeping vector/string
+  /// capacity, so a pooled message can be rebuilt in place.
+  virtual void reset_payload() = 0;
+
+ private:
+  friend class MessagePool;
+  friend class MessagePtr;
+  template <class T>
+  friend class PooledPtr;
+  template <class T>
+  friend PooledPtr<T> make_message();
+  friend void unref_message(const Message* m);
+
+  // Intrusive refcount + owning pool (null for unpooled messages). The
+  // simulation is single-threaded by design, so plain counters suffice.
+  mutable std::uint32_t rc_ = 0;
+  mutable MessagePool* pool_ = nullptr;
 };
 
-using MessagePtr = std::shared_ptr<const Message>;
+void unref_message(const Message* m);
+
+/// Shared, immutable handle to a protocol message in flight. Releasing the
+/// last reference returns the message to its pool (or deletes an unpooled
+/// one). Replaces shared_ptr<const Message>: no control block, no atomics,
+/// no allocation on the send path.
+class MessagePtr {
+ public:
+  MessagePtr() = default;
+  MessagePtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  MessagePtr(const MessagePtr& o) : p_(o.p_) {
+    if (p_ != nullptr) ++p_->rc_;
+  }
+  MessagePtr(MessagePtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  /// Adopts a builder handle (typically just-filled fields); implicit so
+  /// freshly built messages can be passed straight to send().
+  template <class T>
+  MessagePtr(PooledPtr<T>&& o) noexcept;  // NOLINT(google-explicit-constructor)
+  MessagePtr& operator=(const MessagePtr& o) {
+    MessagePtr tmp(o);
+    std::swap(p_, tmp.p_);
+    return *this;
+  }
+  MessagePtr& operator=(MessagePtr&& o) noexcept {
+    std::swap(p_, o.p_);
+    return *this;
+  }
+  ~MessagePtr() { reset(); }
+
+  void reset() {
+    if (p_ != nullptr) {
+      unref_message(p_);
+      p_ = nullptr;
+    }
+  }
+  const Message* get() const { return p_; }
+  const Message& operator*() const { return *p_; }
+  const Message* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  friend bool operator==(const MessagePtr& a, std::nullptr_t) { return a.p_ == nullptr; }
+
+ private:
+  const Message* p_ = nullptr;
+};
+
+/// Move-only typed handle used while building a message (mutable access);
+/// converts into a MessagePtr for sending.
+template <class T>
+class PooledPtr {
+ public:
+  PooledPtr() = default;
+  explicit PooledPtr(T* p) : p_(p) {}
+  PooledPtr(const PooledPtr&) = delete;
+  PooledPtr& operator=(const PooledPtr&) = delete;
+  PooledPtr(PooledPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PooledPtr& operator=(PooledPtr&& o) noexcept {
+    std::swap(p_, o.p_);
+    return *this;
+  }
+  ~PooledPtr() { reset(); }
+
+  void reset() {
+    if (p_ != nullptr) {
+      unref_message(p_);
+      p_ = nullptr;
+    }
+  }
+  T* get() const { return p_; }
+  T& operator*() const { return *p_; }
+  T* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  friend class MessagePtr;
+  T* p_ = nullptr;
+};
+
+template <class T>
+MessagePtr::MessagePtr(PooledPtr<T>&& o) noexcept : p_(o.p_) {
+  o.p_ = nullptr;  // reference transferred, no rc change
+}
+
+/// Per-MsgType free lists of message objects. acquire() hands out a reset
+/// message whose vectors/strings keep their previously grown capacity, so a
+/// warmed-up pool serves the whole protocol without heap traffic. Outstanding
+/// messages keep a dying pool safe: the destructor detaches them and they
+/// self-delete on their last unref.
+class MessagePool {
+ public:
+  struct Stats {
+    std::uint64_t allocated = 0;  ///< messages created with new
+    std::uint64_t reused = 0;     ///< messages served from a free list
+  };
+
+  MessagePool() = default;
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+  ~MessagePool() {
+    for (Message* m : all_) {
+      if (m->rc_ == 0) {
+        delete m;
+      } else {
+        m->pool_ = nullptr;  // still in flight: self-deletes on last unref
+      }
+    }
+  }
+
+  template <class T>
+  PooledPtr<T> make() {
+    auto& fl = free_[static_cast<int>(T::kType)];
+    T* m;
+    if (fl.empty()) {
+      m = new T();
+      m->pool_ = this;
+      all_.push_back(m);
+      ++stats_.allocated;
+    } else {
+      m = static_cast<T*>(fl.back());
+      fl.pop_back();
+      ++stats_.reused;
+    }
+    m->rc_ = 1;
+    return PooledPtr<T>(m);
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t live_messages() const { return all_.size(); }
+
+ private:
+  friend void unref_message(const Message* m);
+  void release(Message* m) {
+    m->reset_payload();
+    free_[static_cast<int>(m->type())].push_back(m);
+  }
+
+  std::array<std::vector<Message*>, kNumMsgTypes> free_;
+  std::vector<Message*> all_;  ///< every message ever allocated by this pool
+  Stats stats_;
+};
+
+inline void unref_message(const Message* m) {
+  if (--m->rc_ == 0) {
+    Message* mm = const_cast<Message*>(m);
+    if (mm->pool_ != nullptr) {
+      mm->pool_->release(mm);
+    } else {
+      delete mm;
+    }
+  }
+}
+
+/// Builds an unpooled message (tests, tools): deleted on last unref.
+template <class T>
+PooledPtr<T> make_message() {
+  T* m = new T();
+  m->rc_ = 1;
+  return PooledPtr<T>(m);
+}
 
 /// Encodes [type tag][payload] into out.
 void encode_message(const Message& m, std::vector<std::uint8_t>& out);
@@ -151,12 +349,22 @@ std::unique_ptr<Message> decode_message(Decoder& d);
 
 namespace detail {
 
+/// Signed integers go on the wire zigzag-encoded (small magnitudes of either
+/// sign stay short).
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+
 struct WireWriter {
   Encoder& e;
   void operator()(std::uint8_t v) { e.put_u8(v); }
   void operator()(std::uint64_t v) { e.put_varint(v); }
   void operator()(std::uint32_t v) { e.put_varint(v); }
   void operator()(std::uint16_t v) { e.put_varint(v); }
+  void operator()(std::int64_t v) { e.put_varint(zigzag(v)); }
   void operator()(const std::string& v) { e.put_bytes(v); }
   void operator()(Timestamp v) { e.put_varint(v.raw); }
   void operator()(TxId v) { e.put_varint(v.raw); }
@@ -178,6 +386,7 @@ struct WireReader {
   void operator()(std::uint64_t& v) { v = d.get_varint(); }
   void operator()(std::uint32_t& v) { v = static_cast<std::uint32_t>(d.get_varint()); }
   void operator()(std::uint16_t& v) { v = static_cast<std::uint16_t>(d.get_varint()); }
+  void operator()(std::int64_t& v) { v = unzigzag(d.get_varint()); }
   void operator()(std::string& v) { v = d.get_bytes(); }
   void operator()(Timestamp& v) { v.raw = d.get_varint(); }
   void operator()(TxId& v) { v.raw = d.get_varint(); }
@@ -199,6 +408,7 @@ struct WireSizer {
   void operator()(std::uint64_t v) { n += varint_size(v); }
   void operator()(std::uint32_t v) { n += varint_size(v); }
   void operator()(std::uint16_t v) { n += varint_size(v); }
+  void operator()(std::int64_t v) { n += varint_size(zigzag(v)); }
   void operator()(const std::string& v) { n += varint_size(v.size()) + v.size(); }
   void operator()(Timestamp v) { n += varint_size(v.raw); }
   void operator()(TxId v) { n += varint_size(v.raw); }
@@ -210,6 +420,28 @@ struct WireSizer {
   template <class T>
     requires requires(const T& t, WireSizer& s) { T::fields(t, s); }
   void operator()(const T& v) {
+    T::fields(v, *this);
+  }
+};
+
+/// Resets every field to its default value, keeping container capacity
+/// (clear(), not shrink) — the pool's in-place reuse hook.
+struct FieldClearer {
+  void operator()(std::uint8_t& v) { v = 0; }
+  void operator()(std::uint64_t& v) { v = 0; }
+  void operator()(std::uint32_t& v) { v = 0; }
+  void operator()(std::uint16_t& v) { v = 0; }
+  void operator()(std::int64_t& v) { v = 0; }
+  void operator()(std::string& v) { v.clear(); }
+  void operator()(Timestamp& v) { v = Timestamp{}; }
+  void operator()(TxId& v) { v = TxId{}; }
+  template <class T>
+  void operator()(std::vector<T>& v) {
+    v.clear();
+  }
+  template <class T>
+    requires requires(T& t, FieldClearer& c) { T::fields(t, c); }
+  void operator()(T& v) {
     T::fields(v, *this);
   }
 };
@@ -229,6 +461,10 @@ struct MessageBase : Message {
     detail::WireSizer s;
     Derived::fields(static_cast<const Derived&>(*this), s);
     return s.n;
+  }
+  void reset_payload() final {
+    detail::FieldClearer c;
+    Derived::fields(static_cast<Derived&>(*this), c);
   }
   static std::unique_ptr<Message> decode(Decoder& d) {
     auto m = std::make_unique<Derived>();

@@ -1,0 +1,204 @@
+// Slab event queue tests: pop order must exactly match a reference model
+// (the pre-slab std::function heap semantics: (time, insertion seq) order),
+// cancellation tokens, slab slot reuse, and the periodic-timer path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace paris::sim {
+namespace {
+
+TEST(EventQueue, PopOrderMatchesReferenceHeap) {
+  Rng rng(12345);
+  EventQueue q;
+  struct Ref {
+    SimTime at;
+    std::uint64_t seq;
+    int id;
+  };
+  std::vector<Ref> ref;
+  std::vector<int> got;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime at = rng.next_below(200);  // many ties
+    q.push(at, [i, &got] { got.push_back(i); });
+    ref.push_back(Ref{at, static_cast<std::uint64_t>(i), i});
+  }
+  std::stable_sort(ref.begin(), ref.end(), [](const Ref& a, const Ref& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  });
+  SimTime prev = 0;
+  while (q.run_next([&](SimTime at) {
+    EXPECT_GE(at, prev);
+    prev = at;
+  })) {
+  }
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(got[i], ref[i].id) << "pop order diverged from reference at " << i;
+}
+
+TEST(EventQueue, DeterministicAcrossIdenticalRuns) {
+  const auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventQueue::EventId> ids;
+    for (int i = 0; i < 500; ++i) {
+      ids.push_back(q.push(rng.next_below(100), [i, &order] { order.push_back(i); }));
+      if (rng.next_below(4) == 0 && !ids.empty()) {
+        q.cancel(ids[rng.next_below(ids.size())]);  // interleaved cancels
+      }
+    }
+    while (q.run_next([](SimTime) {})) {
+    }
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(EventQueue, CancelPreventsExecutionAndIsIdempotent) {
+  EventQueue q;
+  int fired = 0;
+  const auto id1 = q.push(10, [&] { ++fired; });
+  const auto id2 = q.push(20, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id1));
+  EXPECT_FALSE(q.cancel(id1)) << "second cancel must be a no-op";
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 20u) << "next_time must skip the cancelled event";
+  while (q.run_next([](SimTime) {})) {
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.cancel(id2)) << "cancel after execution must fail";
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledSlotRecycledIdsDoNotAlias) {
+  EventQueue q;
+  int fired = 0;
+  const auto id1 = q.push(10, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id1));
+  // Drain (releases the cancelled slot), then reuse it for a new event: the
+  // stale id must not cancel the new occupant.
+  while (q.run_next([](SimTime) {})) {
+  }
+  q.push(30, [&] { fired += 10; });
+  EXPECT_FALSE(q.cancel(id1));
+  while (q.run_next([](SimTime) {})) {
+  }
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, SlabSlotsAreReusedInSteadyState) {
+  EventQueue q;
+  int sink = 0;
+  // Warmup batch establishes the slab size...
+  for (int i = 0; i < 100; ++i) q.push(i, [&] { ++sink; });
+  while (q.run_next([](SimTime) {})) {
+  }
+  const std::size_t warmed = q.slab_slots();
+  // ...then repeated batches of the same shape must not grow it.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) q.push(i, [&] { ++sink; });
+    while (q.run_next([](SimTime) {})) {
+    }
+  }
+  EXPECT_EQ(q.slab_slots(), warmed) << "steady-state batches must recycle slots";
+  EXPECT_EQ(sink, 51 * 100);
+}
+
+TEST(EventQueue, OversizedClosuresFallBackToHeapBox) {
+  EventQueue q;
+  char big[2 * InlineTask::kInlineBytes] = {0};
+  big[0] = 41;
+  int got = 0;
+  q.push(5, [big, &got] { got = big[0] + 1; });
+  while (q.run_next([](SimTime) {})) {
+  }
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, PushDuringRunKeepsOrdering) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] {
+    order.push_back(1);
+    q.push(10, [&] { order.push_back(2); });  // same time, later seq
+    q.push(5, [&] { order.push_back(3); });   // "earlier" time, but already past
+  });
+  q.push(12, [&] { order.push_back(4); });
+  while (q.run_next([](SimTime) {})) {
+  }
+  // After the first event ran, the heap holds (12,s1)=4, (10,s2)=2, (5,s3)=3;
+  // time sorts first, insertion seq breaks the tie.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 4}));
+}
+
+TEST(Simulation, PeriodicTimerDoesNotGrowSlabOrChurn) {
+  Simulation sim;
+  int ticks = 0;
+  auto h = sim.every(10, 0, [&] { ++ticks; });
+  sim.run_until(100);  // warm up slab + timer table
+  const int warm_ticks = ticks;
+  EXPECT_GT(warm_ticks, 0);
+  sim.run_until(100'000);
+  EXPECT_EQ(ticks, 100'000 / 10 + 1);
+  h.cancel();
+  const auto executed = sim.events_executed();
+  sim.run_until(200'000);
+  EXPECT_EQ(ticks, 100'000 / 10 + 1) << "cancelled timer must not fire";
+  EXPECT_EQ(sim.events_executed(), executed) << "cancelled timer must not even wake";
+}
+
+TEST(Simulation, TimerCancelledFromInsideItsOwnCallback) {
+  Simulation sim;
+  int ticks = 0;
+  Simulation::PeriodicHandle h;
+  h = sim.every(10, 0, [&] {
+    if (++ticks == 3) h.cancel();
+  });
+  sim.run_until(1'000);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulation, TimerCallbackMayCreateTimersWhileFiring) {
+  // Regression: timer_fire invokes the closure stored in the timer table;
+  // creating timers from inside a callback grows the table and must not
+  // invalidate the executing closure (table is a deque, not a vector).
+  Simulation sim;
+  std::vector<Simulation::PeriodicHandle> spawned;
+  int child_ticks = 0;
+  auto h = sim.every(10, 0, [&] {
+    for (int i = 0; i < 8; ++i)
+      spawned.push_back(sim.every(50, 0, [&] { ++child_ticks; }));
+  });
+  sim.run_until(300);
+  h.cancel();
+  spawned.clear();
+  EXPECT_GT(child_ticks, 0);
+  const auto executed = sim.events_executed();
+  sim.run_until(1'000);
+  EXPECT_EQ(sim.events_executed(), executed) << "all timers cancelled";
+}
+
+TEST(Simulation, ManyTimersCancelledAndRecreated) {
+  Simulation sim;
+  int ticks = 0;
+  std::vector<Simulation::PeriodicHandle> hs;
+  for (int round = 0; round < 10; ++round) {
+    hs.clear();  // cancels the previous generation
+    for (int i = 0; i < 20; ++i)
+      hs.push_back(sim.every(7, static_cast<SimTime>(i), [&] { ++ticks; }));
+    sim.run_until(sim.now() + 100);
+  }
+  EXPECT_GT(ticks, 10 * 20 * 10);
+}
+
+}  // namespace
+}  // namespace paris::sim

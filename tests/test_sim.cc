@@ -94,7 +94,7 @@ class Recorder : public Actor {
 };
 
 wire::MessagePtr heartbeat(std::uint64_t seq) {
-  auto h = std::make_shared<wire::Heartbeat>();
+  auto h = wire::make_message<wire::Heartbeat>();
   h->partition = 0;
   h->t = Timestamp{seq};
   return h;

@@ -119,5 +119,72 @@ TEST(MvStore, ValuesAreIndependentPerKey) {
   EXPECT_EQ(s.num_keys(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Binary counter payloads (the protocol path applies deltas as int64s; the
+// string form is a legacy/test convenience that must stay equivalent).
+// ---------------------------------------------------------------------------
+
+TEST(MvStore, BinaryAndStringCounterApplyAreEquivalent) {
+  MvStore bin, str;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    bin.apply(1, Value{}, /*delta=*/static_cast<std::int64_t>(i), ts(i * 10),
+              TxId::make(1, i), 0, /*kind=*/1);
+    str.apply(1, std::to_string(i), ts(i * 10), TxId::make(1, i), 0, /*kind=*/1);
+  }
+  for (std::uint64_t snap : {5ull, 25ull, 45ull, 999ull}) {
+    EXPECT_EQ(bin.read_counter(1, ts(snap)).first, str.read_counter(1, ts(snap)).first)
+        << "snap " << snap;
+  }
+  EXPECT_EQ(bin.read_counter(1, ts(999)).first, 21);
+}
+
+TEST(MvStore, CounterReadsStraddlingGcFoldBoundary) {
+  MvStore s;
+  // Register base 100 at t=100, then deltas +1 at t=200..1000.
+  s.apply(1, "100", ts(100), TxId::make(1, 1), 0, /*kind=*/0);
+  for (std::uint64_t i = 2; i <= 10; ++i)
+    s.apply(1, Value{}, /*delta=*/1, ts(i * 100), TxId::make(1, i), 0, /*kind=*/1);
+  ASSERT_EQ(s.read_counter(1, ts(10'000)).first, 109);
+
+  // Fold at watermark 550: base + deltas at 200..500 collapse into the
+  // boundary version at 500 (now a register base with the partial sum).
+  const std::size_t removed = s.gc(ts(550));
+  EXPECT_EQ(removed, 4u);
+  // Sums at every snapshot at or above the watermark are preserved —
+  // exactly AT the boundary version, just above it, and at the top.
+  EXPECT_EQ(s.read_counter(1, ts(500)).first, 104) << "at the fold boundary";
+  EXPECT_EQ(s.read_counter(1, ts(550)).first, 104) << "at the watermark";
+  EXPECT_EQ(s.read_counter(1, ts(600)).first, 105) << "first delta above the fold";
+  EXPECT_EQ(s.read_counter(1, ts(10'000)).first, 109) << "full sum";
+  // The folded boundary acts as a register base for register-mode reads too.
+  EXPECT_EQ(s.read(1, ts(550))->v, "104");
+
+  // A second fold on the already-folded chain keeps being exact.
+  s.gc(ts(750));
+  EXPECT_EQ(s.read_counter(1, ts(750)).first, 106);
+  EXPECT_EQ(s.read_counter(1, ts(10'000)).first, 109);
+}
+
+TEST(MvStore, DuplicateReapplyOfSameCoordinateIsIgnored) {
+  MvStore s;
+  // Same (ut, tx, sr) delivered twice (e.g. a test harness replaying a
+  // replication batch) must not double-count — for registers or counters.
+  s.apply(1, Value{}, /*delta=*/5, ts(100), TxId::make(1, 1), 0, /*kind=*/1);
+  s.apply(1, Value{}, /*delta=*/5, ts(100), TxId::make(1, 1), 0, /*kind=*/1);
+  s.apply(1, "7", ts(100), TxId::make(1, 1), 0, /*kind=*/1);  // string twin
+  EXPECT_EQ(s.chain_length(1), 1u);
+  EXPECT_EQ(s.read_counter(1, ts(999)).first, 5);
+
+  // Duplicates arriving after a GC fold are also ignored if their slot in
+  // the chain survived; ones below the fold horizon reinsert at the front
+  // but never corrupt sums at or above the watermark.
+  for (std::uint64_t i = 2; i <= 4; ++i)
+    s.apply(1, Value{}, /*delta=*/1, ts(i * 100), TxId::make(1, i), 0, /*kind=*/1);
+  s.gc(ts(250));
+  const std::int64_t before = s.read_counter(1, ts(999)).first;
+  s.apply(1, Value{}, /*delta=*/1, ts(300), TxId::make(1, 3), 0, /*kind=*/1);  // dup
+  EXPECT_EQ(s.read_counter(1, ts(999)).first, before);
+}
+
 }  // namespace
 }  // namespace paris::store

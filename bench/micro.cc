@@ -328,6 +328,20 @@ void bench_wire() {
     }
     return kBatch;
   });
+  // The thread runtime's receive path: decode into a pooled message whose
+  // vectors keep their grown capacity — steady state must be allocation-free.
+  wire::MessagePool pool;
+  run_bench("wire_roundtrip_pooled", [&] {
+    const int kBatch = 256;
+    for (int b = 0; b < kBatch; ++b) {
+      buf.clear();
+      wire::encode_message(batch, buf);
+      wire::Decoder d(buf);
+      const wire::MessagePtr copy = wire::decode_message_pooled(d, pool);
+      PARIS_CHECK(copy->type() == wire::MsgType::kReplicateBatch);
+    }
+    return kBatch;
+  });
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,106 @@
+// realtime_scaling — ThreadRuntime workers vs throughput.
+//
+// Runs the same PaRiS cluster and closed-loop workload on the thread
+// backend with 1, 2 and 4 worker threads (plus one deterministic sim-backend
+// reference point) and records the curve in BENCH_realtime.json. On
+// multi-core hardware throughput rises with workers; the JSON captures
+// `hardware_concurrency` so a single-core CI run is not mistaken for a
+// scaling regression.
+//
+// Environment knobs: PARIS_BENCH_FAST=1, PARIS_BENCH_SEED, PARIS_BENCH_OUT.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace paris;
+using namespace paris::bench;
+
+namespace {
+
+ExperimentConfig scaling_config() {
+  ExperimentConfig cfg;
+  cfg.system = System::kParis;
+  cfg.num_dcs = 3;
+  cfg.num_partitions = 12;
+  cfg.replication = 2;
+  cfg.threads_per_process = 2;
+  cfg.workload = WorkloadSpec::read_heavy();
+  cfg.seed = bench_seed();
+  cfg.warmup_us = fast_mode() ? 100'000 : 250'000;
+  cfg.measure_us = fast_mode() ? 300'000 : 1'000'000;
+  return cfg;
+}
+
+struct Point {
+  std::uint32_t workers;  ///< 0 = sim reference
+  ExperimentResult result;
+};
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  print_title("realtime_scaling — ThreadRuntime worker threads vs throughput",
+              "same cluster/workload; workers swept 1 -> 4 (hw concurrency " +
+                  std::to_string(hw) + ")");
+
+  std::vector<Point> points;
+
+  // Deterministic sim-backend reference under the identical workload.
+  {
+    ExperimentConfig cfg = scaling_config();
+    cfg.runtime = runtime::Kind::kSim;
+    cfg.aws_latency = false;
+    std::printf("%-12s ", "sim-ref");
+    Point p{0, workload::run_experiment(cfg)};
+    std::printf("%10.1f ktx/s  p50 %6.2f ms  p99 %6.2f ms  wall %5.1f s\n",
+                p.result.throughput_tx_s / 1000.0, p.result.latency_us.p50 / 1000.0,
+                p.result.latency_us.p99 / 1000.0, p.result.wall_seconds);
+    points.push_back(std::move(p));
+  }
+
+  for (const std::uint32_t w : {1u, 2u, 4u}) {
+    ExperimentConfig cfg = scaling_config();
+    cfg.runtime = runtime::Kind::kThreads;
+    cfg.worker_threads = w;
+    std::printf("workers=%-4u ", w);
+    std::fflush(stdout);
+    Point p{w, workload::run_experiment(cfg)};
+    std::printf("%10.1f ktx/s  p50 %6.2f ms  p99 %6.2f ms  wall %5.1f s\n",
+                p.result.throughput_tx_s / 1000.0, p.result.latency_us.p50 / 1000.0,
+                p.result.latency_us.p99 / 1000.0, p.result.wall_seconds);
+    points.push_back(std::move(p));
+  }
+
+  const char* path = std::getenv("PARIS_BENCH_OUT");
+  if (path == nullptr) path = "BENCH_realtime.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"realtime_scaling\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"cluster\": {\"dcs\": 3, \"partitions\": 12, \"replication\": 2, "
+                  "\"sessions_per_process\": 2},\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"runtime\": \"%s\", \"workers\": %u, \"throughput_tx_s\": %.1f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"committed\": %llu}%s\n",
+                 p.workers == 0 ? "sim" : "threads", p.workers,
+                 p.result.throughput_tx_s, p.result.latency_us.p50 / 1000.0,
+                 p.result.latency_us.p99 / 1000.0,
+                 static_cast<unsigned long long>(p.result.committed),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "proto/deployment.h"
+#include "proto/sim_access.h"
 
 using namespace paris;
 
@@ -69,7 +69,7 @@ int main() {
                                      500 + static_cast<std::uint64_t>(i)));
 
   auto& teller_client = dep.add_client(0, topo.partitions_at(0)[0]);
-  Blocking teller{dep.sim(), teller_client};
+  Blocking teller{sim_of(dep), teller_client};
 
   std::vector<proto::Client*> auditors;
   for (DcId d = 0; d < topo.num_dcs(); ++d)
@@ -101,7 +101,7 @@ int main() {
     // Auditors in every DC take a full snapshot read at staggered times.
     dep.run_for(5'000 + rng.next_below(40'000));
     for (auto* a : auditors) {
-      Blocking audit{dep.sim(), *a};
+      Blocking audit{sim_of(dep), *a};
       audit.start();
       const auto snapshot = audit.read(accounts);
       audit.commit();

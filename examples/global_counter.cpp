@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "proto/deployment.h"
+#include "proto/sim_access.h"
 
 using namespace paris;
 
@@ -78,7 +78,7 @@ int main() {
   const int per_dc = 20;
   for (int i = 0; i < per_dc; ++i) {
     for (auto* c : clients) {
-      Blocking b{dep.sim(), *c};
+      Blocking b{sim_of(dep), *c};
       b.start();
       c->add(views, 1);  // counter delta: merges by summation
       // Naive LWW emulation: read-modify-write a register (racy by design).
@@ -93,7 +93,7 @@ int main() {
   std::printf("expected total: %d views\n\n", per_dc * 5);
   std::printf("%-12s %16s %22s\n", "read from", "counter (merge)", "register (LWW rmw)");
   for (DcId d = 0; d < 5; ++d) {
-    Blocking b{dep.sim(), *clients[d]};
+    Blocking b{sim_of(dep), *clients[d]};
     b.start();
     const std::int64_t merged = b.read_counter(views);
     const std::string lww = b.read_register(views_lww);

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "proto/deployment.h"
+#include "proto/sim_access.h"
 
 using namespace paris;
 
@@ -66,7 +66,7 @@ int main() {
 
   // 3. Open a client session against a coordinator in DC 0.
   auto& client = dep.add_client(/*dc=*/0, dep.topo().partitions_at(0)[0]);
-  BlockingClient bc{dep.sim(), client};
+  BlockingClient bc{sim_of(dep), client};
 
   const Key alice = dep.topo().make_key(/*partition=*/0, /*rank=*/1);
   const Key bob = dep.topo().make_key(/*partition=*/1, /*rank=*/1);
@@ -90,7 +90,7 @@ int main() {
   //    client anywhere reads it without blocking.
   dep.run_for(400'000);
   auto& remote = dep.add_client(/*dc=*/2, dep.topo().partitions_at(2)[0]);
-  BlockingClient rc{dep.sim(), remote};
+  BlockingClient rc{sim_of(dep), remote};
   snap = rc.start();
   std::printf("remote tx snapshot = %s (>= ct: now stable)\n", to_string(snap).c_str());
   std::printf("remote reads alice -> \"%s\", bob -> \"%s\" — both or neither, never one\n",
@@ -98,8 +98,8 @@ int main() {
   rc.commit();
 
   std::printf("\nsimulated %.1f ms, %llu events, %llu bytes on the wire\n",
-              dep.sim().now() / 1000.0,
-              static_cast<unsigned long long>(dep.sim().events_executed()),
-              static_cast<unsigned long long>(dep.net().total_bytes_sent()));
+              sim_of(dep).now() / 1000.0,
+              static_cast<unsigned long long>(sim_of(dep).events_executed()),
+              static_cast<unsigned long long>(net_of(dep).total_bytes_sent()));
   return 0;
 }

@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "proto/deployment.h"
+#include "proto/sim_access.h"
 
 using namespace paris;
 
@@ -89,32 +89,32 @@ int main() {
 
   // Alice posts; the post and her wall head update atomically.
   auto post = [&](User& u, const std::string& text) {
-    Blocking b{dep.sim(), *u.client};
+    Blocking b{sim_of(dep), *u.client};
     b.start();
     ++u.posts;
     u.client->write({{post_key(topo, u.name, u.posts), text},
                      {wall_key(topo, u.name), std::to_string(u.posts)}});
     b.commit();
-    std::printf("[%7.1f ms] %s posts #%d: \"%s\"\n", dep.sim().now() / 1000.0,
+    std::printf("[%7.1f ms] %s posts #%d: \"%s\"\n", sim_of(dep).now() / 1000.0,
                 u.name.c_str(), u.posts, text.c_str());
   };
 
   // Reading a wall: fetch the head, then the post — all within one causal
   // snapshot, so the head never points at an invisible post.
   auto read_wall = [&](User& reader, User& author) {
-    Blocking b{dep.sim(), *reader.client};
+    Blocking b{sim_of(dep), *reader.client};
     b.start();
     const auto head = b.read({wall_key(topo, author.name)})[0];
     if (head.v.empty()) {
       std::printf("[%7.1f ms] %s reads %s's wall: (empty snapshot)\n",
-                  dep.sim().now() / 1000.0, reader.name.c_str(), author.name.c_str());
+                  sim_of(dep).now() / 1000.0, reader.name.c_str(), author.name.c_str());
       b.commit();
       return std::string();
     }
     const int seq = std::stoi(head.v);
     const auto item = b.read({post_key(topo, author.name, seq)})[0];
     b.commit();
-    std::printf("[%7.1f ms] %s reads %s's wall: #%d \"%s\"%s\n", dep.sim().now() / 1000.0,
+    std::printf("[%7.1f ms] %s reads %s's wall: #%d \"%s\"%s\n", sim_of(dep).now() / 1000.0,
                 reader.name.c_str(), author.name.c_str(), seq, item.v.c_str(),
                 item.v.empty() ? "  <-- WOULD BE A CAUSALITY VIOLATION" : "");
     if (item.v.empty()) std::abort();  // head visible but post missing: impossible
@@ -142,13 +142,13 @@ int main() {
   // reply is visible, Alice's post must be too (causal order preserved
   // across partitions replicated in different DCs).
   for (auto idx : {2, 3, 4}) {
-    Blocking b{dep.sim(), *users[idx].client};
+    Blocking b{sim_of(dep), *users[idx].client};
     b.start();
     const auto items = b.read({wall_key(topo, users[0].name), wall_key(topo, users[1].name)});
     b.commit();
     const bool alice_visible = !items[0].v.empty();
     const bool reply_visible = !items[1].v.empty();
-    std::printf("[%7.1f ms] %s sees alice:%s bruno-reply:%s\n", dep.sim().now() / 1000.0,
+    std::printf("[%7.1f ms] %s sees alice:%s bruno-reply:%s\n", sim_of(dep).now() / 1000.0,
                 users[idx].name.c_str(), alice_visible ? "yes" : "no",
                 reply_visible ? "yes" : "no");
     if (reply_visible && !alice_visible) {
@@ -158,6 +158,6 @@ int main() {
   }
 
   std::printf("\nno causality violations; %llu simulated events\n",
-              static_cast<unsigned long long>(dep.sim().events_executed()));
+              static_cast<unsigned long long>(sim_of(dep).events_executed()));
   return 0;
 }

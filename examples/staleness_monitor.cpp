@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "proto/deployment.h"
+#include "proto/sim_access.h"
 
 using namespace paris;
 
@@ -43,24 +43,24 @@ int main() {
   const auto& topo = dep.topo();
 
   auto& client = dep.add_client(0, topo.partitions_at(0)[0]);
-  Blocking bc{dep.sim(), client};
+  Blocking bc{sim_of(dep), client};
 
   auto sample = [&](const char* phase) {
     // UST lag at one server per DC + a local transaction's latency.
-    std::printf("%-22s t=%7.0f ms | UST lag per DC (ms):", phase, dep.sim().now() / 1000.0);
+    std::printf("%-22s t=%7.0f ms | UST lag per DC (ms):", phase, sim_of(dep).now() / 1000.0);
     for (DcId d = 0; d < topo.num_dcs(); ++d) {
       auto* s = dep.paris_server(d, topo.partitions_at(d)[0]);
       const double lag =
-          (static_cast<double>(dep.sim().now()) - static_cast<double>(s->ust().physical_us())) /
+          (static_cast<double>(sim_of(dep).now()) - static_cast<double>(s->ust().physical_us())) /
           1000.0;
       std::printf(" %7.1f", lag);
     }
-    const auto t0 = dep.sim().now();
+    const auto t0 = sim_of(dep).now();
     bc.start();
     client.write({{topo.make_key(topo.partitions_at(0)[0], 7), "tick"}});
     bc.commit();
     std::printf(" | local tx %5.2f ms | cache %zu\n",
-                (dep.sim().now() - t0) / 1000.0, client.cache_size());
+                (sim_of(dep).now() - t0) / 1000.0, client.cache_size());
   };
 
   std::printf("== UST staleness monitor: 5 DCs (AWS latencies), 10 partitions, R=2 ==\n\n");
@@ -71,7 +71,7 @@ int main() {
   sample("steady state");
 
   std::printf("\n--- isolating DC4 (Sydney) from the rest of the system ---\n\n");
-  dep.net().isolate_dc(4);
+  net_of(dep).isolate_dc(4);
   for (int i = 0; i < 4; ++i) {
     dep.run_for(250'000);
     sample("partitioned");
@@ -81,7 +81,7 @@ int main() {
               "  write cache holds unpruned commits.\n");
 
   std::printf("\n--- healing the partition ---\n\n");
-  dep.net().heal_all();
+  net_of(dep).heal_all();
   for (int i = 0; i < 3; ++i) {
     dep.run_for(250'000);
     sample("healed");

@@ -25,7 +25,7 @@ void BprServer::handle_read_slice(NodeId from, const ReadSliceReq& req) {
   // loss to (§V-B).
   rt_.net.charge_cpu(self_, rt_.cost.block_enqueue_us);
   ++stats_.reads_blocked;
-  blocked_.emplace(req.snapshot, BlockedRead{from, req, rt_.sim.now()});
+  blocked_.emplace(req.snapshot, BlockedRead{from, req, rt_.exec.now_us()});
 }
 
 void BprServer::on_vv_advanced() {
@@ -34,7 +34,7 @@ void BprServer::on_vv_advanced() {
     BlockedRead br = std::move(blocked_.begin()->second);
     blocked_.erase(blocked_.begin());
     rt_.net.charge_cpu(self_, rt_.cost.unblock_us);
-    const sim::SimTime waited = rt_.sim.now() - br.since;
+    const sim::SimTime waited = rt_.exec.now_us() - br.since;
     stats_.blocked_time_us += waited;
     if (rt_.tracer) rt_.tracer->on_read_blocked(dc_, partition_, waited);
     serve_slice(br.from, br.req);
@@ -59,7 +59,7 @@ void BprServer::note_applied(TxId tx, Timestamp ct) {
   // In BPR an applied version is immediately readable by a fresh-enough
   // snapshot: visibility == apply.
   if (rt_.tracer != nullptr && rt_.tracer->want_visibility(tx))
-    rt_.tracer->on_visible(dc_, partition_, tx, ct, rt_.sim.now());
+    rt_.tracer->on_visible(dc_, partition_, tx, ct, rt_.exec.now_us());
 }
 
 }  // namespace paris::proto

@@ -18,7 +18,7 @@ void Client::start_tx(StartCb cb) {
   start_cb_ = std::move(cb);
   ++stats_.txs_started;
 
-  auto req = rt_.net.msg_pool().make<ClientStartReq>();
+  auto req = rt_.net.msg_pool(self_).make<ClientStartReq>();
   // Alg. 1 line 2: piggyback the last observed snapshot. BPR additionally
   // folds in the last commit time so the fresh snapshot covers it.
   req->ust_c = opt_.fold_hwt_into_seen ? std::max(ust_c_, hwt_) : ust_c_;
@@ -81,10 +81,10 @@ void Client::read(std::vector<Key> keys, ReadCb cb, ReadMode mode) {
 
   if (remote.empty()) {
     // Fully served locally; stay asynchronous for uniform driver behavior.
-    rt_.sim.after(0, [this] { deliver_read(); });
+    rt_.exec.defer(self_, [this] { deliver_read(); });
     return;
   }
-  auto req = rt_.net.msg_pool().make<ClientReadReq>();
+  auto req = rt_.net.msg_pool(self_).make<ClientReadReq>();
   req->tx = current_tx_;
   req->mode = static_cast<std::uint8_t>(mode);
   req->keys.assign(remote.begin(), remote.end());  // keep pooled capacity
@@ -127,18 +127,24 @@ void Client::commit(CommitCb cb) {
 
   if (ws_.empty()) {
     // Read-only: release the coordinator context, no 2PC (§II-D).
-    auto req = rt_.net.msg_pool().make<TxEnd>();
+    auto req = rt_.net.msg_pool(self_).make<TxEnd>();
     req->tx = current_tx_;
     rt_.net.send(self_, coord_, std::move(req));
     ++stats_.read_only_txs;
     end_tx();
-    auto cb_local = std::move(commit_cb_);
-    commit_cb_ = nullptr;
-    rt_.sim.after(0, [cb_local = std::move(cb_local)] { cb_local(kTsZero); });
+    // commit_cb_ stays set until the deferred completion fires: the client
+    // is quiescent in between (all activity is callback-driven), and the
+    // [this] capture keeps the deferred task small enough to avoid an
+    // allocation inside std::function.
+    rt_.exec.defer(self_, [this] {
+      auto cb = std::move(commit_cb_);
+      commit_cb_ = nullptr;
+      cb(kTsZero);
+    });
     return;
   }
 
-  auto req = rt_.net.msg_pool().make<ClientCommitReq>();
+  auto req = rt_.net.msg_pool(self_).make<ClientCommitReq>();
   req->tx = current_tx_;
   req->hwt = hwt_;  // Alg. 1 line 27
   req->writes = ws_;

@@ -17,11 +17,11 @@
 #include <vector>
 
 #include "proto/runtime.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 
 namespace paris::proto {
 
-class Client : public sim::Actor {
+class Client : public runtime::Actor {
  public:
   struct Options {
     bool use_write_cache = true;    ///< PaRiS: read-your-writes via WC_c

@@ -9,7 +9,7 @@
 
 #include <cstdint>
 
-#include "sim/event_queue.h"
+#include "sim/time.h"
 #include "wire/messages.h"
 
 namespace paris::proto {

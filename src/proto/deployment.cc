@@ -1,6 +1,10 @@
 #include "proto/deployment.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
+#include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
 
 namespace paris::proto {
 
@@ -13,15 +17,26 @@ sim::LatencyModel build_latency(const DeploymentConfig& cfg) {
   m.set_jitter(cfg.jitter);
   return m;
 }
+
+std::unique_ptr<runtime::Backend> build_backend(const DeploymentConfig& cfg,
+                                                const cluster::Topology& topo) {
+  if (cfg.runtime == runtime::Kind::kThreads) {
+    runtime::ThreadBackend::Options opt;
+    opt.workers = cfg.worker_threads != 0 ? cfg.worker_threads : topo.total_servers();
+    opt.seed = cfg.seed;
+    return std::make_unique<runtime::ThreadBackend>(opt);
+  }
+  return std::make_unique<runtime::SimBackend>(cfg.seed, build_latency(cfg), cfg.codec);
+}
 }  // namespace
 
 Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
     : cfg_(cfg),
-      sim_(cfg.seed),
-      net_(sim_, build_latency(cfg), cfg.codec),
       topo_(cfg.topo),
       dir_(topo_),
-      rt_{sim_, net_, topo_, dir_, cfg.cost, cfg.protocol, tracer} {
+      backend_(build_backend(cfg, topo_)),
+      rt_{backend_->exec(), backend_->transport(), topo_,  dir_,
+          cfg.cost,         cfg.protocol,          tracer} {
   // One server per (DC, partition) replica; registration order is
   // deterministic: DC-major, partition-minor.
   const auto service = [cost = rt_.cost](const wire::Message& m) {
@@ -35,8 +50,8 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
       } else {
         server = std::make_unique<BprServer>(rt_, dc, p);
       }
-      const NodeId node = net_.add_node(server.get(), dc, service);
-      server->attach(node, PhysClock::sample(sim_.rng(), cfg.protocol.ntp_error_us,
+      const NodeId node = backend_->add_node(server.get(), dc, service);
+      server->attach(node, PhysClock::sample(backend_->rng(), cfg.protocol.ntp_error_us,
                                              cfg.protocol.drift_ppm));
       dir_.set_server(dc, p, node);
       servers_.push_back(std::move(server));
@@ -44,10 +59,16 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
   }
 }
 
+Deployment::~Deployment() {
+  // Thread workers must be quiescent before servers/clients are destroyed.
+  backend_->stop();
+}
+
 void Deployment::start() {
   PARIS_CHECK_MSG(!started_, "start() called twice");
   started_ = true;
-  for (auto& s : servers_) s->start_timers(sim_.rng());
+  Rng& phase_rng = backend_->rng();
+  for (auto& s : servers_) s->start_timers(phase_rng);
 }
 
 Client& Deployment::add_client(DcId dc, PartitionId coordinator_partition) {
@@ -57,9 +78,8 @@ Client& Deployment::add_client(DcId dc, PartitionId coordinator_partition) {
   const Client::Options opt =
       cfg_.system == System::kParis ? Client::paris_options() : Client::bpr_options();
   auto client = std::make_unique<Client>(rt_, dc, coord, opt);
-  const NodeId node = net_.add_node(client.get(), dc, nullptr);
+  const NodeId node = backend_->add_node(client.get(), dc, nullptr, /*colocate_with=*/coord);
   client->attach(node);
-  net_.set_colocated(node, coord);
   clients_.push_back(std::move(client));
   return *clients_.back();
 }
@@ -81,8 +101,16 @@ BprServer* Deployment::bpr_server(DcId dc, PartitionId p) {
 }
 
 ServerBase::Stats Deployment::total_server_stats() const {
+  // Accumulate in NodeId order: the sums commute, but a fixed order keeps
+  // any future non-commutative aggregate (and debug prints) deterministic.
+  std::vector<const ServerBase*> order;
+  order.reserve(servers_.size());
+  for (const auto& s : servers_) order.push_back(s.get());
+  std::sort(order.begin(), order.end(),
+            [](const ServerBase* a, const ServerBase* b) { return a->node() < b->node(); });
+
   ServerBase::Stats t;
-  for (const auto& s : servers_) {
+  for (const ServerBase* s : order) {
     const auto& x = s->stats();
     t.txs_coordinated += x.txs_coordinated;
     t.read_only_txs += x.read_only_txs;

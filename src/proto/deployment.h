@@ -1,8 +1,14 @@
 #pragma once
-// Deployment: builds a complete simulated cluster — network, one server per
+// Deployment: builds a complete cluster — runtime backend, one server per
 // (DC, partition) replica, physical clocks, timers — for either system
 // (PaRiS or BPR), and hands out client sessions. This is the top-level
 // entry point of the library; see examples/quickstart.cc for usage.
+//
+// The deployment programs only against the runtime abstraction: with
+// runtime::Kind::kSim it runs inside the deterministic discrete-event
+// simulator (byte-identical per seed), with runtime::Kind::kThreads the
+// same protocol code runs on real worker threads. Sim-specific access
+// (fault injection, stepping) lives in proto/sim_access.h.
 
 #include <memory>
 #include <vector>
@@ -12,7 +18,8 @@
 #include "proto/client.h"
 #include "proto/paris_server.h"
 #include "proto/runtime.h"
-#include "sim/network.h"
+#include "runtime/backend.h"
+#include "sim/codec_mode.h"
 
 namespace paris::proto {
 
@@ -25,12 +32,16 @@ struct DeploymentConfig {
   cluster::TopologyConfig topo;
   ProtocolConfig protocol;
   CostModel cost;
+  /// Backend: deterministic simulator (default) or real worker threads.
+  runtime::Kind runtime = runtime::Kind::kSim;
+  /// Threads backend: worker thread count; 0 = one per server node.
+  std::uint32_t worker_threads = 0;
   sim::CodecMode codec = sim::CodecMode::kBytes;
   /// true: AWS-calibrated inter-DC latencies (first M of the paper's ten
-  /// regions); false: uniform latencies (unit tests).
+  /// regions); false: uniform latencies (unit tests). Sim backend only.
   bool aws_latency = true;
-  sim::SimTime uniform_inter_dc_us = 40'000;
-  sim::SimTime uniform_intra_dc_us = 150;
+  std::uint64_t uniform_inter_dc_us = 40'000;
+  std::uint64_t uniform_intra_dc_us = 150;
   double jitter = 0.05;
   std::uint64_t seed = 1;
 };
@@ -38,19 +49,21 @@ struct DeploymentConfig {
 class Deployment {
  public:
   explicit Deployment(const DeploymentConfig& cfg, Tracer* tracer = nullptr);
+  ~Deployment();
 
   /// Starts all server timers (apply/replicate, gossip, GC). Call once
-  /// before running the simulation.
+  /// before running the deployment.
   void start();
 
   /// Creates a client session collocated with the given coordinator
   /// partition server in `dc` (the paper collocates one client process per
-  /// partition per DC). The deployment owns the client.
+  /// partition per DC). The deployment owns the client. Clients must be
+  /// added before the first run_for().
   Client& add_client(DcId dc, PartitionId coordinator_partition);
 
   // --- accessors ---
-  sim::Simulation& sim() { return sim_; }
-  sim::Network& net() { return net_; }
+  runtime::Backend& backend() { return *backend_; }
+  runtime::Executor& exec() { return backend_->exec(); }
   const cluster::Topology& topo() const { return topo_; }
   Runtime& runtime() { return rt_; }
   const DeploymentConfig& config() const { return cfg_; }
@@ -62,18 +75,22 @@ class Deployment {
   const std::vector<std::unique_ptr<ServerBase>>& servers() const { return servers_; }
   const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
 
-  /// Convenience: run the simulation for `us` microseconds.
-  void run_for(sim::SimTime us) { sim_.run_until(sim_.now() + us); }
+  /// Advances the deployment by `us` microseconds (simulated or wall time).
+  void run_for(std::uint64_t us) { backend_->run_for(us); }
+  /// Stops worker threads (threads backend; no-op for sim). Call before
+  /// inspecting server/client state of a threads run; also runs on
+  /// destruction.
+  void stop() { backend_->stop(); }
 
-  /// Aggregated server stats across the cluster.
+  /// Aggregated server stats across the cluster, accumulated in NodeId
+  /// order so the output is deterministic regardless of container order.
   ServerBase::Stats total_server_stats() const;
 
  private:
   DeploymentConfig cfg_;
-  sim::Simulation sim_;
-  sim::Network net_;
   cluster::Topology topo_;
   cluster::Directory dir_;
+  std::unique_ptr<runtime::Backend> backend_;
   Runtime rt_;
   std::vector<std::unique_ptr<ServerBase>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;

@@ -44,11 +44,11 @@ void ParisServer::resolve_tree_nodes() {
 void ParisServer::start_timers(Rng& phase_rng) {
   ServerBase::start_timers(phase_rng);
   resolve_tree_nodes();
-  gst_timer_ = rt_.sim.every(rt_.cfg.delta_g_us, phase_rng.next_below(rt_.cfg.delta_g_us),
-                             [this] { gst_tick(); });
+  gst_timer_ = rt_.exec.every(self_, rt_.cfg.delta_g_us, phase_rng.next_below(rt_.cfg.delta_g_us),
+                              [this] { gst_tick(); });
   if (tree_.is_root(local_idx_)) {
-    ust_timer_ = rt_.sim.every(rt_.cfg.delta_u_us, phase_rng.next_below(rt_.cfg.delta_u_us),
-                               [this] { ust_tick(); });
+    ust_timer_ = rt_.exec.every(self_, rt_.cfg.delta_u_us,
+                                phase_rng.next_below(rt_.cfg.delta_u_us), [this] { ust_tick(); });
   }
 }
 
@@ -94,13 +94,13 @@ void ParisServer::note_applied(TxId tx, Timestamp ct) {
 void ParisServer::set_ust(Timestamp t) {
   if (t > ust_) {
     ust_ = t;
-    if (rt_.tracer) rt_.tracer->on_ust_advance(dc_, partition_, ust_, rt_.sim.now());
+    if (rt_.tracer) rt_.tracer->on_ust_advance(dc_, partition_, ust_, rt_.exec.now_us());
   }
   // Sampled updates become visible once the UST passes their ct.
   while (!pending_visibility_.empty() && pending_visibility_.top().first <= ust_) {
     const auto [ct, tx] = pending_visibility_.top();
     pending_visibility_.pop();
-    if (rt_.tracer) rt_.tracer->on_visible(dc_, partition_, tx, ct, rt_.sim.now());
+    if (rt_.tracer) rt_.tracer->on_visible(dc_, partition_, tx, ct, rt_.exec.now_us());
   }
 }
 

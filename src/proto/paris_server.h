@@ -78,8 +78,8 @@ class ParisServer : public ServerBase {
   using VisEntry = std::pair<Timestamp, TxId>;
   std::priority_queue<VisEntry, std::vector<VisEntry>, std::greater<>> pending_visibility_;
 
-  sim::Simulation::PeriodicHandle gst_timer_;
-  sim::Simulation::PeriodicHandle ust_timer_;
+  runtime::TimerHandle gst_timer_;
+  runtime::TimerHandle ust_timer_;
 };
 
 }  // namespace paris::proto

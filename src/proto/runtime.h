@@ -1,17 +1,22 @@
 #pragma once
-// Shared per-deployment context handed to every server and client.
+// Shared per-deployment context handed to every server and client. The
+// protocol layer programs against the runtime abstraction (Executor for
+// time/timers/deferred tasks, Transport for messaging) and never sees the
+// concrete backend — the same servers and clients run unchanged on the
+// deterministic simulator (runtime::SimBackend) and on real worker threads
+// (runtime::ThreadBackend).
 
 #include "cluster/topology.h"
 #include "proto/config.h"
 #include "proto/tracer.h"
-#include "sim/network.h"
-#include "sim/simulation.h"
+#include "runtime/executor.h"
+#include "runtime/transport.h"
 
 namespace paris::proto {
 
 struct Runtime {
-  sim::Simulation& sim;
-  sim::Network& net;
+  runtime::Executor& exec;
+  runtime::Transport& net;
   const cluster::Topology& topo;
   cluster::Directory& dir;
   CostModel cost;

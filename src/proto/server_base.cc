@@ -85,13 +85,13 @@ void ServerBase::attach(NodeId self, PhysClock clock) {
 void ServerBase::start_timers(Rng& phase_rng) {
   PARIS_CHECK_MSG(self_ != kInvalidNode, "attach() must precede start_timers()");
   const auto& cfg = rt_.cfg;
-  apply_timer_ = rt_.sim.every(cfg.delta_r_us, phase_rng.next_below(cfg.delta_r_us),
-                               [this] { apply_tick(); });
-  gc_timer_ = rt_.sim.every(cfg.gc_interval_us, phase_rng.next_below(cfg.gc_interval_us),
-                            [this] { gc_tick(); });
-  ctx_reaper_timer_ = rt_.sim.every(cfg.tx_context_timeout_us / 2,
-                                    phase_rng.next_below(cfg.tx_context_timeout_us / 2),
-                                    [this] { reap_stale_contexts(); });
+  apply_timer_ = rt_.exec.every(self_, cfg.delta_r_us, phase_rng.next_below(cfg.delta_r_us),
+                                [this] { apply_tick(); });
+  gc_timer_ = rt_.exec.every(self_, cfg.gc_interval_us, phase_rng.next_below(cfg.gc_interval_us),
+                             [this] { gc_tick(); });
+  ctx_reaper_timer_ = rt_.exec.every(self_, cfg.tx_context_timeout_us / 2,
+                                     phase_rng.next_below(cfg.tx_context_timeout_us / 2),
+                                     [this] { reap_stale_contexts(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -142,7 +142,7 @@ void ServerBase::on_message(NodeId from, const Message& m) {
 void ServerBase::handle_start(NodeId from, const ClientStartReq& m) {
   const TxId tx = TxId::make(self_, next_tx_seq_++);
   const Timestamp snapshot = assign_snapshot(m.ust_c);
-  tx_.emplace(tx, TxCtx{snapshot, from, {}, {}, false, rt_.sim.now()});
+  tx_.emplace(tx, TxCtx{snapshot, from, {}, {}, false, rt_.exec.now_us()});
   active_snapshots_.insert(snapshot);
 
   auto resp = make_msg<ClientStartResp>();
@@ -259,7 +259,7 @@ void ServerBase::handle_prepare_resp(NodeId /*from*/, const PrepareResp& m) {
     cm->ct = ct;
     send(cohort, std::move(cm));
   }
-  if (rt_.tracer) rt_.tracer->on_commit_decided(m.tx, ct, dc_, rt_.sim.now());
+  if (rt_.tracer) rt_.tracer->on_commit_decided(m.tx, ct, dc_, rt_.exec.now_us());
 
   auto resp = make_msg<ClientCommitResp>();
   resp->tx = m.tx;
@@ -282,7 +282,7 @@ void ServerBase::finish_tx(TxId tx) {
 }
 
 void ServerBase::reap_stale_contexts() {
-  const sim::SimTime now = rt_.sim.now();
+  const sim::SimTime now = rt_.exec.now_us();
   const sim::SimTime timeout = rt_.cfg.tx_context_timeout_us;
   for (auto it = tx_.begin(); it != tx_.end();) {
     // Never reap a transaction whose 2PC is in flight — cohorts hold
@@ -337,7 +337,7 @@ void ServerBase::serve_slice(NodeId from, const ReadSliceReq& req) {
   stats_.slices_served++;
   if (rt_.tracer)
     rt_.tracer->on_slice_served(dc_, partition_, req.tx, req.snapshot, req.mode,
-                                resp->items, rt_.sim.now());
+                                resp->items, rt_.exec.now_us());
   send(from, std::move(resp));
 }
 
@@ -403,7 +403,7 @@ void ServerBase::apply_tick() {
       ++stats_.applied_writes;
       apply_cost += rt_.cost.apply_per_write_us;
     }
-    if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, tx, ct, rt_.sim.now());
+    if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, tx, ct, rt_.exec.now_us());
     note_applied(tx, ct);
     groups.back().txs.push_back(ReplicateTxn{tx, std::move(it->second)});
     committed_.erase(it);
@@ -454,7 +454,7 @@ void ServerBase::handle_replicate(NodeId from, const ReplicateBatch& m) {
         store_.apply(w.k, w.v, w.kind != 0 ? w.delta() : 0, g.ct, t.tx, sender_dc, w.kind);
         ++stats_.applied_writes;
       }
-      if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, t.tx, g.ct, rt_.sim.now());
+      if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, t.tx, g.ct, rt_.exec.now_us());
       note_applied(t.tx, g.ct);
     }
   }

@@ -21,12 +21,12 @@
 #include "common/min_tracker.h"
 #include "common/phys_clock.h"
 #include "proto/runtime.h"
-#include "sim/actor.h"
+#include "runtime/actor.h"
 #include "storage/mv_store.h"
 
 namespace paris::proto {
 
-class ServerBase : public sim::Actor {
+class ServerBase : public runtime::Actor {
  public:
   ServerBase(Runtime& rt, DcId dc, PartitionId partition);
   ~ServerBase() override = default;
@@ -114,12 +114,12 @@ class ServerBase : public sim::Actor {
   void apply_tick();
   void gc_tick();
 
-  std::uint64_t clock_us() const { return clock_.read_us(rt_.sim.now()); }
+  std::uint64_t clock_us() const { return clock_.read_us(rt_.exec.now_us()); }
   void send(NodeId to, wire::MessagePtr m) { rt_.net.send(self_, to, std::move(m)); }
   /// Acquires a pooled outgoing message (returned to the pool on release).
   template <class T>
   wire::PooledPtr<T> make_msg() {
-    return rt_.net.msg_pool().make<T>();
+    return rt_.net.msg_pool(self_).make<T>();
   }
   /// Node serving partition p for requests originating in this server's DC.
   NodeId route_to_partition(PartitionId p) const;
@@ -198,9 +198,9 @@ class ServerBase : public sim::Actor {
   MinTracker<Timestamp> prepared_pts_;  ///< min = apply upper-bound fence
   std::map<std::pair<Timestamp, TxId>, std::vector<wire::WriteKV>> committed_;
 
-  sim::Simulation::PeriodicHandle apply_timer_;
-  sim::Simulation::PeriodicHandle gc_timer_;
-  sim::Simulation::PeriodicHandle ctx_reaper_timer_;
+  runtime::TimerHandle apply_timer_;
+  runtime::TimerHandle gc_timer_;
+  runtime::TimerHandle ctx_reaper_timer_;
 };
 
 }  // namespace paris::proto

@@ -1,0 +1,21 @@
+#pragma once
+// Sim-specific access beneath a Deployment, for tests, examples and fault
+// injection. The protocol layer itself never touches these: only code that
+// explicitly needs the deterministic simulator (stepping, pausing nodes,
+// partitioning DCs) reaches through here, and it aborts on a non-sim
+// backend.
+
+#include "proto/deployment.h"
+#include "runtime/sim_runtime.h"
+
+namespace paris::proto {
+
+inline sim::Simulation& sim_of(Deployment& d) {
+  return runtime::SimBackend::of(d.backend()).sim();
+}
+
+inline sim::Network& net_of(Deployment& d) {
+  return runtime::SimBackend::of(d.backend()).net();
+}
+
+}  // namespace paris::proto

@@ -7,7 +7,7 @@
 
 #include "common/hlc.h"
 #include "common/types.h"
-#include "sim/event_queue.h"
+#include "sim/time.h"
 #include "wire/messages.h"
 
 namespace paris::proto {

@@ -1,0 +1,22 @@
+#pragma once
+// An actor is anything that can receive protocol messages: servers and
+// client sessions. The runtime backend invokes on_message on the actor's
+// execution context — after simulated transmission delay and CPU service
+// queueing for the sim backend, or on the owning worker thread for the
+// thread backend. A single actor never executes concurrently with itself.
+
+#include "common/types.h"
+
+namespace paris::wire {
+struct Message;
+}  // namespace paris::wire
+
+namespace paris::runtime {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void on_message(NodeId from, const wire::Message& m) = 0;
+};
+
+}  // namespace paris::runtime

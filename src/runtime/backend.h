@@ -1,0 +1,60 @@
+#pragma once
+// Backend: one runnable runtime under a deployment — actor registry +
+// Executor + Transport + the run loop. Two implementations:
+//
+//  * SimBackend (runtime/sim_runtime.h): the deterministic single-threaded
+//    discrete-event simulator; a run is a pure function of config and seed.
+//  * ThreadBackend (runtime/thread_runtime.h): real worker threads, MPSC
+//    mailboxes, steady-clock timers; genuinely parallel, not deterministic.
+//
+// Protocol code (ServerBase, Client, Deployment, workload driver) sees only
+// Executor/Transport/Backend, never the concrete sim types.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/actor.h"
+#include "runtime/executor.h"
+#include "runtime/transport.h"
+
+namespace paris::runtime {
+
+enum class Kind { kSim, kThreads };
+
+inline const char* kind_name(Kind k) { return k == Kind::kSim ? "sim" : "threads"; }
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual Kind kind() const = 0;
+  virtual Executor& exec() = 0;
+  virtual Transport& transport() = 0;
+
+  /// Deterministic RNG the deployment draws clock samples and timer phases
+  /// from. For the sim backend this is the simulation's own RNG, so the
+  /// draw sequence — and thus byte-identical sim output — is preserved.
+  virtual Rng& rng() = 0;
+
+  /// Registers an actor; returns its node id. `service` models per-message
+  /// CPU cost (sim only). `colocate_with` pins the actor to an existing
+  /// node's execution context and loopback link (client ↔ coordinator).
+  /// Must be called before the first run_for().
+  virtual NodeId add_node(Actor* actor, DcId dc, ServiceFn service,
+                          NodeId colocate_with = kInvalidNode) = 0;
+
+  /// Advances the deployment by `us` µs: runs the event loop (sim) or
+  /// sleeps wall-clock while worker threads process (threads; the first
+  /// call spawns the workers).
+  virtual void run_for(std::uint64_t us) = 0;
+
+  /// Stops and joins worker threads (no-op for sim). Must be called before
+  /// inspecting server/client state of a threads deployment; idempotent.
+  virtual void stop() = 0;
+
+  /// Events (sim) or messages + timer fires (threads) processed so far.
+  virtual std::uint64_t events_executed() const = 0;
+};
+
+}  // namespace paris::runtime

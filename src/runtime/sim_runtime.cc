@@ -1,0 +1,13 @@
+#include "runtime/sim_runtime.h"
+
+#include "common/assert.h"
+
+namespace paris::runtime {
+
+SimBackend& SimBackend::of(Backend& b) {
+  PARIS_CHECK_MSG(b.kind() == Kind::kSim,
+                  "sim-specific access on a non-sim runtime backend");
+  return static_cast<SimBackend&>(b);
+}
+
+}  // namespace paris::runtime

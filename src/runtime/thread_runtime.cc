@@ -1,0 +1,222 @@
+#include "runtime/thread_runtime.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace paris::runtime {
+
+namespace {
+constexpr std::uint64_t kNoDeadline = ~0ull;
+}
+
+ThreadBackend::ThreadBackend(Options opt)
+    : rng_(opt.seed), epoch_(std::chrono::steady_clock::now()) {
+  const std::uint32_t w = opt.workers == 0 ? 1 : opt.workers;
+  workers_.reserve(w);
+  for (std::uint32_t i = 0; i < w; ++i) workers_.push_back(std::make_unique<Worker>());
+}
+
+ThreadBackend::~ThreadBackend() { stop(); }
+
+std::uint64_t ThreadBackend::now_us() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+NodeId ThreadBackend::add_node(Actor* actor, DcId dc, ServiceFn /*service*/,
+                               NodeId colocate_with) {
+  PARIS_CHECK(actor != nullptr);
+  PARIS_CHECK_MSG(!started_, "add_node after the thread backend started");
+  std::uint32_t worker;
+  if (colocate_with != kInvalidNode) {
+    PARIS_DCHECK(colocate_with < nodes_.size());
+    worker = nodes_[colocate_with].worker;
+  } else {
+    worker = next_anchor_++ % static_cast<std::uint32_t>(workers_.size());
+  }
+  nodes_.push_back(Node{actor, dc, worker});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox.
+// ---------------------------------------------------------------------------
+
+ThreadBackend::Envelope ThreadBackend::take_envelope(Worker& w) {
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (w.free.empty()) return Envelope{};
+  Envelope env = std::move(w.free.back());
+  w.free.pop_back();
+  return env;
+}
+
+void ThreadBackend::enqueue(Worker& w, Envelope env) {
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.inbox.push_back(std::move(env));
+  }
+  w.cv.notify_one();
+}
+
+void ThreadBackend::send(NodeId from, NodeId to, wire::MessagePtr msg) {
+  PARIS_DCHECK(from < nodes_.size() && to < nodes_.size());
+  PARIS_DCHECK(msg != nullptr);
+  // Encode on the sending thread, directly into a recycled envelope whose
+  // byte buffer keeps its grown capacity; the receiver decodes into its
+  // own pool, so messages and pools never cross threads.
+  Worker& w = *workers_[nodes_[to].worker];
+  Envelope env = take_envelope(w);
+  env.from = from;
+  env.to = to;
+  PARIS_DCHECK(env.bytes.empty());  // consumer clears before recycling
+  wire::encode_message(*msg, env.bytes);
+  bytes_sent_.fetch_add(env.bytes.size(), std::memory_order_relaxed);
+  enqueue(w, std::move(env));
+}
+
+void ThreadBackend::defer(NodeId actor, std::function<void()> fn) {
+  PARIS_DCHECK(actor < nodes_.size());
+  Worker& w = *workers_[nodes_[actor].worker];
+  Envelope env = take_envelope(w);
+  env.from = actor;
+  env.to = actor;
+  env.task = std::move(fn);
+  enqueue(w, std::move(env));
+}
+
+wire::MessagePool& ThreadBackend::msg_pool(NodeId self) {
+  PARIS_DCHECK(self < nodes_.size());
+  return workers_[nodes_[self].worker]->pool;
+}
+
+// ---------------------------------------------------------------------------
+// Timers.
+// ---------------------------------------------------------------------------
+
+std::uint64_t ThreadBackend::start_periodic(NodeId actor, std::uint64_t period_us,
+                                            std::uint64_t phase_us,
+                                            std::function<void()> fn) {
+  PARIS_DCHECK(actor < nodes_.size());
+  PARIS_CHECK(period_us > 0);
+  Worker& w = *workers_[nodes_[actor].worker];
+  auto rec = std::make_shared<TimerRec>();
+  rec->period_us = period_us;
+  rec->fn = std::move(fn);
+  const std::uint64_t id = next_timer_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timer_recs_.emplace(id, rec);
+  }
+  // Heap access is single-threaded: before start() only the main thread
+  // touches it; afterwards only the owning worker may create timers.
+  PARIS_CHECK_MSG(!started_ || std::this_thread::get_id() == w.thread.get_id(),
+                  "runtime timer creation from a foreign thread");
+  w.timers.push(TimerEntry{now_us() + phase_us, std::move(rec)});
+  return id;
+}
+
+void ThreadBackend::cancel_periodic(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(timer_mu_);
+  const auto it = timer_recs_.find(id);
+  if (it == timer_recs_.end()) return;
+  it->second->cancelled.store(true, std::memory_order_relaxed);
+  timer_recs_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop / lifecycle.
+// ---------------------------------------------------------------------------
+
+void ThreadBackend::worker_main(Worker& w) {
+  while (running_.load(std::memory_order_acquire)) {
+    // Drain the mailbox in one batched swap.
+    w.batch.clear();
+    {
+      std::unique_lock<std::mutex> lk(w.mu);
+      if (w.inbox.empty()) {
+        const std::uint64_t next =
+            w.timers.empty() ? kNoDeadline : w.timers.top().deadline_us;
+        if (next == kNoDeadline) {
+          w.cv.wait(lk, [&] {
+            return !w.inbox.empty() || !running_.load(std::memory_order_acquire);
+          });
+        } else if (next > now_us()) {
+          w.cv.wait_until(lk, epoch_ + std::chrono::microseconds(next), [&] {
+            return !w.inbox.empty() || !running_.load(std::memory_order_acquire);
+          });
+        }
+      }
+      std::swap(w.inbox, w.batch);
+    }
+
+    for (Envelope& env : w.batch) {
+      if (env.task) {
+        env.task();
+        env.task = nullptr;
+      } else {
+        wire::Decoder dec(env.bytes);
+        const wire::MessagePtr msg = wire::decode_message_pooled(dec, w.pool);
+        PARIS_DCHECK(dec.done());
+        nodes_[env.to].actor->on_message(env.from, *msg);
+      }
+      env.bytes.clear();  // keep capacity for reuse
+      w.events.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!w.batch.empty()) {
+      std::lock_guard<std::mutex> lk(w.mu);
+      for (Envelope& env : w.batch) w.free.push_back(std::move(env));
+    }
+
+    // Fire due timers; a periodic entry reschedules itself.
+    while (!w.timers.empty() && w.timers.top().deadline_us <= now_us()) {
+      TimerEntry e = w.timers.top();
+      w.timers.pop();
+      if (e.rec->cancelled.load(std::memory_order_relaxed)) continue;
+      e.rec->fn();
+      w.events.fetch_add(1, std::memory_order_relaxed);
+      e.deadline_us += e.rec->period_us;
+      w.timers.push(std::move(e));
+    }
+  }
+}
+
+void ThreadBackend::start() {
+  PARIS_CHECK_MSG(!stopped_, "thread backend restarted after stop(); runs are one-shot");
+  if (started_) return;
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    w->thread = std::thread([this, wp] { worker_main(*wp); });
+  }
+}
+
+void ThreadBackend::run_for(std::uint64_t us) {
+  start();
+  const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  std::this_thread::sleep_until(until);
+}
+
+void ThreadBackend::stop() {
+  stopped_ = true;
+  if (!started_ || !running_.load(std::memory_order_acquire)) return;
+  running_.store(false, std::memory_order_release);
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(w->mu);  // pairs with the cv predicate
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+std::uint64_t ThreadBackend::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->events.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace paris::runtime

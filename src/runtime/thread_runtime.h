@@ -1,0 +1,151 @@
+#pragma once
+// ThreadBackend: the protocol stack on real parallel hardware.
+//
+//  * W worker threads; every actor is pinned to one worker (servers round-
+//    robin in registration order, clients to their colocated coordinator's
+//    worker), so an actor never executes concurrently with itself and actor
+//    state needs no locks.
+//  * One MPSC mailbox per worker (mutex + condvar, batched drain). A send
+//    ENCODES the message on the sending thread and the receiving worker
+//    DECODES it into its own wire::MessagePool — messages and pools never
+//    cross threads, which preserves PR 1's single-threaded pool design and
+//    the zero-steady-state-allocation property: envelopes and their byte
+//    buffers are recycled through a per-worker free list, and decode fills
+//    pooled messages whose vectors keep their grown capacity.
+//  * Timers are per-worker min-heaps driven by steady_clock; a periodic
+//    entry reschedules itself on fire. Cancellation flips an atomic flag
+//    (lazy deletion), so TimerHandle destruction is safe from any thread,
+//    including after stop().
+//
+// Unlike the sim backend, runs are NOT deterministic — correctness is
+// validated by the exactness checker, which is order-independent.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/backend.h"
+#include "wire/messages.h"
+
+namespace paris::runtime {
+
+class ThreadBackend final : public Backend, public Executor, public Transport {
+ public:
+  struct Options {
+    /// Worker threads. The node count is unknown at construction, so 0
+    /// falls back to a single worker here; proto::Deployment resolves its
+    /// worker_threads=0 default to one-per-server *before* building the
+    /// backend.
+    std::uint32_t workers = 0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit ThreadBackend(Options opt);
+  ~ThreadBackend() override;
+
+  // --- Backend ---
+  Kind kind() const override { return Kind::kThreads; }
+  Executor& exec() override { return *this; }
+  Transport& transport() override { return *this; }
+  Rng& rng() override { return rng_; }
+  NodeId add_node(Actor* actor, DcId dc, ServiceFn service,
+                  NodeId colocate_with = kInvalidNode) override;
+  void run_for(std::uint64_t us) override;
+  void stop() override;
+  std::uint64_t events_executed() const override;
+
+  /// Spawns the worker threads (idempotent; run_for calls it). All nodes
+  /// and setup-time timers must be registered before this. Aborts if the
+  /// backend was already stopped — runs are one-shot.
+  void start();
+  bool started() const { return started_; }
+  std::uint32_t num_workers() const { return static_cast<std::uint32_t>(workers_.size()); }
+  std::uint32_t worker_of(NodeId n) const { return nodes_[n].worker; }
+
+  // --- Executor ---
+  std::uint64_t now_us() const override;
+  void defer(NodeId actor, std::function<void()> fn) override;
+  void post(NodeId actor, std::function<void()> fn) override { defer(actor, std::move(fn)); }
+  std::uint64_t start_periodic(NodeId actor, std::uint64_t period_us, std::uint64_t phase_us,
+                               std::function<void()> fn) override;
+  void cancel_periodic(std::uint64_t id) override;
+
+  // --- Transport ---
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override;
+  wire::MessagePool& msg_pool(NodeId self) override;
+  DcId dc_of(NodeId n) const override { return nodes_[n].dc; }
+  bool node_paused(NodeId /*n*/) const override { return false; }
+  void charge_cpu(NodeId /*n*/, std::uint64_t /*us*/) override {}
+  std::uint64_t total_bytes_sent() const override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One mailbox entry: either an encoded message or a deferred task.
+  struct Envelope {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    std::vector<std::uint8_t> bytes;  ///< encoded [type][payload]; empty for tasks
+    std::function<void()> task;
+  };
+
+  struct TimerRec {
+    std::atomic<bool> cancelled{false};
+    std::uint64_t period_us = 0;
+    std::function<void()> fn;
+  };
+  struct TimerEntry {
+    std::uint64_t deadline_us;
+    std::shared_ptr<TimerRec> rec;
+    friend bool operator>(const TimerEntry& a, const TimerEntry& b) {
+      return a.deadline_us > b.deadline_us;
+    }
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Envelope> inbox;  ///< guarded by mu (producers push)
+    std::vector<Envelope> free;   ///< guarded by mu (recycled envelopes)
+    std::vector<Envelope> batch;  ///< consumer-local drain buffer
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>>
+        timers;  ///< owning thread only (main thread before start)
+    wire::MessagePool pool;  ///< owning thread only
+    std::atomic<std::uint64_t> events{0};
+  };
+
+  struct Node {
+    Actor* actor = nullptr;
+    DcId dc = 0;
+    std::uint32_t worker = 0;
+  };
+
+  void worker_main(Worker& w);
+  void enqueue(Worker& w, Envelope env);
+  Envelope take_envelope(Worker& w);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Node> nodes_;
+  std::uint32_t next_anchor_ = 0;  ///< round-robin worker for non-colocated nodes
+  Rng rng_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  bool stopped_ = false;  ///< stop() is terminal: no restart
+  std::atomic<std::uint64_t> bytes_sent_{0};
+
+  std::mutex timer_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TimerRec>> timer_recs_;
+  std::atomic<std::uint64_t> next_timer_id_{1};
+};
+
+}  // namespace paris::runtime

@@ -1,0 +1,45 @@
+#pragma once
+// Transport: message delivery + message-pool access, abstracted over the
+// simulated network (sim::Network) and the thread backend's mailboxes.
+//
+// The CPU-model hooks (charge_cpu, node_paused) exist so the simulator can
+// model service time and fault injection; the thread backend runs on real
+// CPUs, so they are no-ops there.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "wire/messages.h"
+
+namespace paris::runtime {
+
+/// CPU cost (µs) of processing a message at a node; nullable. Only the sim
+/// backend consumes it — real threads pay real cycles.
+using ServiceFn = std::function<std::uint64_t(const wire::Message&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void send(NodeId from, NodeId to, wire::MessagePtr msg) = 0;
+
+  /// Pool the actor `self` builds outgoing messages from. The sim backend
+  /// has one pool (single-threaded); the thread backend returns the pool of
+  /// self's worker, which only that worker's thread may touch.
+  virtual wire::MessagePool& msg_pool(NodeId self) = 0;
+
+  virtual DcId dc_of(NodeId n) const = 0;
+
+  /// Fault injection (sim only): a paused node's timers skip work. The
+  /// thread backend never pauses nodes.
+  virtual bool node_paused(NodeId n) const = 0;
+
+  /// Accounts CPU consumed by background work (sim cost model; no-op for
+  /// threads).
+  virtual void charge_cpu(NodeId n, std::uint64_t us) = 0;
+
+  virtual std::uint64_t total_bytes_sent() const = 0;
+};
+
+}  // namespace paris::runtime

@@ -1,17 +1,12 @@
 #pragma once
-// An actor is anything that can receive protocol messages: servers and
-// client sessions. The network invokes on_message after the (simulated)
-// transmission delay and, for server nodes, after the CPU service queue.
+// Compatibility alias: the actor interface moved to the runtime layer
+// (runtime/actor.h) when the protocol stack was decoupled from the
+// simulator. sim::Network still registers plain Actors.
 
-#include "common/types.h"
-#include "wire/messages.h"
+#include "runtime/actor.h"
 
 namespace paris::sim {
 
-class Actor {
- public:
-  virtual ~Actor() = default;
-  virtual void on_message(NodeId from, const wire::Message& m) = 0;
-};
+using Actor = runtime::Actor;
 
 }  // namespace paris::sim

@@ -1,0 +1,12 @@
+#pragma once
+// Codec accounting mode of the simulated network, split out of network.h so
+// configuration structs can name it without pulling in the whole simulator.
+
+namespace paris::sim {
+
+/// kBytes encodes + decodes every message through src/wire (default in
+/// tests/examples); kSizeOnly skips the byte round-trip but still accounts
+/// sizes (used by the large benchmark sweeps).
+enum class CodecMode { kBytes, kSizeOnly };
+
+}  // namespace paris::sim

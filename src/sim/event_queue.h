@@ -19,11 +19,9 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "sim/time.h"
 
 namespace paris::sim {
-
-/// Simulated time in microseconds since simulation start.
-using SimTime = std::uint64_t;
 
 /// Type-erased callable with inline storage. Tasks are constructed in place
 /// inside a slab slot and relocated exactly once (onto the stack) when they

@@ -21,13 +21,12 @@
 #include <vector>
 
 #include "sim/actor.h"
+#include "sim/codec_mode.h"
 #include "sim/latency.h"
 #include "sim/simulation.h"
 #include "wire/messages.h"
 
 namespace paris::sim {
-
-enum class CodecMode { kBytes, kSizeOnly };
 
 /// CPU cost (µs) of processing a message at a node; nullptr-able.
 using ServiceFn = std::function<SimTime(const wire::Message&)>;

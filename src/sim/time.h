@@ -1,0 +1,14 @@
+#pragma once
+// Time unit shared by the simulator and the runtime abstraction: plain
+// microseconds. For the sim backend this is simulated time since simulation
+// start; for the thread backend it is steady-clock time since backend
+// construction. Protocol code treats it as an opaque monotonic µs counter.
+
+#include <cstdint>
+
+namespace paris::sim {
+
+/// Microseconds since the runtime's epoch (simulation start / backend start).
+using SimTime = std::uint64_t;
+
+}  // namespace paris::sim

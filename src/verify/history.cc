@@ -11,6 +11,7 @@ using wire::WriteKV;
 
 void HistoryRecorder::on_commit_writes(TxId tx, DcId origin,
                                        const std::vector<WriteKV>& writes) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& rec = txs_[tx];
   rec.origin = origin;
   rec.writes = writes;
@@ -18,6 +19,7 @@ void HistoryRecorder::on_commit_writes(TxId tx, DcId origin,
 
 void HistoryRecorder::on_commit_decided(TxId tx, Timestamp ct, DcId origin,
                                         sim::SimTime /*now*/) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& rec = txs_[tx];
   rec.ct = ct;
   rec.origin = origin;
@@ -28,10 +30,12 @@ void HistoryRecorder::on_slice_served(DcId server_dc, PartitionId partition, TxI
                                       Timestamp snapshot, std::uint8_t mode,
                                       const std::vector<Item>& items, sim::SimTime now) {
   if (!opt_.record_slices) return;
+  std::lock_guard<std::mutex> lk(mu_);
   slices_.push_back(SliceRecord{server_dc, partition, tx, snapshot, mode, items, now});
 }
 
 Timestamp HistoryRecorder::commit_ts(TxId tx) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = txs_.find(tx);
   return it == txs_.end() ? kTsZero : it->second.ct;
 }
@@ -83,6 +87,7 @@ std::string fmt(const char* f, auto... args) {
 }  // namespace
 
 std::vector<std::string> HistoryRecorder::check() const {
+  std::lock_guard<std::mutex> lk(mu_);  // run after the deployment stopped
   std::vector<std::string> violations;
 
   // Index committed writes per key, sorted by the total version order.

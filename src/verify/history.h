@@ -21,6 +21,7 @@
 // A bug in the UST, HLC, version-clock or blocking logic shows up as an
 // exactness violation here.
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,7 +39,8 @@ class HistoryRecorder : public proto::Tracer {
   HistoryRecorder() : HistoryRecorder(Options{true, false}) {}
   explicit HistoryRecorder(Options opt) : opt_(opt) {}
 
-  // Tracer interface.
+  // Tracer interface. Recording is mutex-guarded so histories can be taped
+  // from every worker of a ThreadBackend (uncontended under the sim).
   void on_commit_writes(TxId tx, DcId origin,
                         const std::vector<wire::WriteKV>& writes) override;
   void on_commit_decided(TxId tx, Timestamp ct, DcId origin, sim::SimTime now) override;
@@ -51,8 +53,14 @@ class HistoryRecorder : public proto::Tracer {
   /// history is consistent).
   std::vector<std::string> check() const;
 
-  std::size_t num_committed() const { return decided_; }
-  std::size_t num_slices() const { return slices_.size(); }
+  std::size_t num_committed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return decided_;
+  }
+  std::size_t num_slices() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return slices_.size();
+  }
 
   /// Commit timestamp of tx (zero if unknown/undecided).
   Timestamp commit_ts(TxId tx) const;
@@ -74,6 +82,7 @@ class HistoryRecorder : public proto::Tracer {
   };
 
   Options opt_;
+  mutable std::mutex mu_;
   std::unordered_map<TxId, TxRecord> txs_;
   std::vector<SliceRecord> slices_;
   std::size_t decided_ = 0;

@@ -32,4 +32,21 @@ std::unique_ptr<Message> decode_message(Decoder& d) {
   return nullptr;
 }
 
+MessagePtr decode_message_pooled(Decoder& d, MessagePool& pool) {
+  const auto t = static_cast<MsgType>(d.get_u8());
+  switch (t) {
+#define PARIS_MSG_DECODE_POOLED_CASE(T)  \
+  case T::kType: {                       \
+    PooledPtr<T> m = pool.make<T>();     \
+    detail::WireReader r{d};             \
+    T::fields(*m, r);                    \
+    return MessagePtr(std::move(m));     \
+  }
+    PARIS_FOREACH_MESSAGE(PARIS_MSG_DECODE_POOLED_CASE)
+#undef PARIS_MSG_DECODE_POOLED_CASE
+  }
+  PARIS_CHECK_MSG(false, "unknown message type");
+  return nullptr;
+}
+
 }  // namespace paris::wire

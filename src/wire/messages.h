@@ -343,6 +343,12 @@ void encode_message(const Message& m, std::vector<std::uint8_t>& out);
 /// Decodes a message previously produced by encode_message.
 std::unique_ptr<Message> decode_message(Decoder& d);
 
+/// Decodes into a message acquired from `pool` (field vectors keep their
+/// grown capacity), so a warmed-up receive path decodes without heap
+/// traffic. Used by the thread runtime, whose transport serializes every
+/// message between per-worker pools.
+MessagePtr decode_message_pooled(Decoder& d, MessagePool& pool);
+
 // ---------------------------------------------------------------------------
 // Field visitors.
 // ---------------------------------------------------------------------------
@@ -360,6 +366,26 @@ constexpr std::int64_t unzigzag(std::uint64_t u) {
 
 struct WireWriter {
   Encoder& e;
+  /// WriteKV/Item carry their binary counter payload (`num`) behind a
+  /// presence bit folded into an existing byte (WriteKV's kind flags,
+  /// Item's shifted source-DC), so register traffic — where num is always
+  /// 0 — pays zero varint overhead for the field.
+  void operator()(const WriteKV& w) {
+    (*this)(w.k);
+    (*this)(w.v);
+    const bool has_num = w.num != 0;
+    e.put_u8(static_cast<std::uint8_t>((w.kind & 1u) | (has_num ? 2u : 0u)));
+    if (has_num) e.put_varint(zigzag(w.num));
+  }
+  void operator()(const Item& it) {
+    (*this)(it.k);
+    (*this)(it.v);
+    (*this)(it.ut);
+    (*this)(it.tx);
+    const bool has_num = it.num != 0;
+    e.put_varint((static_cast<std::uint64_t>(it.sr) << 1) | (has_num ? 1u : 0u));
+    if (has_num) e.put_varint(zigzag(it.num));
+  }
   void operator()(std::uint8_t v) { e.put_u8(v); }
   void operator()(std::uint64_t v) { e.put_varint(v); }
   void operator()(std::uint32_t v) { e.put_varint(v); }
@@ -382,6 +408,22 @@ struct WireWriter {
 
 struct WireReader {
   Decoder& d;
+  void operator()(WriteKV& w) {
+    (*this)(w.k);
+    (*this)(w.v);
+    const std::uint8_t flags = d.get_u8();
+    w.kind = flags & 1u;
+    w.num = (flags & 2u) ? unzigzag(d.get_varint()) : 0;
+  }
+  void operator()(Item& it) {
+    (*this)(it.k);
+    (*this)(it.v);
+    (*this)(it.ut);
+    (*this)(it.tx);
+    const std::uint64_t sr_flags = d.get_varint();
+    it.sr = static_cast<DcId>(sr_flags >> 1);
+    it.num = (sr_flags & 1u) ? unzigzag(d.get_varint()) : 0;
+  }
   void operator()(std::uint8_t& v) { v = d.get_u8(); }
   void operator()(std::uint64_t& v) { v = d.get_varint(); }
   void operator()(std::uint32_t& v) { v = static_cast<std::uint32_t>(d.get_varint()); }
@@ -404,6 +446,20 @@ struct WireReader {
 
 struct WireSizer {
   std::size_t n = 0;
+  void operator()(const WriteKV& w) {
+    (*this)(w.k);
+    (*this)(w.v);
+    n += 1;  // kind/presence flags
+    if (w.num != 0) n += varint_size(zigzag(w.num));
+  }
+  void operator()(const Item& it) {
+    (*this)(it.k);
+    (*this)(it.v);
+    (*this)(it.ut);
+    (*this)(it.tx);
+    n += varint_size((static_cast<std::uint64_t>(it.sr) << 1) | (it.num != 0 ? 1u : 0u));
+    if (it.num != 0) n += varint_size(zigzag(it.num));
+  }
   void operator()(std::uint8_t) { n += 1; }
   void operator()(std::uint64_t v) { n += varint_size(v); }
   void operator()(std::uint32_t v) { n += varint_size(v); }

@@ -3,6 +3,7 @@
 namespace paris::workload {
 
 void Collector::record_tx(sim::SimTime started, sim::SimTime finished, bool multi_dc) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (finished < begin_ || finished >= end_) return;
   ++committed_;
   const sim::SimTime lat = finished - started;
@@ -10,12 +11,12 @@ void Collector::record_tx(sim::SimTime started, sim::SimTime finished, bool mult
   (multi_dc ? latency_multi_ : latency_local_).record(lat);
 }
 
-Session::Session(sim::Simulation& sim, proto::Client& client, TxGenerator gen,
+Session::Session(runtime::Executor& exec, proto::Client& client, TxGenerator gen,
                  Collector& collector)
-    : sim_(sim), client_(client), gen_(std::move(gen)), collector_(collector) {}
+    : exec_(exec), client_(client), gen_(std::move(gen)), collector_(collector) {}
 
 void Session::next_tx() {
-  tx_start_ = sim_.now();
+  tx_start_ = exec_.now_us();
   plan_ = gen_.next();
 
   client_.start_tx([this](TxId, Timestamp) {
@@ -32,7 +33,7 @@ void Session::write_and_commit() {
   // Phase 2: buffer all writes, then commit atomically.
   if (!plan_.writes.empty()) client_.write(plan_.writes);
   client_.commit([this](Timestamp) {
-    collector_.record_tx(tx_start_, sim_.now(), plan_.multi_dc);
+    collector_.record_tx(tx_start_, exec_.now_us(), plan_.multi_dc);
     ++txs_done_;
     next_tx();
   });

@@ -6,9 +6,11 @@
 // window (events outside the window — warmup and drain — are discarded).
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "proto/client.h"
+#include "runtime/executor.h"
 #include "stats/histogram.h"
 #include "workload/generator.h"
 
@@ -21,6 +23,8 @@ class Collector {
     end_ = end;
   }
 
+  /// Thread-safe: sessions on different workers of a ThreadBackend report
+  /// concurrently (the mutex is uncontended on the single-threaded sim).
   void record_tx(sim::SimTime started, sim::SimTime finished, bool multi_dc);
 
   std::uint64_t committed() const { return committed_; }
@@ -33,6 +37,7 @@ class Collector {
   const stats::Histogram& latency_multi() const { return latency_multi_; }
 
  private:
+  std::mutex mu_;
   sim::SimTime begin_ = 0, end_ = 0;
   std::uint64_t committed_ = 0;
   stats::Histogram latency_;        // µs, all transactions
@@ -42,10 +47,12 @@ class Collector {
 
 class Session {
  public:
-  Session(sim::Simulation& sim, proto::Client& client, TxGenerator gen, Collector& collector);
+  Session(runtime::Executor& exec, proto::Client& client, TxGenerator gen,
+          Collector& collector);
 
-  /// Kicks off the closed loop; transactions chain until the simulation
-  /// stops being run.
+  /// Kicks off the closed loop; transactions chain until the runtime stops
+  /// being run. On a threads backend, call via Executor::post so the loop
+  /// starts on the client's own worker.
   void run() { next_tx(); }
 
   std::uint64_t txs_done() const { return txs_done_; }
@@ -54,7 +61,7 @@ class Session {
   void next_tx();
   void write_and_commit();
 
-  sim::Simulation& sim_;
+  runtime::Executor& exec_;
   proto::Client& client_;
   TxGenerator gen_;
   Collector& collector_;

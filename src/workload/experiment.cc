@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "verify/history.h"
@@ -12,7 +13,9 @@ namespace paris::workload {
 namespace {
 
 /// Tracer used by experiments: optional full-history recording (for the
-/// exactness checker) plus sampled update-visibility measurement.
+/// exactness checker) plus sampled update-visibility measurement. Hooks
+/// fire from every worker thread of a ThreadBackend, so mutations are
+/// mutex-guarded (uncontended on the single-threaded sim backend).
 class ExperimentTracer : public proto::Tracer {
  public:
   ExperimentTracer(bool check, bool visibility, std::uint32_t sample_shift)
@@ -31,7 +34,10 @@ class ExperimentTracer : public proto::Tracer {
 
   void on_commit_decided(TxId tx, Timestamp ct, DcId origin, sim::SimTime now) override {
     if (history_) history_->on_commit_decided(tx, ct, origin, now);
-    if (visibility_ && sampled(tx)) commit_wall_[tx] = now;
+    if (visibility_ && sampled(tx)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      commit_wall_[tx] = now;
+    }
   }
 
   void on_slice_served(DcId dc, PartitionId p, TxId tx, Timestamp snapshot,
@@ -43,6 +49,7 @@ class ExperimentTracer : public proto::Tracer {
   bool want_visibility(TxId tx) const override { return visibility_ && sampled(tx); }
 
   void on_visible(DcId, PartitionId, TxId tx, Timestamp, sim::SimTime now) override {
+    std::lock_guard<std::mutex> lk(mu_);
     const auto it = commit_wall_.find(tx);
     // An apply can race ahead of the commit_wall_ record only if the tx was
     // not sampled; sampled() gates both sides, so a miss means the commit
@@ -58,6 +65,7 @@ class ExperimentTracer : public proto::Tracer {
   bool check_;
   bool visibility_;
   std::uint64_t sample_mask_;
+  std::mutex mu_;
   std::unique_ptr<verify::HistoryRecorder> history_;
   std::unordered_map<TxId, sim::SimTime> commit_wall_;
   stats::Histogram visibility_hist_;
@@ -70,6 +78,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   proto::DeploymentConfig dc;
   dc.system = cfg.system;
+  dc.runtime = cfg.runtime;
+  dc.worker_threads = cfg.worker_threads;
   dc.topo = {cfg.num_dcs, cfg.num_partitions, cfg.replication};
   dc.protocol = cfg.protocol;
   dc.cost = cfg.cost;
@@ -82,12 +92,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   proto::Deployment dep(dc, &tracer);
   dep.start();
 
+  // The measurement window is anchored at the current runtime time: zero
+  // for the sim backend (as before), the setup-elapsed steady-clock offset
+  // for the threads backend.
+  const sim::SimTime t0 = dep.exec().now_us();
   Collector collector;
-  collector.set_window(cfg.warmup_us, cfg.warmup_us + cfg.measure_us);
+  collector.set_window(t0 + cfg.warmup_us, t0 + cfg.warmup_us + cfg.measure_us);
 
   // One client process per partition per DC, threads_per_process sessions
   // each, collocated with their coordinator (§V-A).
   std::vector<std::unique_ptr<Session>> sessions;
+  std::vector<NodeId> session_nodes;
   for (DcId d = 0; d < dep.topo().num_dcs(); ++d) {
     for (PartitionId p : dep.topo().partitions_at(d)) {
       for (std::uint32_t t = 0; t < cfg.threads_per_process; ++t) {
@@ -96,13 +111,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
             splitmix64(cfg.seed ^ (static_cast<std::uint64_t>(d) << 40) ^
                        (static_cast<std::uint64_t>(p) << 20) ^ t);
         sessions.push_back(std::make_unique<Session>(
-            dep.sim(), client, TxGenerator(dep.topo(), cfg.workload, d, seed), collector));
+            dep.exec(), client, TxGenerator(dep.topo(), cfg.workload, d, seed), collector));
+        session_nodes.push_back(client.node());
       }
     }
   }
-  for (auto& s : sessions) s->run();
+  // Kick each closed loop on its client's execution context: inline for the
+  // sim backend (the historical behavior), a mailbox task for threads.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    Session* s = sessions[i].get();
+    dep.exec().post(session_nodes[i], [s] { s->run(); });
+  }
 
   dep.run_for(cfg.warmup_us + cfg.measure_us);
+  dep.stop();  // quiesce thread workers before reading state (sim: no-op)
 
   ExperimentResult res;
   res.throughput_tx_s = collector.throughput_tx_s();
@@ -129,8 +151,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.local_hit_rate = reads ? static_cast<double>(hits) / static_cast<double>(reads) : 0;
 
   res.visibility_hist = tracer.visibility();
-  res.sim_events = dep.sim().events_executed();
-  res.bytes_sent = dep.net().total_bytes_sent();
+  res.sim_events = dep.backend().events_executed();
+  res.bytes_sent = dep.backend().transport().total_bytes_sent();
   if (tracer.history() != nullptr) res.violations = tracer.history()->check();
 
   res.wall_seconds =

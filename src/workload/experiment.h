@@ -18,6 +18,11 @@ namespace paris::workload {
 struct ExperimentConfig {
   proto::System system = proto::System::kParis;
 
+  /// Runtime backend: deterministic simulator (default) or real worker
+  /// threads (`worker_threads` workers; 0 = one per server).
+  runtime::Kind runtime = runtime::Kind::kSim;
+  std::uint32_t worker_threads = 0;
+
   // Cluster shape.
   std::uint32_t num_dcs = 5;
   std::uint32_t num_partitions = 45;

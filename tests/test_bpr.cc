@@ -18,11 +18,11 @@ TEST(Bpr, FreshSnapshotReadsBlockForRoughlyOneWayDelay) {
   settle(dep);
 
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
-  const sim::SimTime t0 = dep.sim().now();
+  SyncClient sc(sim_of(dep), c);
+  const sim::SimTime t0 = sim_of(dep).now();
   sc.start();
   sc.read({dep.topo().make_key(dep.topo().partitions_at(0)[0], 1)});
-  const sim::SimTime elapsed = dep.sim().now() - t0;
+  const sim::SimTime elapsed = sim_of(dep).now() - t0;
   sc.commit();
 
   EXPECT_GT(elapsed, 12'000u) << "BPR local read should block ~ one-way delay";
@@ -36,11 +36,11 @@ TEST(Bpr, EquivalentParisReadDoesNotBlock) {
   settle(dep);
 
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
-  const sim::SimTime t0 = dep.sim().now();
+  SyncClient sc(sim_of(dep), c);
+  const sim::SimTime t0 = sim_of(dep).now();
   sc.start();
   sc.read({dep.topo().make_key(dep.topo().partitions_at(0)[0], 1)});
-  const sim::SimTime elapsed = dep.sim().now() - t0;
+  const sim::SimTime elapsed = sim_of(dep).now() - t0;
   sc.commit();
 
   EXPECT_LT(elapsed, 2'000u) << "PaRiS local reads are non-blocking";
@@ -56,13 +56,13 @@ TEST(Bpr, BlockedReadReturnsCorrectFreshValue) {
   const Key k = topo.make_key(p, 9);
 
   auto& wc = dep.add_client(topo.replicas(p)[0], p);
-  SyncClient w(dep.sim(), wc);
+  SyncClient w(sim_of(dep), wc);
   const Timestamp ct = w.put({{k, "fresh"}});
 
   // Reader in the peer DC with a snapshot >= ct (folding its own clock):
   // must block until replication catches up, then see the fresh value.
   auto& rc = dep.add_client(topo.replicas(p)[1], p);
-  SyncClient r(dep.sim(), rc);
+  SyncClient r(sim_of(dep), rc);
   const Timestamp snap = r.start();
   if (snap >= ct) {
     EXPECT_EQ(r.read1(k).v, "fresh")
@@ -86,11 +86,11 @@ TEST(Bpr, FresherThanParisRightAfterCommit) {
     const PartitionId p = 0;
     const Key k = topo.make_key(p, probe_rank);
     auto& wc = dep.add_client(topo.replicas(p)[0], p);
-    SyncClient w(dep.sim(), wc);
+    SyncClient w(sim_of(dep), wc);
     w.put({{k, "new"}});
     dep.run_for(55'000);
     auto& rc = dep.add_client(topo.replicas(p)[1], p);
-    SyncClient r(dep.sim(), rc);
+    SyncClient r(sim_of(dep), rc);
     r.start();
     const std::string got = r.read1(k).v;
     r.commit();

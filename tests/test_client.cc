@@ -13,7 +13,7 @@ TEST(Client, WriteSetOverwriteInPlace) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Key k = dep.topo().make_key(0, 1);
 
   sc.start();
@@ -25,7 +25,7 @@ TEST(Client, WriteSetOverwriteInPlace) {
 
   settle(dep);
   auto& c2 = dep.add_client(1, dep.topo().partitions_at(1)[0]);
-  SyncClient sc2(dep.sim(), c2);
+  SyncClient sc2(sim_of(dep), c2);
   sc2.start();
   EXPECT_EQ(sc2.read1(k).v, "v2") << "only the final value commits";
   sc2.commit();
@@ -35,7 +35,7 @@ TEST(Client, OwnUncommittedWriteTaggedWithCurrentTx) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Key k = dep.topo().make_key(0, 2);
 
   sc.start();
@@ -51,7 +51,7 @@ TEST(Client, CachePrunedOnceUstCoversCommit) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Key k = dep.topo().make_key(0, 3);
 
   sc.put({{k, "cached"}});
@@ -79,7 +79,7 @@ TEST(Client, ReadYourWritesAcrossTransactionsBeforeStabilization) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Key k = dep.topo().make_key(1, 9);
 
   // Chain of updates with no settling: each next transaction must observe
@@ -99,7 +99,7 @@ TEST(Client, ReadOnlyCommitReturnsZeroAndKeepsHwt) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   const Timestamp ct = sc.put({{dep.topo().make_key(0, 1), "x"}});
   sc.start();
@@ -114,7 +114,7 @@ TEST(Client, ReadResultsPreserveRequestOrder) {
   settle(dep);
   const auto& topo = dep.topo();
   auto& c = dep.add_client(0, topo.partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   std::vector<Key> keys;
   std::vector<wire::WriteKV> writes;
@@ -142,7 +142,7 @@ TEST(Client, LocalHitStatsCountCacheAndSets) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Key k = dep.topo().make_key(0, 4);
 
   sc.start();
@@ -161,7 +161,7 @@ TEST(Client, BprClientHasNoCacheButReadsItsWrites) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Key k = dep.topo().make_key(0, 5);
 
   const Timestamp ct = sc.put({{k, "fresh"}});
@@ -178,7 +178,7 @@ TEST(Client, SnapshotsAdvanceMonotonicallyPerClient) {
     Deployment dep(small_config(sys, 3, 6, 2));
     dep.start();
     auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-    SyncClient sc(dep.sim(), c);
+    SyncClient sc(sim_of(dep), c);
     Timestamp prev = kTsZero;
     for (int i = 0; i < 10; ++i) {
       const Timestamp s = sc.start();

@@ -130,7 +130,7 @@ TEST(CounterE2E, ConcurrentIncrementsFromAllDcsAllSurvive) {
   for (DcId d = 0; d < 3; ++d) {
     auto& c = dep.add_client(d, topo.partitions_at(d)[0]);
     raw.push_back(&c);
-    clients.emplace_back(dep.sim(), c);
+    clients.emplace_back(sim_of(dep), c);
   }
   const int rounds = 5;
   for (int r = 0; r < rounds; ++r) {
@@ -145,7 +145,7 @@ TEST(CounterE2E, ConcurrentIncrementsFromAllDcsAllSurvive) {
   // Every increment survives: 3 DCs x 5 rounds = 15. Under LWW nearly all
   // concurrent increments would have been lost.
   for (std::size_t i = 0; i < clients.size(); ++i) {
-    EXPECT_EQ(counter_value(clients[i], dep.sim(), *raw[i], k), rounds * 3)
+    EXPECT_EQ(counter_value(clients[i], sim_of(dep), *raw[i], k), rounds * 3)
         << "DC " << i << " lost increments";
   }
 }
@@ -156,7 +156,7 @@ TEST(CounterE2E, ReadYourOwnIncrementsBeforeStabilization) {
   settle(dep);
   const Key k = dep.topo().make_key(1, 88);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   // Commit three increments back-to-back: the UST cannot cover them yet,
   // so they live in the counter cache — and must still be counted.
@@ -165,7 +165,7 @@ TEST(CounterE2E, ReadYourOwnIncrementsBeforeStabilization) {
     c.add(k, 10);
     sc.commit();
   }
-  EXPECT_EQ(counter_value(sc, dep.sim(), c, k), 30)
+  EXPECT_EQ(counter_value(sc, sim_of(dep), c, k), 30)
       << "read-your-writes must hold for counters via the counter cache";
 
   // In-transaction uncommitted delta also folds in.
@@ -179,13 +179,13 @@ TEST(CounterE2E, ReadYourOwnIncrementsBeforeStabilization) {
            done = true;
          },
          ReadMode::kCounter);
-  run_until_flag(dep.sim(), done);
+  run_until_flag(sim_of(dep), done);
   sc.commit();
   EXPECT_EQ(val, 35);
 
   // After stabilization the server-side sum takes over and the cache drains.
   settle(dep, 800'000);
-  EXPECT_EQ(counter_value(sc, dep.sim(), c, k), 35);
+  EXPECT_EQ(counter_value(sc, sim_of(dep), c, k), 35);
   sc.start();
   sc.commit();
   EXPECT_EQ(c.cache_size(), 0u);
@@ -201,7 +201,7 @@ TEST(CounterE2E, CountersSurviveGcChurn) {
   const PartitionId p = 0;
   const Key k = topo.make_key(p, 99);
   auto& c = dep.add_client(0, p);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   for (int i = 0; i < 120; ++i) {
     sc.start();
@@ -211,7 +211,7 @@ TEST(CounterE2E, CountersSurviveGcChurn) {
   }
   settle(dep, 800'000);
 
-  EXPECT_EQ(counter_value(sc, dep.sim(), c, k), 120)
+  EXPECT_EQ(counter_value(sc, sim_of(dep), c, k), 120)
       << "GC folding must not change counter sums";
   // And GC did actually trim the delta chain.
   for (DcId d : topo.replicas(p))
@@ -225,7 +225,7 @@ TEST(CounterE2E, BprCountersWorkThroughBlocking) {
   const Key k = dep.topo().make_key(0, 55);
   auto& c0 = dep.add_client(0, 0);
   auto& c1 = dep.add_client(1, 0);
-  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+  SyncClient a(sim_of(dep), c0), b(sim_of(dep), c1);
 
   a.start();
   c0.add(k, 4);
@@ -235,8 +235,8 @@ TEST(CounterE2E, BprCountersWorkThroughBlocking) {
   b.commit();
   settle(dep, 400'000);
 
-  EXPECT_EQ(counter_value(a, dep.sim(), c0, k), 10);
-  EXPECT_EQ(counter_value(b, dep.sim(), c1, k), 10);
+  EXPECT_EQ(counter_value(a, sim_of(dep), c0, k), 10);
+  EXPECT_EQ(counter_value(b, sim_of(dep), c1, k), 10);
 }
 
 }  // namespace

@@ -44,7 +44,7 @@ TEST(Deployment, StatsAggregateAcrossServers) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 5; ++i) {
     sc.start();
     sc.read({dep.topo().make_key(i % 6, i)});
@@ -65,11 +65,11 @@ TEST(Deployment, WholeStackDeterministicAcrossRuns) {
     Deployment dep(small_config(System::kParis, 3, 6, 2, seed));
     dep.start();
     auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-    SyncClient sc(dep.sim(), c);
+    SyncClient sc(sim_of(dep), c);
     std::vector<std::uint64_t> trace;
     for (int i = 0; i < 10; ++i) {
       trace.push_back(sc.put({{dep.topo().make_key(i % 6, i), "v"}}).raw);
-      trace.push_back(dep.sim().events_executed());
+      trace.push_back(sim_of(dep).events_executed());
     }
     return trace;
   };
@@ -85,7 +85,7 @@ TEST(Deployment, CodecModesProduceSameProtocolOutcome) {
     dep.start();
     settle(dep);
     auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-    SyncClient sc(dep.sim(), c);
+    SyncClient sc(sim_of(dep), c);
     sc.put({{dep.topo().make_key(0, 1), "same"}});
     settle(dep);
     sc.start();
@@ -100,11 +100,11 @@ TEST(Deployment, BytesAccountedOnTheWire) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   dep.run_for(100'000);
-  EXPECT_GT(dep.net().total_bytes_sent(), 1000u) << "heartbeats + gossip traffic";
+  EXPECT_GT(net_of(dep).total_bytes_sent(), 1000u) << "heartbeats + gossip traffic";
   // Each registered server saw traffic.
   std::uint64_t with_traffic = 0;
   for (const auto& s : dep.servers())
-    if (dep.net().counters(s->node()).msgs_sent > 0) ++with_traffic;
+    if (net_of(dep).counters(s->node()).msgs_sent > 0) ++with_traffic;
   EXPECT_EQ(with_traffic, dep.servers().size());
 }
 

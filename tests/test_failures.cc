@@ -14,20 +14,20 @@ TEST(Failures, ParisLocalOpsAvailableWhileAnotherDcIsolated) {
   dep.start();
   settle(dep);
 
-  dep.net().isolate_dc(2);
+  net_of(dep).isolate_dc(2);
 
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   // Local-DC transactions keep completing with low latency.
   for (int i = 0; i < 5; ++i) {
-    const sim::SimTime t0 = dep.sim().now();
+    const sim::SimTime t0 = sim_of(dep).now();
     sc.start();
     sc.read({dep.topo().make_key(dep.topo().partitions_at(0)[0], i)});
     sc.write(dep.topo().make_key(dep.topo().partitions_at(0)[1], i), "during-partition");
     sc.commit();
-    EXPECT_LT(dep.sim().now() - t0, 20'000u) << "local tx slowed by remote partition";
+    EXPECT_LT(sim_of(dep).now() - t0, 20'000u) << "local tx slowed by remote partition";
   }
-  dep.net().heal_all();
+  net_of(dep).heal_all();
 }
 
 TEST(Failures, WritesDuringPartitionConvergeAfterHeal) {
@@ -39,16 +39,16 @@ TEST(Failures, WritesDuringPartitionConvergeAfterHeal) {
   ASSERT_EQ(topo.replicas(p)[0], 2u);
   const Key k = topo.make_key(p, 4);
 
-  dep.net().isolate_dc(2);
+  net_of(dep).isolate_dc(2);
   auto& wc = dep.add_client(2, p);
-  SyncClient w(dep.sim(), wc);
+  SyncClient w(sim_of(dep), wc);
   w.put({{k, "island-write"}});
   dep.run_for(200'000);
 
   // The peer replica at DC0 cannot have it yet.
   EXPECT_EQ(dep.server(0, p).kvstore().latest(k), nullptr);
 
-  dep.net().heal_all();
+  net_of(dep).heal_all();
   settle(dep, 500'000);
   const auto* v = dep.server(0, p).kvstore().latest(k);
   ASSERT_NE(v, nullptr) << "replication must resume after heal";
@@ -56,7 +56,7 @@ TEST(Failures, WritesDuringPartitionConvergeAfterHeal) {
 
   // And it becomes readable everywhere through the resumed UST.
   auto& rc = dep.add_client(1, topo.partitions_at(1)[0]);
-  SyncClient r(dep.sim(), rc);
+  SyncClient r(sim_of(dep), rc);
   r.start();
   EXPECT_EQ(r.read1(k).v, "island-write");
   r.commit();
@@ -71,10 +71,10 @@ TEST(Failures, ParisRemoteReadStallsOnlyIfAllReplicasUnreachable) {
   const auto& topo = dep.topo();
   ASSERT_FALSE(topo.dc_replicates(3, 0));
 
-  dep.net().partition_dcs(3, 2);
+  net_of(dep).partition_dcs(3, 2);
 
   auto& c = dep.add_client(3, topo.partitions_at(3)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   // The preferred target for (DC3, partition p) is fixed; this test only
   // requires that a partition exists whose preferred replica is NOT behind
   // the partition (if it were, the stall is the documented unavailability
@@ -87,12 +87,12 @@ TEST(Failures, ParisRemoteReadStallsOnlyIfAllReplicasUnreachable) {
     }
   }
   ASSERT_LT(readable, topo.num_partitions());
-  const sim::SimTime t0 = dep.sim().now();
+  const sim::SimTime t0 = sim_of(dep).now();
   sc.start();
   sc.read({topo.make_key(readable, 1)});
   sc.commit();
-  EXPECT_LT(dep.sim().now() - t0, 300'000u);
-  dep.net().heal_all();
+  EXPECT_LT(sim_of(dep).now() - t0, 300'000u);
+  net_of(dep).heal_all();
 }
 
 TEST(Failures, ParisRemoteReadCompletesAfterHeal) {
@@ -103,7 +103,7 @@ TEST(Failures, ParisRemoteReadCompletesAfterHeal) {
 
   // Cut DC3 off entirely; a remote read from DC3 stalls, then completes
   // once healed (messages are queued, not lost — TCP semantics).
-  dep.net().isolate_dc(3);
+  net_of(dep).isolate_dc(3);
   auto& c = dep.add_client(3, topo.partitions_at(3)[0]);
 
   PartitionId remote_p = topo.num_partitions();
@@ -121,7 +121,7 @@ TEST(Failures, ParisRemoteReadCompletesAfterHeal) {
   dep.run_for(400'000);
   EXPECT_FALSE(read_done) << "remote read must stall while isolated";
 
-  dep.net().heal_all();
+  net_of(dep).heal_all();
   dep.run_for(400'000);
   EXPECT_TRUE(read_done) << "remote read must complete after heal";
 }
@@ -135,7 +135,7 @@ TEST(Failures, BprBlockedReadsSurvivePartitionAndDrainAfterHeal) {
 
   // Cut DC0 from DC1: DC0's replica of p stops receiving heartbeats from
   // DC1, so its min(VV) freezes and fresh-snapshot reads block indefinitely.
-  dep.net().partition_dcs(0, 1);
+  net_of(dep).partition_dcs(0, 1);
   dep.run_for(50'000);
 
   auto& c = dep.add_client(0, p);
@@ -146,7 +146,7 @@ TEST(Failures, BprBlockedReadsSurvivePartitionAndDrainAfterHeal) {
   dep.run_for(500'000);
   EXPECT_FALSE(done) << "BPR read must block while the peer is unreachable";
 
-  dep.net().heal_dcs(0, 1);
+  net_of(dep).heal_dcs(0, 1);
   dep.run_for(300'000);
   EXPECT_TRUE(done) << "blocked read must drain once heartbeats resume";
 }
@@ -161,7 +161,7 @@ TEST(Failures, ConsistencyHoldsAcrossPartitionHealCycles) {
 
   auto& c0 = dep.add_client(0, topo.partitions_at(0)[0]);
   auto& c1 = dep.add_client(1, topo.partitions_at(1)[0]);
-  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+  SyncClient a(sim_of(dep), c0), b(sim_of(dep), c1);
 
   // During the partition, clients only touch partitions local to their DC:
   // ops targeting a replica behind the partition would (correctly) stall
@@ -169,14 +169,14 @@ TEST(Failures, ConsistencyHoldsAcrossPartitionHealCycles) {
   const auto& locals0 = topo.partitions_at(0);
   const auto& locals1 = topo.partitions_at(1);
   for (int cycle = 0; cycle < 3; ++cycle) {
-    dep.net().partition_dcs(0, 2);
+    net_of(dep).partition_dcs(0, 2);
     for (int i = 0; i < 5; ++i) {
       a.put({{topo.make_key(locals0[i % locals0.size()], i), "a" + std::to_string(cycle)}});
       b.start();
       b.read({topo.make_key(locals1[i % locals1.size()], i)});
       b.commit();
     }
-    dep.net().heal_dcs(0, 2);
+    net_of(dep).heal_dcs(0, 2);
     settle(dep, 200'000);
   }
   const auto violations = history.check();

@@ -21,7 +21,7 @@ TEST(Gc, ChainsStayBoundedUnderChurn) {
   const Key k = topo.make_key(p, 1);
 
   auto& c = dep.add_client(topo.replicas(p)[0], p);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 200; ++i) {
     sc.put({{k, "gen" + std::to_string(i)}});
     dep.run_for(3'000);
@@ -43,7 +43,7 @@ TEST(Gc, WatermarkNeverExceedsUst) {
   Deployment dep(cfg);
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 30; ++i) {
     sc.put({{dep.topo().make_key(i % 6, i), "v"}});
     dep.run_for(20'000);
@@ -67,13 +67,13 @@ TEST(Gc, LongRunningTransactionProtectsItsSnapshot) {
   const Key probe = topo.make_key(p, 3);  // written once, then churned
 
   auto& wc = dep.add_client(topo.replicas(p)[0], p);
-  SyncClient w(dep.sim(), wc);
+  SyncClient w(sim_of(dep), wc);
   w.put({{probe, "old-probe"}});
   settle(dep);
 
   // Reader opens a transaction and holds it while the writer churns.
   auto& rc = dep.add_client(topo.replicas(p)[1], p);
-  SyncClient r(dep.sim(), rc);
+  SyncClient r(sim_of(dep), rc);
   const Timestamp snap = r.start();
   ASSERT_FALSE(snap.is_zero());
 
@@ -110,7 +110,7 @@ TEST(Gc, BprRetentionWindowPrunesOldVersions) {
   const Key k = topo.make_key(p, 4);
 
   auto& c = dep.add_client(topo.replicas(p)[0], p);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 100; ++i) {
     sc.put({{k, "g" + std::to_string(i)}});
     dep.run_for(4'000);

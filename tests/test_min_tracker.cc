@@ -30,7 +30,9 @@ TEST(MinTracker, MatchesMultisetSemantics) {
     }
     ASSERT_EQ(t.empty(), ref.empty());
     ASSERT_EQ(t.size(), ref.size());
-    if (!ref.empty()) ASSERT_EQ(t.min(), *ref.begin());
+    if (!ref.empty()) {
+      ASSERT_EQ(t.min(), *ref.begin());
+    }
   }
 }
 

@@ -14,7 +14,7 @@ TEST(ParisBasic, CommitAndReadBack_SameClient) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   const Key k = dep.topo().make_key(0, 7);
   const Timestamp ct = sc.put({{k, "hello"}});
@@ -32,7 +32,7 @@ TEST(ParisBasic, SnapshotIsStaleButMonotonic) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   Timestamp prev = kTsZero;
   for (int i = 0; i < 5; ++i) {
@@ -53,7 +53,7 @@ TEST(ParisBasic, OtherClientSeesWriteAfterStabilization) {
   const Key k = dep.topo().make_key(1, 3);
   auto& writer = dep.add_client(0, dep.topo().partitions_at(0)[0]);
   auto& reader = dep.add_client(1, dep.topo().partitions_at(1)[0]);
-  SyncClient w(dep.sim(), writer), r(dep.sim(), reader);
+  SyncClient w(sim_of(dep), writer), r(sim_of(dep), reader);
 
   const Timestamp ct = w.put({{k, "v1"}});
 
@@ -72,7 +72,7 @@ TEST(ParisBasic, AbsentKeyReadsAsZeroItem) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   sc.start();
   const Item it = sc.read1(dep.topo().make_key(2, 999));
@@ -86,7 +86,7 @@ TEST(ParisBasic, MultiPartitionTransactionCommitsAtomically) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   const auto& locals = dep.topo().partitions_at(0);
   const Key a = dep.topo().make_key(locals[0], 1);
@@ -95,7 +95,7 @@ TEST(ParisBasic, MultiPartitionTransactionCommitsAtomically) {
 
   settle(dep);
   auto& c2 = dep.add_client(1, dep.topo().partitions_at(1)[0]);
-  SyncClient sc2(dep.sim(), c2);
+  SyncClient sc2(sim_of(dep), c2);
   sc2.start();
   auto items = sc2.read({a, b});
   EXPECT_EQ(items[0].v, "A");
@@ -123,13 +123,13 @@ TEST(ParisBasic, ReadsFromRemoteDcWork) {
   // Write it from a DC that does replicate it.
   const DcId owner = topo.replicas(remote_p)[0];
   auto& w = dep.add_client(owner, topo.partitions_at(owner)[0]);
-  SyncClient sw(dep.sim(), w);
+  SyncClient sw(sim_of(dep), w);
   const Key k = topo.make_key(remote_p, 42);
   sw.put({{k, "remote"}});
   settle(dep);
 
   auto& r = dep.add_client(0, topo.partitions_at(0)[0]);
-  SyncClient sr(dep.sim(), r);
+  SyncClient sr(sim_of(dep), r);
   sr.start();
   EXPECT_EQ(sr.read1(k).v, "remote");
   sr.commit();
@@ -143,7 +143,7 @@ TEST(ParisBasic, RepeatableReadsWithinTransaction) {
 
   auto& c1 = dep.add_client(0, dep.topo().partitions_at(0)[0]);
   auto& c2 = dep.add_client(1, dep.topo().partitions_at(1)[0]);
-  SyncClient a(dep.sim(), c1), b(dep.sim(), c2);
+  SyncClient a(sim_of(dep), c1), b(sim_of(dep), c2);
 
   a.put({{k, "v1"}});
   settle(dep);

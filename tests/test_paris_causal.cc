@@ -28,10 +28,10 @@ TEST(ParisCausal, DependentWritesNeverReadOutOfOrder_AcrossDcs) {
   // Writer in DC0: X_i then Y_i, Y_i causally depends on X_i (same session,
   // read of x in between makes the dependency explicit).
   auto& wc = dep.add_client(0, topo.partitions_at(0)[0]);
-  SyncClient w(dep.sim(), wc);
+  SyncClient w(sim_of(dep), wc);
   // Reader in DC3 reads both keys from remote DCs.
   auto& rc = dep.add_client(3, topo.partitions_at(3)[0]);
-  SyncClient r(dep.sim(), rc);
+  SyncClient r(sim_of(dep), rc);
 
   for (int gen = 0; gen < 8; ++gen) {
     w.put({{x, std::to_string(gen)}});
@@ -62,9 +62,9 @@ TEST(ParisCausal, MultiPartitionWritesAreAtomic_AcrossDcs) {
   const Key y = topo.make_key(1, 2);  // DCs {1,2}
   const Key z = topo.make_key(3, 2);  // DCs {3,0}
   auto& wc = dep.add_client(0, topo.partitions_at(0)[0]);
-  SyncClient w(dep.sim(), wc);
+  SyncClient w(sim_of(dep), wc);
   auto& rc = dep.add_client(2, topo.partitions_at(2)[0]);
-  SyncClient r(dep.sim(), rc);
+  SyncClient r(sim_of(dep), rc);
 
   for (int gen = 0; gen < 8; ++gen) {
     // One transaction writes both keys; replicas of y and z share no DC.
@@ -98,7 +98,7 @@ TEST(ParisCausal, TransitiveDependencyThroughThirdClient) {
   auto& alice = dep.add_client(0, topo.partitions_at(0)[0]);
   auto& bob = dep.add_client(1, topo.partitions_at(1)[0]);
   auto& carol = dep.add_client(2, topo.partitions_at(2)[0]);
-  SyncClient A(dep.sim(), alice), B(dep.sim(), bob), C(dep.sim(), carol);
+  SyncClient A(sim_of(dep), alice), B(sim_of(dep), bob), C(sim_of(dep), carol);
 
   A.put({{a, "1"}});  // u1
   settle(dep);
@@ -117,7 +117,7 @@ TEST(ParisCausal, TransitiveDependencyThroughThirdClient) {
 
   // A fresh reader that sees c must see a (and b).
   auto& dave = dep.add_client(0, topo.partitions_at(0)[1]);
-  SyncClient D(dep.sim(), dave);
+  SyncClient D(sim_of(dep), dave);
   D.start();
   const auto items = D.read({a, b, c});
   if (items[2].v == "1") {
@@ -137,7 +137,7 @@ TEST(ParisCausal, CommitTimestampsRespectCausality) {
 
   auto& c0 = dep.add_client(0, topo.partitions_at(0)[0]);
   auto& c1 = dep.add_client(1, topo.partitions_at(1)[0]);
-  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+  SyncClient a(sim_of(dep), c0), b(sim_of(dep), c1);
 
   const Timestamp ct1 = a.put({{k1, "u1"}});
   settle(dep);
@@ -170,7 +170,7 @@ TEST(ParisCausal, ConcurrentConflictingWritesConvergeEverywhere) {
 
   auto& c0 = dep.add_client(topo.replicas(p)[0], p);
   auto& c1 = dep.add_client(topo.replicas(p)[1], p);
-  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+  SyncClient a(sim_of(dep), c0), b(sim_of(dep), c1);
 
   // Interleave conflicting updates without settling.
   for (int i = 0; i < 10; ++i) {

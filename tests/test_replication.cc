@@ -32,7 +32,7 @@ TEST(Replication, AllReplicasConvergeToIdenticalState) {
   for (DcId d = 0; d < topo.num_dcs(); ++d) {
     auto& c = dep.add_client(d, topo.partitions_at(d)[0]);
     sessions.push_back(std::make_unique<workload::Session>(
-        dep.sim(), c, workload::TxGenerator(topo, spec, d, 1000 + d), collector));
+        dep.exec(), c, workload::TxGenerator(topo, spec, d, 1000 + d), collector));
     sessions.back()->run();
   }
   dep.run_for(500'000);
@@ -74,7 +74,7 @@ TEST(Replication, MinVvIsMonotonicOverTime) {
   Deployment dep(small_config(System::kParis, 3, 6, 2, /*seed=*/223));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   std::vector<Timestamp> prev(dep.servers().size(), kTsZero);
   for (int round = 0; round < 25; ++round) {
@@ -104,7 +104,7 @@ TEST(Replication, BusyPartitionShipsBatchesInsteadOfHeartbeats) {
   settle(dep);
   const PartitionId p = 0;
   auto& c = dep.add_client(0, p);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 30; ++i) sc.put({{dep.topo().make_key(p, i), "v"}});
   settle(dep);  // let the last commits apply and replicate
   const auto st = dep.total_server_stats();
@@ -132,7 +132,7 @@ TEST(Replication, AppliesAlwaysAboveInstalledSnapshot) {
   dep.start();
   settle(dep);
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 40; ++i) {
     sc.put({{dep.topo().make_key(i % 6, i), "v"}});
     dep.run_for(3'000);

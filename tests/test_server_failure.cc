@@ -25,7 +25,7 @@ TEST(ServerFailure, CrashedServerFreezesUstUntilFailover) {
 
   // Crash: the server stops applying, heartbeating and gossiping; its
   // inbound messages queue at the network layer.
-  dep.net().pause_node(victim->node());
+  net_of(dep).pause_node(victim->node());
   dep.run_for(400'000);
   const Timestamp frozen = observer->ust();
   // The UST may advance by at most the in-flight slack, then stalls.
@@ -36,10 +36,10 @@ TEST(ServerFailure, CrashedServerFreezesUstUntilFailover) {
 
   // Failover: the backup resumes with the replicated state; queued
   // messages drain, heartbeats resume, the UST catches up.
-  dep.net().resume_node(victim->node());
+  net_of(dep).resume_node(victim->node());
   settle(dep, 600'000);
   EXPECT_GT(observer->ust(), frozen) << "UST must recover after failover";
-  const auto lag = dep.sim().now() - observer->ust().physical_us();
+  const auto lag = sim_of(dep).now() - observer->ust().physical_us();
   EXPECT_LT(lag, 200'000u) << "UST should return to steady-state lag";
 }
 
@@ -54,17 +54,17 @@ TEST(ServerFailure, ReadsNonBlockingWhileServerCrashed) {
 
   // Crash DC1's replica of partition 0 (replicas {0,1}); read partition 0
   // in DC0 (live replica).
-  dep.net().pause_node(dep.server(1, 0).node());
+  net_of(dep).pause_node(dep.server(1, 0).node());
   dep.run_for(100'000);
 
   auto& c = dep.add_client(0, 0);
-  SyncClient sc(dep.sim(), c);
-  const sim::SimTime t0 = dep.sim().now();
+  SyncClient sc(sim_of(dep), c);
+  const sim::SimTime t0 = sim_of(dep).now();
   sc.start();
   sc.read({topo.make_key(0, 3)});
   sc.commit();
-  EXPECT_LT(dep.sim().now() - t0, 10'000u);
-  dep.net().resume_node(dep.server(1, 0).node());
+  EXPECT_LT(sim_of(dep).now() - t0, 10'000u);
+  net_of(dep).resume_node(dep.server(1, 0).node());
 }
 
 TEST(ServerFailure, AbandonedTxContextReapedByTimeout) {
@@ -77,7 +77,7 @@ TEST(ServerFailure, AbandonedTxContextReapedByTimeout) {
 
   // A client starts a transaction and "crashes" (never commits/ends it).
   auto& ghost = dep.add_client(0, p);
-  SyncClient gs(dep.sim(), ghost);
+  SyncClient gs(sim_of(dep), ghost);
   const Timestamp abandoned_snap = gs.start();
   ASSERT_FALSE(abandoned_snap.is_zero());
 
@@ -116,14 +116,14 @@ TEST(ServerFailure, CommittingContextIsNeverReaped) {
   auto& c = dep.add_client(0, topo.partitions_at(0)[0]);
   bool committed = false;
   c.start_tx([&](TxId, Timestamp) {
-    dep.net().partition_dcs(0, 2);  // strand the prepare
+    net_of(dep).partition_dcs(0, 2);  // strand the prepare
     c.write({{topo.make_key(remote_p, 1), "stranded"}});
     c.commit([&](Timestamp) { committed = true; });
   });
   dep.run_for(1'000'000);  // 5x the context timeout
   EXPECT_FALSE(committed);
 
-  dep.net().heal_all();
+  net_of(dep).heal_all();
   dep.run_for(500'000);
   EXPECT_TRUE(committed) << "2PC must complete after heal (context survived)";
 }

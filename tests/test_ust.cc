@@ -37,7 +37,7 @@ TEST(Ust, StaysWithinGossipLagOfNow) {
   // one-way + ΔU, with margin.
   const sim::SimTime max_lag_us = 150'000;
   for (auto* s : paris_servers(dep)) {
-    const auto lag = dep.sim().now() - s->ust().physical_us();
+    const auto lag = sim_of(dep).now() - s->ust().physical_us();
     EXPECT_LT(lag, max_lag_us) << "UST too stale at dc=" << s->dc()
                                << " p=" << s->partition();
   }
@@ -47,7 +47,7 @@ TEST(Ust, NeverExceedsGlobalMinInstalledSnapshot) {
   Deployment dep(small_config(System::kParis, 3, 6, 2));
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
 
   for (int round = 0; round < 30; ++round) {
     sc.put({{dep.topo().make_key(round % 6, round), "v"}});
@@ -79,7 +79,7 @@ TEST(Ust, MonotonicPerServer) {
   Deployment dep(small_config(System::kParis, 3, 6, 2), &tracer);
   dep.start();
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 20; ++i) {
     sc.put({{dep.topo().make_key(i % 6, i), "x"}});
     dep.run_for(15'000);
@@ -99,7 +99,7 @@ TEST(Ust, FreezesWhenDcIsolatedAndResumesAfterHeal) {
 
   // Isolate DC2: the UST is a system-wide minimum, so it freezes at ALL DCs
   // (§III-C), within one gossip round of slack.
-  dep.net().isolate_dc(2);
+  net_of(dep).isolate_dc(2);
   dep.run_for(150'000);
   const Timestamp frozen = servers[0]->ust();
   dep.run_for(400'000);
@@ -111,14 +111,14 @@ TEST(Ust, FreezesWhenDcIsolatedAndResumesAfterHeal) {
   // Transactions still run in the connected DCs, reading the frozen
   // snapshot (availability of local operations).
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
-  const sim::SimTime t0 = dep.sim().now();
+  SyncClient sc(sim_of(dep), c);
+  const sim::SimTime t0 = sim_of(dep).now();
   sc.start();
   sc.read({dep.topo().make_key(0, 1)});
   sc.commit();
-  EXPECT_LT(dep.sim().now() - t0, 10'000u) << "local reads must not block during partition";
+  EXPECT_LT(sim_of(dep).now() - t0, 10'000u) << "local reads must not block during partition";
 
-  dep.net().heal_all();
+  net_of(dep).heal_all();
   settle(dep, 500'000);
   for (auto* s : paris_servers(dep)) {
     EXPECT_GT(s->ust(), frozen) << "UST must resume after heal";
@@ -130,18 +130,18 @@ TEST(Ust, ClientCacheGrowsDuringFreezeAndDrainsAfterHeal) {
   dep.start();
   settle(dep);
 
-  dep.net().isolate_dc(2);
+  net_of(dep).isolate_dc(2);
   dep.run_for(100'000);
 
   auto& c = dep.add_client(0, dep.topo().partitions_at(0)[0]);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   for (int i = 0; i < 5; ++i) {
     sc.put({{dep.topo().make_key(0, 100 + i), "v"}});
     dep.run_for(10'000);
   }
   EXPECT_GE(c.cache_size(), 5u) << "frozen UST => cache cannot be pruned";
 
-  dep.net().heal_all();
+  net_of(dep).heal_all();
   settle(dep, 600'000);
   sc.start();  // pruning happens on transaction start
   sc.commit();
@@ -154,7 +154,7 @@ TEST(Ust, SnapshotAssignedIsServersUst) {
   settle(dep);
   const PartitionId p = dep.topo().partitions_at(0)[0];
   auto& c = dep.add_client(0, p);
-  SyncClient sc(dep.sim(), c);
+  SyncClient sc(sim_of(dep), c);
   const Timestamp snap = sc.start();
   sc.commit();
   auto* server = dep.paris_server(0, p);
@@ -185,7 +185,7 @@ TEST(Ust, ReadSliceSnapshotAlwaysLocallyInstalled) {
 
   auto& c0 = dep.add_client(0, dep.topo().partitions_at(0)[0]);
   auto& c1 = dep.add_client(1, dep.topo().partitions_at(1)[0]);
-  SyncClient a(dep.sim(), c0), b(dep.sim(), c1);
+  SyncClient a(sim_of(dep), c0), b(sim_of(dep), c1);
   for (int i = 0; i < 25; ++i) {
     a.put({{dep.topo().make_key(i % 8, i), "v"}});
     b.start();

@@ -7,7 +7,7 @@
 
 #include <vector>
 
-#include "proto/deployment.h"
+#include "proto/sim_access.h"
 
 namespace paris::test {
 

@@ -4,25 +4,35 @@
 //   paris_sim --system=paris --dcs=5 --partitions=45 --replication=2
 //     --threads=32 --writes=1 --multi=0.05 --measure-ms=1000
 //   paris_sim --system=bpr --threads=256 --visibility
+//   paris_sim --runtime=threads --workers=4 --dcs=3 --partitions=9 --check
 //
-// Prints throughput, the latency distribution, blocking statistics (BPR)
-// and, with --visibility, the update-visibility percentiles.
+// --runtime=sim runs the deterministic discrete-event simulator (default;
+// same seed => byte-identical output); --runtime=threads runs the same
+// protocol code on real worker threads. Prints throughput, the latency
+// distribution, blocking statistics (BPR) and, with --visibility, the
+// update-visibility percentiles.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "cluster/topology.h"
 #include "workload/experiment.h"
 
 using namespace paris;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
+[[noreturn]] void usage(const char* argv0, int exit_code = 2) {
   std::printf(
       "usage: %s [options]\n"
       "  --system=paris|bpr      protocol under test (default paris)\n"
+      "  --runtime=sim|threads   deterministic simulator or real worker\n"
+      "                          threads (default sim)\n"
+      "  --workers=W             threads runtime: worker threads\n"
+      "                          (default: one per server)\n"
       "  --dcs=M                 number of data centers (default 5)\n"
       "  --partitions=N          number of partitions (default 45)\n"
       "  --replication=R         replication factor (default 2)\n"
@@ -35,13 +45,15 @@ namespace {
       "  --zipf=T                zipfian theta (default 0.99)\n"
       "  --warmup-ms=W           warmup (default 300)\n"
       "  --measure-ms=M          measurement window (default 1000)\n"
+      "  --duration-ms=D         alias for --measure-ms\n"
       "  --seed=S                RNG seed (default 42)\n"
       "  --uniform-latency       uniform 40ms WAN instead of the AWS matrix\n"
       "  --visibility            measure update visibility latency\n"
       "  --check                 run the offline exactness checker (slow)\n"
-      "  --codec-bytes           encode/decode every message (default: size only)\n",
+      "  --codec-bytes           encode/decode every message (default: size only)\n"
+      "  --help                  this text\n",
       argv0);
-  std::exit(2);
+  std::exit(exit_code);
 }
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
@@ -74,6 +86,16 @@ int main(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+    } else if (parse_flag(argv[i], "--runtime", &v) && v) {
+      if (std::string(v) == "sim") {
+        cfg.runtime = runtime::Kind::kSim;
+      } else if (std::string(v) == "threads") {
+        cfg.runtime = runtime::Kind::kThreads;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "--workers", &v) && v) {
+      cfg.worker_threads = static_cast<std::uint32_t>(std::atoi(v));
     } else if (parse_flag(argv[i], "--dcs", &v) && v) {
       cfg.num_dcs = static_cast<std::uint32_t>(std::atoi(v));
     } else if (parse_flag(argv[i], "--partitions", &v) && v) {
@@ -98,6 +120,8 @@ int main(int argc, char** argv) {
       cfg.warmup_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
     } else if (parse_flag(argv[i], "--measure-ms", &v) && v) {
       cfg.measure_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
+    } else if (parse_flag(argv[i], "--duration-ms", &v) && v) {
+      cfg.measure_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
     } else if (parse_flag(argv[i], "--seed", &v) && v) {
       cfg.seed = std::strtoull(v, nullptr, 10);
     } else if (parse_flag(argv[i], "--uniform-latency", &v)) {
@@ -108,6 +132,8 @@ int main(int argc, char** argv) {
       cfg.check_consistency = true;
     } else if (parse_flag(argv[i], "--codec-bytes", &v)) {
       cfg.codec = sim::CodecMode::kBytes;
+    } else if (parse_flag(argv[i], "--help", &v)) {
+      usage(argv[0], 0);
     } else {
       usage(argv[0]);
     }
@@ -116,6 +142,15 @@ int main(int argc, char** argv) {
   std::printf("system=%s M=%u N=%u R=%u (%.0f machines/DC) threads=%u\n",
               proto::system_name(cfg.system), cfg.num_dcs, cfg.num_partitions,
               cfg.replication, cfg.machines_per_dc(), cfg.threads_per_process);
+  // Only announced for the threads runtime: the default sim header stays
+  // byte-identical across releases (the determinism tests diff it).
+  if (cfg.runtime == runtime::Kind::kThreads) {
+    // Same default as the deployment: one worker per server node.
+    const cluster::Topology topo({cfg.num_dcs, cfg.num_partitions, cfg.replication});
+    std::printf("runtime: threads, %u workers (hw concurrency %u)\n",
+                cfg.worker_threads != 0 ? cfg.worker_threads : topo.total_servers(),
+                std::thread::hardware_concurrency());
+  }
   std::printf("workload: %s\n", cfg.workload.describe().c_str());
 
   const auto res = workload::run_experiment(cfg);

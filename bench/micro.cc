@@ -12,6 +12,9 @@
 //   PARIS_BENCH_FAST=1   short runs (CI smoke)
 //   PARIS_BENCH_OUT=path JSON output path
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -35,8 +38,10 @@
 // ---------------------------------------------------------------------------
 
 namespace {
-std::uint64_t g_alloc_count = 0;
-std::uint64_t g_alloc_bytes = 0;
+// Relaxed atomics: the thread-runtime rows allocate (or must not) from
+// worker threads; relaxed counting is exact enough for assertions of ZERO.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
 }  // namespace
 
 // GCC warns that free() doesn't match the replaced operator new; the pairing
@@ -44,8 +49,8 @@ std::uint64_t g_alloc_bytes = 0;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
-  g_alloc_bytes += size;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
@@ -82,25 +87,44 @@ std::vector<Result>& results() {
 /// Runs `body(ops_per_batch)` in batches until `seconds` of wall time have
 /// elapsed (after one untimed warmup batch), then records the result.
 /// `body` returns the number of operations performed in the batch.
+/// Throughput is the best of two measurement windows: interference (CI
+/// runner neighbors, frequency scaling) only ever slows a run, so max is
+/// the low-noise estimator — it keeps the bench regression guard's
+/// tolerance meaningful for the few-ns/op rows. Allocations are counted
+/// across both windows (a real alloc regression shows up regardless).
+/// One timed window: runs body batches for `seconds`, returns ops/sec.
+/// Kept out of line so the batch loop compiles identically no matter how
+/// many windows run_bench takes.
 template <class F>
-Result run_bench(const std::string& name, F&& body, double events_per_op = 0) {
-  const double seconds = fast_mode() ? 0.05 : 0.4;
-  (void)body();  // warmup: populate pools, grow vectors, fault pages
+__attribute__((noinline)) double measure_window(F& body, double seconds,
+                                                std::uint64_t& total_ops) {
   std::uint64_t ops = 0;
-  const std::uint64_t allocs_before = g_alloc_count;
   const auto start = Clock::now();
   double elapsed = 0;
   do {
     ops += body();
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   } while (elapsed < seconds);
+  total_ops += ops;
+  return static_cast<double>(ops) / elapsed;
+}
+
+template <class F>
+Result run_bench(const std::string& name, F&& body, double events_per_op = 0) {
+  const double seconds = fast_mode() ? 0.05 : 0.4;
+  (void)body();  // warmup: populate pools, grow vectors, fault pages
+  std::uint64_t total_ops = 0;
+  const std::uint64_t allocs_before = g_alloc_count;
+  double best_ops_per_sec = 0;
+  for (int rep = 0; rep < 2; ++rep)
+    best_ops_per_sec = std::max(best_ops_per_sec, measure_window(body, seconds, total_ops));
   const std::uint64_t allocs = g_alloc_count - allocs_before;
 
   Result r;
   r.name = name;
-  r.ops_per_sec = static_cast<double>(ops) / elapsed;
-  r.ns_per_op = elapsed * 1e9 / static_cast<double>(ops);
-  r.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(ops);
+  r.ops_per_sec = best_ops_per_sec;
+  r.ns_per_op = 1e9 / best_ops_per_sec;
+  r.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(total_ops);
   r.events_per_sec = events_per_op * r.ops_per_sec;
   std::printf("%-32s %14.0f ops/s %10.1f ns/op %8.3f allocs/op\n", name.c_str(),
               r.ops_per_sec, r.ns_per_op, r.allocs_per_op);
@@ -289,7 +313,7 @@ void bench_store_read_counter() {
 // Wire codec.
 // ---------------------------------------------------------------------------
 
-wire::ReplicateBatch make_batch(int txs, int writes) {
+wire::ReplicateBatch make_batch(int txs, int writes, const char* value = "abcdefgh") {
   wire::ReplicateBatch b;
   b.partition = 7;
   b.upto = Timestamp::from_physical(123456);
@@ -299,7 +323,7 @@ wire::ReplicateBatch make_batch(int txs, int writes) {
     wire::ReplicateTxn tx;
     tx.tx = TxId::make(3, static_cast<std::uint32_t>(t));
     for (int w = 0; w < writes; ++w)
-      tx.writes.push_back(wire::WriteKV{static_cast<Key>(t * writes + w), "abcdefgh"});
+      tx.writes.push_back(wire::WriteKV{static_cast<Key>(t * writes + w), value});
     g.txs.push_back(std::move(tx));
   }
   b.groups.push_back(std::move(g));
@@ -342,6 +366,35 @@ void bench_wire() {
     }
     return kBatch;
   });
+
+  // Hard steady-state assertion for the nested decode: a pooled
+  // ReplicateBatch's RecyclingVec nesting (groups -> txs -> writes) must
+  // keep every level's capacity across reuse, so repeated decodes — with
+  // VARYING shapes, exercising the recycle/grow/shrink paths — touch the
+  // heap zero times once warmed. This is the thread runtime's per-ΔR
+  // receive cost (ROADMAP: previously ~9 allocs/batch). One shape carries
+  // values past the small-string optimization, so the assertion also
+  // proves each recycled WriteKV keeps its string capacity.
+  const std::array<wire::ReplicateBatch, 3> shapes = {
+      make_batch(8, 4), make_batch(3, 6, "a-value-well-past-sso-capacity-0123456789"),
+      make_batch(12, 1)};
+  for (const auto& b : shapes) {  // warm pool + buffers for the largest shape
+    buf.clear();
+    wire::encode_message(b, buf);
+    wire::Decoder d(buf);
+    (void)wire::decode_message_pooled(d, pool);
+  }
+  const std::uint64_t nested_allocs_before = g_alloc_count;
+  for (int i = 0; i < 3000; ++i) {
+    buf.clear();
+    wire::encode_message(shapes[static_cast<std::size_t>(i) % shapes.size()], buf);
+    wire::Decoder d(buf);
+    const wire::MessagePtr copy = wire::decode_message_pooled(d, pool);
+    PARIS_CHECK(copy->type() == wire::MsgType::kReplicateBatch);
+  }
+  PARIS_CHECK_MSG(g_alloc_count == nested_allocs_before,
+                  "nested ReplicateBatch pooled decode allocated; the thread receive "
+                  "path regressed");
 }
 
 // ---------------------------------------------------------------------------

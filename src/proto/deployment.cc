@@ -28,6 +28,36 @@ std::unique_ptr<runtime::Backend> build_backend(const DeploymentConfig& cfg,
   }
   return std::make_unique<runtime::SimBackend>(cfg.seed, build_latency(cfg), cfg.codec);
 }
+
+std::unique_ptr<runtime::LatencyTransport> build_latency_tp(const DeploymentConfig& cfg,
+                                                            runtime::Backend& be) {
+  // The sim network models latency itself; decorating it would double-count.
+  if (cfg.runtime != runtime::Kind::kThreads ||
+      cfg.latency_model == runtime::LatencyModelKind::kNone) {
+    return nullptr;
+  }
+  auto model = build_latency(cfg);
+  if (cfg.latency_model == runtime::LatencyModelKind::kMatrix) model.set_jitter(0);
+  return std::make_unique<runtime::LatencyTransport>(be.transport(), be.exec(),
+                                                     std::move(model), cfg.seed);
+}
+
+std::unique_ptr<runtime::ChaosTransport> build_chaos_tp(const DeploymentConfig& cfg,
+                                                        runtime::Backend& be,
+                                                        runtime::Transport* below) {
+  if (cfg.runtime != runtime::Kind::kThreads || !cfg.chaos.enabled()) return nullptr;
+  runtime::ChaosConfig chaos = cfg.chaos;
+  if (chaos.seed == 0) chaos.seed = cfg.seed;
+  return std::make_unique<runtime::ChaosTransport>(
+      below != nullptr ? *below : be.transport(), be.exec(), chaos);
+}
+
+runtime::Transport& outermost(runtime::Backend& be, runtime::Transport* latency,
+                              runtime::Transport* chaos) {
+  if (chaos != nullptr) return *chaos;
+  if (latency != nullptr) return *latency;
+  return be.transport();
+}
 }  // namespace
 
 Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
@@ -35,8 +65,15 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
       topo_(cfg.topo),
       dir_(topo_),
       backend_(build_backend(cfg, topo_)),
-      rt_{backend_->exec(), backend_->transport(), topo_,  dir_,
-          cfg.cost,         cfg.protocol,          tracer} {
+      latency_tp_(build_latency_tp(cfg, *backend_)),
+      chaos_tp_(build_chaos_tp(cfg, *backend_, latency_tp_.get())),
+      rt_{backend_->exec(),
+          outermost(*backend_, latency_tp_.get(), chaos_tp_.get()),
+          topo_,
+          dir_,
+          cfg.cost,
+          cfg.protocol,
+          tracer} {
   // One server per (DC, partition) replica; registration order is
   // deterministic: DC-major, partition-minor.
   const auto service = [cost = rt_.cost](const wire::Message& m) {

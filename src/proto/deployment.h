@@ -19,6 +19,7 @@
 #include "proto/paris_server.h"
 #include "proto/runtime.h"
 #include "runtime/backend.h"
+#include "runtime/latency_transport.h"
 #include "sim/codec_mode.h"
 
 namespace paris::proto {
@@ -38,11 +39,17 @@ struct DeploymentConfig {
   std::uint32_t worker_threads = 0;
   sim::CodecMode codec = sim::CodecMode::kBytes;
   /// true: AWS-calibrated inter-DC latencies (first M of the paper's ten
-  /// regions); false: uniform latencies (unit tests). Sim backend only.
+  /// regions); false: uniform latencies (unit tests).
   bool aws_latency = true;
   std::uint64_t uniform_inter_dc_us = 40'000;
   std::uint64_t uniform_intra_dc_us = 150;
   double jitter = 0.05;
+  /// Threads backend only: wrap the transport in a LatencyTransport drawing
+  /// from the same matrix/jitter settings above, so a threads run models
+  /// WAN delay like the simulator does. kNone = instant delivery.
+  runtime::LatencyModelKind latency_model = runtime::LatencyModelKind::kNone;
+  /// Threads backend only: fault-injection decorator (off by default).
+  runtime::ChaosConfig chaos;
   std::uint64_t seed = 1;
 };
 
@@ -64,6 +71,14 @@ class Deployment {
   // --- accessors ---
   runtime::Backend& backend() { return *backend_; }
   runtime::Executor& exec() { return backend_->exec(); }
+  /// The transport the protocol layer sends through: the backend's own, or
+  /// the outermost decorator when a latency model / chaos is configured.
+  runtime::Transport& transport() { return rt_.net; }
+  /// Non-null when the deployment injects latency (threads backend with
+  /// latency_model != kNone).
+  runtime::LatencyTransport* latency_transport() { return latency_tp_.get(); }
+  /// Non-null when fault injection is on (chaos.enabled()).
+  runtime::ChaosTransport* chaos_transport() { return chaos_tp_.get(); }
   const cluster::Topology& topo() const { return topo_; }
   Runtime& runtime() { return rt_; }
   const DeploymentConfig& config() const { return cfg_; }
@@ -91,6 +106,11 @@ class Deployment {
   cluster::Topology topo_;
   cluster::Directory dir_;
   std::unique_ptr<runtime::Backend> backend_;
+  // Transport decorator chain (threads backend only); the protocol sends
+  // through chaos -> latency -> backend. Declared before rt_, which binds
+  // a reference to the outermost transport.
+  std::unique_ptr<runtime::LatencyTransport> latency_tp_;
+  std::unique_ptr<runtime::ChaosTransport> chaos_tp_;
   Runtime rt_;
   std::vector<std::unique_ptr<ServerBase>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;

@@ -390,13 +390,21 @@ void ServerBase::apply_tick() {
     hlc_.observe(clock_us(), ub);
   }
 
-  std::vector<ReplicateGroup> groups;
+  // Build straight into a pooled batch: its RecyclingVec groups keep every
+  // nesting level's capacity across ΔR ticks, so a warmed-up apply loop
+  // assembles the batch without heap traffic. An empty batch just returns
+  // to the pool.
+  auto batch = make_msg<ReplicateBatch>();
   sim::SimTime apply_cost = 0;
   while (!committed_.empty()) {
     auto it = committed_.begin();
     const Timestamp ct = it->first.first;
     if (ct > ub) break;
-    if (groups.empty() || groups.back().ct != ct) groups.push_back(ReplicateGroup{ct, {}});
+    if (batch->groups.empty() || batch->groups.back().ct != ct) {
+      ReplicateGroup& g = batch->groups.emplace_back();  // recycled: reset both fields
+      g.ct = ct;
+      g.txs.clear();
+    }
     const TxId tx = it->first.second;
     for (const auto& w : it->second) {
       store_.apply(w.k, w.v, w.kind != 0 ? w.delta() : 0, ct, tx, dc_, w.kind);
@@ -405,17 +413,20 @@ void ServerBase::apply_tick() {
     }
     if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, tx, ct, rt_.exec.now_us());
     note_applied(tx, ct);
-    groups.back().txs.push_back(ReplicateTxn{tx, std::move(it->second)});
+    ReplicateTxn& t = batch->groups.back().txs.emplace_back();
+    t.tx = tx;
+    // Element-wise copy into the recycled slots (not a buffer move): the
+    // pooled batch keeps its warmed WriteKV strings, so a steady-state
+    // apply tick builds the batch without touching the heap.
+    t.writes.assign(it->second.begin(), it->second.end());
     committed_.erase(it);
   }
   if (apply_cost > 0) rt_.net.charge_cpu(self_, apply_cost);
 
   bool shipped = false;
-  if (!groups.empty()) {
-    auto batch = make_msg<ReplicateBatch>();
+  if (!batch->groups.empty()) {
     batch->partition = partition_;
     batch->upto = ub;
-    batch->groups = std::move(groups);
     const wire::MessagePtr batch_msg = std::move(batch);  // shared across peers
     for (DcId peer : rt_.topo.replicas(partition_)) {
       if (peer == dc_) continue;

@@ -1,0 +1,78 @@
+#include "runtime/latency_transport.h"
+
+namespace paris::runtime {
+
+const char* latency_model_name(LatencyModelKind k) {
+  switch (k) {
+    case LatencyModelKind::kNone:
+      return "none";
+    case LatencyModelKind::kMatrix:
+      return "matrix";
+    case LatencyModelKind::kJitter:
+      return "jitter";
+  }
+  return "?";
+}
+
+LatencyTransport::LatencyTransport(Transport& inner, Executor& exec,
+                                   sim::LatencyModel model, std::uint64_t seed)
+    : TransportDecorator(inner),
+      exec_(exec),
+      model_(std::move(model)),
+      draws_(splitmix64(seed ^ 0x6c61746e63794c54ull)) {}  // salt: "latncyLT"
+
+std::uint64_t LatencyTransport::sample_one_way_us(NodeId from, NodeId to) {
+  const std::uint64_t mean = inner_.colocated(from, to)
+                                 ? model_.loopback_us()
+                                 : model_.mean_one_way_us(dc_of(from), dc_of(to));
+  if (model_.jitter() <= 0) return mean;
+  // mean * U[1-j, 1+j], matching sim::LatencyModel::sample_one_way_us.
+  const double u = draws_.next(from, to);
+  const double factor = 1.0 + (u * 2.0 - 1.0) * model_.jitter();
+  const auto v = static_cast<std::uint64_t>(static_cast<double>(mean) * factor);
+  return v == 0 ? 1 : v;
+}
+
+ChaosTransport::ChaosTransport(Transport& inner, Executor& exec, ChaosConfig cfg)
+    : TransportDecorator(inner),
+      exec_(exec),
+      cfg_(cfg),
+      draws_(splitmix64(cfg.seed ^ 0x6368616f73545058ull)) {}  // salt: "chaosTPX"
+
+namespace {
+/// The idempotent replication/stabilization layer: duplicates merge away
+/// (monotonic vv max, (ut, tx, sr)-deduplicated store applies). Request/
+/// response and 2PC traffic is NOT idempotent — duplicating or dropping it
+/// would wedge transactions rather than test convergence.
+bool replication_layer(wire::MsgType t) {
+  return t == wire::MsgType::kReplicateBatch || t == wire::MsgType::kHeartbeat;
+}
+}  // namespace
+
+void ChaosTransport::send_at(NodeId from, NodeId to, wire::MessagePtr msg,
+                             std::uint64_t at_us) {
+  const bool idempotent = replication_layer(msg->type());
+  if (idempotent && cfg_.drop_p > 0 && draws_.next(from, to) < cfg_.drop_p) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.dropped;
+    return;  // msg released, never delivered
+  }
+  if (idempotent && cfg_.duplicate_p > 0 && draws_.next(from, to) < cfg_.duplicate_p) {
+    inner_.send_at(from, to, msg, at_us);  // copy of the handle, same payload
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.duplicated;
+  }
+  if (cfg_.reorder_p > 0 && draws_.next(from, to) < cfg_.reorder_p) {
+    at_us += cfg_.reorder_stall_us;  // TCP stall; later channels overtake
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.stalled;
+  }
+  inner_.send_at(from, to, std::move(msg), at_us);
+}
+
+ChaosTransport::Stats ChaosTransport::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace paris::runtime

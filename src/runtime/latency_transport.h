@@ -1,0 +1,187 @@
+#pragma once
+// Composable Transport decorators for the thread runtime.
+//
+// The discrete-event simulator models WAN latency inside sim::Network, but
+// the ThreadBackend delivers every message instantly — so a threads run
+// could only reproduce the paper's throughput numbers, never the latency
+// and visibility figures (fig3/fig4), and could not express degraded-
+// network scenarios at all. These decorators close that gap:
+//
+//   protocol -> [ChaosTransport] -> [LatencyTransport] -> backend
+//
+//  * LatencyTransport injects per-DC-pair one-way delay drawn from the
+//    deployment's latency matrix (the same sim::LatencyModel the simulator
+//    uses) plus a configurable jitter factor.
+//  * ChaosTransport adds optional fault injection: TCP-like stalls that
+//    reorder traffic ACROSS channels (never within one), and duplication /
+//    drops of the idempotent replication-layer messages. Off by default;
+//    drops deliberately violate the replication contract, which the offline
+//    exactness checker then reports.
+//
+// Determinism: decorators draw randomness from counter-based hashes of
+// (seed, channel, per-channel message index) — a pure function of the seed
+// and each channel's send sequence, independent of worker-thread
+// interleaving. Two runs with the same seed stall/duplicate/drop the same
+// messages per channel even though the threads runtime itself is not
+// deterministic.
+//
+// FIFO safety: decorators route every message through Transport::send_at;
+// the backend clamps deliver-at strictly increasing per channel, so no
+// decorator can reorder a channel (the paper's TCP assumption, DESIGN.md
+// §8).
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "runtime/executor.h"
+#include "runtime/transport.h"
+#include "sim/latency.h"
+
+namespace paris::runtime {
+
+/// Latency model applied to a threads deployment's transport.
+enum class LatencyModelKind {
+  kNone,    ///< instant delivery (PR 2 behavior; throughput experiments)
+  kMatrix,  ///< per-DC-pair mean one-way delay, no jitter
+  kJitter,  ///< matrix plus uniform jitter: mean * U[1-j, 1+j]
+};
+
+const char* latency_model_name(LatencyModelKind k);
+
+/// Base decorator: forwards every Transport call to the wrapped transport.
+/// Subclasses override just the sends they shape.
+class TransportDecorator : public Transport {
+ public:
+  explicit TransportDecorator(Transport& inner) : inner_(inner) {}
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override {
+    inner_.send(from, to, std::move(msg));
+  }
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override {
+    inner_.send_at(from, to, std::move(msg), at_us);
+  }
+  wire::MessagePool& msg_pool(NodeId self) override { return inner_.msg_pool(self); }
+  DcId dc_of(NodeId n) const override { return inner_.dc_of(n); }
+  bool colocated(NodeId a, NodeId b) const override { return inner_.colocated(a, b); }
+  bool node_paused(NodeId n) const override { return inner_.node_paused(n); }
+  void charge_cpu(NodeId n, std::uint64_t us) override { inner_.charge_cpu(n, us); }
+  std::uint64_t total_bytes_sent() const override { return inner_.total_bytes_sent(); }
+
+ protected:
+  Transport& inner_;
+};
+
+namespace detail {
+
+/// Deterministic per-channel draw sequence: draw i on channel c is
+/// u01(hash(seed, c, i)), so decorator randomness is reproducible per seed
+/// no matter how worker threads interleave. Counter state is sharded by
+/// the SENDING node — a channel's sends always run on the from-node's
+/// worker, so two workers only ever contend when their shards collide,
+/// never on one global lock (the raw undecorated path touches none of
+/// this).
+class ChannelDraws {
+ public:
+  explicit ChannelDraws(std::uint64_t seed) : seed_(seed) {}
+
+  /// Uniform double in [0, 1), advancing the channel's counter.
+  double next(NodeId from, NodeId to) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+    Shard& s = shards_[from % kShards];
+    std::uint64_t idx;
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      idx = s.counters[key]++;
+    }
+    const std::uint64_t h = splitmix64(splitmix64(seed_ ^ key) ^ idx);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::uint64_t> counters;
+  };
+  std::uint64_t seed_;
+  Shard shards_[kShards];
+};
+
+}  // namespace detail
+
+/// Injects per-DC-pair one-way delay (matrix mean, optional jitter) into
+/// every send. Colocated pairs get the model's loopback delay, same-DC
+/// pairs its intra-DC delay — mirroring sim::Network's use of the model.
+class LatencyTransport final : public TransportDecorator {
+ public:
+  LatencyTransport(Transport& inner, Executor& exec, sim::LatencyModel model,
+                   std::uint64_t seed);
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override {
+    send_at(from, to, std::move(msg), exec_.now_us());
+  }
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override {
+    inner_.send_at(from, to, std::move(msg), at_us + sample_one_way_us(from, to));
+  }
+
+  /// The delay the next message from->to will get (public for tests: the
+  /// sequence is a pure function of the seed and the channel).
+  std::uint64_t sample_one_way_us(NodeId from, NodeId to);
+
+  const sim::LatencyModel& model() const { return model_; }
+
+ private:
+  Executor& exec_;
+  sim::LatencyModel model_;
+  detail::ChannelDraws draws_;
+};
+
+/// Fault-injection decorator. All knobs default to off; enabling any makes
+/// the transport adversarial on purpose:
+///  * reorder_p: probability a message is stalled by reorder_stall_us
+///    before the latency model applies (a TCP retransmission stall). Per-
+///    channel FIFO survives (the backend clamps), so causal safety must
+///    hold — asserted by the exactness checker in tests.
+///  * duplicate_p / drop_p: applied only to the idempotent replication-
+///    layer messages (ReplicateBatch, Heartbeat). Duplicates must be
+///    absorbed by the monotonic version-vector merge and the store's
+///    (ut, tx, sr) dedup; drops break the version-clock promise and are
+///    expected to surface as exactness-checker violations.
+struct ChaosConfig {
+  double reorder_p = 0;
+  std::uint64_t reorder_stall_us = 10'000;
+  double duplicate_p = 0;
+  double drop_p = 0;
+  std::uint64_t seed = 0;  ///< 0: the deployment substitutes its own seed
+
+  bool enabled() const { return reorder_p > 0 || duplicate_p > 0 || drop_p > 0; }
+};
+
+class ChaosTransport final : public TransportDecorator {
+ public:
+  struct Stats {
+    std::uint64_t stalled = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  ChaosTransport(Transport& inner, Executor& exec, ChaosConfig cfg);
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override {
+    send_at(from, to, std::move(msg), exec_.now_us());
+  }
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override;
+
+  Stats stats() const;
+
+ private:
+  Executor& exec_;
+  ChaosConfig cfg_;
+  detail::ChannelDraws draws_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace paris::runtime

@@ -36,7 +36,7 @@ NodeId ThreadBackend::add_node(Actor* actor, DcId dc, ServiceFn /*service*/,
   } else {
     worker = next_anchor_++ % static_cast<std::uint32_t>(workers_.size());
   }
-  nodes_.push_back(Node{actor, dc, worker});
+  nodes_.push_back(Node{actor, dc, worker, colocate_with});
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -60,9 +60,8 @@ void ThreadBackend::enqueue(Worker& w, Envelope env) {
   w.cv.notify_one();
 }
 
-void ThreadBackend::send(NodeId from, NodeId to, wire::MessagePtr msg) {
-  PARIS_DCHECK(from < nodes_.size() && to < nodes_.size());
-  PARIS_DCHECK(msg != nullptr);
+void ThreadBackend::enqueue_message(NodeId from, NodeId to, const wire::Message& msg,
+                                    std::uint64_t deliver_at_us) {
   // Encode on the sending thread, directly into a recycled envelope whose
   // byte buffer keeps its grown capacity; the receiver decodes into its
   // own pool, so messages and pools never cross threads.
@@ -70,10 +69,33 @@ void ThreadBackend::send(NodeId from, NodeId to, wire::MessagePtr msg) {
   Envelope env = take_envelope(w);
   env.from = from;
   env.to = to;
+  env.deliver_at_us = deliver_at_us;
   PARIS_DCHECK(env.bytes.empty());  // consumer clears before recycling
-  wire::encode_message(*msg, env.bytes);
+  wire::encode_message(msg, env.bytes);
   bytes_sent_.fetch_add(env.bytes.size(), std::memory_order_relaxed);
   enqueue(w, std::move(env));
+}
+
+void ThreadBackend::send(NodeId from, NodeId to, wire::MessagePtr msg) {
+  PARIS_DCHECK(from < nodes_.size() && to < nodes_.size());
+  PARIS_DCHECK(msg != nullptr);
+  enqueue_message(from, to, *msg, /*deliver_at_us=*/0);
+}
+
+void ThreadBackend::send_at(NodeId from, NodeId to, wire::MessagePtr msg,
+                            std::uint64_t at_us) {
+  PARIS_DCHECK(from < nodes_.size() && to < nodes_.size());
+  PARIS_DCHECK(msg != nullptr);
+  // Clamp the channel's deliver-at to be strictly increasing (the sender's
+  // worker owns this channel's clamp state: sends run on the from-node's
+  // worker, or on the main thread before start). Jitter or chaos stalls can
+  // therefore reorder deliveries ACROSS channels but never within one —
+  // exactly the paper's TCP FIFO assumption.
+  Worker& sw = *workers_[nodes_[from].worker];
+  std::uint64_t& last = sw.last_arrival[channel_key(from, to)];
+  if (at_us <= last) at_us = last + 1;
+  last = at_us;
+  enqueue_message(from, to, *msg, at_us);
 }
 
 void ThreadBackend::defer(NodeId actor, std::function<void()> fn) {
@@ -82,6 +104,7 @@ void ThreadBackend::defer(NodeId actor, std::function<void()> fn) {
   Envelope env = take_envelope(w);
   env.from = actor;
   env.to = actor;
+  env.deliver_at_us = 0;  // tasks are never timed
   env.task = std::move(fn);
   enqueue(w, std::move(env));
 }
@@ -129,6 +152,35 @@ void ThreadBackend::cancel_periodic(std::uint64_t id) {
 // Worker loop / lifecycle.
 // ---------------------------------------------------------------------------
 
+void ThreadBackend::deliver(Worker& w, Envelope& env) {
+  if (env.task) {
+    env.task();
+    env.task = nullptr;
+  } else {
+    wire::Decoder dec(env.bytes);
+    const wire::MessagePtr msg = wire::decode_message_pooled(dec, w.pool);
+    PARIS_DCHECK(dec.done());
+    nodes_[env.to].actor->on_message(env.from, *msg);
+  }
+  env.bytes.clear();  // keep capacity for reuse
+  env.deliver_at_us = 0;
+  w.events.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Delivers every parked timed envelope that is due, staging it for
+/// recycling. Per-channel order is safe: the sender clamps deliver-at
+/// strictly increasing per channel, so a channel's next envelope is never
+/// due before its predecessor.
+void ThreadBackend::release_due_held(Worker& w, std::uint64_t now) {
+  while (!w.held.empty() && w.held.front().deliver_at_us <= now) {
+    std::pop_heap(w.held.begin(), w.held.end(), LaterDelivery{});
+    Envelope env = std::move(w.held.back());
+    w.held.pop_back();
+    deliver(w, env);
+    w.done.push_back(std::move(env));
+  }
+}
+
 void ThreadBackend::worker_main(Worker& w) {
   while (running_.load(std::memory_order_acquire)) {
     // Drain the mailbox in one batched swap.
@@ -136,8 +188,8 @@ void ThreadBackend::worker_main(Worker& w) {
     {
       std::unique_lock<std::mutex> lk(w.mu);
       if (w.inbox.empty()) {
-        const std::uint64_t next =
-            w.timers.empty() ? kNoDeadline : w.timers.top().deadline_us;
+        std::uint64_t next = w.timers.empty() ? kNoDeadline : w.timers.top().deadline_us;
+        if (!w.held.empty()) next = std::min(next, w.held.front().deliver_at_us);
         if (next == kNoDeadline) {
           w.cv.wait(lk, [&] {
             return !w.inbox.empty() || !running_.load(std::memory_order_acquire);
@@ -151,22 +203,35 @@ void ThreadBackend::worker_main(Worker& w) {
       std::swap(w.inbox, w.batch);
     }
 
+    // Parked timed envelopes that came due arrived (on their channels)
+    // before anything in this batch: release them first. ONE time snapshot
+    // covers the release and the whole batch — re-reading the clock per
+    // envelope would open a FIFO hole: a channel's earlier envelope parked
+    // at `now`, then the clock advancing past its successor's deadline
+    // mid-batch would deliver the successor inline while the predecessor
+    // still sits in the heap. With a single snapshot, any envelope newer
+    // than a parked same-channel predecessor is parked too (deadlines are
+    // strictly increasing per channel) and released in heap order.
+    const std::uint64_t batch_now = now_us();
+    release_due_held(w, batch_now);
     for (Envelope& env : w.batch) {
-      if (env.task) {
-        env.task();
-        env.task = nullptr;
-      } else {
-        wire::Decoder dec(env.bytes);
-        const wire::MessagePtr msg = wire::decode_message_pooled(dec, w.pool);
-        PARIS_DCHECK(dec.done());
-        nodes_[env.to].actor->on_message(env.from, *msg);
+      if (env.deliver_at_us > batch_now) {
+        w.held.push_back(std::move(env));
+        std::push_heap(w.held.begin(), w.held.end(), LaterDelivery{});
+        env.to = kInvalidNode;  // moved-from slot: skip the recycle below
+        continue;
       }
-      env.bytes.clear();  // keep capacity for reuse
-      w.events.fetch_add(1, std::memory_order_relaxed);
+      deliver(w, env);
     }
-    if (!w.batch.empty()) {
+    for (Envelope& env : w.batch) {
+      if (env.to != kInvalidNode) w.done.push_back(std::move(env));
+    }
+    w.batch.clear();
+    release_due_held(w, now_us());
+    if (!w.done.empty()) {
       std::lock_guard<std::mutex> lk(w.mu);
-      for (Envelope& env : w.batch) w.free.push_back(std::move(env));
+      for (Envelope& env : w.done) w.free.push_back(std::move(env));
+      w.done.clear();
     }
 
     // Fire due timers; a periodic entry reschedules itself.

@@ -16,6 +16,13 @@
 //    entry reschedules itself on fire. Cancellation flips an atomic flag
 //    (lazy deletion), so TimerHandle destruction is safe from any thread,
 //    including after stop().
+//  * Timed delivery (send_at, used by the latency/chaos transport
+//    decorators): an envelope carries a deliver-at deadline; the receiving
+//    worker parks future envelopes in a per-worker min-heap and releases
+//    them when due, recycling them through the same free list as immediate
+//    ones. The sender clamps each channel's deadline to be strictly
+//    increasing (TCP model), so timed delivery can never reorder a channel
+//    no matter what deadlines a decorator asks for.
 //
 // Unlike the sim backend, runs are NOT deterministic — correctness is
 // validated by the exactness checker, which is order-independent.
@@ -80,8 +87,12 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
 
   // --- Transport ---
   void send(NodeId from, NodeId to, wire::MessagePtr msg) override;
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override;
   wire::MessagePool& msg_pool(NodeId self) override;
   DcId dc_of(NodeId n) const override { return nodes_[n].dc; }
+  bool colocated(NodeId a, NodeId b) const override {
+    return nodes_[a].anchor == b || nodes_[b].anchor == a;
+  }
   bool node_paused(NodeId /*n*/) const override { return false; }
   void charge_cpu(NodeId /*n*/, std::uint64_t /*us*/) override {}
   std::uint64_t total_bytes_sent() const override {
@@ -93,8 +104,15 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
   struct Envelope {
     NodeId from = kInvalidNode;
     NodeId to = kInvalidNode;
+    std::uint64_t deliver_at_us = 0;  ///< 0 = immediate; else park until due
     std::vector<std::uint8_t> bytes;  ///< encoded [type][payload]; empty for tasks
     std::function<void()> task;
+  };
+  /// Min-heap order for parked timed envelopes.
+  struct LaterDelivery {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      return a.deliver_at_us > b.deliver_at_us;
+    }
   };
 
   struct TimerRec {
@@ -114,11 +132,18 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
     std::thread thread;
     std::mutex mu;
     std::condition_variable cv;
-    std::vector<Envelope> inbox;  ///< guarded by mu (producers push)
-    std::vector<Envelope> free;   ///< guarded by mu (recycled envelopes)
-    std::vector<Envelope> batch;  ///< consumer-local drain buffer
+    std::vector<Envelope> inbox;    ///< guarded by mu (producers push)
+    std::vector<Envelope> free;     ///< guarded by mu (recycled envelopes)
+    std::vector<Envelope> batch;    ///< consumer-local drain buffer
+    std::vector<Envelope> held;     ///< consumer-local heap of timed envelopes
+    std::vector<Envelope> done;     ///< consumer-local recycle staging
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>>
         timers;  ///< owning thread only (main thread before start)
+    /// Per-channel FIFO clamp for timed sends ORIGINATING at this worker's
+    /// nodes: last deliver-at handed out per (from, to). Owning thread only
+    /// — a node's sends always run on its own worker (or on the main thread
+    /// before start), so no lock is needed.
+    std::unordered_map<std::uint64_t, std::uint64_t> last_arrival;
     wire::MessagePool pool;  ///< owning thread only
     std::atomic<std::uint64_t> events{0};
   };
@@ -127,11 +152,20 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
     Actor* actor = nullptr;
     DcId dc = 0;
     std::uint32_t worker = 0;
+    NodeId anchor = kInvalidNode;  ///< node this one was colocated with
   };
+
+  static std::uint64_t channel_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   void worker_main(Worker& w);
   void enqueue(Worker& w, Envelope env);
   Envelope take_envelope(Worker& w);
+  void enqueue_message(NodeId from, NodeId to, const wire::Message& msg,
+                       std::uint64_t deliver_at_us);
+  void deliver(Worker& w, Envelope& env);
+  void release_due_held(Worker& w, std::uint64_t now);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Node> nodes_;

@@ -24,6 +24,27 @@ class Transport {
 
   virtual void send(NodeId from, NodeId to, wire::MessagePtr msg) = 0;
 
+  /// Timed delivery (decorator support): deliver msg at absolute executor
+  /// time `at_us`. The thread backend parks the encoded envelope at the
+  /// receiver and clamps per-channel so timed sends can never violate a
+  /// channel's FIFO order (TCP model) — but mixing send() and send_at() on
+  /// one channel CAN reorder, so a delaying decorator must route every
+  /// message through send_at. Backends without timed delivery (the sim
+  /// network models latency itself) deliver immediately.
+  virtual void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) {
+    (void)at_us;
+    send(from, to, std::move(msg));
+  }
+
+  /// True when a<->b were registered as colocated (a client and its
+  /// coordinator): latency decorators give such pairs loopback delay, like
+  /// the simulated network does.
+  virtual bool colocated(NodeId a, NodeId b) const {
+    (void)a;
+    (void)b;
+    return false;
+  }
+
   /// Pool the actor `self` builds outgoing messages from. The sim backend
   /// has one pool (single-threaded); the thread backend returns the pool of
   /// self's worker, which only that worker's thread may touch.

@@ -104,8 +104,33 @@ std::vector<std::string> HistoryRecorder::check() const {
   for (auto& [k, versions] : by_key) std::sort(versions.begin(), versions.end());
 
   // Exactness: every slice item is the LWW winner within the snapshot.
+  // Two causal-safety assertions are checked first; they must hold under
+  // ANY delivery schedule the transport produces — including the injected
+  // cross-channel reorder of runtime::ChaosTransport — because they depend
+  // only on commit timestamps, never on arrival order:
+  //  * no read from the future: a slice never returns a version committed
+  //    after its snapshot (atomic-visibility / snapshot isolation);
+  //  * no phantom version: every returned (ut, tx) pair matches a commit
+  //    that actually happened (catches duplicated/diverged applies).
   for (const auto& s : slices_) {
     for (const auto& item : s.items) {
+      if (!item.ut.is_zero()) {
+        if (item.ut > s.snapshot) {
+          violations.push_back(
+              fmt("slice@%llu dc=%u p=%u key=%llu snap=%s: CAUSAL violation — returned "
+                  "version from the future (ut=%s > snapshot)",
+                  (unsigned long long)s.at, s.dc, s.partition, (unsigned long long)item.k,
+                  to_string(s.snapshot).c_str(), to_string(item.ut).c_str()));
+        }
+        const auto txit = txs_.find(item.tx);
+        if (txit == txs_.end() || txit->second.ct.is_zero() || txit->second.ct != item.ut) {
+          violations.push_back(
+              fmt("slice@%llu dc=%u p=%u key=%llu: PHANTOM version — returned (ut=%s "
+                  "tx=%llu) but no such commit exists",
+                  (unsigned long long)s.at, s.dc, s.partition, (unsigned long long)item.k,
+                  to_string(item.ut).c_str(), (unsigned long long)item.tx.raw));
+        }
+      }
       const WriteVersion* winner = nullptr;
       if (const auto it = by_key.find(item.k); it != by_key.end()) {
         for (const auto& v : it->second) {

@@ -83,6 +83,16 @@ class Decoder {
     return s;
   }
 
+  /// Like get_bytes but assigns into an existing string, so a recycled
+  /// message field keeps its grown capacity (no temporary, no allocation
+  /// once warmed).
+  void get_bytes_into(std::string& out) {
+    const std::uint64_t n = get_varint();
+    PARIS_CHECK_MSG(static_cast<std::size_t>(end_ - p_) >= n, "bytes truncated");
+    out.assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+  }
+
   bool done() const { return p_ == end_; }
   std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
 

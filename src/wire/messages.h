@@ -16,6 +16,7 @@
 #include "common/hlc.h"
 #include "common/types.h"
 #include "wire/buffer.h"
+#include "wire/recycling_vec.h"
 
 namespace paris::wire {
 
@@ -116,10 +117,13 @@ struct WriteKV {
   friend bool operator==(const WriteKV&, const WriteKV&) = default;
 };
 
-/// One transaction inside a replication group.
+/// One transaction inside a replication group. `writes` recycles its
+/// elements so a reused ReplicateTxn keeps each WriteKV's value-string
+/// capacity — without this, shrinking the writes count would free the
+/// strings and any non-SSO value would re-allocate on the next decode.
 struct ReplicateTxn {
   TxId tx;
-  std::vector<WriteKV> writes;
+  RecyclingVec<WriteKV> writes;
 
   template <class S, class F>
   static void fields(S& s, F&& f) {
@@ -130,9 +134,13 @@ struct ReplicateTxn {
 };
 
 /// All transactions applied at the same commit timestamp (Alg. 4 line 11).
+/// `txs` recycles its elements (RecyclingVec) so that a pooled
+/// ReplicateBatch keeps every nesting level's capacity across reuse — the
+/// thread runtime decodes one per ΔR per channel, which must not allocate
+/// in steady state.
 struct ReplicateGroup {
   Timestamp ct;
-  std::vector<ReplicateTxn> txs;
+  RecyclingVec<ReplicateTxn> txs;
 
   template <class S, class F>
   static void fields(S& s, F&& f) {
@@ -400,6 +408,11 @@ struct WireWriter {
     for (const auto& x : v) (*this)(x);
   }
   template <class T>
+  void operator()(const RecyclingVec<T>& v) {
+    e.put_varint(v.size());
+    for (const auto& x : v) (*this)(x);
+  }
+  template <class T>
     requires requires(const T& t, WireWriter& w) { T::fields(t, w); }
   void operator()(const T& v) {
     T::fields(v, *this);
@@ -429,11 +442,18 @@ struct WireReader {
   void operator()(std::uint32_t& v) { v = static_cast<std::uint32_t>(d.get_varint()); }
   void operator()(std::uint16_t& v) { v = static_cast<std::uint16_t>(d.get_varint()); }
   void operator()(std::int64_t& v) { v = unzigzag(d.get_varint()); }
-  void operator()(std::string& v) { v = d.get_bytes(); }
+  void operator()(std::string& v) { d.get_bytes_into(v); }
   void operator()(Timestamp& v) { v.raw = d.get_varint(); }
   void operator()(TxId& v) { v.raw = d.get_varint(); }
   template <class T>
   void operator()(std::vector<T>& v) {
+    v.resize(d.get_varint());
+    for (auto& x : v) (*this)(x);
+  }
+  // Recycled elements come back in their previous state; every field is
+  // overwritten by the per-element read below, so no stale data survives.
+  template <class T>
+  void operator()(RecyclingVec<T>& v) {
     v.resize(d.get_varint());
     for (auto& x : v) (*this)(x);
   }
@@ -474,6 +494,11 @@ struct WireSizer {
     for (const auto& x : v) (*this)(x);
   }
   template <class T>
+  void operator()(const RecyclingVec<T>& v) {
+    n += varint_size(v.size());
+    for (const auto& x : v) (*this)(x);
+  }
+  template <class T>
     requires requires(const T& t, WireSizer& s) { T::fields(t, s); }
   void operator()(const T& v) {
     T::fields(v, *this);
@@ -493,6 +518,12 @@ struct FieldClearer {
   void operator()(TxId& v) { v = TxId{}; }
   template <class T>
   void operator()(std::vector<T>& v) {
+    v.clear();
+  }
+  // RecyclingVec::clear keeps the elements alive, so a pooled message's
+  // nested buffers (inner vectors, value strings) survive the reset.
+  template <class T>
+  void operator()(RecyclingVec<T>& v) {
     v.clear();
   }
   template <class T>
@@ -688,7 +719,7 @@ struct Commit2pc : MessageBase<Commit2pc, MsgType::kCommit2pc> {
 struct ReplicateBatch : MessageBase<ReplicateBatch, MsgType::kReplicateBatch> {
   PartitionId partition = 0;
   Timestamp upto;
-  std::vector<ReplicateGroup> groups;
+  RecyclingVec<ReplicateGroup> groups;
   template <class S, class F>
   static void fields(S& s, F&& f) {
     f(s.partition);

@@ -1,0 +1,117 @@
+#pragma once
+// RecyclingVec: a vector whose clear() keeps its elements ALIVE — the live
+// size drops to zero but no destructors run, so nested buffers (a
+// ReplicateTxn's writes vector, a value string) keep their grown capacity
+// and the element is rebuilt in place on the next use.
+//
+// std::vector cannot provide this: clear()/resize() destroy elements, which
+// frees every nested buffer. That made the nested ReplicateBatch decode the
+// one remaining allocating path of the thread runtime's receive loop (a
+// pooled ReplicateBatch kept the outer groups capacity, but each reuse
+// reconstructed the groups' inner vectors from scratch — see ROADMAP).
+//
+// Contract: recycled elements are returned in their PREVIOUS state; the
+// caller (the wire decoder, the replicate-batch builder) overwrites every
+// field it reads back. Only the live prefix [0, size()) is observable
+// through iteration, comparison and copying.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace paris::wire {
+
+template <class T>
+class RecyclingVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  RecyclingVec() = default;
+  RecyclingVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+  // Copies transfer only the live prefix (the recycled tail is a local
+  // capacity optimization, not part of the value).
+  RecyclingVec(const RecyclingVec& o) : store_(o.begin(), o.end()), size_(o.size_) {}
+  RecyclingVec& operator=(const RecyclingVec& o) {
+    if (this != &o) {
+      resize(o.size_);
+      std::copy(o.begin(), o.end(), begin());
+    }
+    return *this;
+  }
+  RecyclingVec(RecyclingVec&&) noexcept = default;
+  RecyclingVec& operator=(RecyclingVec&&) noexcept = default;
+
+  /// Drops the live size to zero WITHOUT destroying elements: their nested
+  /// buffers stay warm for the next fill. This is the whole point.
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sets the live size. Growing revives recycled elements (or
+  /// default-constructs new ones past the high-water mark); shrinking keeps
+  /// the tail alive. Element state is whatever it last was — callers
+  /// overwrite what they use.
+  void resize(std::size_t n) {
+    if (n > store_.size()) store_.resize(n);
+    size_ = n;
+  }
+
+  /// Appends a live element: recycled if available, default-constructed
+  /// otherwise. Returned in its previous state (see resize()).
+  T& emplace_back() {
+    if (size_ == store_.size()) store_.emplace_back();
+    return store_[size_++];
+  }
+  void push_back(const T& v) { emplace_back() = v; }
+  void push_back(T&& v) { emplace_back() = std::move(v); }
+
+  /// Element-wise copy into recycled slots (each element's own buffers —
+  /// e.g. string capacity — survive the assignment).
+  template <class It>
+  void assign(It first, It last) {
+    resize(static_cast<std::size_t>(std::distance(first, last)));
+    std::copy(first, last, begin());
+  }
+
+  T& operator[](std::size_t i) {
+    PARIS_DCHECK(i < size_);
+    return store_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    PARIS_DCHECK(i < size_);
+    return store_[i];
+  }
+  T& back() {
+    PARIS_DCHECK(size_ > 0);
+    return store_[size_ - 1];
+  }
+  const T& back() const {
+    PARIS_DCHECK(size_ > 0);
+    return store_[size_ - 1];
+  }
+
+  iterator begin() { return store_.data(); }
+  iterator end() { return store_.data() + size_; }
+  const_iterator begin() const { return store_.data(); }
+  const_iterator end() const { return store_.data() + size_; }
+
+  friend bool operator==(const RecyclingVec& a, const RecyclingVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::vector<T> store_;  ///< constructed elements; [size_, store_.size()) recycled
+  std::size_t size_ = 0;  ///< live prefix
+};
+
+}  // namespace paris::wire

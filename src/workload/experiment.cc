@@ -85,6 +85,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dc.cost = cfg.cost;
   dc.codec = cfg.codec;
   dc.aws_latency = cfg.aws_latency;
+  dc.uniform_inter_dc_us = cfg.uniform_inter_dc_us;
+  dc.uniform_intra_dc_us = cfg.uniform_intra_dc_us;
+  dc.latency_model = cfg.latency_model;
+  dc.chaos = cfg.chaos;
   dc.seed = cfg.seed;
 
   ExperimentTracer tracer(cfg.check_consistency, cfg.measure_visibility,
@@ -152,7 +156,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   res.visibility_hist = tracer.visibility();
   res.sim_events = dep.backend().events_executed();
-  res.bytes_sent = dep.backend().transport().total_bytes_sent();
+  res.bytes_sent = dep.transport().total_bytes_sent();
+  if (dep.chaos_transport() != nullptr) res.chaos = dep.chaos_transport()->stats();
   if (tracer.history() != nullptr) res.violations = tracer.history()->check();
 
   res.wall_seconds =

@@ -48,6 +48,13 @@ struct ExperimentConfig {
   proto::ProtocolConfig protocol;
   proto::CostModel cost;
   bool aws_latency = true;
+  std::uint64_t uniform_inter_dc_us = 40'000;
+  std::uint64_t uniform_intra_dc_us = 150;
+  /// Threads runtime: latency-injecting transport decorator (the sim
+  /// backend models latency itself) and optional fault injection — both
+  /// draw from the aws/uniform latency settings above.
+  runtime::LatencyModelKind latency_model = runtime::LatencyModelKind::kNone;
+  runtime::ChaosConfig chaos;
   /// Benchmarks default to size-only codec accounting; tests use kBytes to
   /// exercise the serialization on every delivery.
   sim::CodecMode codec = sim::CodecMode::kSizeOnly;
@@ -83,6 +90,8 @@ struct ExperimentResult {
   std::uint64_t sim_events = 0;
   std::uint64_t bytes_sent = 0;
   double wall_seconds = 0;
+  /// Fault-injection tallies (all zero unless cfg.chaos enabled).
+  runtime::ChaosTransport::Stats chaos;
   std::vector<std::string> violations;  // non-empty => consistency bug
 };
 

@@ -68,11 +68,13 @@ TEST_F(CheckerFixture, DetectsLostWrite) {
 }
 
 TEST_F(CheckerFixture, DetectsPhantomVersion) {
-  // A slice returns a version no committed transaction produced.
+  // A slice returns a version no committed transaction produced: both the
+  // dedicated causal PHANTOM check and the exactness check must fire.
   slice(ts(500), {item(7, "ghost", ts(400), TxId::make(9, 9))});
   const auto v = h.check();
-  ASSERT_EQ(v.size(), 1u);
-  EXPECT_NE(v[0].find("no committed write"), std::string::npos);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(v[0].find("PHANTOM"), std::string::npos);
+  EXPECT_NE(v[1].find("no committed write"), std::string::npos);
 }
 
 TEST_F(CheckerFixture, DetectsTornTransaction) {

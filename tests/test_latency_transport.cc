@@ -1,0 +1,250 @@
+// Transport-decorator tests: per-channel delay ordering on the thread
+// backend, seed-determinism of the jitter draws, chaos fault injection
+// (cross-channel reorder must PASS the causal/exactness checker; drops must
+// be caught by it), and a cross-runtime latency-percentile smoke comparing
+// the threads backend under an injected WAN model against the simulator
+// running the same deployment.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/latency_transport.h"
+#include "runtime/thread_runtime.h"
+#include "workload/experiment.h"
+
+namespace paris::test {
+namespace {
+
+using runtime::ChaosConfig;
+using runtime::ChaosTransport;
+using runtime::LatencyTransport;
+using runtime::ThreadBackend;
+
+/// Records each heartbeat's payload and its arrival time on the backend
+/// clock (accessed only from the owning worker, then after stop()).
+class ArrivalActor : public runtime::Actor {
+ public:
+  explicit ArrivalActor(runtime::Executor& exec) : exec_(&exec) {}
+  void on_message(NodeId from, const wire::Message& m) override {
+    ASSERT_EQ(m.type(), wire::MsgType::kHeartbeat);
+    froms.push_back(from);
+    values.push_back(static_cast<const wire::Heartbeat&>(m).t.raw);
+    at_us.push_back(exec_->now_us());
+  }
+  std::vector<NodeId> froms;
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> at_us;
+
+ private:
+  runtime::Executor* exec_;
+};
+
+wire::MessagePtr heartbeat(std::uint64_t t) {
+  auto hb = wire::make_message<wire::Heartbeat>();
+  hb->t = Timestamp{t};
+  return hb;
+}
+
+sim::LatencyModel wan(std::uint64_t inter_us, double jitter) {
+  auto m = sim::LatencyModel::uniform(2, inter_us, /*intra_dc_us=*/500);
+  m.set_jitter(jitter);
+  return m;
+}
+
+TEST(LatencyTransport, DelaysDeliveryAndPreservesPerChannelFifo) {
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  ArrivalActor a(be.exec()), b(be.exec());
+  const NodeId na = be.add_node(&a, 0, nullptr);
+  const NodeId nb = be.add_node(&b, 1, nullptr);
+  LatencyTransport lt(be.transport(), be.exec(), wan(20'000, /*jitter=*/0.3), /*seed=*/7);
+
+  const int kMsgs = 50;
+  const std::uint64_t sent_at = be.exec().now_us();
+  for (int i = 0; i < kMsgs; ++i) lt.send(na, nb, heartbeat(static_cast<std::uint64_t>(i)));
+  be.run_for(80'000);
+  be.stop();
+
+  ASSERT_EQ(b.values.size(), static_cast<std::size_t>(kMsgs));
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(b.values[i], static_cast<std::uint64_t>(i));  // FIFO despite jitter
+    if (i > 0) {
+      EXPECT_GE(b.at_us[i], b.at_us[i - 1]);  // arrivals non-decreasing
+    }
+  }
+  // One-way delay 20ms +- 30% jitter: nothing may arrive earlier than the
+  // minimum modeled delay (scheduling can only add lateness, never remove
+  // delay).
+  EXPECT_GE(b.at_us.front(), sent_at + 14'000);
+}
+
+TEST(LatencyTransport, FastChannelOvertakesSlowChannel) {
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  ArrivalActor a(be.exec()), c(be.exec()), b(be.exec());
+  const NodeId na = be.add_node(&a, 0, nullptr);  // remote DC: 30ms away
+  const NodeId nc = be.add_node(&c, 1, nullptr);  // same DC as b: 500us
+  const NodeId nb = be.add_node(&b, 1, nullptr);
+  LatencyTransport lt(be.transport(), be.exec(), wan(30'000, /*jitter=*/0), /*seed=*/7);
+
+  lt.send(na, nb, heartbeat(111));  // sent first, arrives last
+  lt.send(nc, nb, heartbeat(222));
+  be.run_for(60'000);
+  be.stop();
+
+  ASSERT_EQ(b.values.size(), 2u);
+  EXPECT_EQ(b.values[0], 222u);  // intra-DC message overtook the WAN one
+  EXPECT_EQ(b.values[1], 111u);
+  EXPECT_GE(b.at_us[1], b.at_us[0] + 20'000);
+}
+
+TEST(LatencyTransport, JitterDrawsAreSeedDeterministicPerChannel) {
+  ThreadBackend be(ThreadBackend::Options{1, 1});
+  ArrivalActor a(be.exec()), b(be.exec());
+  const NodeId na = be.add_node(&a, 0, nullptr);
+  const NodeId nb = be.add_node(&b, 1, nullptr);
+
+  LatencyTransport t1(be.transport(), be.exec(), wan(20'000, 0.25), /*seed=*/42);
+  LatencyTransport t2(be.transport(), be.exec(), wan(20'000, 0.25), /*seed=*/42);
+  LatencyTransport t3(be.transport(), be.exec(), wan(20'000, 0.25), /*seed=*/43);
+
+  bool any_diff_seed43 = false;
+  bool any_jitter = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t d1 = t1.sample_one_way_us(na, nb);
+    EXPECT_EQ(d1, t2.sample_one_way_us(na, nb));  // same seed -> same sequence
+    any_diff_seed43 |= d1 != t3.sample_one_way_us(na, nb);
+    any_jitter |= d1 != 20'000;
+    EXPECT_GE(d1, 15'000u);
+    EXPECT_LE(d1, 25'000u);
+  }
+  EXPECT_TRUE(any_diff_seed43);  // different seed -> different draws
+  EXPECT_TRUE(any_jitter);       // jitter actually applied
+  be.stop();
+}
+
+TEST(LatencyTransport, MatrixModeIsJitterFree) {
+  ThreadBackend be(ThreadBackend::Options{1, 1});
+  ArrivalActor a(be.exec()), b(be.exec());
+  const NodeId na = be.add_node(&a, 0, nullptr);
+  const NodeId nb = be.add_node(&b, 1, nullptr);
+  LatencyTransport lt(be.transport(), be.exec(), wan(20'000, /*jitter=*/0), /*seed=*/5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(lt.sample_one_way_us(na, nb), 20'000u);
+  EXPECT_EQ(lt.sample_one_way_us(na, na), 500u);  // intra-DC
+  be.stop();
+}
+
+workload::ExperimentConfig small_threads_cluster(std::uint64_t seed) {
+  workload::ExperimentConfig cfg;
+  cfg.runtime = runtime::Kind::kThreads;
+  cfg.worker_threads = 2;
+  cfg.num_dcs = 3;
+  cfg.num_partitions = 6;
+  cfg.replication = 2;
+  cfg.threads_per_process = 1;
+  cfg.workload.ops_per_tx = 8;
+  cfg.workload.writes_per_tx = 2;
+  cfg.workload.keys_per_partition = 100;
+  cfg.warmup_us = 50'000;
+  cfg.measure_us = 250'000;
+  cfg.aws_latency = false;
+  cfg.uniform_inter_dc_us = 2'000;  // small WAN so the test stays fast
+  cfg.uniform_intra_dc_us = 150;
+  cfg.latency_model = runtime::LatencyModelKind::kJitter;
+  cfg.codec = sim::CodecMode::kBytes;
+  cfg.check_consistency = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Chaos reorder stalls random messages, reordering delivery ACROSS
+/// channels while the backend's clamp preserves each channel's FIFO — the
+/// paper's TCP assumption. Causal safety must therefore hold: the exactness
+/// checker (extended with the no-future-read / no-phantom causal checks)
+/// must stay green for both systems.
+TEST(ChaosTransport, ReorderStillPassesCausalChecker) {
+  for (const auto sys : {proto::System::kParis, proto::System::kBpr}) {
+    auto cfg = small_threads_cluster(21);
+    cfg.system = sys;
+    cfg.chaos.reorder_p = 0.3;
+    cfg.chaos.reorder_stall_us = 5'000;
+
+    const auto res = workload::run_experiment(cfg);
+    SCOPED_TRACE(proto::system_name(sys));
+    EXPECT_GT(res.committed, 0u);
+    EXPECT_GT(res.chaos.stalled, 0u);  // chaos actually engaged
+    EXPECT_EQ(res.chaos.dropped, 0u);
+    for (const auto& v : res.violations) ADD_FAILURE() << v;
+  }
+}
+
+/// Duplicated replication-layer messages must be absorbed: version vectors
+/// merge by monotonic max and the store dedups (ut, tx, sr) re-applies.
+TEST(ChaosTransport, DuplicateReplicationIsIdempotent) {
+  auto cfg = small_threads_cluster(22);
+  cfg.chaos.duplicate_p = 0.5;
+
+  const auto res = workload::run_experiment(cfg);
+  EXPECT_GT(res.committed, 0u);
+  EXPECT_GT(res.chaos.duplicated, 0u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+/// Dropping ReplicateBatch breaks the version-clock promise (a later batch
+/// or heartbeat advances `upto` past the lost writes), so the checker MUST
+/// report stale reads: chaos drops are checker-visible, not silent.
+TEST(ChaosTransport, DropIsCheckerVisible) {
+  auto cfg = small_threads_cluster(23);
+  cfg.measure_us = 400'000;
+  cfg.chaos.drop_p = 0.9;
+
+  const auto res = workload::run_experiment(cfg);
+  EXPECT_GT(res.committed, 0u);
+  EXPECT_GT(res.chaos.dropped, 0u);
+  EXPECT_FALSE(res.violations.empty())
+      << "90% replication drop produced no checker violation — drops are "
+         "supposed to be visible to the exactness checker";
+}
+
+/// The same WAN-dominated deployment on the simulator and on real threads
+/// with the LatencyTransport must agree on the latency distribution to
+/// within scheduling tolerance: the median is set by the modeled RTTs, not
+/// by the backend.
+TEST(CrossRuntime, LatencyPercentilesMatchSimWithinTolerance) {
+  workload::ExperimentConfig cfg;
+  cfg.system = proto::System::kParis;
+  cfg.num_dcs = 3;
+  cfg.num_partitions = 3;
+  cfg.replication = 1;  // R < M: remote partitions force WAN reads
+  cfg.threads_per_process = 1;
+  cfg.workload.ops_per_tx = 6;
+  cfg.workload.writes_per_tx = 1;
+  cfg.workload.partitions_per_tx = 2;
+  cfg.workload.multi_dc_ratio = 1.0;  // every transaction crosses DCs
+  cfg.workload.keys_per_partition = 100;
+  cfg.warmup_us = 100'000;
+  cfg.measure_us = 400'000;
+  cfg.aws_latency = false;
+  cfg.uniform_inter_dc_us = 10'000;
+  cfg.uniform_intra_dc_us = 150;
+  cfg.seed = 31;
+
+  cfg.runtime = runtime::Kind::kSim;
+  const auto sim_res = workload::run_experiment(cfg);
+
+  cfg.runtime = runtime::Kind::kThreads;
+  cfg.worker_threads = 2;
+  cfg.latency_model = runtime::LatencyModelKind::kJitter;
+  const auto thr_res = workload::run_experiment(cfg);
+
+  ASSERT_GT(sim_res.committed, 20u);
+  ASSERT_GT(thr_res.committed, 20u);
+  // Both medians are WAN-bound: at least one modeled one-way hop.
+  EXPECT_GE(sim_res.latency_us.p50, 10'000.0);
+  EXPECT_GE(thr_res.latency_us.p50, 10'000.0);
+  // And they agree within generous scheduling tolerance.
+  EXPECT_GE(thr_res.latency_us.p50, 0.4 * sim_res.latency_us.p50);
+  EXPECT_LE(thr_res.latency_us.p50, 2.5 * sim_res.latency_us.p50);
+}
+
+}  // namespace
+}  // namespace paris::test

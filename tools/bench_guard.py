@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a freshly measured BENCH_micro JSON
+against the committed baseline and fail on a material regression.
+
+Usage: bench_guard.py BASELINE.json CURRENT.json [--tolerance 0.30]
+
+Rules (per row, matched by benchmark name):
+  * throughput: current ops_per_sec must be >= (1 - tolerance) * baseline.
+    The default 30% tolerance absorbs CI-runner noise and the committed
+    baseline being measured on different hardware; a hot-path regression
+    (e.g. an allocation sneaking back into a steady-state loop) blows well
+    past it.
+  * ultra-fast rows (baseline < 5 ns/op, e.g. hlc_tick): binary code
+    layout alone moves such single-instruction-chain loops by >30%
+    (documented in BENCH_micro.json), so their throughput floor is
+    halved-again (tolerance doubled, capped at 60%). Their allocation rule
+    still applies at full strength.
+  * allocations: a row whose baseline is allocation-free (< 0.01 allocs/op)
+    must stay allocation-free — allocs/op regressions never get noise slack.
+  * rows present only in the current run are fine (new benchmarks); rows
+    missing from the current run fail (a benchmark silently disappearing
+    would hide regressions).
+
+Exit code 0 = pass, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    # The bench binary emits "results"; the committed baseline keeps the
+    # curated before/after curve — its "after" array is the baseline.
+    rows = doc.get("results") or doc.get("after") or []
+    return {r["name"]: r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.30)
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+    failures = []
+
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        tol = args.tolerance
+        if b.get("ns_per_op", 1e9) < 5.0:  # layout-sensitive micro-row
+            tol = min(2 * tol, 0.60)
+        floor = (1.0 - tol) * b["ops_per_sec"]
+        ratio = c["ops_per_sec"] / b["ops_per_sec"] if b["ops_per_sec"] else 1.0
+        status = "ok"
+        if c["ops_per_sec"] < floor:
+            failures.append(
+                f"{name}: {c['ops_per_sec']:.0f} ops/s is {ratio:.2f}x of the "
+                f"baseline {b['ops_per_sec']:.0f} (floor {1 - tol:.2f}x)"
+            )
+            status = "THROUGHPUT REGRESSION"
+        if b.get("allocs_per_op", 1.0) < 0.01 and c.get("allocs_per_op", 0.0) >= 0.01:
+            failures.append(
+                f"{name}: allocs/op regressed from "
+                f"{b['allocs_per_op']:.4f} to {c['allocs_per_op']:.4f} "
+                "(allocation-free rows must stay allocation-free)"
+            )
+            status = "ALLOCATION REGRESSION"
+        print(f"  {name:<34} {ratio:6.2f}x  "
+              f"allocs {b.get('allocs_per_op', 0):.3f} -> {c.get('allocs_per_op', 0):.3f}  {status}")
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"  {name:<34} (new row, no baseline)")
+
+    if failures:
+        print("\nbench_guard: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_guard: OK ({len(base)} rows within {args.tolerance:.0%} tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

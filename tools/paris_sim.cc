@@ -33,6 +33,16 @@ namespace {
       "                          threads (default sim)\n"
       "  --workers=W             threads runtime: worker threads\n"
       "                          (default: one per server)\n"
+      "  --latency-model=none|matrix|jitter\n"
+      "                          threads runtime: inject per-DC-pair WAN\n"
+      "                          delay (matrix), plus jitter (default none;\n"
+      "                          the sim models latency itself)\n"
+      "  --chaos-reorder=P       threads: stall probability (cross-channel\n"
+      "                          reorder; per-channel FIFO preserved)\n"
+      "  --chaos-stall-ms=S      stall length for --chaos-reorder (default 10)\n"
+      "  --chaos-duplicate=P     threads: duplicate replication messages\n"
+      "  --chaos-drop=P          threads: drop replication messages (expected\n"
+      "                          to surface as --check violations)\n"
       "  --dcs=M                 number of data centers (default 5)\n"
       "  --partitions=N          number of partitions (default 45)\n"
       "  --replication=R         replication factor (default 2)\n"
@@ -96,6 +106,24 @@ int main(int argc, char** argv) {
       }
     } else if (parse_flag(argv[i], "--workers", &v) && v) {
       cfg.worker_threads = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--latency-model", &v) && v) {
+      if (std::string(v) == "none") {
+        cfg.latency_model = runtime::LatencyModelKind::kNone;
+      } else if (std::string(v) == "matrix") {
+        cfg.latency_model = runtime::LatencyModelKind::kMatrix;
+      } else if (std::string(v) == "jitter") {
+        cfg.latency_model = runtime::LatencyModelKind::kJitter;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (parse_flag(argv[i], "--chaos-reorder", &v) && v) {
+      cfg.chaos.reorder_p = std::atof(v);
+    } else if (parse_flag(argv[i], "--chaos-stall-ms", &v) && v) {
+      cfg.chaos.reorder_stall_us = static_cast<std::uint64_t>(std::atoll(v)) * 1000;
+    } else if (parse_flag(argv[i], "--chaos-duplicate", &v) && v) {
+      cfg.chaos.duplicate_p = std::atof(v);
+    } else if (parse_flag(argv[i], "--chaos-drop", &v) && v) {
+      cfg.chaos.drop_p = std::atof(v);
     } else if (parse_flag(argv[i], "--dcs", &v) && v) {
       cfg.num_dcs = static_cast<std::uint32_t>(std::atoi(v));
     } else if (parse_flag(argv[i], "--partitions", &v) && v) {
@@ -139,6 +167,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cfg.runtime == runtime::Kind::kSim &&
+      (cfg.latency_model != runtime::LatencyModelKind::kNone || cfg.chaos.enabled())) {
+    std::fprintf(stderr,
+                 "error: --latency-model/--chaos-* require --runtime=threads (the "
+                 "simulator models latency itself; no chaos would be injected)\n");
+    return 2;
+  }
+
   std::printf("system=%s M=%u N=%u R=%u (%.0f machines/DC) threads=%u\n",
               proto::system_name(cfg.system), cfg.num_dcs, cfg.num_partitions,
               cfg.replication, cfg.machines_per_dc(), cfg.threads_per_process);
@@ -147,9 +183,16 @@ int main(int argc, char** argv) {
   if (cfg.runtime == runtime::Kind::kThreads) {
     // Same default as the deployment: one worker per server node.
     const cluster::Topology topo({cfg.num_dcs, cfg.num_partitions, cfg.replication});
-    std::printf("runtime: threads, %u workers (hw concurrency %u)\n",
+    std::printf("runtime: threads, %u workers (hw concurrency %u), latency model %s\n",
                 cfg.worker_threads != 0 ? cfg.worker_threads : topo.total_servers(),
-                std::thread::hardware_concurrency());
+                std::thread::hardware_concurrency(),
+                runtime::latency_model_name(cfg.latency_model));
+    if (cfg.chaos.enabled()) {
+      std::printf("chaos: reorder=%.2f (stall %llu ms) duplicate=%.2f drop=%.2f\n",
+                  cfg.chaos.reorder_p,
+                  static_cast<unsigned long long>(cfg.chaos.reorder_stall_us / 1000),
+                  cfg.chaos.duplicate_p, cfg.chaos.drop_p);
+    }
   }
   std::printf("workload: %s\n", cfg.workload.describe().c_str());
 
@@ -171,6 +214,12 @@ int main(int argc, char** argv) {
                 res.visibility_hist.percentile(0.5) / 1000.0);
     std::printf("visibility p99  %10.2f ms\n",
                 res.visibility_hist.percentile(0.99) / 1000.0);
+  }
+  if (res.chaos.stalled + res.chaos.duplicated + res.chaos.dropped > 0) {
+    std::printf("chaos injected  %10s stalls, %s duplicates, %s drops\n",
+                stats::with_commas(res.chaos.stalled).c_str(),
+                stats::with_commas(res.chaos.duplicated).c_str(),
+                stats::with_commas(res.chaos.dropped).c_str());
   }
   std::printf("local-hit rate  %10.1f %%   max client cache %zu entries\n",
               res.local_hit_rate * 100.0, res.max_client_cache);

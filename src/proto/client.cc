@@ -157,6 +157,9 @@ void Client::on_message(NodeId /*from*/, const Message& m) {
       const auto& r = static_cast<const ClientStartResp&>(m);
       current_tx_ = r.tx;
       snapshot_ = r.snapshot;
+      if (rt_.tracer != nullptr) {
+        rt_.tracer->on_tx_started(self_, r.tx, r.snapshot, rt_.exec.now_us());
+      }
       ust_c_ = std::max(ust_c_, r.snapshot);
       rs_.clear();
       ws_.clear();

@@ -1,6 +1,7 @@
 #include "proto/deployment.h"
 
 #include <algorithm>
+#include <initializer_list>
 
 #include "common/assert.h"
 #include "runtime/sim_runtime.h"
@@ -42,6 +43,14 @@ std::unique_ptr<runtime::LatencyTransport> build_latency_tp(const DeploymentConf
                                                      std::move(model), cfg.seed);
 }
 
+std::unique_ptr<runtime::PartitionTransport> build_partition_tp(const DeploymentConfig& cfg,
+                                                                runtime::Backend& be,
+                                                                runtime::Transport* below) {
+  if (cfg.runtime != runtime::Kind::kThreads || !cfg.partitions.enabled()) return nullptr;
+  return std::make_unique<runtime::PartitionTransport>(
+      below != nullptr ? *below : be.transport(), be.exec(), cfg.partitions);
+}
+
 std::unique_ptr<runtime::ChaosTransport> build_chaos_tp(const DeploymentConfig& cfg,
                                                         runtime::Backend& be,
                                                         runtime::Transport* below) {
@@ -52,11 +61,22 @@ std::unique_ptr<runtime::ChaosTransport> build_chaos_tp(const DeploymentConfig& 
       below != nullptr ? *below : be.transport(), be.exec(), chaos);
 }
 
-runtime::Transport& outermost(runtime::Backend& be, runtime::Transport* latency,
-                              runtime::Transport* chaos) {
-  if (chaos != nullptr) return *chaos;
-  if (latency != nullptr) return *latency;
-  return be.transport();
+std::unique_ptr<runtime::ReliableTransport> build_reliable_tp(const DeploymentConfig& cfg,
+                                                              runtime::Backend& be,
+                                                              runtime::Transport* below) {
+  if (cfg.runtime != runtime::Kind::kThreads || !cfg.reliable) return nullptr;
+  return std::make_unique<runtime::ReliableTransport>(
+      below != nullptr ? *below : be.transport(), be.exec(), cfg.reliable_cfg);
+}
+
+runtime::Transport* first_nonnull(std::initializer_list<runtime::Transport*> ts) {
+  for (runtime::Transport* t : ts)
+    if (t != nullptr) return t;
+  return nullptr;
+}
+
+runtime::Transport& outermost(runtime::Backend& be, runtime::Transport* candidate) {
+  return candidate != nullptr ? *candidate : be.transport();
 }
 }  // namespace
 
@@ -66,9 +86,16 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
       dir_(topo_),
       backend_(build_backend(cfg, topo_)),
       latency_tp_(build_latency_tp(cfg, *backend_)),
-      chaos_tp_(build_chaos_tp(cfg, *backend_, latency_tp_.get())),
+      partition_tp_(build_partition_tp(cfg, *backend_, latency_tp_.get())),
+      chaos_tp_(build_chaos_tp(
+          cfg, *backend_, first_nonnull({partition_tp_.get(), latency_tp_.get()}))),
+      reliable_tp_(build_reliable_tp(
+          cfg, *backend_,
+          first_nonnull({chaos_tp_.get(), partition_tp_.get(), latency_tp_.get()}))),
       rt_{backend_->exec(),
-          outermost(*backend_, latency_tp_.get(), chaos_tp_.get()),
+          outermost(*backend_,
+                    first_nonnull({reliable_tp_.get(), chaos_tp_.get(),
+                                   partition_tp_.get(), latency_tp_.get()})),
           topo_,
           dir_,
           cfg.cost,
@@ -87,7 +114,7 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
       } else {
         server = std::make_unique<BprServer>(rt_, dc, p);
       }
-      const NodeId node = backend_->add_node(server.get(), dc, service);
+      const NodeId node = register_actor(server.get(), dc, service);
       server->attach(node, PhysClock::sample(backend_->rng(), cfg.protocol.ntp_error_us,
                                              cfg.protocol.drift_ppm));
       dir_.set_server(dc, p, node);
@@ -99,6 +126,16 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
 Deployment::~Deployment() {
   // Thread workers must be quiescent before servers/clients are destroyed.
   backend_->stop();
+}
+
+NodeId Deployment::register_actor(runtime::Actor* real, DcId dc, runtime::ServiceFn service,
+                                  NodeId colocate_with) {
+  // With reliable delivery on, the backend delivers to the interposing
+  // endpoint (dedup + ack) instead of the protocol actor directly.
+  runtime::Actor* actor = reliable_tp_ ? reliable_tp_->wrap(real) : real;
+  const NodeId node = backend_->add_node(actor, dc, std::move(service), colocate_with);
+  if (reliable_tp_) reliable_tp_->attach(actor, node);
+  return node;
 }
 
 void Deployment::start() {
@@ -115,7 +152,7 @@ Client& Deployment::add_client(DcId dc, PartitionId coordinator_partition) {
   const Client::Options opt =
       cfg_.system == System::kParis ? Client::paris_options() : Client::bpr_options();
   auto client = std::make_unique<Client>(rt_, dc, coord, opt);
-  const NodeId node = backend_->add_node(client.get(), dc, nullptr, /*colocate_with=*/coord);
+  const NodeId node = register_actor(client.get(), dc, nullptr, /*colocate_with=*/coord);
   client->attach(node);
   clients_.push_back(std::move(client));
   return *clients_.back();

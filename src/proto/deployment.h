@@ -20,6 +20,8 @@
 #include "proto/runtime.h"
 #include "runtime/backend.h"
 #include "runtime/latency_transport.h"
+#include "runtime/partition_transport.h"
+#include "runtime/reliable_transport.h"
 #include "sim/codec_mode.h"
 
 namespace paris::proto {
@@ -50,6 +52,15 @@ struct DeploymentConfig {
   runtime::LatencyModelKind latency_model = runtime::LatencyModelKind::kNone;
   /// Threads backend only: fault-injection decorator (off by default).
   runtime::ChaosConfig chaos;
+  /// Threads backend only: at-least-once reliable delivery. Wraps every
+  /// protocol message in a sequenced frame with retransmission + dedup, so
+  /// chaos drops and partitions of ANY message class still converge
+  /// (DESIGN.md §9). Off by default: the undecorated path pays nothing.
+  bool reliable = false;
+  runtime::ReliableConfig reliable_cfg;
+  /// Threads backend only: scheduled inter-DC blackouts (messages crossing
+  /// an active window are dropped; heals at the window deadline).
+  runtime::PartitionSpec partitions;
   std::uint64_t seed = 1;
 };
 
@@ -79,6 +90,10 @@ class Deployment {
   runtime::LatencyTransport* latency_transport() { return latency_tp_.get(); }
   /// Non-null when fault injection is on (chaos.enabled()).
   runtime::ChaosTransport* chaos_transport() { return chaos_tp_.get(); }
+  /// Non-null when at-least-once delivery is on (cfg.reliable, threads).
+  runtime::ReliableTransport* reliable_transport() { return reliable_tp_.get(); }
+  /// Non-null when scheduled blackouts are configured (cfg.partitions).
+  runtime::PartitionTransport* partition_transport() { return partition_tp_.get(); }
   const cluster::Topology& topo() const { return topo_; }
   Runtime& runtime() { return rt_; }
   const DeploymentConfig& config() const { return cfg_; }
@@ -102,15 +117,23 @@ class Deployment {
   ServerBase::Stats total_server_stats() const;
 
  private:
+  /// Registers an actor with the backend, interposing the reliable-delivery
+  /// endpoint when cfg.reliable is on.
+  NodeId register_actor(runtime::Actor* real, DcId dc, runtime::ServiceFn service,
+                        NodeId colocate_with = kInvalidNode);
+
   DeploymentConfig cfg_;
   cluster::Topology topo_;
   cluster::Directory dir_;
   std::unique_ptr<runtime::Backend> backend_;
   // Transport decorator chain (threads backend only); the protocol sends
-  // through chaos -> latency -> backend. Declared before rt_, which binds
+  // through reliable -> chaos -> partition -> latency -> backend (each
+  // layer optional). Declared innermost-first and before rt_, which binds
   // a reference to the outermost transport.
   std::unique_ptr<runtime::LatencyTransport> latency_tp_;
+  std::unique_ptr<runtime::PartitionTransport> partition_tp_;
   std::unique_ptr<runtime::ChaosTransport> chaos_tp_;
+  std::unique_ptr<runtime::ReliableTransport> reliable_tp_;
   Runtime rt_;
   std::vector<std::unique_ptr<ServerBase>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;

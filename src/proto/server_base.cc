@@ -62,6 +62,11 @@ sim::SimTime CostModel::service_us(const Message& m) const {
     case MsgType::kClientReadResp:
     case MsgType::kClientCommitResp:
       return 0;
+    // Transport-layer framing (threads-only reliable delivery) never reaches
+    // the sim cost model.
+    case MsgType::kReliableFrame:
+    case MsgType::kReliableAck:
+      return 0;
   }
   return 0;
 }
@@ -132,6 +137,9 @@ void ServerBase::on_message(NodeId from, const Message& m) {
     case MsgType::kClientReadResp:
     case MsgType::kClientCommitResp:
       PARIS_CHECK_MSG(false, "client-bound message delivered to a server");
+    case MsgType::kReliableFrame:
+    case MsgType::kReliableAck:
+      PARIS_CHECK_MSG(false, "transport framing leaked past the reliable endpoint");
   }
 }
 

@@ -16,6 +16,13 @@ class Tracer {
  public:
   virtual ~Tracer() = default;
 
+  /// A client session observed its newly assigned transaction snapshot
+  /// (ClientStartResp processed). Per client the stream is sequential —
+  /// one transaction at a time — so arrival order is session order; the
+  /// checker asserts snapshots never move backwards within a session.
+  virtual void on_tx_started(NodeId /*client*/, TxId /*tx*/, Timestamp /*snapshot*/,
+                             sim::SimTime /*now*/) {}
+
   /// A transaction's write set reached its coordinator (2PC about to run).
   virtual void on_commit_writes(TxId /*tx*/, DcId /*origin_dc*/,
                                 const std::vector<wire::WriteKV>& /*writes*/) {}

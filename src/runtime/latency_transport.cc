@@ -39,24 +39,61 @@ ChaosTransport::ChaosTransport(Transport& inner, Executor& exec, ChaosConfig cfg
       cfg_(cfg),
       draws_(splitmix64(cfg.seed ^ 0x6368616f73545058ull)) {}  // salt: "chaosTPX"
 
+const char* chaos_drop_class_name(ChaosDropClass c) {
+  switch (c) {
+    case ChaosDropClass::kReplication:
+      return "replication";
+    case ChaosDropClass::kRequests:
+      return "requests";
+    case ChaosDropClass::kAll:
+      return "all";
+  }
+  return "?";
+}
+
 namespace {
 /// The idempotent replication/stabilization layer: duplicates merge away
 /// (monotonic vv max, (ut, tx, sr)-deduplicated store applies). Request/
 /// response and 2PC traffic is NOT idempotent — duplicating or dropping it
-/// would wedge transactions rather than test convergence.
+/// without a reliability layer above would wedge transactions rather than
+/// test convergence.
 bool replication_layer(wire::MsgType t) {
   return t == wire::MsgType::kReplicateBatch || t == wire::MsgType::kHeartbeat;
+}
+
+/// Classifies by the carried protocol message: reliable frames count as
+/// their inner type; bare acks have no protocol class.
+bool replication_layer_of(const wire::Message& m) {
+  wire::MsgType t = m.type();
+  if (t == wire::MsgType::kReliableAck) return false;
+  if (t == wire::MsgType::kReliableFrame) {
+    t = static_cast<wire::MsgType>(static_cast<const wire::ReliableFrame&>(m).inner_type);
+  }
+  return replication_layer(t);
+}
+
+bool drop_eligible(const wire::Message& m, ChaosDropClass c) {
+  switch (c) {
+    case ChaosDropClass::kReplication:
+      return replication_layer_of(m);
+    case ChaosDropClass::kRequests:
+      return m.type() != wire::MsgType::kReliableAck && !replication_layer_of(m);
+    case ChaosDropClass::kAll:
+      return true;
+  }
+  return false;
 }
 }  // namespace
 
 void ChaosTransport::send_at(NodeId from, NodeId to, wire::MessagePtr msg,
                              std::uint64_t at_us) {
-  const bool idempotent = replication_layer(msg->type());
-  if (idempotent && cfg_.drop_p > 0 && draws_.next(from, to) < cfg_.drop_p) {
+  if (cfg_.drop_p > 0 && drop_eligible(*msg, cfg_.drop_class) &&
+      draws_.next(from, to) < cfg_.drop_p) {
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++stats_.dropped;
     return;  // msg released, never delivered
   }
+  const bool idempotent = replication_layer_of(*msg);
   if (idempotent && cfg_.duplicate_p > 0 && draws_.next(from, to) < cfg_.duplicate_p) {
     inner_.send_at(from, to, msg, at_us);  // copy of the handle, same payload
     std::lock_guard<std::mutex> lk(stats_mu_);

@@ -138,22 +138,40 @@ class LatencyTransport final : public TransportDecorator {
   detail::ChannelDraws draws_;
 };
 
+/// Which messages drop_p applies to. Reliable frames are classified by the
+/// message they CARRY (ReliableFrame::inner_type), so a widened drop class
+/// targets the protocol traffic inside the reliability layer, not just its
+/// envelope; bare ReliableAcks match only kAll.
+enum class ChaosDropClass : std::uint8_t {
+  kReplication,  ///< ReplicateBatch + Heartbeat only (pre-PR 4 behavior)
+  kRequests,     ///< everything EXCEPT the replication layer
+  kAll,          ///< any message, acks included
+};
+
+const char* chaos_drop_class_name(ChaosDropClass c);
+
 /// Fault-injection decorator. All knobs default to off; enabling any makes
 /// the transport adversarial on purpose:
 ///  * reorder_p: probability a message is stalled by reorder_stall_us
 ///    before the latency model applies (a TCP retransmission stall). Per-
 ///    channel FIFO survives (the backend clamps), so causal safety must
 ///    hold — asserted by the exactness checker in tests.
-///  * duplicate_p / drop_p: applied only to the idempotent replication-
-///    layer messages (ReplicateBatch, Heartbeat). Duplicates must be
-///    absorbed by the monotonic version-vector merge and the store's
-///    (ut, tx, sr) dedup; drops break the version-clock promise and are
-///    expected to surface as exactness-checker violations.
+///  * duplicate_p: applied only to the idempotent replication-layer
+///    messages (ReplicateBatch, Heartbeat — looked up through reliable
+///    frames). Duplicates must be absorbed by the monotonic version-vector
+///    merge and the store's (ut, tx, sr) dedup.
+///  * drop_p: applied to `drop_class`. Without a ReliableTransport above,
+///    dropping the replication layer breaks the version-clock promise and
+///    surfaces as exactness-checker violations, and dropping request/
+///    response traffic wedges transactions outright; with the reliable
+///    layer, any class may be dropped and the run must still converge
+///    checker-clean (DESIGN.md §9).
 struct ChaosConfig {
   double reorder_p = 0;
   std::uint64_t reorder_stall_us = 10'000;
   double duplicate_p = 0;
   double drop_p = 0;
+  ChaosDropClass drop_class = ChaosDropClass::kReplication;
   std::uint64_t seed = 0;  ///< 0: the deployment substitutes its own seed
 
   bool enabled() const { return reorder_p > 0 || duplicate_p > 0 || drop_p > 0; }

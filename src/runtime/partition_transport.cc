@@ -1,0 +1,63 @@
+#include "runtime/partition_transport.h"
+
+#include <cstdlib>
+
+namespace paris::runtime {
+
+namespace {
+
+/// Parses a non-negative decimal; advances *p past it. Returns false if no
+/// digits were consumed (strtoull alone would wrap "-1" to a huge value
+/// instead of rejecting it).
+bool parse_u64(const char*& p, std::uint64_t& out) {
+  if (*p < '0' || *p > '9') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  out = v;
+  p = end;
+  return true;
+}
+
+bool parse_window(const char*& p, PartitionWindow& w) {
+  std::uint64_t a = 0, b = 0, start_ms = 0, end_ms = 0;
+  if (!parse_u64(p, a)) return false;
+  if (*p == '-') {
+    ++p;
+    if (!parse_u64(p, b)) return false;
+    w.isolate_all = false;
+  } else {
+    w.isolate_all = true;
+  }
+  if (*p != ':') return false;
+  ++p;
+  if (!parse_u64(p, start_ms)) return false;
+  if (*p != ':') return false;
+  ++p;
+  if (!parse_u64(p, end_ms)) return false;
+  if (end_ms <= start_ms) return false;
+  w.a = static_cast<DcId>(a);
+  w.b = static_cast<DcId>(b);
+  w.start_us = start_ms * 1000;
+  w.end_us = end_ms * 1000;
+  return true;
+}
+
+}  // namespace
+
+bool parse_partition_spec(const std::string& s, PartitionSpec& out) {
+  PartitionSpec spec;
+  const char* p = s.c_str();
+  while (true) {
+    PartitionWindow w;
+    if (!parse_window(p, w)) return false;
+    spec.windows.push_back(w);
+    if (*p == '\0') break;
+    if (*p != ',') return false;
+    ++p;
+  }
+  out = std::move(spec);
+  return true;
+}
+
+}  // namespace paris::runtime

@@ -1,0 +1,102 @@
+#pragma once
+// PartitionTransport: scheduled inter-DC blackouts for the thread runtime
+// (DESIGN.md §9).
+//
+// The simulator's fault injection (sim::Network::partition_dcs/isolate_dc)
+// BUFFERS traffic, modeling TCP connections that survive the outage. Real
+// packets do not wait: this decorator models the packet view — every
+// message crossing a blacked-out DC pair is dropped, and the layer heals
+// itself at the window's deadline. Stacked under ReliableTransport the
+// combination reproduces the simulator's semantics end-to-end (nothing is
+// lost, delivery resumes after heal, per-channel order holds) while also
+// exercising the retransmission machinery a real WAN needs; without the
+// reliable layer a partition is plain message loss, which the exactness
+// checker then reports — useful for demonstrating what the paper's TCP
+// assumption actually buys.
+//
+// Windows are checked against the executor clock at send time, so the
+// decorator is a pure function of (spec, time): no randomness, no state.
+// Intra-DC traffic (including client <-> colocated coordinator) is never
+// affected.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "runtime/latency_transport.h"
+#include "runtime/transport.h"
+
+namespace paris::runtime {
+
+/// One scheduled blackout: either a DC pair (a <-> b) or a full isolation
+/// of DC a (when isolate_all is set). Times are absolute executor time in
+/// µs — for the thread backend, µs since backend construction, so specs are
+/// effectively run-relative (warmup included).
+struct PartitionWindow {
+  DcId a = 0;
+  DcId b = 0;
+  bool isolate_all = false;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;  ///< heal deadline (exclusive)
+
+  bool blacks_out(DcId x, DcId y, std::uint64_t now) const {
+    if (now < start_us || now >= end_us) return false;
+    if (isolate_all) return x == a || y == a;
+    return (x == a && y == b) || (x == b && y == a);
+  }
+};
+
+struct PartitionSpec {
+  std::vector<PartitionWindow> windows;
+  bool enabled() const { return !windows.empty(); }
+};
+
+/// Parses a comma-separated spec, times in MILLISECONDS:
+///   "0-1:500:1500"  DCs 0 and 1 cannot talk from t=500ms to t=1500ms
+///   "2:2000:2500"   DC 2 is isolated from everyone in [2000ms, 2500ms)
+/// Returns false (and leaves `out` untouched) on malformed input.
+bool parse_partition_spec(const std::string& s, PartitionSpec& out);
+
+class PartitionTransport final : public TransportDecorator {
+ public:
+  struct Stats {
+    std::uint64_t dropped = 0;  ///< messages eaten by an active blackout
+  };
+
+  PartitionTransport(Transport& inner, Executor& exec, PartitionSpec spec)
+      : TransportDecorator(inner), exec_(exec), spec_(std::move(spec)) {}
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override {
+    if (blacked_out(from, to)) return;  // msg released, never delivered
+    inner_.send(from, to, std::move(msg));
+  }
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override {
+    if (blacked_out(from, to)) return;
+    inner_.send_at(from, to, std::move(msg), at_us);
+  }
+
+  const PartitionSpec& spec() const { return spec_; }
+  Stats stats() const { return {dropped_.load(std::memory_order_relaxed)}; }
+
+ private:
+  bool blacked_out(NodeId from, NodeId to) {
+    const DcId a = dc_of(from), b = dc_of(to);
+    if (a == b) return false;
+    const std::uint64_t now = exec_.now_us();
+    for (const auto& w : spec_.windows) {
+      if (w.blacks_out(a, b, now)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Executor& exec_;
+  PartitionSpec spec_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace paris::runtime

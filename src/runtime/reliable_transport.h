@@ -1,0 +1,150 @@
+#pragma once
+// ReliableTransport: at-least-once delivery with exactly-once handoff for
+// the thread runtime (DESIGN.md §9).
+//
+// The backend's channels are FIFO but — once ChaosTransport or
+// PartitionTransport sit below — no longer lossless, which the paper's TCP
+// assumption requires. This decorator restores the assumption on top of a
+// lossy stack, the way TCP restores it on top of IP:
+//
+//   protocol -> [ReliableTransport] -> [Chaos] -> [Partition] -> [Latency] -> backend
+//
+//  * Every protocol message is wrapped in a wire::ReliableFrame carrying a
+//    per-channel 1-based sequence number; the payload is the inner message's
+//    encode_message() bytes (frames come from the sender worker's pool, so
+//    the wrapping is allocation-free in steady state).
+//  * The sender keeps unacknowledged frames in a per-channel window
+//    (contiguous seqs, deque of recycled MessagePtrs), transmitting at
+//    most `max_in_flight` of them at a time — the rest queue and are
+//    ack-clocked out as the window head drains, so a blackout-era backlog
+//    costs one bounded burst per retransmission probe instead of a
+//    quadratic full-backlog resend. A periodic per-node timer retransmits
+//    the in-flight burst once its oldest frame has been silent for the
+//    RTO, with exponential backoff (capped) while a channel makes no
+//    progress, so a long partition is probed, not flooded.
+//  * The receiving side interposes an Endpoint actor between the backend
+//    and the real server/client. It delivers frames strictly in sequence
+//    order (duplicates are discarded; frames past a loss-induced gap are
+//    BUFFERED, bounded, and drained the moment the gap fills), acks
+//    cumulatively on every frame, and hands each decoded inner message to
+//    the real actor exactly once — redelivery below, exactly-once above.
+//    Buffering makes single-loss recovery cost one head retransmission
+//    instead of a full go-back-N round on a fat WAN pipe.
+//  * Latest-wins periodic messages (Heartbeat, GossipUp, GossipRoot,
+//    UstDown) are COALESCED: when a newer one is framed while an older one
+//    is still unacked, the older window entry is replaced by an empty
+//    placeholder frame (same seq, no payload). Retransmission then carries
+//    one live copy of such a message per channel instead of a partition-
+//    long backlog; the receiver treats an empty payload as "advance the
+//    sequence, deliver nothing".
+//
+// Acks (wire::ReliableAck) are sent through the inner transport UNframed:
+// they are idempotent and self-healing — a lost ack is re-elicited by the
+// retransmission it fails to suppress, a duplicate or stale ack is ignored.
+//
+// Determinism: the reliable layer adds no randomness of its own. Its
+// retransmissions are driven by real time, so (like the thread runtime
+// itself) their schedule is not reproducible — but any chaos drops below
+// stay seed-deterministic per channel, and the layer's guarantee (exactly-
+// once, in order, per channel) is schedule-independent, which is what the
+// exactness/causal checkers verify.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/actor.h"
+#include "runtime/executor.h"
+#include "runtime/latency_transport.h"
+#include "runtime/transport.h"
+
+namespace paris::runtime {
+
+struct ReliableConfig {
+  /// Retransmit the window once its oldest frame has been unacked this long.
+  std::uint64_t rto_us = 100'000;
+  /// Backoff cap: consecutive silent retransmission rounds double the
+  /// effective RTO up to this bound (recovery latency after a heal is at
+  /// most this plus one scan period).
+  std::uint64_t max_rto_us = 2'000'000;
+  /// Window-scan timer period; 0 derives rto_us / 2.
+  std::uint64_t scan_period_us = 0;
+  /// Fast-retransmit guard: a stale ack (the receiver is stuck behind a
+  /// gap) triggers an immediate retransmission of the window HEAD — the
+  /// receiver buffers everything after the gap, so the head is all it
+  /// needs — but at most once per this interval, since retransmitted
+  /// duplicates re-elicit stale acks and the guard keeps that feedback from
+  /// becoming a storm. 0 derives rto_us / 4.
+  std::uint64_t fast_retx_guard_us = 0;
+  /// Sender-side in-flight cap per channel: at most this many unacked
+  /// frames are ever on the wire; the rest queue in the window and are
+  /// ack-clocked out as the head drains. Bounds both a blackout probe's
+  /// cost (one burst per backed-off RTO) and the post-heal replay rate.
+  /// Must stay below max_ooo_buffered or the receiver sheds the burst tail.
+  std::uint64_t max_in_flight = 512;
+  /// Receiver-side reorder buffer cap per channel (frames held past a
+  /// gap). Overflow sheds the newest frame — retransmission re-covers it —
+  /// so a dead channel cannot hoard memory.
+  std::size_t max_ooo_buffered = 1024;
+
+  std::uint64_t effective_scan_period_us() const {
+    return scan_period_us != 0 ? scan_period_us : rto_us / 2;
+  }
+  std::uint64_t effective_fast_retx_guard_us() const {
+    return fast_retx_guard_us != 0 ? fast_retx_guard_us : rto_us / 4;
+  }
+};
+
+class ReliableTransport final : public TransportDecorator {
+ public:
+  struct Stats {
+    std::uint64_t frames_sent = 0;       ///< first transmissions
+    std::uint64_t retransmits = 0;       ///< frames re-sent (RTO timer or fast)
+    std::uint64_t fast_retransmits = 0;  ///< window resends triggered by stale acks
+    std::uint64_t acks_sent = 0;
+    std::uint64_t dup_frames = 0;        ///< already-delivered seqs discarded
+    std::uint64_t ooo_frames = 0;        ///< post-gap frames buffered (or shed)
+    std::uint64_t stale_acks = 0;        ///< acks that advanced nothing
+    std::uint64_t coalesced = 0;         ///< latest-wins frames tombstoned
+  };
+
+  ReliableTransport(Transport& inner, Executor& exec, ReliableConfig cfg);
+  ~ReliableTransport() override;
+
+  /// Returns the interposer to register with the backend IN PLACE OF
+  /// `real`; after the backend assigns a node id, call attach(actor, node).
+  /// Both calls must happen before the backend starts.
+  Actor* wrap(Actor* real);
+  void attach(Actor* wrapped, NodeId node);
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override;
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override;
+
+  const ReliableConfig& config() const { return cfg_; }
+  Stats stats() const;
+
+  /// In-flight frames currently awaiting ack across all channels of `node`
+  /// (test/diagnostic access; call only when the backend is quiescent).
+  std::size_t window_size(NodeId node) const;
+
+ private:
+  class Endpoint;
+
+  Executor& exec_;
+  ReliableConfig cfg_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;  ///< fixed before start
+  std::vector<Endpoint*> by_node_;                    ///< index = NodeId
+
+  // Counters are touched from every worker; relaxed atomics, snapshotted by
+  // stats().
+  struct AtomicStats {
+    std::atomic<std::uint64_t> frames_sent{0}, retransmits{0}, fast_retransmits{0},
+        acks_sent{0}, dup_frames{0}, ooo_frames{0}, stale_acks{0}, coalesced{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace paris::runtime

@@ -9,6 +9,12 @@ namespace paris::verify {
 using wire::Item;
 using wire::WriteKV;
 
+void HistoryRecorder::on_tx_started(NodeId client, TxId tx, Timestamp snapshot,
+                                    sim::SimTime /*now*/) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sessions_[client].push_back(SessionStart{tx, snapshot});
+}
+
 void HistoryRecorder::on_commit_writes(TxId tx, DcId origin,
                                        const std::vector<WriteKV>& writes) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -89,6 +95,29 @@ std::string fmt(const char* f, auto... args) {
 std::vector<std::string> HistoryRecorder::check() const {
   std::lock_guard<std::mutex> lk(mu_);  // run after the deployment stopped
   std::vector<std::string> violations;
+
+  // Per-session monotonic snapshots: within one client session, assigned
+  // snapshots never move backwards (order-independent across sessions; each
+  // session's stream was recorded in its own sequential order). Shares the
+  // flood cap with the slice checks below: a systemic regression must not
+  // drown the output.
+  for (const auto& [client, starts] : sessions_) {
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      if (starts[i].snapshot < starts[i - 1].snapshot) {
+        violations.push_back(fmt(
+            "client=%u tx=%llu: SESSION violation — snapshot %s moved backwards "
+            "(previous tx %llu had %s)",
+            client, (unsigned long long)starts[i].tx.raw,
+            to_string(starts[i].snapshot).c_str(),
+            (unsigned long long)starts[i - 1].tx.raw,
+            to_string(starts[i - 1].snapshot).c_str()));
+        if (violations.size() > 50) {
+          violations.push_back("... further violations suppressed");
+          return violations;
+        }
+      }
+    }
+  }
 
   // Index committed writes per key, sorted by the total version order.
   std::unordered_map<Key, std::vector<WriteVersion>> by_key;

@@ -20,6 +20,13 @@
 // no transaction can ever commit at or below an already-readable snapshot.
 // A bug in the UST, HLC, version-clock or blocking logic shows up as an
 // exactness violation here.
+//
+// Additionally, check() validates PER-SESSION MONOTONIC SNAPSHOTS: the
+// snapshots assigned to one client session never move backwards across its
+// transactions (the session guarantee behind monotonic reads). Exactness is
+// per-slice and cannot see this client-visible regression — e.g. a stale
+// retransmitted ClientStartResp leaking past the reliable layer's dedup
+// would re-assign an old snapshot without any slice being wrong for it.
 
 #include <mutex>
 #include <string>
@@ -41,6 +48,8 @@ class HistoryRecorder : public proto::Tracer {
 
   // Tracer interface. Recording is mutex-guarded so histories can be taped
   // from every worker of a ThreadBackend (uncontended under the sim).
+  void on_tx_started(NodeId client, TxId tx, Timestamp snapshot,
+                     sim::SimTime now) override;
   void on_commit_writes(TxId tx, DcId origin,
                         const std::vector<wire::WriteKV>& writes) override;
   void on_commit_decided(TxId tx, Timestamp ct, DcId origin, sim::SimTime now) override;
@@ -80,11 +89,19 @@ class HistoryRecorder : public proto::Tracer {
     std::vector<wire::Item> items;
     sim::SimTime at;
   };
+  struct SessionStart {
+    TxId tx;
+    Timestamp snapshot;
+  };
 
   Options opt_;
   mutable std::mutex mu_;
   std::unordered_map<TxId, TxRecord> txs_;
   std::vector<SliceRecord> slices_;
+  /// Per client session, snapshot assignments in session order (a session
+  /// runs one transaction at a time, so its appends are sequential even on
+  /// the thread backend).
+  std::unordered_map<NodeId, std::vector<SessionStart>> sessions_;
   std::size_t decided_ = 0;
 };
 

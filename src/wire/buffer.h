@@ -42,6 +42,12 @@ class Encoder {
     out_.insert(out_.end(), s.begin(), s.end());
   }
 
+  /// Length-prefixed raw byte blob (e.g. a nested encoded message).
+  void put_blob(const std::vector<std::uint8_t>& b) {
+    put_varint(b.size());
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
   std::size_t size() const { return out_.size(); }
 
  private:
@@ -90,6 +96,15 @@ class Decoder {
     const std::uint64_t n = get_varint();
     PARIS_CHECK_MSG(static_cast<std::size_t>(end_ - p_) >= n, "bytes truncated");
     out.assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+  }
+
+  /// Counterpart of Encoder::put_blob; assigns into an existing vector so a
+  /// recycled field keeps its grown capacity.
+  void get_blob_into(std::vector<std::uint8_t>& out) {
+    const std::uint64_t n = get_varint();
+    PARIS_CHECK_MSG(static_cast<std::size_t>(end_ - p_) >= n, "blob truncated");
+    out.assign(p_, p_ + n);
     p_ += n;
   }
 

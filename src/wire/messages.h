@@ -38,10 +38,12 @@ enum class MsgType : std::uint8_t {
   kGossipUp,
   kGossipRoot,
   kUstDown,
+  kReliableFrame,
+  kReliableAck,
 };
 
 const char* msg_type_name(MsgType t);
-inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kUstDown) + 1;
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kReliableAck) + 1;
 
 // ---------------------------------------------------------------------------
 // Plain data sub-records.
@@ -402,6 +404,9 @@ struct WireWriter {
   void operator()(const std::string& v) { e.put_bytes(v); }
   void operator()(Timestamp v) { e.put_varint(v.raw); }
   void operator()(TxId v) { e.put_varint(v.raw); }
+  // Byte blobs (nested encoded messages) go through the bulk path, not the
+  // per-element template below.
+  void operator()(const std::vector<std::uint8_t>& v) { e.put_blob(v); }
   template <class T>
   void operator()(const std::vector<T>& v) {
     e.put_varint(v.size());
@@ -445,6 +450,7 @@ struct WireReader {
   void operator()(std::string& v) { d.get_bytes_into(v); }
   void operator()(Timestamp& v) { v.raw = d.get_varint(); }
   void operator()(TxId& v) { v.raw = d.get_varint(); }
+  void operator()(std::vector<std::uint8_t>& v) { d.get_blob_into(v); }
   template <class T>
   void operator()(std::vector<T>& v) {
     v.resize(d.get_varint());
@@ -488,6 +494,9 @@ struct WireSizer {
   void operator()(const std::string& v) { n += varint_size(v.size()) + v.size(); }
   void operator()(Timestamp v) { n += varint_size(v.raw); }
   void operator()(TxId v) { n += varint_size(v.raw); }
+  void operator()(const std::vector<std::uint8_t>& v) {
+    n += varint_size(v.size()) + v.size();
+  }
   template <class T>
   void operator()(const std::vector<T>& v) {
     n += varint_size(v.size());
@@ -775,6 +784,39 @@ struct UstDown : MessageBase<UstDown, MsgType::kUstDown> {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Reliable-delivery framing (runtime::ReliableTransport, DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+/// At-least-once data frame: a protocol message encoded as an opaque blob,
+/// tagged with a per-channel sequence number. `inner_type` duplicates
+/// payload[0] so fault-injection decorators can classify the carried message
+/// without decoding the blob. An EMPTY payload is a placeholder: the frame
+/// only advances the receiver's sequence (used when a superseded latest-wins
+/// message was coalesced out of the retransmission window).
+struct ReliableFrame : MessageBase<ReliableFrame, MsgType::kReliableFrame> {
+  std::uint64_t seq = 0;           ///< 1-based, contiguous per (from, to)
+  std::uint8_t inner_type = 0;     ///< MsgType of the carried message
+  std::vector<std::uint8_t> payload;  ///< encode_message() bytes; empty = placeholder
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.seq);
+    f(s.inner_type);
+    f(s.payload);
+  }
+};
+
+/// Cumulative acknowledgement: every frame with seq <= cum_seq was delivered
+/// in order. Acks are idempotent and unsequenced; losing or duplicating one
+/// is harmless (retransmission re-elicits it, stale ones are ignored).
+struct ReliableAck : MessageBase<ReliableAck, MsgType::kReliableAck> {
+  std::uint64_t cum_seq = 0;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.cum_seq);
+  }
+};
+
 /// X-macro over every concrete message type (used by the codec registry and
 /// by tests that fuzz the codec).
 #define PARIS_FOREACH_MESSAGE(X) \
@@ -794,6 +836,8 @@ struct UstDown : MessageBase<UstDown, MsgType::kUstDown> {
   X(Heartbeat)                   \
   X(GossipUp)                    \
   X(GossipRoot)                  \
-  X(UstDown)
+  X(UstDown)                     \
+  X(ReliableFrame)               \
+  X(ReliableAck)
 
 }  // namespace paris::wire

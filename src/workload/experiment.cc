@@ -27,6 +27,11 @@ class ExperimentTracer : public proto::Tracer {
     return (splitmix64(tx.raw) & sample_mask_) == 0;
   }
 
+  void on_tx_started(NodeId client, TxId tx, Timestamp snapshot,
+                     sim::SimTime now) override {
+    if (history_) history_->on_tx_started(client, tx, snapshot, now);
+  }
+
   void on_commit_writes(TxId tx, DcId origin,
                         const std::vector<wire::WriteKV>& writes) override {
     if (history_) history_->on_commit_writes(tx, origin, writes);
@@ -89,6 +94,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dc.uniform_intra_dc_us = cfg.uniform_intra_dc_us;
   dc.latency_model = cfg.latency_model;
   dc.chaos = cfg.chaos;
+  dc.reliable = cfg.reliable;
+  dc.reliable_cfg = cfg.reliable_cfg;
+  dc.partitions = cfg.partitions;
   dc.seed = cfg.seed;
 
   ExperimentTracer tracer(cfg.check_consistency, cfg.measure_visibility,
@@ -158,6 +166,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.sim_events = dep.backend().events_executed();
   res.bytes_sent = dep.transport().total_bytes_sent();
   if (dep.chaos_transport() != nullptr) res.chaos = dep.chaos_transport()->stats();
+  if (dep.reliable_transport() != nullptr) res.reliable = dep.reliable_transport()->stats();
+  if (dep.partition_transport() != nullptr) res.partition = dep.partition_transport()->stats();
   if (tracer.history() != nullptr) res.violations = tracer.history()->check();
 
   res.wall_seconds =

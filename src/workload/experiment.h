@@ -55,6 +55,11 @@ struct ExperimentConfig {
   /// draw from the aws/uniform latency settings above.
   runtime::LatencyModelKind latency_model = runtime::LatencyModelKind::kNone;
   runtime::ChaosConfig chaos;
+  /// Threads runtime: at-least-once reliable delivery (chaos drops of any
+  /// class and partitions still converge) and scheduled inter-DC blackouts.
+  bool reliable = false;
+  runtime::ReliableConfig reliable_cfg;
+  runtime::PartitionSpec partitions;
   /// Benchmarks default to size-only codec accounting; tests use kBytes to
   /// exercise the serialization on every delivery.
   sim::CodecMode codec = sim::CodecMode::kSizeOnly;
@@ -92,6 +97,10 @@ struct ExperimentResult {
   double wall_seconds = 0;
   /// Fault-injection tallies (all zero unless cfg.chaos enabled).
   runtime::ChaosTransport::Stats chaos;
+  /// Reliable-delivery tallies (all zero unless cfg.reliable).
+  runtime::ReliableTransport::Stats reliable;
+  /// Blackout tallies (all zero unless cfg.partitions configured).
+  runtime::PartitionTransport::Stats partition;
   std::vector<std::string> violations;  // non-empty => consistency bug
 };
 

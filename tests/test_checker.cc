@@ -122,5 +122,40 @@ TEST_F(CheckerFixture, ViolationFloodIsSuppressed) {
   EXPECT_LE(v.size(), 60u) << "checker output must stay readable";
 }
 
+TEST_F(CheckerFixture, AcceptsMonotonicSessionSnapshots) {
+  const NodeId client = 42;
+  h.on_tx_started(client, TxId::make(1, 1), ts(100), 100);
+  h.on_tx_started(client, TxId::make(1, 2), ts(100), 200);  // equal is fine
+  h.on_tx_started(client, TxId::make(1, 3), ts(180), 300);
+  // A second session may run at older snapshots — only WITHIN a session
+  // must snapshots be monotonic.
+  h.on_tx_started(/*client=*/43, TxId::make(2, 1), ts(50), 400);
+  EXPECT_TRUE(h.check().empty());
+}
+
+TEST_F(CheckerFixture, SessionViolationFloodIsSuppressed) {
+  const NodeId client = 42;
+  h.on_tx_started(client, TxId::make(1, 0), ts(1'000), 0);
+  for (std::uint64_t i = 1; i < 300; ++i) {
+    h.on_tx_started(client, TxId::make(1, i), ts(1'000 - i), i);  // each moves back
+  }
+  const auto v = h.check();
+  EXPECT_LE(v.size(), 60u) << "session checks must honor the flood cap";
+}
+
+TEST_F(CheckerFixture, DetectsSessionSnapshotMovingBackwards) {
+  // Seeded violation: the regression the reliable layer's dedup must
+  // prevent — a stale retransmitted start response re-assigning an older
+  // snapshot to a session mid-stream.
+  const NodeId client = 42;
+  h.on_tx_started(client, TxId::make(1, 1), ts(100), 100);
+  h.on_tx_started(client, TxId::make(1, 2), ts(180), 200);
+  h.on_tx_started(client, TxId::make(1, 3), ts(120), 300);
+  const auto v = h.check();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("SESSION violation"), std::string::npos);
+  EXPECT_NE(v[0].find("moved backwards"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace paris::verify

@@ -1,0 +1,399 @@
+// ReliableTransport tests: exactly-once in-order delivery over deterministic
+// message loss, duplicate-ack tolerance, retransmit-after-heal through a
+// PartitionTransport blackout, latest-wins coalescing, window recycling
+// under sustained loss, and end-to-end convergence — chaos may drop ANY
+// message class and the exactness + causal + session checkers stay green.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "runtime/partition_transport.h"
+#include "runtime/reliable_transport.h"
+#include "runtime/thread_runtime.h"
+#include "workload/experiment.h"
+
+namespace paris::test {
+namespace {
+
+using runtime::PartitionSpec;
+using runtime::PartitionTransport;
+using runtime::PartitionWindow;
+using runtime::ReliableConfig;
+using runtime::ReliableTransport;
+using runtime::ThreadBackend;
+
+/// Records delivered Commit2pc/Heartbeat payloads with arrival times
+/// (accessed on the owning worker, then after stop()).
+class SinkActor : public runtime::Actor {
+ public:
+  explicit SinkActor(runtime::Executor& exec) : exec_(&exec) {}
+  void on_message(NodeId /*from*/, const wire::Message& m) override {
+    if (m.type() == wire::MsgType::kCommit2pc) {
+      values.push_back(static_cast<const wire::Commit2pc&>(m).tx.raw);
+    } else if (m.type() == wire::MsgType::kHeartbeat) {
+      values.push_back(static_cast<const wire::Heartbeat&>(m).t.raw);
+    } else {
+      ADD_FAILURE() << "unexpected message " << wire::msg_type_name(m.type());
+    }
+    at_us.push_back(exec_->now_us());
+  }
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> at_us;
+
+ private:
+  runtime::Executor* exec_;
+};
+
+wire::MessagePtr numbered(std::uint64_t i) {
+  auto m = wire::make_message<wire::Commit2pc>();
+  m->tx = TxId{i};
+  return m;
+}
+
+wire::MessagePtr heartbeat(std::uint64_t t) {
+  auto hb = wire::make_message<wire::Heartbeat>();
+  hb->t = Timestamp{t};
+  return hb;
+}
+
+/// Deterministically lossy/duplicating transport: `drop_frame(i)` decides
+/// the fate of the i-th kReliableFrame occurrence per channel (counting
+/// retransmissions); `dup_acks` re-sends every kReliableAck. Counters are
+/// mutex-guarded — sends originate on the main thread (pre-start) and on
+/// worker timers.
+class FaultyTransport final : public runtime::TransportDecorator {
+ public:
+  explicit FaultyTransport(runtime::Transport& inner) : TransportDecorator(inner) {}
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override {
+    if (msg->type() == wire::MsgType::kReliableFrame) {
+      std::uint64_t idx;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        idx = frame_count_[(static_cast<std::uint64_t>(from) << 32) | to]++;
+      }
+      if (drop_frame && drop_frame(idx)) return;  // eaten
+    }
+    if (msg->type() == wire::MsgType::kReliableAck && dup_acks) {
+      inner_.send(from, to, msg);  // duplicate copy
+    }
+    inner_.send(from, to, std::move(msg));
+  }
+
+  std::uint64_t frames_seen(NodeId from, NodeId to) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return frame_count_[(static_cast<std::uint64_t>(from) << 32) | to];
+  }
+
+  std::function<bool(std::uint64_t)> drop_frame;  ///< by per-channel occurrence
+  bool dup_acks = false;
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> frame_count_;
+};
+
+/// Two wrapped sink nodes on separate workers over the given inner chain.
+struct Rig {
+  Rig(ThreadBackend& be, runtime::Transport& inner, ReliableConfig cfg)
+      : rt(inner, be.exec(), cfg), a(be.exec()), b(be.exec()) {
+    runtime::Actor* wa = rt.wrap(&a);
+    runtime::Actor* wb = rt.wrap(&b);
+    na = be.add_node(wa, 0, nullptr);
+    nb = be.add_node(wb, 1, nullptr);
+    rt.attach(wa, na);
+    rt.attach(wb, nb);
+  }
+  ReliableTransport rt;
+  SinkActor a, b;
+  NodeId na = kInvalidNode, nb = kInvalidNode;
+};
+
+ReliableConfig fast_rto() {
+  ReliableConfig cfg;
+  cfg.rto_us = 5'000;
+  cfg.max_rto_us = 20'000;  // tight backoff cap keeps lossy tests fast
+  return cfg;
+}
+
+TEST(ReliableTransport, DeliversExactlyOnceInOrderUnderDrops) {
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  FaultyTransport lossy(be.transport());
+  // Eat a third of all frame transmissions, including retransmissions
+  // (hash-based: deterministic but aperiodic, so full-window go-back-N
+  // rounds cannot resonate with the drop pattern).
+  lossy.drop_frame = [](std::uint64_t i) { return splitmix64(i) % 3 == 0; };
+  Rig rig(be, lossy, fast_rto());
+
+  const std::uint64_t kMsgs = 50;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) rig.rt.send(rig.na, rig.nb, numbered(i));
+  be.run_for(300'000);
+  be.stop();
+
+  ASSERT_EQ(rig.b.values.size(), kMsgs) << "at-least-once must recover every drop";
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(rig.b.values[i], i);  // exactly-once, in order
+  }
+  const auto s = rig.rt.stats();
+  EXPECT_GT(s.retransmits, 0u);
+  EXPECT_GT(s.ooo_frames, 0u);  // post-drop frames were buffered, never reordered
+  EXPECT_EQ(rig.rt.window_size(rig.na), 0u) << "acks must drain the window";
+}
+
+TEST(ReliableTransport, DuplicateAcksAreHarmless) {
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  FaultyTransport lossy(be.transport());
+  lossy.drop_frame = [](std::uint64_t i) { return i == 3; };
+  lossy.dup_acks = true;  // every ack arrives twice
+  Rig rig(be, lossy, fast_rto());
+
+  const std::uint64_t kMsgs = 20;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) rig.rt.send(rig.na, rig.nb, numbered(i));
+  be.run_for(200'000);
+  be.stop();
+
+  ASSERT_EQ(rig.b.values.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) EXPECT_EQ(rig.b.values[i], i);
+  const auto s = rig.rt.stats();
+  EXPECT_GT(s.stale_acks, 0u) << "the duplicated acks must have been seen and ignored";
+  EXPECT_EQ(rig.rt.window_size(rig.na), 0u);
+}
+
+TEST(ReliableTransport, RetransmitsAfterPartitionHeals) {
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  // Blackout DC0 <-> DC1 from construction until t=80ms: the first
+  // transmissions and early retransmits are all eaten; delivery must happen
+  // via retransmission after the heal deadline.
+  PartitionSpec spec;
+  spec.windows.push_back(PartitionWindow{0, 1, false, 0, 80'000});
+  PartitionTransport part(be.transport(), be.exec(), spec);
+  Rig rig(be, part, fast_rto());
+
+  const std::uint64_t kMsgs = 10;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) rig.rt.send(rig.na, rig.nb, numbered(i));
+  be.run_for(250'000);
+  be.stop();
+
+  ASSERT_EQ(rig.b.values.size(), kMsgs) << "messages must survive the blackout";
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(rig.b.values[i], i);
+    EXPECT_GE(rig.b.at_us[i], 80'000u) << "nothing may cross an active blackout";
+  }
+  EXPECT_GT(part.stats().dropped, 0u);
+  EXPECT_GT(rig.rt.stats().retransmits, 0u);
+}
+
+TEST(ReliableTransport, CoalescesSupersededLatestWinsMessages) {
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  PartitionSpec spec;
+  spec.windows.push_back(PartitionWindow{0, 1, false, 0, 60'000});
+  PartitionTransport part(be.transport(), be.exec(), spec);
+  Rig rig(be, part, fast_rto());
+
+  // 20 heartbeats into the blackout: 19 are superseded while unacked, so
+  // retransmission carries placeholders for them and one live payload.
+  const std::uint64_t kBeats = 20;
+  for (std::uint64_t i = 0; i < kBeats; ++i) rig.rt.send(rig.na, rig.nb, heartbeat(i));
+  be.run_for(200'000);
+  be.stop();
+
+  ASSERT_EQ(rig.b.values.size(), 1u)
+      << "only the latest heartbeat should survive coalescing";
+  EXPECT_EQ(rig.b.values[0], kBeats - 1);
+  EXPECT_EQ(rig.rt.stats().coalesced, kBeats - 1);
+  EXPECT_EQ(rig.rt.window_size(rig.na), 0u) << "placeholders must still be acked";
+}
+
+TEST(ReliableTransport, WindowRecyclingSurvivesSustainedLoss) {
+  // "Wraparound" coverage: many times more traffic than the in-flight
+  // window ever holds, with drops sprinkled across first sends and
+  // retransmissions, must still deliver exactly once in order. Sends are
+  // paced by a timer (a closed protocol would do the same), so the window
+  // recycles continuously instead of draining one 400-deep burst.
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  FaultyTransport lossy(be.transport());
+  lossy.drop_frame = [](std::uint64_t i) { return splitmix64(i ^ 0x5105) % 4 == 0; };
+  ReliableConfig cfg;
+  cfg.rto_us = 3'000;
+  cfg.max_rto_us = 9'000;
+  Rig rig(be, lossy, cfg);
+
+  const std::uint64_t kMsgs = 200;
+  std::uint64_t sent = 0;
+  runtime::TimerHandle pump =
+      be.exec().every(rig.na, /*period=*/1'000, /*phase=*/0, [&] {
+        for (int k = 0; k < 2 && sent < kMsgs; ++k) {
+          rig.rt.send(rig.na, rig.nb, numbered(sent++));
+        }
+      });
+  be.run_for(800'000);
+  be.stop();
+
+  ASSERT_EQ(rig.b.values.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) EXPECT_EQ(rig.b.values[i], i);
+  EXPECT_EQ(rig.rt.window_size(rig.na), 0u);
+  const auto s = rig.rt.stats();
+  EXPECT_EQ(s.frames_sent, kMsgs);  // first transmissions counted once each
+  EXPECT_GT(s.retransmits, 0u);
+}
+
+TEST(ReliableTransport, InFlightCapBoundsBlackoutProbes) {
+  // 60 frames queued into a blackout with an in-flight cap of 8: every
+  // retransmission probe may carry at most one burst, so total wire
+  // traffic stays linear in (probes + backlog) — the naive full-window
+  // go-back-N would resend all 60 frames on every probe. After heal the
+  // queued tail must ack-clock out completely, in order.
+  ThreadBackend be(ThreadBackend::Options{2, 1});
+  PartitionSpec spec;
+  spec.windows.push_back(PartitionWindow{0, 1, false, 0, 100'000});
+  PartitionTransport part(be.transport(), be.exec(), spec);
+  FaultyTransport counter(part);  // no drops; counts frame transmissions
+  ReliableConfig cfg;
+  cfg.rto_us = 5'000;
+  cfg.max_rto_us = 20'000;
+  cfg.max_in_flight = 8;
+  Rig rig(be, counter, cfg);
+
+  const std::uint64_t kMsgs = 60;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) rig.rt.send(rig.na, rig.nb, numbered(i));
+  be.run_for(400'000);
+  be.stop();
+
+  ASSERT_EQ(rig.b.values.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) EXPECT_EQ(rig.b.values[i], i);
+  EXPECT_EQ(rig.rt.window_size(rig.na), 0u);
+  // ~8-10 blackout probes x 8 frames + the 60-frame drain + slack: far
+  // below the ~500+ a full-window resend per probe would transmit.
+  EXPECT_LE(counter.frames_seen(rig.na, rig.nb), 350u)
+      << "in-flight cap failed to bound retransmission traffic";
+}
+
+TEST(PartitionSpec, ParsesPairIsolationAndLists) {
+  PartitionSpec spec;
+  ASSERT_TRUE(runtime::parse_partition_spec("0-1:500:1500", spec));
+  ASSERT_EQ(spec.windows.size(), 1u);
+  EXPECT_FALSE(spec.windows[0].isolate_all);
+  EXPECT_EQ(spec.windows[0].a, 0u);
+  EXPECT_EQ(spec.windows[0].b, 1u);
+  EXPECT_EQ(spec.windows[0].start_us, 500'000u);
+  EXPECT_EQ(spec.windows[0].end_us, 1'500'000u);
+
+  ASSERT_TRUE(runtime::parse_partition_spec("2:2000:2500,0-1:1:2", spec));
+  ASSERT_EQ(spec.windows.size(), 2u);
+  EXPECT_TRUE(spec.windows[0].isolate_all);
+  EXPECT_EQ(spec.windows[0].a, 2u);
+  EXPECT_FALSE(spec.windows[1].isolate_all);
+
+  // Blackout predicate: pair window hits both directions, nothing else.
+  const PartitionWindow& w = spec.windows[1];
+  EXPECT_TRUE(w.blacks_out(0, 1, 1'500));
+  EXPECT_TRUE(w.blacks_out(1, 0, 1'500));
+  EXPECT_FALSE(w.blacks_out(0, 2, 1'500));
+  EXPECT_FALSE(w.blacks_out(0, 1, 2'000));  // heal deadline is exclusive
+
+  PartitionSpec bad;
+  EXPECT_FALSE(runtime::parse_partition_spec("", bad));
+  EXPECT_FALSE(runtime::parse_partition_spec("0-1:500", bad));
+  EXPECT_FALSE(runtime::parse_partition_spec("0-1:900:100", bad));  // end <= start
+  EXPECT_FALSE(runtime::parse_partition_spec("x-1:1:2", bad));
+  EXPECT_FALSE(runtime::parse_partition_spec("-1:0:500", bad));  // no unsigned wrap
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end convergence.
+// ---------------------------------------------------------------------------
+
+/// Sanitizer builds run the closed loop several times slower; stretch the
+/// wall-clock windows so "committed > 0 within the window" stays a protocol
+/// assertion, not a scheduler-speed one.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr std::uint64_t kTimeScale = 5;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr std::uint64_t kTimeScale = 5;
+#else
+constexpr std::uint64_t kTimeScale = 1;
+#endif
+#else
+constexpr std::uint64_t kTimeScale = 1;
+#endif
+
+workload::ExperimentConfig reliable_cluster(std::uint64_t seed) {
+  workload::ExperimentConfig cfg;
+  cfg.runtime = runtime::Kind::kThreads;
+  cfg.worker_threads = 2;
+  cfg.num_dcs = 3;
+  cfg.num_partitions = 6;
+  cfg.replication = 2;
+  cfg.threads_per_process = 1;
+  cfg.workload.ops_per_tx = 8;
+  cfg.workload.writes_per_tx = 2;
+  cfg.workload.keys_per_partition = 100;
+  cfg.warmup_us = 50'000 * kTimeScale;
+  cfg.measure_us = 350'000 * kTimeScale;
+  cfg.aws_latency = false;
+  cfg.codec = sim::CodecMode::kBytes;
+  cfg.check_consistency = true;
+  cfg.reliable = true;
+  // The RTO must scale with the sanitizer slowdown like the windows do:
+  // once queueing delay exceeds the RTO, every message times out
+  // spuriously and the duplicate load feeds back into more delay —
+  // congestion collapse (an adaptive RTO is a ROADMAP item).
+  cfg.reliable_cfg.rto_us = 20'000 * kTimeScale;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The headline guarantee: with the reliable layer on, chaos may drop ANY
+/// message class — request/response, 2PC, replication, acks — and the run
+/// still converges and passes the exactness + causal-safety + per-session
+/// monotonic-snapshot checkers, for both systems.
+TEST(ReliableEndToEnd, ChaosDropAnythingStillConvergesCheckerClean) {
+  for (const auto sys : {proto::System::kParis, proto::System::kBpr}) {
+    auto cfg = reliable_cluster(71);
+    cfg.system = sys;
+    cfg.chaos.drop_p = 0.15;
+    cfg.chaos.drop_class = runtime::ChaosDropClass::kAll;
+
+    const auto res = workload::run_experiment(cfg);
+    SCOPED_TRACE(proto::system_name(sys));
+    EXPECT_GT(res.committed, 0u);
+    EXPECT_GT(res.chaos.dropped, 0u) << "chaos must actually engage";
+    EXPECT_GT(res.reliable.retransmits, 0u) << "recovery must actually engage";
+    for (const auto& v : res.violations) ADD_FAILURE() << v;
+  }
+}
+
+/// Request/response traffic specifically (the class the pre-PR 4 transport
+/// could never drop) survives targeted drops.
+TEST(ReliableEndToEnd, RequestClassDropsConverge) {
+  auto cfg = reliable_cluster(72);
+  cfg.chaos.drop_p = 0.2;
+  cfg.chaos.drop_class = runtime::ChaosDropClass::kRequests;
+
+  const auto res = workload::run_experiment(cfg);
+  EXPECT_GT(res.committed, 0u);
+  EXPECT_GT(res.chaos.dropped, 0u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+/// A scheduled inter-DC blackout heals on its deadline and the run
+/// converges checker-clean: nothing the partition ate stays lost.
+TEST(ReliableEndToEnd, PartitionHealsAndConvergesCheckerClean) {
+  auto cfg = reliable_cluster(73);
+  cfg.measure_us = 750'000 * kTimeScale;
+  cfg.partitions.windows.push_back(
+      PartitionWindow{0, 1, false, 150'000 * kTimeScale, 450'000 * kTimeScale});
+
+  const auto res = workload::run_experiment(cfg);
+  EXPECT_GT(res.committed, 0u);
+  EXPECT_GT(res.partition.dropped, 0u) << "the blackout must actually engage";
+  EXPECT_GT(res.reliable.retransmits, 0u);
+  for (const auto& v : res.violations) ADD_FAILURE() << v;
+}
+
+}  // namespace
+}  // namespace paris::test

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (CI job `docs`).
+
+1. Help-text drift: README.md embeds the verbatim `paris_sim --help` output
+   between `<!-- paris-sim-help:begin -->` / `<!-- paris-sim-help:end -->`
+   markers. This script runs the built binary and diffs, so the CLI flag
+   reference in the README cannot drift from the tool (the usage line's
+   argv[0] is normalized on both sides).
+
+2. Markdown link check: every relative link or image in README.md and
+   DESIGN.md must point at an existing file or directory (http(s) links are
+   skipped — CI runs offline).
+
+Usage: tools/check_docs.py [--binary build/paris_sim]
+Exit code 0 = docs consistent, 1 = drift/broken links (diff printed).
+"""
+
+import argparse
+import difflib
+import pathlib
+import re
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BEGIN = "<!-- paris-sim-help:begin -->"
+END = "<!-- paris-sim-help:end -->"
+
+
+def normalize_usage(text: str) -> str:
+    return re.sub(r"^usage: \S+ \[options\]", "usage: paris_sim [options]", text.strip(),
+                  count=1)
+
+
+def check_help(binary: pathlib.Path) -> int:
+    readme = (ROOT / "README.md").read_text()
+    try:
+        block = readme.split(BEGIN)[1].split(END)[0]
+    except IndexError:
+        print(f"ERROR: README.md is missing the {BEGIN} / {END} markers")
+        return 1
+    fences = re.findall(r"```text\n(.*?)```", block, flags=re.S)
+    if len(fences) != 1:
+        print("ERROR: expected exactly one ```text fence between the help markers")
+        return 1
+    documented = normalize_usage(fences[0])
+
+    out = subprocess.run([str(binary), "--help"], capture_output=True, text=True)
+    if out.returncode != 0:
+        print(f"ERROR: {binary} --help exited {out.returncode}")
+        return 1
+    actual = normalize_usage(out.stdout)
+
+    if documented != actual:
+        print("ERROR: README.md flag reference drifted from `paris_sim --help`:")
+        sys.stdout.writelines(difflib.unified_diff(
+            documented.splitlines(keepends=True), actual.splitlines(keepends=True),
+            fromfile="README.md", tofile="paris_sim --help"))
+        print("\nRegenerate: paste `paris_sim --help` into the marked README block.")
+        return 1
+    print("help-text check: README flag reference matches `paris_sim --help`")
+    return 0
+
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def check_links() -> int:
+    bad = 0
+    for doc in ("README.md", "DESIGN.md"):
+        text = (ROOT / doc).read_text()
+        # Strip fenced code blocks: their bracket syntax is not a link.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not (ROOT / target).exists():
+                print(f"ERROR: {doc} links to missing path: {target}")
+                bad += 1
+    if bad == 0:
+        print("link check: all relative links in README.md/DESIGN.md resolve")
+    return 1 if bad else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", default=ROOT / "build" / "paris_sim", type=pathlib.Path)
+    args = ap.parse_args()
+    return check_help(args.binary) | check_links()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,12 +37,28 @@ namespace {
       "                          threads runtime: inject per-DC-pair WAN\n"
       "                          delay (matrix), plus jitter (default none;\n"
       "                          the sim models latency itself)\n"
+      "  --reliable              threads: at-least-once delivery — every\n"
+      "                          protocol message is sequenced, retransmitted\n"
+      "                          on timeout and deduplicated at the receiver,\n"
+      "                          so chaos drops/partitions of ANY class still\n"
+      "                          converge (exactly-once at the actor)\n"
+      "  --reliable-rto-ms=R     retransmission timeout (default 100)\n"
+      "  --partition-spec=SPEC   threads: scheduled inter-DC blackouts, times\n"
+      "                          in ms on the runtime clock. SPEC is comma-\n"
+      "                          separated windows: A-B:start:end (pair) or\n"
+      "                          A:start:end (isolate DC A). Messages crossing\n"
+      "                          an active window are DROPPED; pair with\n"
+      "                          --reliable to converge after heal\n"
       "  --chaos-reorder=P       threads: stall probability (cross-channel\n"
       "                          reorder; per-channel FIFO preserved)\n"
       "  --chaos-stall-ms=S      stall length for --chaos-reorder (default 10)\n"
       "  --chaos-duplicate=P     threads: duplicate replication messages\n"
-      "  --chaos-drop=P          threads: drop replication messages (expected\n"
-      "                          to surface as --check violations)\n"
+      "  --chaos-drop=[CLASS:]P  threads: drop messages with probability P.\n"
+      "                          CLASS is replication (default), requests or\n"
+      "                          all. Without --reliable, replication drops\n"
+      "                          surface as --check violations and request\n"
+      "                          drops wedge transactions; with --reliable any\n"
+      "                          class must converge checker-clean\n"
       "  --dcs=M                 number of data centers (default 5)\n"
       "  --partitions=N          number of partitions (default 45)\n"
       "  --replication=R         replication factor (default 2)\n"
@@ -116,6 +132,22 @@ int main(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+    } else if (parse_flag(argv[i], "--reliable-rto-ms", &v) && v) {
+      const long long rto_ms = std::atoll(v);
+      if (rto_ms <= 0) {  // also catches non-numeric input (atoll -> 0)
+        std::fprintf(stderr, "error: --reliable-rto-ms must be a positive integer, got '%s'\n",
+                     v);
+        return 2;
+      }
+      cfg.reliable_cfg.rto_us = static_cast<std::uint64_t>(rto_ms) * 1000;
+      cfg.reliable = true;
+    } else if (parse_flag(argv[i], "--reliable", &v)) {
+      cfg.reliable = true;
+    } else if (parse_flag(argv[i], "--partition-spec", &v) && v) {
+      if (!runtime::parse_partition_spec(v, cfg.partitions)) {
+        std::fprintf(stderr, "error: malformed --partition-spec '%s'\n", v);
+        return 2;
+      }
     } else if (parse_flag(argv[i], "--chaos-reorder", &v) && v) {
       cfg.chaos.reorder_p = std::atof(v);
     } else if (parse_flag(argv[i], "--chaos-stall-ms", &v) && v) {
@@ -123,7 +155,23 @@ int main(int argc, char** argv) {
     } else if (parse_flag(argv[i], "--chaos-duplicate", &v) && v) {
       cfg.chaos.duplicate_p = std::atof(v);
     } else if (parse_flag(argv[i], "--chaos-drop", &v) && v) {
-      cfg.chaos.drop_p = std::atof(v);
+      // [CLASS:]P — e.g. "0.1", "replication:0.1", "all:0.05".
+      std::string spec(v);
+      if (const auto colon = spec.find(':'); colon != std::string::npos) {
+        const std::string cls = spec.substr(0, colon);
+        if (cls == "replication") {
+          cfg.chaos.drop_class = runtime::ChaosDropClass::kReplication;
+        } else if (cls == "requests") {
+          cfg.chaos.drop_class = runtime::ChaosDropClass::kRequests;
+        } else if (cls == "all") {
+          cfg.chaos.drop_class = runtime::ChaosDropClass::kAll;
+        } else {
+          std::fprintf(stderr, "error: unknown --chaos-drop class '%s'\n", cls.c_str());
+          return 2;
+        }
+        spec = spec.substr(colon + 1);
+      }
+      cfg.chaos.drop_p = std::atof(spec.c_str());
     } else if (parse_flag(argv[i], "--dcs", &v) && v) {
       cfg.num_dcs = static_cast<std::uint32_t>(std::atoi(v));
     } else if (parse_flag(argv[i], "--partitions", &v) && v) {
@@ -168,11 +216,24 @@ int main(int argc, char** argv) {
   }
 
   if (cfg.runtime == runtime::Kind::kSim &&
-      (cfg.latency_model != runtime::LatencyModelKind::kNone || cfg.chaos.enabled())) {
+      (cfg.latency_model != runtime::LatencyModelKind::kNone || cfg.chaos.enabled() ||
+       cfg.reliable || cfg.partitions.enabled())) {
     std::fprintf(stderr,
-                 "error: --latency-model/--chaos-* require --runtime=threads (the "
-                 "simulator models latency itself; no chaos would be injected)\n");
+                 "error: --latency-model/--chaos-*/--reliable/--partition-spec require "
+                 "--runtime=threads (the simulator models the network itself)\n");
     return 2;
+  }
+  if (!cfg.reliable && cfg.chaos.drop_p > 0 &&
+      cfg.chaos.drop_class != runtime::ChaosDropClass::kReplication) {
+    std::fprintf(stderr,
+                 "warning: --chaos-drop=%s without --reliable will wedge request/"
+                 "response traffic (transactions stall instead of converging)\n",
+                 runtime::chaos_drop_class_name(cfg.chaos.drop_class));
+  }
+  if (!cfg.reliable && cfg.partitions.enabled()) {
+    std::fprintf(stderr,
+                 "warning: --partition-spec without --reliable loses every message "
+                 "crossing a blackout (no retransmission after heal)\n");
   }
 
   std::printf("system=%s M=%u N=%u R=%u (%.0f machines/DC) threads=%u\n",
@@ -188,10 +249,26 @@ int main(int argc, char** argv) {
                 std::thread::hardware_concurrency(),
                 runtime::latency_model_name(cfg.latency_model));
     if (cfg.chaos.enabled()) {
-      std::printf("chaos: reorder=%.2f (stall %llu ms) duplicate=%.2f drop=%.2f\n",
+      std::printf("chaos: reorder=%.2f (stall %llu ms) duplicate=%.2f drop=%s:%.2f\n",
                   cfg.chaos.reorder_p,
                   static_cast<unsigned long long>(cfg.chaos.reorder_stall_us / 1000),
-                  cfg.chaos.duplicate_p, cfg.chaos.drop_p);
+                  cfg.chaos.duplicate_p,
+                  runtime::chaos_drop_class_name(cfg.chaos.drop_class), cfg.chaos.drop_p);
+    }
+    if (cfg.reliable) {
+      std::printf("reliable: at-least-once, rto %llu ms\n",
+                  static_cast<unsigned long long>(cfg.reliable_cfg.rto_us / 1000));
+    }
+    for (const auto& w : cfg.partitions.windows) {
+      if (w.isolate_all) {
+        std::printf("partition: DC %u isolated %llu..%llu ms\n", w.a,
+                    static_cast<unsigned long long>(w.start_us / 1000),
+                    static_cast<unsigned long long>(w.end_us / 1000));
+      } else {
+        std::printf("partition: DC %u <-> DC %u cut %llu..%llu ms\n", w.a, w.b,
+                    static_cast<unsigned long long>(w.start_us / 1000),
+                    static_cast<unsigned long long>(w.end_us / 1000));
+      }
     }
   }
   std::printf("workload: %s\n", cfg.workload.describe().c_str());
@@ -220,6 +297,18 @@ int main(int argc, char** argv) {
                 stats::with_commas(res.chaos.stalled).c_str(),
                 stats::with_commas(res.chaos.duplicated).c_str(),
                 stats::with_commas(res.chaos.dropped).c_str());
+  }
+  if (res.partition.dropped > 0) {
+    std::printf("partition drops %10s messages eaten by blackouts\n",
+                stats::with_commas(res.partition.dropped).c_str());
+  }
+  if (cfg.reliable) {
+    std::printf("reliable layer  %10s frames, %s retransmits, %s dup-frames dropped, "
+                "%s coalesced\n",
+                stats::with_commas(res.reliable.frames_sent).c_str(),
+                stats::with_commas(res.reliable.retransmits).c_str(),
+                stats::with_commas(res.reliable.dup_frames).c_str(),
+                stats::with_commas(res.reliable.coalesced).c_str());
   }
   std::printf("local-hit rate  %10.1f %%   max client cache %zu entries\n",
               res.local_hit_rate * 100.0, res.max_client_cache);

@@ -27,13 +27,38 @@ std::unique_ptr<runtime::Backend> build_backend(const DeploymentConfig& cfg,
     opt.seed = cfg.seed;
     return std::make_unique<runtime::ThreadBackend>(opt);
   }
+  if (cfg.runtime == runtime::Kind::kSockets) {
+    PARIS_CHECK_MSG(cfg.socket.rank >= 0,
+                    "socket deployments are built inside child processes only "
+                    "(run_experiment spawns them)");
+    runtime::SocketBackend::Options opt;
+    opt.rank = static_cast<std::uint32_t>(cfg.socket.rank);
+    opt.nprocs = cfg.socket.resolve_processes(cfg.topo.num_dcs);
+    opt.base_port = cfg.socket.base_port;
+    opt.seed = cfg.seed;
+    opt.connect_timeout_ms = cfg.socket.connect_timeout_ms;
+    opt.mesh_token = cfg.socket.mesh_token;
+    if (cfg.worker_threads != 0) {
+      opt.workers = cfg.worker_threads;
+    } else {
+      // One worker per LOCAL server node (dc % nprocs == rank owns the DC).
+      std::uint32_t local_servers = 0;
+      for (DcId dc = 0; dc < topo.num_dcs(); ++dc) {
+        if (dc % opt.nprocs == opt.rank) {
+          local_servers += static_cast<std::uint32_t>(topo.partitions_at(dc).size());
+        }
+      }
+      opt.workers = local_servers != 0 ? local_servers : 1;
+    }
+    return std::make_unique<runtime::SocketBackend>(opt);
+  }
   return std::make_unique<runtime::SimBackend>(cfg.seed, build_latency(cfg), cfg.codec);
 }
 
 std::unique_ptr<runtime::LatencyTransport> build_latency_tp(const DeploymentConfig& cfg,
                                                             runtime::Backend& be) {
   // The sim network models latency itself; decorating it would double-count.
-  if (cfg.runtime != runtime::Kind::kThreads ||
+  if (cfg.runtime == runtime::Kind::kSim ||
       cfg.latency_model == runtime::LatencyModelKind::kNone) {
     return nullptr;
   }
@@ -46,7 +71,7 @@ std::unique_ptr<runtime::LatencyTransport> build_latency_tp(const DeploymentConf
 std::unique_ptr<runtime::PartitionTransport> build_partition_tp(const DeploymentConfig& cfg,
                                                                 runtime::Backend& be,
                                                                 runtime::Transport* below) {
-  if (cfg.runtime != runtime::Kind::kThreads || !cfg.partitions.enabled()) return nullptr;
+  if (cfg.runtime == runtime::Kind::kSim || !cfg.partitions.enabled()) return nullptr;
   return std::make_unique<runtime::PartitionTransport>(
       below != nullptr ? *below : be.transport(), be.exec(), cfg.partitions);
 }
@@ -54,7 +79,7 @@ std::unique_ptr<runtime::PartitionTransport> build_partition_tp(const Deployment
 std::unique_ptr<runtime::ChaosTransport> build_chaos_tp(const DeploymentConfig& cfg,
                                                         runtime::Backend& be,
                                                         runtime::Transport* below) {
-  if (cfg.runtime != runtime::Kind::kThreads || !cfg.chaos.enabled()) return nullptr;
+  if (cfg.runtime == runtime::Kind::kSim || !cfg.chaos.enabled()) return nullptr;
   runtime::ChaosConfig chaos = cfg.chaos;
   if (chaos.seed == 0) chaos.seed = cfg.seed;
   return std::make_unique<runtime::ChaosTransport>(
@@ -64,7 +89,7 @@ std::unique_ptr<runtime::ChaosTransport> build_chaos_tp(const DeploymentConfig& 
 std::unique_ptr<runtime::ReliableTransport> build_reliable_tp(const DeploymentConfig& cfg,
                                                               runtime::Backend& be,
                                                               runtime::Transport* below) {
-  if (cfg.runtime != runtime::Kind::kThreads || !cfg.reliable) return nullptr;
+  if (cfg.runtime == runtime::Kind::kSim || !cfg.reliable) return nullptr;
   return std::make_unique<runtime::ReliableTransport>(
       below != nullptr ? *below : be.transport(), be.exec(), cfg.reliable_cfg);
 }

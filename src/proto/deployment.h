@@ -22,6 +22,7 @@
 #include "runtime/latency_transport.h"
 #include "runtime/partition_transport.h"
 #include "runtime/reliable_transport.h"
+#include "runtime/socket_runtime.h"
 #include "sim/codec_mode.h"
 
 namespace paris::proto {
@@ -35,10 +36,16 @@ struct DeploymentConfig {
   cluster::TopologyConfig topo;
   ProtocolConfig protocol;
   CostModel cost;
-  /// Backend: deterministic simulator (default) or real worker threads.
+  /// Backend: deterministic simulator (default), real worker threads, or
+  /// real OS processes connected over TCP (kSockets; see socket below).
   runtime::Kind runtime = runtime::Kind::kSim;
-  /// Threads backend: worker thread count; 0 = one per server node.
+  /// Threads/sockets backend: worker thread count (per process for
+  /// sockets); 0 = one per server node hosted by this process.
   std::uint32_t worker_threads = 0;
+  /// Sockets backend: this process's rank + cluster wiring. A deployment is
+  /// only ever built INSIDE a child process (rank >= 0); the launcher side
+  /// lives in workload::run_experiment, which spawns children and merges.
+  runtime::SocketConfig socket;
   sim::CodecMode codec = sim::CodecMode::kBytes;
   /// true: AWS-calibrated inter-DC latencies (first M of the paper's ten
   /// regions); false: uniform latencies (unit tests).
@@ -94,6 +101,12 @@ class Deployment {
   runtime::ReliableTransport* reliable_transport() { return reliable_tp_.get(); }
   /// Non-null when scheduled blackouts are configured (cfg.partitions).
   runtime::PartitionTransport* partition_transport() { return partition_tp_.get(); }
+  /// Non-null when this deployment runs the socket backend (child process).
+  runtime::SocketBackend* socket_backend() {
+    return cfg_.runtime == runtime::Kind::kSockets
+               ? static_cast<runtime::SocketBackend*>(backend_.get())
+               : nullptr;
+  }
   const cluster::Topology& topo() const { return topo_; }
   Runtime& runtime() { return rt_; }
   const DeploymentConfig& config() const { return cfg_; }

@@ -20,9 +20,19 @@
 
 namespace paris::runtime {
 
-enum class Kind { kSim, kThreads };
+enum class Kind { kSim, kThreads, kSockets };
 
-inline const char* kind_name(Kind k) { return k == Kind::kSim ? "sim" : "threads"; }
+inline const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kSim:
+      return "sim";
+    case Kind::kThreads:
+      return "threads";
+    case Kind::kSockets:
+      return "sockets";
+  }
+  return "?";
+}
 
 class Backend {
  public:
@@ -55,6 +65,15 @@ class Backend {
 
   /// Events (sim) or messages + timer fires (threads) processed so far.
   virtual std::uint64_t events_executed() const = 0;
+
+  /// True when node `n` is hosted by THIS backend instance. Single-process
+  /// backends host everything; the socket backend hosts only the nodes its
+  /// process rank owns (remote nodes are registered for id/topology
+  /// alignment but never execute here).
+  virtual bool local(NodeId n) const {
+    (void)n;
+    return true;
+  }
 };
 
 }  // namespace paris::runtime

@@ -1,0 +1,102 @@
+#include "runtime/process_group.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace paris::runtime {
+
+namespace {
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ProcessGroup::~ProcessGroup() { kill_all(); }
+
+bool ProcessGroup::spawn(std::uint32_t rank, const std::vector<std::string>& args,
+                         const std::string& log_path) {
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    // Child marker: lets the launcher path detect (and refuse) recursive
+    // self-spawning when a binary forgets the maybe_run_socket_child hook.
+    setenv("PARIS_SOCKET_CHILD", "1", 1);
+    // Child: logs replace stdout/stderr, then become the target binary.
+    const int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dup2(fd, STDOUT_FILENO);
+      dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) close(fd);
+    }
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>("/proc/self/exe"));
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv("/proc/self/exe", argv.data());
+    std::fprintf(stderr, "execv(/proc/self/exe) failed: errno=%d\n", errno);
+    _exit(127);
+  }
+  children_.push_back(Child{rank, pid, log_path, -1});
+  return true;
+}
+
+bool ProcessGroup::wait_all(std::uint64_t timeout_ms, std::string& error) {
+  const std::uint64_t deadline = now_ms() + timeout_ms;
+  std::size_t live = 0;
+  for (const auto& c : children_)
+    if (c.exit_code < 0) ++live;
+
+  while (live > 0) {
+    bool progressed = false;
+    for (auto& c : children_) {
+      if (c.exit_code >= 0) continue;
+      int status = 0;
+      const pid_t r = waitpid(c.pid, &status, WNOHANG);
+      if (r == c.pid) {
+        c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                        : 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+        --live;
+        progressed = true;
+        if (c.exit_code != 0) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "child rank %u (pid %d) exited with code %d — see %s", c.rank,
+                        static_cast<int>(c.pid), c.exit_code, c.log_path.c_str());
+          error = buf;
+          kill_all();
+          return false;
+        }
+      }
+    }
+    if (live == 0) break;
+    if (now_ms() >= deadline) {
+      error = "timed out waiting for socket children; killing the group";
+      kill_all();
+      return false;
+    }
+    if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+void ProcessGroup::kill_all() {
+  for (auto& c : children_) {
+    if (c.exit_code >= 0) continue;
+    kill(c.pid, SIGKILL);
+    int status = 0;
+    waitpid(c.pid, &status, 0);
+    c.exit_code = 128 + SIGKILL;
+  }
+}
+
+}  // namespace paris::runtime

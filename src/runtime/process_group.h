@@ -1,0 +1,48 @@
+#pragma once
+// ProcessGroup: a small launcher/registry for the socket runtime's child
+// processes. The launcher re-executes ITS OWN binary (/proc/self/exe) with a
+// child marker argv — any binary that can run a socket deployment calls
+// workload::maybe_run_socket_child() first thing in main(), which intercepts
+// that marker — so paris_sim, benches and tools all self-spawn without a
+// separate worker binary. Each child's stdout/stderr is redirected to a log
+// file (CI uploads them as artifacts on failure).
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paris::runtime {
+
+class ProcessGroup {
+ public:
+  struct Child {
+    std::uint32_t rank = 0;
+    pid_t pid = -1;
+    std::string log_path;
+    int exit_code = -1;  ///< -1 until reaped; 128+sig for signal deaths
+  };
+
+  ~ProcessGroup();  // kills stragglers
+
+  /// fork + redirect stdout/stderr to log_path + exec /proc/self/exe with
+  /// `args` (argv[1..]; argv[0] is the binary itself). Returns false if the
+  /// fork/exec plumbing fails.
+  bool spawn(std::uint32_t rank, const std::vector<std::string>& args,
+             const std::string& log_path);
+
+  /// Reaps every child, failing fast: any nonzero exit kills the remaining
+  /// children immediately (a wedged peer must not eat the CI job limit),
+  /// and `timeout_ms` bounds the whole wait. Returns true when ALL children
+  /// exited zero; otherwise `error` names the first failure.
+  bool wait_all(std::uint64_t timeout_ms, std::string& error);
+
+  void kill_all();
+  const std::vector<Child>& children() const { return children_; }
+
+ private:
+  std::vector<Child> children_;
+};
+
+}  // namespace paris::runtime

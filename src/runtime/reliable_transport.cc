@@ -93,6 +93,8 @@ class ReliableTransport::Endpoint final : public Actor {
     wire::MessagePtr frame;
     std::uint64_t sent_at_us = 0;   ///< 0 = queued, not yet transmitted
     std::uint64_t first_at_us = 0;  ///< send_at deadline for the FIRST transmission
+    bool sacked = false;            ///< receiver holds it (selective ack)
+    bool retransmitted = false;     ///< Karn's rule: no RTT sample from these
   };
   struct SendChannel {
     std::uint64_t next_seq = 0;  ///< last assigned
@@ -101,7 +103,22 @@ class ReliableTransport::Endpoint final : public Actor {
     std::uint32_t backoff = 1;   ///< RTO multiplier, doubled per silent round
     std::deque<Flight> window;
     std::uint64_t latest_wins[kCoalesceSlots] = {0, 0, 0, 0};
+    RttEstimator rtt;            ///< adaptive-RTO state (Jacobson/Karels)
   };
+
+  struct RecvChannel {
+    std::uint64_t delivered = 0;  ///< highest in-order seq handed up
+    std::map<std::uint64_t, std::vector<std::uint8_t>> ooo;  ///< buffered past a gap
+  };
+
+  /// The channel's current base RTO: the measured estimate when adaptive
+  /// RTO is on and primed, the configured constant otherwise.
+  std::uint64_t base_rto(const SendChannel& ch) const {
+    if (rt_.cfg_.adaptive_rto && ch.rtt.primed()) {
+      return ch.rtt.rto_us(rt_.cfg_.min_rto_us, rt_.cfg_.max_rto_us);
+    }
+    return rt_.cfg_.rto_us;
+  }
 
   /// Transmits queued frames up to the in-flight cap (first transmissions
   /// are ack-clocked: the cap holds the line whenever the window is deeper
@@ -141,7 +158,7 @@ class ReliableTransport::Endpoint final : public Actor {
       // Duplicate: a retransmission raced the ack. Re-ack so the sender's
       // window drains even if the original ack was lost.
       rt_.stats_.dup_frames.fetch_add(1, std::memory_order_relaxed);
-      send_ack(from, ch.delivered);
+      send_ack(from, ch);
       return;
     }
     if (f.seq == ch.delivered + 1) {
@@ -154,7 +171,7 @@ class ReliableTransport::Endpoint final : public Actor {
         ch.delivered = it->first;
         it = ch.ooo.erase(it);
       }
-      send_ack(from, ch.delivered);
+      send_ack(from, ch);
       return;
     }
     // Past a gap (a drop ate a predecessor): buffer, bounded; the stale ack
@@ -163,7 +180,7 @@ class ReliableTransport::Endpoint final : public Actor {
     if (ch.ooo.size() < rt_.cfg_.max_ooo_buffered) {
       ch.ooo.emplace(f.seq, f.payload);  // no-op if that seq is already held
     }
-    send_ack(from, ch.delivered);
+    send_ack(from, ch);  // the SACK ranges tell the sender what to skip
   }
 
   void deliver_payload(NodeId from, const std::vector<std::uint8_t>& payload) {
@@ -174,12 +191,54 @@ class ReliableTransport::Endpoint final : public Actor {
     real_->on_message(from, *inner);
   }
 
+  /// SACK well-formedness (acks cross process boundaries under the socket
+  /// backend, so malformed input is survived, never asserted on): even
+  /// count, lo <= hi, the first range strictly beyond the cumack hole
+  /// (lo >= cum + 2), ascending and non-adjacent.
+  static bool sack_well_formed(const wire::ReliableAck& a) {
+    if (a.sack.size() % 2 != 0) return false;
+    std::uint64_t prev_hi = a.cum_seq;  // ranges must start past cum+1
+    for (std::size_t i = 0; i < a.sack.size(); i += 2) {
+      const std::uint64_t lo = a.sack[i], hi = a.sack[i + 1];
+      if (lo > hi || lo < prev_hi + 2) return false;
+      prev_hi = hi;
+    }
+    return true;
+  }
+
+  /// Marks the window's flights covered by the ack's SACK ranges so
+  /// retransmission skips them. Clamped to [acked+1, next_seq]; stale
+  /// ranges below the window are no-ops.
+  void apply_sack(SendChannel& ch, const wire::ReliableAck& a) {
+    if (a.sack.empty() || !rt_.cfg_.sack) return;
+    if (!sack_well_formed(a) || a.cum_seq > ch.next_seq) {
+      rt_.stats_.malformed_acks.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (std::size_t i = 0; i < a.sack.size(); i += 2) {
+      std::uint64_t lo = std::max(a.sack[i], ch.acked + 1);
+      const std::uint64_t hi = std::min(a.sack[i + 1], ch.next_seq);
+      for (std::uint64_t seq = lo; seq <= hi; ++seq) {
+        ch.window[seq - (ch.acked + 1)].sacked = true;
+      }
+    }
+  }
+
   void handle_ack(NodeId from, const wire::ReliableAck& a) {
     const auto it = send_.find(from);
     if (it == send_.end()) return;  // ack for a channel we never opened
     SendChannel& ch = it->second;
+    if (a.cum_seq > ch.next_seq) {
+      // A peer acking seqs we never assigned is broken (or restarted with
+      // stale state): ignore the whole ack rather than corrupt the window.
+      rt_.stats_.malformed_acks.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (a.cum_seq <= ch.acked) {
       rt_.stats_.stale_acks.fetch_add(1, std::memory_order_relaxed);
+      // Even a stale ack carries fresh SACK state — during loss recovery
+      // stale acks are the MAIN carrier of it.
+      apply_sack(ch, a);
       // Fast retransmit: a stale ack while frames are in flight means the
       // receiver is stuck behind a gap. The receiver buffers everything
       // after the gap, so resending just the window HEAD fills it; the
@@ -190,64 +249,105 @@ class ReliableTransport::Endpoint final : public Actor {
         if (head.sent_at_us + rt_.cfg_.effective_fast_retx_guard_us() <= now) {
           rt_.inner_.send(self_, from, head.frame);
           head.sent_at_us = now;
+          head.retransmitted = true;
           rt_.stats_.retransmits.fetch_add(1, std::memory_order_relaxed);
           rt_.stats_.fast_retransmits.fetch_add(1, std::memory_order_relaxed);
         }
       }
       return;
     }
-    PARIS_DCHECK(a.cum_seq <= ch.next_seq);
+    const std::uint64_t now = rt_.exec_.now_us();
+    // RTT sample from the NEWEST acked frame that was transmitted exactly
+    // once (Karn's rule: a retransmitted frame's ack is ambiguous).
+    std::uint64_t sample_from = 0;
     while (ch.acked < a.cum_seq && !ch.window.empty()) {
+      const Flight& fl = ch.window.front();
+      if (!fl.retransmitted && fl.sent_at_us != 0) sample_from = fl.sent_at_us;
       ch.window.pop_front();
       ++ch.acked;
     }
+    if (sample_from != 0 && now >= sample_from) {
+      ch.rtt.on_sample(now - sample_from);
+      rt_.stats_.rtt_samples.fetch_add(1, std::memory_order_relaxed);
+    }
     if (ch.sent < ch.acked) ch.sent = ch.acked;
     ch.backoff = 1;  // forward progress: reset the backoff
-    pump(from, ch, rt_.exec_.now_us());  // ack-clock the queued tail out
+    apply_sack(ch, a);
+    pump(from, ch, now);  // ack-clock the queued tail out
   }
 
-  void send_ack(NodeId to, std::uint64_t cum) {
+  void send_ack(NodeId to, const RecvChannel& ch) {
     auto ack = rt_.inner_.msg_pool(self_).make<wire::ReliableAck>();
-    ack->cum_seq = cum;
+    ack->cum_seq = ch.delivered;
+    if (rt_.cfg_.sack && !ch.ooo.empty()) {
+      // Coalesce the buffered-past-the-gap seqs (the map is ordered) into
+      // up to max_sack_ranges [lo,hi] pairs; the tail past the cap is
+      // simply re-covered by retransmission.
+      std::uint64_t lo = 0, hi = 0;
+      for (const auto& [seq, payload] : ch.ooo) {
+        if (lo == 0) {
+          lo = hi = seq;
+        } else if (seq == hi + 1) {
+          hi = seq;
+        } else {
+          ack->sack.push_back(lo);
+          ack->sack.push_back(hi);
+          if (ack->sack.size() / 2 >= rt_.cfg_.max_sack_ranges) {
+            lo = 0;
+            break;
+          }
+          lo = hi = seq;
+        }
+      }
+      if (lo != 0) {
+        ack->sack.push_back(lo);
+        ack->sack.push_back(hi);
+      }
+    }
     rt_.inner_.send(self_, to, std::move(ack));
     rt_.stats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Go-back-N over the IN-FLIGHT burst only: resends [acked+1, sent] in
-  /// order (channel FIFO below makes relative order hold; the receiver
-  /// discards duplicates and buffers past gaps), then tops the burst back
-  /// up to the cap. Queued frames beyond the cap stay queued — a deep
-  /// blackout backlog costs one bounded burst per probe, not O(backlog).
+  /// Resends the IN-FLIGHT burst's GAPS in order — flights the receiver
+  /// selectively acked are skipped (with cfg.sack off nothing is ever
+  /// marked, so this degrades to the PR 4 go-back-N over the burst) — then
+  /// tops the burst back up to the cap. Queued frames beyond the cap stay
+  /// queued — a deep blackout backlog costs one bounded burst per probe,
+  /// not O(backlog).
   void retransmit_window(NodeId to, SendChannel& ch, std::uint64_t now) {
     const std::uint64_t n = ch.sent - ch.acked;
+    std::uint64_t resent = 0, skipped = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
       Flight& fl = ch.window[i];
+      if (fl.sacked) {
+        ++skipped;
+        continue;  // the receiver already holds it
+      }
       rt_.inner_.send(self_, to, fl.frame);  // handle copy, same bytes
       fl.sent_at_us = now;
+      fl.retransmitted = true;
+      ++resent;
     }
-    rt_.stats_.retransmits.fetch_add(n, std::memory_order_relaxed);
+    rt_.stats_.retransmits.fetch_add(resent, std::memory_order_relaxed);
+    if (skipped != 0) rt_.stats_.sacked_skips.fetch_add(skipped, std::memory_order_relaxed);
     pump(to, ch, now);
   }
 
   /// RTO scan (periodic, on this node's worker): any channel whose oldest
   /// unacked frame has been silent past the (backed-off) RTO retransmits
-  /// its in-flight burst in order.
+  /// its in-flight gaps in order. The base RTO is per channel when the
+  /// adaptive estimator is primed.
   void scan() {
     const std::uint64_t now = rt_.exec_.now_us();
     for (auto& [to, ch] : send_) {
       if (ch.window.empty()) continue;
-      const std::uint64_t rto =
-          std::min<std::uint64_t>(rt_.cfg_.rto_us * ch.backoff, rt_.cfg_.max_rto_us);
+      const std::uint64_t base = base_rto(ch);
+      const std::uint64_t rto = std::min<std::uint64_t>(base * ch.backoff, rt_.cfg_.max_rto_us);
       if (ch.window.front().sent_at_us + rto > now) continue;
       retransmit_window(to, ch, now);
-      if (rt_.cfg_.rto_us * ch.backoff < rt_.cfg_.max_rto_us) ch.backoff *= 2;
+      if (base * ch.backoff < rt_.cfg_.max_rto_us) ch.backoff *= 2;
     }
   }
-
-  struct RecvChannel {
-    std::uint64_t delivered = 0;  ///< highest in-order seq handed up
-    std::map<std::uint64_t, std::vector<std::uint8_t>> ooo;  ///< buffered past a gap
-  };
 
   ReliableTransport& rt_;
   Actor* real_;
@@ -305,6 +405,9 @@ ReliableTransport::Stats ReliableTransport::stats() const {
   s.ooo_frames = stats_.ooo_frames.load(std::memory_order_relaxed);
   s.stale_acks = stats_.stale_acks.load(std::memory_order_relaxed);
   s.coalesced = stats_.coalesced.load(std::memory_order_relaxed);
+  s.sacked_skips = stats_.sacked_skips.load(std::memory_order_relaxed);
+  s.malformed_acks = stats_.malformed_acks.load(std::memory_order_relaxed);
+  s.rtt_samples = stats_.rtt_samples.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -89,6 +89,24 @@ struct ReliableConfig {
   /// gap). Overflow sheds the newest frame — retransmission re-covers it —
   /// so a dead channel cannot hoard memory.
   std::size_t max_ooo_buffered = 1024;
+  /// Selective repeat: receivers append SACK ranges (buffered-past-the-gap
+  /// seqs) to every ack and senders retransmit only the gaps. Off =
+  /// go-back-N over the in-flight burst (the PR 4 behavior), kept as a
+  /// baseline the bench compares against.
+  bool sack = true;
+  /// At most this many [lo,hi] ranges per ack (TCP options carry 3-4; we
+  /// can afford more, but the tail past the cap is re-covered by
+  /// retransmission anyway).
+  std::size_t max_sack_ranges = 8;
+  /// Adaptive RTO (Jacobson/Karels, per channel): retransmission timeouts
+  /// derive from measured RTTs (srtt + 4*rttvar, clamped to
+  /// [min_rto_us, max_rto_us]) instead of the fixed rto_us, which then only
+  /// seeds unprimed channels. Removes the per-scenario RTO tuning the
+  /// WAN/chaos benches needed (CLI: --reliable-rto-ms=auto).
+  bool adaptive_rto = false;
+  /// Floor for the adaptive RTO: loopback RTTs are microseconds, and an
+  /// RTO that small turns scheduling hiccups into retransmission storms.
+  std::uint64_t min_rto_us = 5'000;
 
   std::uint64_t effective_scan_period_us() const {
     return scan_period_us != 0 ? scan_period_us : rto_us / 2;
@@ -96,6 +114,42 @@ struct ReliableConfig {
   std::uint64_t effective_fast_retx_guard_us() const {
     return fast_retx_guard_us != 0 ? fast_retx_guard_us : rto_us / 4;
   }
+};
+
+/// Jacobson/Karels RTT estimator (integer µs): srtt is an EWMA (gain 1/8),
+/// rttvar a mean-deviation EWMA (gain 1/4), rto = srtt + 4*rttvar. Samples
+/// must follow Karn's rule — never taken from a retransmitted frame, whose
+/// ack is ambiguous. Standalone so its convergence properties are unit-
+/// testable without a transport.
+class RttEstimator {
+ public:
+  void on_sample(std::uint64_t rtt_us) {
+    if (srtt_us_ == 0) {
+      srtt_us_ = rtt_us;
+      rttvar_us_ = rtt_us / 2;
+    } else {
+      const std::uint64_t dev = srtt_us_ > rtt_us ? srtt_us_ - rtt_us : rtt_us - srtt_us_;
+      rttvar_us_ = (3 * rttvar_us_ + dev) / 4;
+      srtt_us_ = (7 * srtt_us_ + rtt_us) / 8;
+    }
+    ++samples_;
+  }
+
+  bool primed() const { return samples_ != 0; }
+  std::uint64_t srtt_us() const { return srtt_us_; }
+  std::uint64_t rttvar_us() const { return rttvar_us_; }
+  std::uint64_t samples() const { return samples_; }
+
+  /// srtt + 4*rttvar clamped to [min_us, max_us]; min_us when unprimed.
+  std::uint64_t rto_us(std::uint64_t min_us, std::uint64_t max_us) const {
+    const std::uint64_t raw = srtt_us_ + 4 * rttvar_us_;
+    return raw < min_us ? min_us : (raw > max_us ? max_us : raw);
+  }
+
+ private:
+  std::uint64_t srtt_us_ = 0;
+  std::uint64_t rttvar_us_ = 0;
+  std::uint64_t samples_ = 0;
 };
 
 class ReliableTransport final : public TransportDecorator {
@@ -109,6 +163,9 @@ class ReliableTransport final : public TransportDecorator {
     std::uint64_t ooo_frames = 0;        ///< post-gap frames buffered (or shed)
     std::uint64_t stale_acks = 0;        ///< acks that advanced nothing
     std::uint64_t coalesced = 0;         ///< latest-wins frames tombstoned
+    std::uint64_t sacked_skips = 0;      ///< retransmissions avoided via SACK
+    std::uint64_t malformed_acks = 0;    ///< acks with rejected SACK ranges
+    std::uint64_t rtt_samples = 0;       ///< Karn-valid samples fed to estimators
   };
 
   ReliableTransport(Transport& inner, Executor& exec, ReliableConfig cfg);
@@ -142,7 +199,8 @@ class ReliableTransport final : public TransportDecorator {
   // stats().
   struct AtomicStats {
     std::atomic<std::uint64_t> frames_sent{0}, retransmits{0}, fast_retransmits{0},
-        acks_sent{0}, dup_frames{0}, ooo_frames{0}, stale_acks{0}, coalesced{0};
+        acks_sent{0}, dup_frames{0}, ooo_frames{0}, stale_acks{0}, coalesced{0},
+        sacked_skips{0}, malformed_acks{0}, rtt_samples{0};
   };
   AtomicStats stats_;
 };

@@ -1,0 +1,549 @@
+#include "runtime/socket_runtime.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace paris::runtime {
+
+namespace sockdetail {
+
+namespace {
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, NodeId from, NodeId to,
+                  const std::uint8_t* msg, std::size_t n) {
+  put_u32(out, static_cast<std::uint32_t>(n + 8));  // from + to + payload
+  put_u32(out, from);
+  put_u32(out, to);
+  out.insert(out.end(), msg, msg + n);
+}
+
+bool FrameReassembler::feed(const std::uint8_t* p, std::size_t n) {
+  if (bad_) return false;
+  // Compact the consumed prefix once it dominates, amortizing the memmove.
+  // feed() is the only safe point: the caller's contract says FrameViews
+  // do not outlive the next feed()/next*() call, and next_view() must not
+  // move the buffer under the view it just returned.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), p, p + n);
+  return true;
+}
+
+bool FrameReassembler::next_view(FrameView& out) {
+  if (bad_) return false;
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < kFrameHeader) {
+    // Everything consumed: compact so the buffer never grows unboundedly
+    // from leftover prefixes.
+    if (off_ != 0 && avail == 0) {
+      buf_.clear();
+      off_ = 0;
+    }
+    return false;
+  }
+  const std::uint32_t len = get_u32(buf_.data() + off_);
+  if (len < 8 || len > kMaxFrame) {
+    bad_ = true;  // stream corrupt; the connection must be torn down
+    return false;
+  }
+  if (avail < kFrameHeader + len) return false;  // partial frame: wait for more
+  const std::uint8_t* p = buf_.data() + off_ + kFrameHeader;
+  out.from = get_u32(p);
+  out.to = get_u32(p + 4);
+  out.data = p + 8;
+  out.len = len - 8;
+  off_ += kFrameHeader + len;
+  return true;
+}
+
+bool FrameReassembler::next(Frame& out) {
+  FrameView v;
+  if (!next_view(v)) return false;
+  out.from = v.from;
+  out.to = v.to;
+  out.bytes.assign(v.data, v.data + v.len);
+  return true;
+}
+
+}  // namespace sockdetail
+
+namespace {
+
+constexpr std::uint64_t kRedialPeriodUs = 200'000;
+constexpr std::uint64_t kFlushBudgetUs = 300'000;  ///< stop(): outbuf drain bound
+constexpr int kPollSliceMs = 100;
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  PARIS_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// [magic u32][rank u32][token u64], little-endian via memcpy (loopback:
+/// both ends share endianness; cross-host would pin it explicitly).
+void make_hello(std::uint8_t (&h)[sockdetail::kHelloSize], std::uint32_t rank,
+                std::uint64_t token) {
+  const std::uint32_t magic = sockdetail::kHelloMagic;
+  std::memcpy(h, &magic, 4);
+  std::memcpy(h + 4, &rank, 4);
+  std::memcpy(h + 8, &token, 8);
+}
+
+bool parse_hello(const std::uint8_t (&h)[sockdetail::kHelloSize], std::uint32_t& rank,
+                 std::uint64_t& token) {
+  std::uint32_t magic;
+  std::memcpy(&magic, h, 4);
+  std::memcpy(&rank, h + 4, 4);
+  std::memcpy(&token, h + 8, 8);
+  return magic == sockdetail::kHelloMagic;
+}
+
+}  // namespace
+
+SocketBackend::SocketBackend(Options opt)
+    : opt_(opt), tb_(ThreadBackend::Options{opt.workers, opt.seed}) {
+  PARIS_CHECK(opt_.nprocs >= 1 && opt_.rank < opt_.nprocs);
+  PARIS_CHECK_MSG(static_cast<std::uint32_t>(opt_.base_port) + opt_.nprocs - 1 <= 65535,
+                  "socket backend: base_port + nprocs overflows the port range");
+  tb_.set_router(this);
+  peers_.reserve(opt_.nprocs);
+  for (std::uint32_t r = 0; r < opt_.nprocs; ++r) {
+    peers_.push_back(std::make_unique<Peer>());
+    peers_[r]->we_dial = r < opt_.rank;  // dial down, accept up
+  }
+}
+
+SocketBackend::~SocketBackend() { stop(); }
+
+NodeId SocketBackend::add_node(Actor* actor, DcId dc, ServiceFn service,
+                               NodeId colocate_with) {
+  // Record ownership FIRST: the wrapped backend consults the router for the
+  // id being assigned (worker placement skips remote nodes), so the dc map
+  // must already cover it.
+  node_dc_.push_back(dc);
+  const NodeId node = tb_.add_node(actor, dc, std::move(service), colocate_with);
+  PARIS_CHECK(node + 1 == node_dc_.size());
+  return node;
+}
+
+void SocketBackend::forward(NodeId from, NodeId to,
+                            const std::vector<std::uint8_t>& bytes) {
+  // The wire frame carries the true sender id: the protocol layer replies
+  // to `from`, and the reliable layer keys its per-channel seq/dedup state
+  // on it — ids agree across processes because registration order does.
+  const std::uint32_t owner = owner_of(node_dc_[to]);
+  PARIS_DCHECK(owner != opt_.rank);
+  Peer& p = *peers_[owner];
+  bool poke = false;
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    if (!p.alive) {
+      stats_.dropped_dead.fetch_add(1, std::memory_order_relaxed);
+      return;  // link down: the reliable layer (if any) re-covers this
+    }
+    poke = p.out.empty();
+    sockdetail::append_frame(p.out, from, to, bytes.data(), bytes.size());
+  }
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  if (poke) wake();
+}
+
+void SocketBackend::wake() {
+  const std::uint8_t b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  (void)!write(wake_wr_, &b, 1);
+}
+
+void SocketBackend::start() {
+  PARIS_CHECK_MSG(!stopped_, "socket backend restarted after stop(); runs are one-shot");
+  if (started_) return;
+  started_ = true;
+
+  int pipefd[2];
+  PARIS_CHECK(pipe(pipefd) == 0);
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  set_nonblocking(wake_rd_);
+  set_nonblocking(wake_wr_);
+
+  // Listen socket: rank r owns port base + r.
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  PARIS_CHECK(listen_fd_ >= 0);
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(static_cast<std::uint16_t>(opt_.base_port + opt_.rank));
+  PARIS_CHECK_MSG(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                  "socket backend: bind failed (port in use?)");
+  PARIS_CHECK(listen(listen_fd_, 64) == 0);
+
+  const std::uint64_t deadline_us =
+      tb_.now_us() + opt_.connect_timeout_ms * 1000;
+
+  // Dial every rank below ours (they listen first in launch order, but a
+  // racing start is fine: retry until the deadline).
+  for (std::uint32_t r = 0; r < opt_.rank; ++r) {
+    PARIS_CHECK_MSG(dial_peer(r, deadline_us),
+                    "socket backend: could not reach a lower-ranked peer");
+  }
+
+  // Accept every rank above ours; the 8-byte hello names the dialer.
+  std::uint32_t missing = opt_.nprocs - 1 - opt_.rank;
+  while (missing > 0) {
+    PARIS_CHECK_MSG(tb_.now_us() < deadline_us,
+                    "socket backend: timed out waiting for higher-ranked peers");
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    if (poll(&pfd, 1, kPollSliceMs) <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Deadline-bounded hello read: a stray connector that sends fewer than
+    // kHelloSize bytes and stalls (port scanner, a killed child of another
+    // run) must not hang mesh setup past connect_timeout_ms.
+    set_nonblocking(fd);
+    std::uint8_t hello[sockdetail::kHelloSize];
+    std::size_t got = 0;
+    while (got < sizeof(hello) && tb_.now_us() < deadline_us) {
+      pollfd hp{fd, POLLIN, 0};
+      if (poll(&hp, 1, kPollSliceMs) <= 0) continue;
+      const ssize_t n = read(fd, hello + got, sizeof(hello) - got);
+      if (n <= 0 && !(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))) break;
+      if (n > 0) got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t rank;
+    std::uint64_t token;
+    if (got != sizeof(hello) || !parse_hello(hello, rank, token) ||
+        token != opt_.mesh_token || rank <= opt_.rank || rank >= opt_.nprocs ||
+        peers_[rank]->alive) {
+      close(fd);  // stranger (e.g. a concurrent run on our port range)
+      continue;
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Peer& p = *peers_[rank];
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.fd = fd;
+    p.alive = true;
+    --missing;
+  }
+
+  set_nonblocking(listen_fd_);
+  io_running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_main(); });
+  tb_.start();
+}
+
+bool SocketBackend::dial_peer(std::uint32_t r, std::uint64_t deadline_us) {
+  const sockaddr_in addr =
+      loopback_addr(static_cast<std::uint16_t>(opt_.base_port + r));
+  while (true) {  // always at least one attempt (redial passes a past deadline)
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    PARIS_CHECK(fd >= 0);
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      std::uint8_t hello[sockdetail::kHelloSize];
+      make_hello(hello, opt_.rank, opt_.mesh_token);
+      if (write(fd, hello, sizeof(hello)) != sizeof(hello)) {
+        close(fd);
+        return false;
+      }
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      Peer& p = *peers_[r];
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.fd = fd;
+      p.alive = true;
+      return true;
+    }
+    close(fd);
+    if (tb_.now_us() >= deadline_us) return false;
+    // Peer not listening yet (launch skew): back off briefly and retry.
+    usleep(50'000);
+  }
+}
+
+void SocketBackend::run_for(std::uint64_t us) {
+  start();
+  tb_.run_for(us);
+}
+
+void SocketBackend::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Quiesce the workers first (no new forwards), then let the pump drain
+  // what is already buffered — bounded, so a dead peer cannot hang stop().
+  tb_.stop();
+  if (io_thread_.joinable()) {
+    flush_and_exit_.store(true, std::memory_order_release);
+    wake();
+    io_thread_.join();
+  }
+  io_running_.store(false, std::memory_order_release);
+  for (auto& p : peers_) {
+    if (p->fd >= 0) close(p->fd);
+    p->fd = -1;
+    p->alive = false;
+  }
+  for (auto& pa : pending_) close(pa.fd);
+  pending_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_rd_ >= 0) close(wake_rd_);
+  if (wake_wr_ >= 0) close(wake_wr_);
+  listen_fd_ = wake_rd_ = wake_wr_ = -1;
+}
+
+void SocketBackend::mark_dead_locked(Peer& p) {
+  if (p.fd >= 0) close(p.fd);
+  p.fd = -1;
+  p.alive = false;
+  // A TCP stream died mid-frame: both the half-read input and the
+  // half-written output are unusable. The reliable layer retransmits over
+  // the replacement connection; without it this is honest message loss.
+  p.in.reset();
+  p.out.clear();
+  p.drain.clear();
+  p.doff = 0;
+  p.next_redial_us = tb_.now_us() + kRedialPeriodUs;
+}
+
+void SocketBackend::mark_dead(Peer& p) {
+  std::lock_guard<std::mutex> lk(p.mu);
+  mark_dead_locked(p);
+}
+
+void SocketBackend::handle_readable(Peer& p) {
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = recv(p.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      if (!p.in.feed(buf, static_cast<std::size_t>(n))) {
+        mark_dead(p);
+        return;
+      }
+      sockdetail::FrameView f;
+      while (p.in.next_view(f)) {  // zero-copy: straight into the envelope
+        stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+        // The sender knows our node ids (identical registration order), so
+        // anything out of range or non-local is a peer bug; drop it rather
+        // than corrupt the mailboxes.
+        if (f.to < node_dc_.size() && f.from < node_dc_.size() && is_local(f.to)) {
+          tb_.inject_encoded(f.from, f.to, f.data, f.len);
+        }
+      }
+      if (p.in.buffered() != 0) {
+        stats_.partial_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return;  // drained
+      continue;
+    }
+    if (n == 0) {  // orderly EOF: peer stopped or restarted
+      mark_dead(p);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    mark_dead(p);
+    return;
+  }
+}
+
+bool SocketBackend::out_pending(Peer& p) {
+  if (p.doff < p.drain.size()) return true;  // pump-owned: no lock needed
+  std::lock_guard<std::mutex> lk(p.mu);
+  return !p.out.empty();
+}
+
+void SocketBackend::handle_writable(Peer& p) {
+  while (true) {
+    if (p.doff >= p.drain.size()) {
+      // Refill: SWAP the producers' buffer in under the lock, drain it
+      // with no lock held — a slow send() burst must never stall workers.
+      p.drain.clear();
+      p.doff = 0;
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.out.empty()) return;
+      std::swap(p.out, p.drain);
+    }
+    while (p.doff < p.drain.size()) {
+      const ssize_t n = send(p.fd, p.drain.data() + p.doff, p.drain.size() - p.doff,
+                             MSG_NOSIGNAL);
+      if (n > 0) {
+        stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+        p.doff += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        stats_.short_writes.fetch_add(1, std::memory_order_relaxed);
+        return;  // kernel buffer full: resume on the next POLLOUT
+      }
+      mark_dead(p);  // EPIPE/ECONNRESET etc.
+      return;
+    }
+  }
+}
+
+void SocketBackend::accept_pending() {
+  // New connections (mid-run reconnects from a restarted/redialing peer).
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    pending_.push_back(PendingAccept{fd, {}, 0});
+  }
+  // Progress hellos; attach completed ones.
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingAccept& pa = pending_[i];
+    const ssize_t n = read(pa.fd, pa.hello + pa.got, sizeof(pa.hello) - pa.got);
+    if (n > 0) pa.got += static_cast<std::size_t>(n);
+    const bool err = (n == 0) || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                                  errno != EINTR);
+    if (pa.got == sizeof(pa.hello)) {
+      std::uint32_t rank;
+      std::uint64_t token;
+      if (parse_hello(pa.hello, rank, token) && token == opt_.mesh_token &&
+          rank < opt_.nprocs && rank != opt_.rank) {
+        Peer& p = *peers_[rank];
+        std::lock_guard<std::mutex> lk(p.mu);
+        if (p.fd >= 0) close(p.fd);  // replaced: the peer restarted its side
+        p.fd = pa.fd;
+        p.alive = true;
+        p.in.reset();
+        p.out.clear();
+        p.drain.clear();
+        p.doff = 0;
+        stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        close(pa.fd);  // stranger or token mismatch: not our mesh
+      }
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    if (err) {
+      close(pa.fd);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+}
+
+void SocketBackend::io_main() {
+  std::vector<pollfd> pfds;
+  std::vector<Peer*> order;
+  std::uint64_t flush_deadline_us = 0;
+
+  while (true) {
+    const bool flushing = flush_and_exit_.load(std::memory_order_acquire);
+    if (flushing && flush_deadline_us == 0) {
+      flush_deadline_us = tb_.now_us() + kFlushBudgetUs;
+    }
+
+    pfds.clear();
+    order.clear();
+    pfds.push_back(pollfd{wake_rd_, POLLIN, 0});
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    bool any_out = false;
+    for (auto& up : peers_) {
+      Peer& p = *up;
+      if (!p.alive || p.fd < 0) continue;
+      short ev = POLLIN;
+      if (out_pending(p)) {
+        ev |= POLLOUT;
+        any_out = true;
+      }
+      pfds.push_back(pollfd{p.fd, ev, 0});
+      order.push_back(&p);
+    }
+    for (const auto& pa : pending_) pfds.push_back(pollfd{pa.fd, POLLIN, 0});
+
+    if (flushing && (!any_out || tb_.now_us() >= flush_deadline_us)) break;
+
+    poll(pfds.data(), static_cast<nfds_t>(pfds.size()), kPollSliceMs);
+
+    if (pfds[0].revents & POLLIN) {  // drain the wake pipe
+      std::uint8_t sink[256];
+      while (read(wake_rd_, sink, sizeof(sink)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) accept_pending();
+    if (!pending_.empty()) accept_pending();  // progress partial hellos
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      Peer& p = *order[i];
+      const short rev = pfds[2 + i].revents;
+      if (p.alive && (rev & (POLLIN | POLLHUP | POLLERR))) handle_readable(p);
+      if (p.alive && p.fd >= 0) handle_writable(p);  // opportunistic drain
+    }
+
+    if (!flushing) {
+      // Redial dead peers we originally dialed; the accept side of a dead
+      // link just waits for the peer's redial.
+      const std::uint64_t now = tb_.now_us();
+      for (std::uint32_t r = 0; r < opt_.nprocs; ++r) {
+        Peer& p = *peers_[r];
+        if (p.alive || !p.we_dial || now < p.next_redial_us) continue;
+        if (!dial_peer(r, now + 1)) {  // single quick attempt per period
+          p.next_redial_us = now + kRedialPeriodUs;
+        } else {
+          stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+SocketStats SocketBackend::stats() const {
+  SocketStats s;
+  s.frames_out = stats_.frames_out.load(std::memory_order_relaxed);
+  s.frames_in = stats_.frames_in.load(std::memory_order_relaxed);
+  s.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  s.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  s.partial_reads = stats_.partial_reads.load(std::memory_order_relaxed);
+  s.short_writes = stats_.short_writes.load(std::memory_order_relaxed);
+  s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
+  s.dropped_dead = stats_.dropped_dead.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SocketBackend::debug_kill_connection(std::uint32_t peer_rank) {
+  Peer& p = *peers_[peer_rank];
+  std::lock_guard<std::mutex> lk(p.mu);
+  if (p.fd >= 0) shutdown(p.fd, SHUT_RDWR);  // pump sees EOF and tears down
+}
+
+}  // namespace paris::runtime

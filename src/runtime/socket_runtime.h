@@ -1,0 +1,241 @@
+#pragma once
+// SocketBackend: the protocol stack across real OS processes (DESIGN.md §10).
+//
+// Every process of a socket deployment builds the SAME topology in the SAME
+// registration order, so node ids agree everywhere by construction; each
+// process rank OWNS the nodes of the data centers with dc % nprocs == rank
+// and executes only those. Intra-process traffic goes through the wrapped
+// ThreadBackend's mailboxes exactly as before; a message addressed to a
+// node another process owns is routed out instead (RemoteRouter hook):
+//
+//   [len u32][from u32][to u32][encode_message bytes]       (little-endian)
+//
+// length-prefixed on a per-peer TCP connection. With cfg.reliable on, the
+// encoded message IS a wire::ReliableFrame / wire::ReliableAck — the same
+// seq/ack/SACK framing the thread runtime uses — so retransmission, dedup
+// and selective repeat work identically across the process boundary; the
+// whole decorator chain (Reliable → Chaos → Partition → Latency) composes
+// on top unchanged, because it runs above the Transport seam in the sending
+// process.
+//
+// I/O model: one pump thread per process runs poll() over the peer sockets
+// (all nonblocking), the listen socket and a wake pipe. Inbound bytes are
+// reassembled into frames (partial reads of any granularity) and injected
+// into the owning worker's mailbox; outbound bytes queue per peer and drain
+// on POLLOUT (short writes resume where they left off). Worker threads
+// never block on the network: a send appends to the peer's buffer and, when
+// the buffer was empty, pokes the wake pipe. The pump's poll timeout doubles
+// as the redial timer: if a connection dies mid-run, the original dialer
+// redials every kRedialPeriodMs — in-flight bytes on the dead connection are
+// gone (exactly the crash/restart case), and the reliable layer's seq state
+// retransmits and dedups across the reconnect.
+//
+// Determinism: none beyond the thread runtime's — see DESIGN §10 for which
+// guarantees survive real sockets (checker-validated convergence does;
+// byte-identical output and seed-reproducible chaos schedules across
+// processes do not, since every process draws from its own stream).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_runtime.h"
+
+namespace paris::runtime {
+
+/// Placement + wiring of a multi-process socket deployment. rank < 0 means
+/// "launcher": run_experiment spawns the children and aggregates; only
+/// children (rank >= 0) ever build a SocketBackend.
+struct SocketConfig {
+  std::int32_t rank = -1;        ///< this process's rank; -1 = launcher
+  std::uint32_t processes = 0;   ///< 0 = one per DC
+  std::uint16_t base_port = 7421;  ///< rank r listens on base_port + r
+  std::uint64_t connect_timeout_ms = 15'000;
+  /// Mesh identity, echoed in every connection hello: two concurrent runs
+  /// sharing a port range must not silently cross-connect their clusters.
+  /// 0 = the launcher derives one (pid ^ seed) and ships it to children.
+  std::uint64_t mesh_token = 0;
+  std::string dir;  ///< launcher: child logs + result files (empty = temp dir)
+
+  std::uint32_t resolve_processes(std::uint32_t num_dcs) const {
+    return processes != 0 ? processes : num_dcs;
+  }
+};
+
+/// Socket-pump counters (per process).
+struct SocketStats {
+  std::uint64_t frames_out = 0;     ///< frames routed to a peer
+  std::uint64_t frames_in = 0;      ///< frames injected from peers
+  std::uint64_t bytes_out = 0;      ///< payload bytes written to sockets
+  std::uint64_t bytes_in = 0;       ///< payload bytes read from sockets
+  std::uint64_t partial_reads = 0;  ///< reads that ended mid-frame
+  std::uint64_t short_writes = 0;   ///< writes that drained only part of a buffer
+  std::uint64_t reconnects = 0;     ///< connections re-established mid-run
+  std::uint64_t dropped_dead = 0;   ///< frames dropped: peer down, no buffer
+};
+
+namespace sockdetail {
+
+inline constexpr std::uint32_t kHelloMagic = 0x50415253;  // "PARS"
+inline constexpr std::size_t kHelloSize = 16;  // [magic u32][rank u32][token u64]
+inline constexpr std::size_t kFrameHeader = 4;            // u32 length prefix
+inline constexpr std::size_t kMaxFrame = 64u << 20;       // sanity bound
+
+/// One reassembled wire frame.
+struct Frame {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::vector<std::uint8_t> bytes;  ///< encode_message payload
+};
+
+/// Zero-copy view of a reassembled frame: `data` points into the
+/// reassembler's buffer and is valid only until the next feed()/next*()
+/// call. The backend's inbound path injects straight from this view.
+struct FrameView {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Appends [len][from][to][msg bytes] to out (len covers from+to+msg).
+void append_frame(std::vector<std::uint8_t>& out, NodeId from, NodeId to,
+                  const std::uint8_t* msg, std::size_t n);
+
+/// Incremental frame parser: feed() arbitrary byte chunks (any split — one
+/// byte at a time is fine), next() yields complete frames. Consumed bytes
+/// are compacted lazily so a slow trickle does not shift the buffer per
+/// byte. Returns false from feed() on a protocol error (frame longer than
+/// kMaxFrame or shorter than its own header), after which the stream is
+/// unusable.
+class FrameReassembler {
+ public:
+  bool feed(const std::uint8_t* p, std::size_t n);
+  bool next(Frame& out);       ///< copying variant (tests, tools)
+  bool next_view(FrameView& out);  ///< zero-copy variant (the pump's hot path)
+  std::size_t buffered() const { return buf_.size() - off_; }
+  void reset() {
+    buf_.clear();
+    off_ = 0;
+    bad_ = false;
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+  bool bad_ = false;
+};
+
+}  // namespace sockdetail
+
+class SocketBackend final : public Backend, public RemoteRouter {
+ public:
+  struct Options {
+    std::uint32_t rank = 0;
+    std::uint32_t nprocs = 1;
+    std::uint16_t base_port = 7421;
+    std::uint32_t workers = 1;  ///< worker threads for the LOCAL actor set
+    std::uint64_t seed = 1;
+    std::uint64_t connect_timeout_ms = 15'000;
+    /// Must match across the whole mesh; hellos carrying a different token
+    /// are rejected (a concurrent run sharing the port range, not a peer).
+    std::uint64_t mesh_token = 0;
+  };
+
+  explicit SocketBackend(Options opt);
+  ~SocketBackend() override;
+
+  // --- Backend ---
+  Kind kind() const override { return Kind::kSockets; }
+  Executor& exec() override { return tb_.exec(); }
+  Transport& transport() override { return tb_.transport(); }
+  Rng& rng() override { return tb_.rng(); }
+  NodeId add_node(Actor* actor, DcId dc, ServiceFn service,
+                  NodeId colocate_with = kInvalidNode) override;
+  void run_for(std::uint64_t us) override;
+  void stop() override;
+  std::uint64_t events_executed() const override { return tb_.events_executed(); }
+  bool local(NodeId n) const override { return is_local(n); }
+
+  // --- RemoteRouter ---
+  bool is_local(NodeId n) const override {
+    return owner_of(node_dc_[n]) == opt_.rank;
+  }
+  void forward(NodeId from, NodeId to, const std::vector<std::uint8_t>& bytes) override;
+
+  /// Binds the listen port, establishes the full peer mesh (dial ranks
+  /// below ours, accept ranks above; blocks until complete or
+  /// connect_timeout_ms, then aborts) and starts the I/O pump + worker
+  /// threads. run_for() calls it; idempotent.
+  void start();
+
+  std::uint32_t owner_of(DcId dc) const { return dc % opt_.nprocs; }
+  std::uint32_t rank() const { return opt_.rank; }
+  std::uint32_t nprocs() const { return opt_.nprocs; }
+  SocketStats stats() const;
+
+  /// Test hook: shuts down the TCP connection to `peer_rank` (both
+  /// directions), as if the link died. The pump notices EOF; the original
+  /// dialer then redials, and the reliable layer's retransmission + seq
+  /// dedup must recover everything that was in flight.
+  void debug_kill_connection(std::uint32_t peer_rank);
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool alive = false;
+    bool we_dial = false;  ///< we originated the connection (and redial it)
+    std::uint64_t next_redial_us = 0;
+    sockdetail::FrameReassembler in;
+    // Outbound double buffer: workers append to `out` under mu; the pump
+    // SWAPS it for the (pump-owned) `drain` buffer and runs send() with no
+    // lock held, so a slow syscall burst never stalls a forwarding worker.
+    // Short writes resume at `doff`; order holds because drain always
+    // empties before the next swap.
+    std::mutex mu;
+    std::vector<std::uint8_t> out;    ///< producers, guarded by mu
+    std::vector<std::uint8_t> drain;  ///< pump thread only
+    std::size_t doff = 0;             ///< pump thread only
+  };
+
+  void io_main();
+  void handle_readable(Peer& p);
+  void handle_writable(Peer& p);
+  bool out_pending(Peer& p);
+  void mark_dead(Peer& p);
+  void mark_dead_locked(Peer& p);  ///< caller holds p.mu
+  bool dial_peer(std::uint32_t r, std::uint64_t deadline_ms);
+  void accept_pending();
+  void wake();
+
+  Options opt_;
+  ThreadBackend tb_;
+  std::vector<DcId> node_dc_;  ///< appended BEFORE tb_.add_node (see .cc)
+  std::vector<std::unique_ptr<Peer>> peers_;  ///< index = rank; [rank()] unused
+  /// Accepted connections whose hello has not fully arrived yet.
+  struct PendingAccept {
+    int fd = -1;
+    std::uint8_t hello[sockdetail::kHelloSize];
+    std::size_t got = 0;
+  };
+  std::vector<PendingAccept> pending_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1, wake_wr_ = -1;
+  std::thread io_thread_;
+  std::atomic<bool> io_running_{false};
+  std::atomic<bool> flush_and_exit_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> frames_out{0}, frames_in{0}, bytes_out{0}, bytes_in{0},
+        partial_reads{0}, short_writes{0}, reconnects{0}, dropped_dead{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace paris::runtime

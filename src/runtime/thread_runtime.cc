@@ -33,6 +33,13 @@ NodeId ThreadBackend::add_node(Actor* actor, DcId dc, ServiceFn /*service*/,
   if (colocate_with != kInvalidNode) {
     PARIS_DCHECK(colocate_with < nodes_.size());
     worker = nodes_[colocate_with].worker;
+  } else if (router_ != nullptr &&
+             !router_->is_local(static_cast<NodeId>(nodes_.size()))) {
+    // Remote nodes (the socket backend records their ownership before
+    // calling here, so the router can already classify the id being
+    // assigned) must not consume round-robin slots: only nodes that will
+    // actually execute locally spread across the workers.
+    worker = 0;
   } else {
     worker = next_anchor_++ % static_cast<std::uint32_t>(workers_.size());
   }
@@ -62,6 +69,35 @@ void ThreadBackend::enqueue(Worker& w, Envelope env) {
 
 void ThreadBackend::enqueue_message(NodeId from, NodeId to, const wire::Message& msg,
                                     std::uint64_t deliver_at_us) {
+  if (router_ != nullptr && !router_->is_local(to)) {
+    if (deliver_at_us == 0) {
+      // Immediate remote send: encode into a thread-local scratch buffer
+      // (keeps its capacity, so the remote fast path allocates nothing in
+      // steady state) and hand it straight to the router.
+      thread_local std::vector<std::uint8_t> scratch;
+      scratch.clear();
+      wire::encode_message(msg, scratch);
+      bytes_sent_.fetch_add(scratch.size(), std::memory_order_relaxed);
+      router_->forward(from, to, scratch);
+      return;
+    }
+    // Timed remote send (latency decorators model the one-way WAN delay on
+    // the SENDER's clock): park the encoded frame at the sender's own
+    // worker until due, then deliver() forwards it to the router. The
+    // per-channel clamp already ran in send_at, so wire order per channel
+    // still matches deadline order.
+    Worker& sw = *workers_[nodes_[from].worker];
+    Envelope env = take_envelope(sw);
+    env.from = from;
+    env.to = to;
+    env.deliver_at_us = deliver_at_us;
+    env.remote = true;
+    PARIS_DCHECK(env.bytes.empty());
+    wire::encode_message(msg, env.bytes);
+    bytes_sent_.fetch_add(env.bytes.size(), std::memory_order_relaxed);
+    enqueue(sw, std::move(env));
+    return;
+  }
   // Encode on the sending thread, directly into a recycled envelope whose
   // byte buffer keeps its grown capacity; the receiver decodes into its
   // own pool, so messages and pools never cross threads.
@@ -98,8 +134,22 @@ void ThreadBackend::send_at(NodeId from, NodeId to, wire::MessagePtr msg,
   enqueue_message(from, to, *msg, at_us);
 }
 
+void ThreadBackend::inject_encoded(NodeId from, NodeId to, const std::uint8_t* data,
+                                   std::size_t n) {
+  PARIS_DCHECK(from < nodes_.size() && to < nodes_.size());
+  PARIS_DCHECK(router_ == nullptr || router_->is_local(to));
+  Worker& w = *workers_[nodes_[to].worker];
+  Envelope env = take_envelope(w);
+  env.from = from;
+  env.to = to;
+  env.deliver_at_us = 0;
+  env.bytes.assign(data, data + n);
+  enqueue(w, std::move(env));
+}
+
 void ThreadBackend::defer(NodeId actor, std::function<void()> fn) {
   PARIS_DCHECK(actor < nodes_.size());
+  PARIS_CHECK_MSG(local(actor), "defer/post to a node hosted by another process");
   Worker& w = *workers_[nodes_[actor].worker];
   Envelope env = take_envelope(w);
   env.from = actor;
@@ -123,6 +173,9 @@ std::uint64_t ThreadBackend::start_periodic(NodeId actor, std::uint64_t period_u
                                             std::function<void()> fn) {
   PARIS_DCHECK(actor < nodes_.size());
   PARIS_CHECK(period_us > 0);
+  // Timers of remote nodes never fire here: their process runs them. Id 0
+  // is the "no timer" handle — cancel_periodic(0) is a harmless miss.
+  if (!local(actor)) return 0;
   Worker& w = *workers_[nodes_[actor].worker];
   auto rec = std::make_shared<TimerRec>();
   rec->period_us = period_us;
@@ -156,6 +209,11 @@ void ThreadBackend::deliver(Worker& w, Envelope& env) {
   if (env.task) {
     env.task();
     env.task = nullptr;
+  } else if (env.remote) {
+    // A parked timed send to a node another process hosts, now due: hand
+    // the already-encoded bytes across the process boundary.
+    router_->forward(env.from, env.to, env.bytes);
+    env.remote = false;
   } else {
     wire::Decoder dec(env.bytes);
     const wire::MessagePtr msg = wire::decode_message_pooled(dec, w.pool);

@@ -44,6 +44,20 @@
 
 namespace paris::runtime {
 
+/// Extension point the socket backend plugs into a ThreadBackend: nodes the
+/// router reports non-local never execute here — their timers are dropped
+/// and messages addressed to them are handed to forward() as encoded bytes
+/// ([type][payload], the exact encode_message format) instead of being
+/// enqueued into a local mailbox. forward() is called from worker threads
+/// (and from the main thread before start) and must be thread-safe; the
+/// byte buffer is only valid for the duration of the call.
+class RemoteRouter {
+ public:
+  virtual ~RemoteRouter() = default;
+  virtual bool is_local(NodeId n) const = 0;
+  virtual void forward(NodeId from, NodeId to, const std::vector<std::uint8_t>& bytes) = 0;
+};
+
 class ThreadBackend final : public Backend, public Executor, public Transport {
  public:
   struct Options {
@@ -77,6 +91,22 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
   std::uint32_t num_workers() const { return static_cast<std::uint32_t>(workers_.size()); }
   std::uint32_t worker_of(NodeId n) const { return nodes_[n].worker; }
 
+  /// Installs the remote router (socket backend). Must happen before the
+  /// first add_node; null (the default) means every node is local.
+  void set_router(RemoteRouter* r) {
+    PARIS_CHECK_MSG(nodes_.empty(), "set_router after nodes were registered");
+    router_ = r;
+  }
+  bool local(NodeId n) const override {
+    return router_ == nullptr || router_->is_local(n);
+  }
+
+  /// Injects an already-encoded message ([type][payload]) into local node
+  /// `to`'s mailbox — the socket backend's inbound path. Thread-safe (the
+  /// mailbox is MPSC); `from` may be any registered node, including remote
+  /// ones.
+  void inject_encoded(NodeId from, NodeId to, const std::uint8_t* data, std::size_t n);
+
   // --- Executor ---
   std::uint64_t now_us() const override;
   void defer(NodeId actor, std::function<void()> fn) override;
@@ -105,6 +135,7 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
     NodeId from = kInvalidNode;
     NodeId to = kInvalidNode;
     std::uint64_t deliver_at_us = 0;  ///< 0 = immediate; else park until due
+    bool remote = false;              ///< forward to the router when due
     std::vector<std::uint8_t> bytes;  ///< encoded [type][payload]; empty for tasks
     std::function<void()> task;
   };
@@ -169,6 +200,7 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Node> nodes_;
+  RemoteRouter* router_ = nullptr;  ///< non-null only under a socket backend
   std::uint32_t next_anchor_ = 0;  ///< round-robin worker for non-colocated nodes
   Rng rng_;
   std::chrono::steady_clock::time_point epoch_;

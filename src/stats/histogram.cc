@@ -48,6 +48,33 @@ void Histogram::merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Histogram::Raw Histogram::raw() const {
+  Raw r;
+  r.count = count_;
+  r.sum = sum_;
+  r.min = min_;
+  r.max = max_;
+  for (int i = 0; i < static_cast<int>(buckets_.size()); ++i) {
+    if (buckets_[i] != 0) {
+      r.buckets.emplace_back(static_cast<std::uint32_t>(i), buckets_[i]);
+    }
+  }
+  return r;
+}
+
+void Histogram::merge_raw(const Raw& r) {
+  if (r.count == 0) return;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  for (const auto& [idx, n] : r.buckets) {
+    PARIS_CHECK(idx < static_cast<std::uint32_t>(kNumBuckets));
+    buckets_[idx] += n;
+  }
+  count_ += r.count;
+  sum_ += r.sum;
+  min_ = std::min(min_, r.min);
+  max_ = std::max(max_, r.max);
+}
+
 void Histogram::clear() {
   buckets_.clear();
   count_ = 0;

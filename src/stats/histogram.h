@@ -21,6 +21,19 @@ class Histogram {
   void merge(const Histogram& other);
   void clear();
 
+  /// Exact internal state, for shipping a histogram across a process
+  /// boundary (the socket runtime's children report to the launcher):
+  /// merge_raw(raw()) on a fresh histogram reproduces this one bit-for-bit.
+  struct Raw {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = ~0ull;
+    std::uint64_t max = 0;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;  ///< (index, count)
+  };
+  Raw raw() const;
+  void merge_raw(const Raw& r);
+
   std::uint64_t count() const { return count_; }
   std::uint64_t min() const { return count_ ? min_ : 0; }
   std::uint64_t max() const { return max_; }

@@ -40,6 +40,75 @@ void HistoryRecorder::on_slice_served(DcId server_dc, PartitionId partition, TxI
   slices_.push_back(SliceRecord{server_dc, partition, tx, snapshot, mode, items, now});
 }
 
+void HistoryRecorder::serialize(std::vector<std::uint8_t>& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  wire::Encoder e(out);
+  wire::detail::WireWriter w{e};
+  e.put_varint(txs_.size());
+  for (const auto& [tx, rec] : txs_) {
+    e.put_varint(tx.raw);
+    e.put_varint(rec.ct.raw);
+    e.put_varint(rec.origin);
+    w(rec.writes);
+  }
+  e.put_varint(slices_.size());
+  for (const auto& s : slices_) {
+    e.put_varint(s.dc);
+    e.put_varint(s.partition);
+    e.put_varint(s.reader.raw);
+    e.put_varint(s.snapshot.raw);
+    e.put_u8(s.mode);
+    w(s.items);
+    e.put_varint(s.at);
+  }
+  e.put_varint(sessions_.size());
+  for (const auto& [node, starts] : sessions_) {
+    e.put_varint(node);
+    e.put_varint(starts.size());
+    for (const auto& st : starts) {
+      e.put_varint(st.tx.raw);
+      e.put_varint(st.snapshot.raw);
+    }
+  }
+  e.put_varint(decided_);
+}
+
+void HistoryRecorder::merge_serialized(const std::uint8_t* data, std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  wire::Decoder d(data, n);
+  wire::detail::WireReader r{d};
+  for (std::uint64_t i = 0, ntx = d.get_varint(); i < ntx; ++i) {
+    const TxId tx{d.get_varint()};
+    TxRecord& rec = txs_[tx];
+    rec.ct = Timestamp{d.get_varint()};
+    rec.origin = static_cast<DcId>(d.get_varint());
+    r(rec.writes);
+  }
+  for (std::uint64_t i = 0, ns = d.get_varint(); i < ns; ++i) {
+    SliceRecord s;
+    s.dc = static_cast<DcId>(d.get_varint());
+    s.partition = static_cast<PartitionId>(d.get_varint());
+    s.reader = TxId{d.get_varint()};
+    s.snapshot = Timestamp{d.get_varint()};
+    s.mode = d.get_u8();
+    r(s.items);
+    s.at = d.get_varint();
+    slices_.push_back(std::move(s));
+  }
+  for (std::uint64_t i = 0, nc = d.get_varint(); i < nc; ++i) {
+    const NodeId node = static_cast<NodeId>(d.get_varint());
+    auto& starts = sessions_[node];
+    for (std::uint64_t j = 0, ns = d.get_varint(); j < ns; ++j) {
+      SessionStart st;
+      st.tx = TxId{d.get_varint()};
+      st.snapshot = Timestamp{d.get_varint()};
+      starts.push_back(st);
+    }
+  }
+  decided_ += d.get_varint();
+  PARIS_CHECK_MSG(d.done(), "history blob has trailing bytes");
+}
+
 Timestamp HistoryRecorder::commit_ts(TxId tx) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = txs_.find(tx);

@@ -62,6 +62,15 @@ class HistoryRecorder : public proto::Tracer {
   /// history is consistent).
   std::vector<std::string> check() const;
 
+  /// Serializes the complete recorded history (commit records, slices,
+  /// per-session snapshot streams) so a socket-runtime child can ship it to
+  /// the launcher; merge_serialized() appends such a blob into this
+  /// recorder. Safe to merge any number of children: commits and session
+  /// streams are recorded only in the process hosting their coordinator/
+  /// client, so the blobs never overlap.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  void merge_serialized(const std::uint8_t* data, std::size_t n);
+
   std::size_t num_committed() const {
     std::lock_guard<std::mutex> lk(mu_);
     return decided_;

@@ -809,11 +809,21 @@ struct ReliableFrame : MessageBase<ReliableFrame, MsgType::kReliableFrame> {
 /// Cumulative acknowledgement: every frame with seq <= cum_seq was delivered
 /// in order. Acks are idempotent and unsequenced; losing or duplicating one
 /// is harmless (retransmission re-elicits it, stale ones are ignored).
+///
+/// `sack` carries selective-acknowledgement ranges: flat [lo1,hi1,lo2,hi2,…]
+/// pairs of seqs the receiver holds BEYOND the cumulative ack (buffered past
+/// a gap). Ranges must be well-formed — even count, lo <= hi, first lo >
+/// cum_seq + 1, ascending and non-adjacent — or the sender ignores them all
+/// (acks cross process boundaries, so malformed input is a peer bug to
+/// survive, not a codec bug to assert on). Senders use the ranges to
+/// retransmit only the gaps instead of the whole in-flight window.
 struct ReliableAck : MessageBase<ReliableAck, MsgType::kReliableAck> {
   std::uint64_t cum_seq = 0;
+  std::vector<std::uint64_t> sack;  ///< [lo,hi] pairs, flattened
   template <class S, class F>
   static void fields(S& s, F&& f) {
     f(s.cum_seq);
+    f(s.sack);
   }
 };
 

@@ -7,6 +7,7 @@
 
 #include "verify/history.h"
 #include "workload/driver.h"
+#include "workload/socket_runner.h"
 
 namespace paris::workload {
 
@@ -78,13 +79,17 @@ class ExperimentTracer : public proto::Tracer {
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+namespace detail {
+
+ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
+                                      std::vector<std::uint8_t>* history_out) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   proto::DeploymentConfig dc;
   dc.system = cfg.system;
   dc.runtime = cfg.runtime;
   dc.worker_threads = cfg.worker_threads;
+  dc.socket = cfg.socket;
   dc.topo = {cfg.num_dcs, cfg.num_partitions, cfg.replication};
   dc.protocol = cfg.protocol;
   dc.cost = cfg.cost;
@@ -112,13 +117,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   collector.set_window(t0 + cfg.warmup_us, t0 + cfg.warmup_us + cfg.measure_us);
 
   // One client process per partition per DC, threads_per_process sessions
-  // each, collocated with their coordinator (§V-A).
+  // each, collocated with their coordinator (§V-A). EVERY process of a
+  // socket deployment registers EVERY client — node ids must agree across
+  // processes — but only builds sessions for the clients it hosts.
   std::vector<std::unique_ptr<Session>> sessions;
   std::vector<NodeId> session_nodes;
   for (DcId d = 0; d < dep.topo().num_dcs(); ++d) {
     for (PartitionId p : dep.topo().partitions_at(d)) {
       for (std::uint32_t t = 0; t < cfg.threads_per_process; ++t) {
         auto& client = dep.add_client(d, p);
+        if (!dep.backend().local(client.node())) continue;
         const std::uint64_t seed =
             splitmix64(cfg.seed ^ (static_cast<std::uint64_t>(d) << 40) ^
                        (static_cast<std::uint64_t>(p) << 20) ^ t);
@@ -154,13 +162,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                          : 0.0;
 
   res.gossip_msgs = server_stats.gossip_msgs_sent;
-  std::uint64_t reads = 0, hits = 0;
   for (const auto& c : dep.clients()) {
     res.max_client_cache = std::max(res.max_client_cache, c->stats().max_cache_size);
-    reads += c->stats().keys_read;
-    hits += c->stats().local_hits;
+    res.keys_read += c->stats().keys_read;
+    res.local_hits += c->stats().local_hits;
   }
-  res.local_hit_rate = reads ? static_cast<double>(hits) / static_cast<double>(reads) : 0;
+  res.local_hit_rate =
+      res.keys_read ? static_cast<double>(res.local_hits) / static_cast<double>(res.keys_read)
+                    : 0;
 
   res.visibility_hist = tracer.visibility();
   res.sim_events = dep.backend().events_executed();
@@ -168,11 +177,30 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (dep.chaos_transport() != nullptr) res.chaos = dep.chaos_transport()->stats();
   if (dep.reliable_transport() != nullptr) res.reliable = dep.reliable_transport()->stats();
   if (dep.partition_transport() != nullptr) res.partition = dep.partition_transport()->stats();
-  if (tracer.history() != nullptr) res.violations = tracer.history()->check();
+  if (dep.socket_backend() != nullptr) res.socket = dep.socket_backend()->stats();
+  if (tracer.history() != nullptr) {
+    if (history_out != nullptr) {
+      // Socket child: this process saw only its share of the execution —
+      // checking it alone would report false phantoms for remote commits.
+      // Ship the history; the launcher merges and checks.
+      tracer.history()->serialize(*history_out);
+    } else {
+      res.violations = tracer.history()->check();
+    }
+  }
 
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return res;
+}
+
+}  // namespace detail
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.runtime == runtime::Kind::kSockets && cfg.socket.rank < 0) {
+    return detail::run_socket_parent(cfg);
+  }
+  return detail::run_local_experiment(cfg, nullptr);
 }
 
 }  // namespace paris::workload

@@ -18,10 +18,15 @@ namespace paris::workload {
 struct ExperimentConfig {
   proto::System system = proto::System::kParis;
 
-  /// Runtime backend: deterministic simulator (default) or real worker
-  /// threads (`worker_threads` workers; 0 = one per server).
+  /// Runtime backend: deterministic simulator (default), real worker
+  /// threads (`worker_threads` workers; 0 = one per server), or real OS
+  /// processes over TCP loopback (kSockets: run_experiment spawns
+  /// `socket.processes` children of the CURRENT binary — which must call
+  /// maybe_run_socket_child() first thing in main() — waits, merges their
+  /// stats and runs the checker over the merged history).
   runtime::Kind runtime = runtime::Kind::kSim;
   std::uint32_t worker_threads = 0;
+  runtime::SocketConfig socket;
 
   // Cluster shape.
   std::uint32_t num_dcs = 5;
@@ -86,10 +91,14 @@ struct ExperimentResult {
   // Update visibility latency (µs), all replicas of sampled transactions.
   stats::Histogram visibility_hist;
 
-  // Stabilization / client-cache footprint (ablations).
+  // Stabilization / client-cache footprint (ablations). The raw hit-rate
+  // numerator/denominator ride along so multi-process runs can merge the
+  // ratio exactly.
   std::uint64_t gossip_msgs = 0;
   std::size_t max_client_cache = 0;
   double local_hit_rate = 0;
+  std::uint64_t keys_read = 0;
+  std::uint64_t local_hits = 0;
 
   // Run health / cost.
   std::uint64_t sim_events = 0;
@@ -101,6 +110,8 @@ struct ExperimentResult {
   runtime::ReliableTransport::Stats reliable;
   /// Blackout tallies (all zero unless cfg.partitions configured).
   runtime::PartitionTransport::Stats partition;
+  /// Socket-runtime tallies, summed across children (zero otherwise).
+  runtime::SocketStats socket;
   std::vector<std::string> violations;  // non-empty => consistency bug
 };
 

@@ -1,0 +1,63 @@
+#pragma once
+// Multi-process experiment orchestration for the socket runtime.
+//
+// A socket experiment is the SAME run_experiment() call, but the launcher
+// side never builds a deployment: it serializes the ExperimentConfig to a
+// file, re-executes its own binary once per process rank
+// (`/proc/self/exe --paris-socket-child CFGFILE RANK OUTFILE`, stdout and
+// stderr redirected to per-child log files), waits for the group, merges
+// every child's stats/histograms, and — with check_consistency on — runs
+// the exactness/causal/session checkers over the MERGED history: children
+// record the events they host (commits at the origin coordinator, slices at
+// the serving replica, session starts at the client) and ship them in the
+// result file, so the launcher sees the complete cross-process execution.
+//
+// Any binary that can run --runtime=sockets must call
+// maybe_run_socket_child() FIRST THING in main(): that is the hook the
+// re-exec'd children are caught by. Binaries that never use sockets are
+// unaffected (the call is a no-op without the marker argv).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace paris::workload {
+
+/// Child-process hook; see above. Never returns in a child (runs the
+/// child's share of the experiment, writes the result file, exits).
+void maybe_run_socket_child(int argc, char** argv);
+
+namespace detail {
+
+/// The single-process experiment body (sim, threads, or one socket child).
+/// With `history_out` non-null the recorded history is serialized into it
+/// and the offline checkers are NOT run here (the launcher checks the
+/// merged history instead).
+ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
+                                      std::vector<std::uint8_t>* history_out);
+
+/// Launcher side: spawn children, wait, merge. Aborts via PARIS_CHECK on
+/// plumbing failures; child crashes/timeouts surface as `violations`
+/// entries (with the child log tails echoed to stderr) so callers fail
+/// loudly without wedging.
+ExperimentResult run_socket_parent(const ExperimentConfig& cfg);
+
+/// Line-based (key value) config codec covering every field a socket run
+/// can reach from the CLI/bench surface. Unknown keys fail decode: a
+/// config silently dropping a field would make children run a DIFFERENT
+/// experiment than the launcher believes.
+std::string encode_experiment_config(const ExperimentConfig& cfg);
+bool decode_experiment_config(const std::string& text, ExperimentConfig& cfg);
+
+/// Binary child-result codec (wire::Encoder framing): stats + histograms +
+/// the serialized history blob.
+void encode_child_result(const ExperimentResult& res,
+                         const std::vector<std::uint8_t>& history,
+                         std::vector<std::uint8_t>& out);
+bool decode_child_result(const std::vector<std::uint8_t>& in, ExperimentResult& res,
+                         std::vector<std::uint8_t>& history);
+
+}  // namespace detail
+}  // namespace paris::workload

@@ -1,0 +1,324 @@
+// Socket-runtime tests: wire framing and reassembly over real byte streams
+// (including pathological split points), two in-process SocketBackends
+// exchanging protocol messages over genuine TCP loopback, and transport-
+// level reconnect — a killed connection redials and the reliable layer's
+// existing per-channel seq state retransmits and dedups across it, so
+// delivery stays exactly-once in order.
+//
+// The multi-process (fork/exec) path is exercised by CI's socket-smoke job
+// through paris_sim; spawning children from a gtest binary would re-exec
+// the test runner, so these tests stay in-process by design.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/reliable_transport.h"
+#include "runtime/socket_runtime.h"
+
+namespace paris::test {
+namespace {
+
+using runtime::ReliableConfig;
+using runtime::ReliableTransport;
+using runtime::SocketBackend;
+using namespace runtime::sockdetail;
+
+// ---------------------------------------------------------------------------
+// Framing + reassembly.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> payload_of(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(seed + i);
+  return p;
+}
+
+TEST(SocketFraming, RoundTripsSingleFrame) {
+  const auto payload = payload_of(37, 3);
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, /*from=*/7, /*to=*/11, payload.data(), payload.size());
+  ASSERT_EQ(wire.size(), 4u + 8u + payload.size());
+
+  FrameReassembler ra;
+  ASSERT_TRUE(ra.feed(wire.data(), wire.size()));
+  Frame f;
+  ASSERT_TRUE(ra.next(f));
+  EXPECT_EQ(f.from, 7u);
+  EXPECT_EQ(f.to, 11u);
+  EXPECT_EQ(f.bytes, payload);
+  EXPECT_FALSE(ra.next(f));
+  EXPECT_EQ(ra.buffered(), 0u);
+}
+
+TEST(SocketFraming, ReassemblesAcrossArbitrarySplits) {
+  // Many frames of varying sizes, fed in chunks of every awkward size
+  // (1..13 bytes): every split point inside headers and payloads occurs.
+  std::vector<std::uint8_t> wire;
+  const int kFrames = 64;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto p = payload_of(static_cast<std::size_t>(1 + (i * 37) % 300),
+                              static_cast<std::uint8_t>(i));
+    append_frame(wire, static_cast<NodeId>(i), static_cast<NodeId>(i + 1), p.data(),
+                 p.size());
+  }
+
+  FrameReassembler ra;
+  std::vector<Frame> got;
+  std::size_t off = 0;
+  int chunk = 1;
+  while (off < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(static_cast<std::size_t>(chunk),
+                                                wire.size() - off);
+    ASSERT_TRUE(ra.feed(wire.data() + off, n));
+    off += n;
+    chunk = chunk % 13 + 1;
+    Frame f;
+    while (ra.next(f)) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i].from, static_cast<NodeId>(i));
+    EXPECT_EQ(got[i].to, static_cast<NodeId>(i + 1));
+    EXPECT_EQ(got[i].bytes,
+              payload_of(static_cast<std::size_t>(1 + (i * 37) % 300),
+                         static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(ra.buffered(), 0u);
+}
+
+TEST(SocketFraming, RejectsCorruptLengthPrefix) {
+  std::vector<std::uint8_t> wire;
+  const auto p = payload_of(8, 1);
+  append_frame(wire, 1, 2, p.data(), p.size());
+  wire[0] = 0xff;  // length explodes past kMaxFrame
+  wire[1] = 0xff;
+  wire[2] = 0xff;
+  wire[3] = 0xff;
+  FrameReassembler ra;
+  ra.feed(wire.data(), wire.size());
+  Frame f;
+  EXPECT_FALSE(ra.next(f));
+  EXPECT_FALSE(ra.feed(wire.data(), 1)) << "a corrupt stream must stay rejected";
+
+  // A frame claiming to be shorter than its own from/to header is equally
+  // corrupt (len < 8).
+  std::vector<std::uint8_t> runt = {4, 0, 0, 0, 1, 2, 3, 4};
+  FrameReassembler rb;
+  rb.feed(runt.data(), runt.size());
+  EXPECT_FALSE(rb.next(f));
+  EXPECT_FALSE(rb.feed(runt.data(), 1));
+}
+
+TEST(SocketFraming, SurvivesShortWritesAndPartialReadsOverASocketpair) {
+  // A real kernel byte stream: write the encoded frames in deliberately
+  // tiny bursts, read in odd-sized sips, reassemble on the far end.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  std::vector<std::uint8_t> wire;
+  const int kFrames = 32;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto p = payload_of(static_cast<std::size_t>(11 + 61 * i % 500),
+                              static_cast<std::uint8_t>(i * 3));
+    append_frame(wire, static_cast<NodeId>(100 + i), static_cast<NodeId>(200 + i),
+                 p.data(), p.size());
+  }
+
+  std::size_t woff = 0;
+  int wchunk = 1;
+  FrameReassembler ra;
+  std::vector<Frame> got;
+  std::uint8_t buf[97];  // deliberately not a power of two
+  while (woff < wire.size() || true) {
+    if (woff < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(static_cast<std::size_t>(wchunk),
+                                                  wire.size() - woff);
+      ASSERT_EQ(write(sv[0], wire.data() + woff, n), static_cast<ssize_t>(n));
+      woff += n;
+      wchunk = wchunk % 7 + 1;
+      if (woff == wire.size()) close(sv[0]);
+    }
+    const ssize_t r = read(sv[1], buf, sizeof(buf));
+    if (r == 0) break;  // EOF after the writer closed
+    ASSERT_GT(r, 0);
+    ASSERT_TRUE(ra.feed(buf, static_cast<std::size_t>(r)));
+    Frame f;
+    while (ra.next(f)) got.push_back(f);
+  }
+  close(sv[1]);
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i].from, static_cast<NodeId>(100 + i));
+    EXPECT_EQ(got[i].to, static_cast<NodeId>(200 + i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two in-process backends over real TCP loopback.
+// ---------------------------------------------------------------------------
+
+/// Records delivered Commit2pc payloads. The vectors are read only after
+/// stop() (the join gives happens-before); live progress is polled through
+/// the atomic counter, so the main thread's spin loops race nothing.
+class SinkActor : public runtime::Actor {
+ public:
+  void on_message(NodeId from, const wire::Message& m) override {
+    ASSERT_EQ(m.type(), wire::MsgType::kCommit2pc);
+    values.push_back(static_cast<const wire::Commit2pc&>(m).tx.raw);
+    froms.push_back(from);
+    delivered.store(values.size(), std::memory_order_release);
+  }
+  std::vector<std::uint64_t> values;
+  std::vector<NodeId> froms;
+  std::atomic<std::size_t> delivered{0};
+};
+
+class NullActor : public runtime::Actor {
+ public:
+  void on_message(NodeId, const wire::Message&) override {
+    FAIL() << "a remote node's actor must never run locally";
+  }
+};
+
+wire::MessagePtr numbered(std::uint64_t i) {
+  auto m = wire::make_message<wire::Commit2pc>();
+  m->tx = TxId{i};
+  return m;
+}
+
+/// One half of a 2-process cluster living in this test process: rank owns
+/// DC == rank (nprocs 2). Node 0 lives on rank 0, node 1 on rank 1; both
+/// backends register both nodes in the same order.
+struct Half {
+  explicit Half(std::uint32_t rank, std::uint16_t base_port)
+      : be(SocketBackend::Options{rank, 2, base_port, /*workers=*/1, /*seed=*/1,
+                                  /*connect_timeout_ms=*/10'000}) {
+    n0 = be.add_node(rank == 0 ? static_cast<runtime::Actor*>(&sink) : &null_, /*dc=*/0,
+                     nullptr);
+    n1 = be.add_node(rank == 1 ? static_cast<runtime::Actor*>(&sink) : &null_, /*dc=*/1,
+                     nullptr);
+  }
+  SocketBackend be;
+  SinkActor sink;
+  NullActor null_;
+  NodeId n0 = kInvalidNode, n1 = kInvalidNode;
+};
+
+TEST(SocketBackendPair, DeliversAcrossRealTcpInOrder) {
+  Half a(0, 7601), b(1, 7601);
+  // start() blocks until the mesh is up; run b's in a thread so both halves
+  // can rendezvous.
+  std::thread tb([&] { b.be.start(); });
+  a.be.start();
+  tb.join();
+
+  const std::uint64_t kMsgs = 200;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    a.be.transport().send(a.n0, a.n1, numbered(i));  // cross-process
+  }
+  // Wait for delivery on the remote half.
+  for (int spin = 0; spin < 100 && b.sink.delivered.load() < kMsgs; ++spin) {
+    b.be.run_for(20'000);
+  }
+  a.be.stop();
+  b.be.stop();
+
+  ASSERT_EQ(b.sink.values.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(b.sink.values[i], i) << "TCP per-channel FIFO must hold";
+    EXPECT_EQ(b.sink.froms[i], a.n0) << "the wire frame must carry the true sender";
+  }
+  EXPECT_EQ(a.sink.values.size(), 0u);
+  EXPECT_EQ(a.be.stats().frames_out, kMsgs);
+  EXPECT_EQ(b.be.stats().frames_in, kMsgs);
+}
+
+/// Reliable endpoints over the socket pair: built like Half, but the sink
+/// actors are wrapped by a per-half ReliableTransport before registration.
+struct ReliableHalf {
+  explicit ReliableHalf(std::uint32_t rank, std::uint16_t base_port, ReliableConfig cfg)
+      : be(SocketBackend::Options{rank, 2, base_port, /*workers=*/1, /*seed=*/1,
+                                  /*connect_timeout_ms=*/10'000}),
+        rt(be.transport(), be.exec(), cfg) {
+    runtime::Actor* a0 = rank == 0 ? rt.wrap(&sink) : rt.wrap(&null_);
+    runtime::Actor* a1 = rank == 1 ? rt.wrap(&sink) : rt.wrap(&null_);
+    n0 = be.add_node(a0, /*dc=*/0, nullptr);
+    n1 = be.add_node(a1, /*dc=*/1, nullptr);
+    rt.attach(a0, n0);
+    rt.attach(a1, n1);
+  }
+  SocketBackend be;
+  ReliableTransport rt;
+  SinkActor sink;
+  NullActor null_;
+  NodeId n0 = kInvalidNode, n1 = kInvalidNode;
+};
+
+TEST(SocketBackendPair, ReliableRetransmitsAcrossReconnectExactlyOnce) {
+  // Kill the TCP connection mid-stream: the original dialer redials, RTO
+  // retransmission replays the unacked window over the fresh connection,
+  // and the receiver's EXISTING per-channel seq state dedups anything that
+  // had already been delivered — exactly-once, in order, across a
+  // transport-level restart.
+  ReliableConfig cfg;
+  cfg.rto_us = 40'000;
+  cfg.max_rto_us = 300'000;
+  ReliableHalf a(0, 7621, cfg), b(1, 7621, cfg);
+
+  // Sends are paced by a timer on the owning worker — endpoint window
+  // state must never be touched from a foreign thread once workers run.
+  const std::uint64_t kFirst = 30, kSecond = 30;
+  std::atomic<std::uint64_t> limit{kFirst};
+  std::atomic<std::uint64_t> sent{0};
+  runtime::TimerHandle pump = a.be.exec().every(a.n0, 2'000, 0, [&] {
+    while (sent.load() < limit.load()) {
+      a.rt.send(a.n0, a.n1, numbered(sent.load()));
+      sent.fetch_add(1);
+    }
+  });
+
+  std::thread tb([&] { b.be.start(); });
+  a.be.start();
+  tb.join();
+
+  // First burst delivers and acks over the original connection.
+  for (int spin = 0; spin < 200 && b.sink.delivered.load() < kFirst; ++spin) {
+    b.be.run_for(10'000);
+  }
+  ASSERT_EQ(b.sink.delivered.load(), kFirst);
+
+  // Kill the link from the receiver side, then release a second burst:
+  // those frames hit a dead (or reborn) connection, get dropped at the
+  // transport, and must be recovered purely by RTO retransmission over the
+  // redialed connection — deduped by b's existing RecvChannel state.
+  b.be.debug_kill_connection(0);
+  limit.store(kFirst + kSecond);
+  for (int spin = 0; spin < 300 && b.sink.delivered.load() < kFirst + kSecond; ++spin) {
+    b.be.run_for(20'000);
+  }
+  a.be.stop();
+  b.be.stop();
+
+  ASSERT_EQ(b.sink.values.size(), kFirst + kSecond)
+      << "retransmission must recover everything the dead link ate";
+  for (std::uint64_t i = 0; i < kFirst + kSecond; ++i) {
+    EXPECT_EQ(b.sink.values[i], i) << "exactly-once, in order, across the reconnect";
+  }
+  const auto sa = a.be.stats();
+  const auto sb = b.be.stats();
+  EXPECT_GE(sa.reconnects + sb.reconnects, 1u) << "the link must actually have died";
+  EXPECT_GT(a.rt.stats().retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace paris::test

@@ -21,6 +21,16 @@ Rules (per row, matched by benchmark name):
     missing from the current run fail (a benchmark silently disappearing
     would hide regressions).
 
+Realtime-bench documents (a top-level "rows" array, e.g.
+BENCH_realtime_socket.json) are guarded too:
+  * throughput rows carry "goodput_tx_s" instead of "ops_per_sec"; the same
+    floor applies.
+  * rows with a nonzero "retransmits_per_drop" (the SACK-efficiency
+    headline: retransmissions per chaos-dropped frame) are guarded
+    UPWARD — current must stay under baseline * (1 + --retx-tolerance).
+    A SACK regression back to go-back-N multiplies this metric, which a
+    throughput check alone would miss on a latency-bound run.
+
 Exit code 0 = pass, 1 = regression, 2 = usage/IO error.
 """
 
@@ -36,10 +46,17 @@ def load_rows(path):
     except (OSError, ValueError) as e:
         print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    # The bench binary emits "results"; the committed baseline keeps the
-    # curated before/after curve — its "after" array is the baseline.
-    rows = doc.get("results") or doc.get("after") or []
-    return {r["name"]: r for r in rows}
+    # The micro bench emits "results"; its committed baseline keeps the
+    # curated before/after curve ("after" is the baseline); realtime
+    # benches commit a plain "rows" array.
+    rows = doc.get("results") or doc.get("after") or doc.get("rows") or []
+    out = {}
+    for r in rows:
+        r = dict(r)
+        if "ops_per_sec" not in r and "goodput_tx_s" in r:
+            r["ops_per_sec"] = r["goodput_tx_s"]
+        out[r["name"]] = r
+    return out
 
 
 def main():
@@ -47,6 +64,10 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.30)
+    ap.add_argument("--retx-tolerance", type=float, default=1.00,
+                    help="allowed upward slack on retransmits_per_drop rows "
+                         "(1.0 = current may be up to 2x the baseline; a "
+                         "go-back-N regression overshoots far past that)")
     args = ap.parse_args()
 
     base = load_rows(args.baseline)
@@ -77,6 +98,25 @@ def main():
                 "(allocation-free rows must stay allocation-free)"
             )
             status = "ALLOCATION REGRESSION"
+        if b.get("retransmits_per_drop", 0.0) > 0.0:
+            ceiling = b["retransmits_per_drop"] * (1.0 + args.retx_tolerance)
+            retx = c.get("retransmits_per_drop")
+            if retx is None:
+                # A vanished metric must fail like a vanished row — a
+                # defaulted 0.0 would silently disarm the guard.
+                failures.append(
+                    f"{name}: retransmits_per_drop missing from the current "
+                    "run (guarded metrics may not silently disappear)"
+                )
+                status = "RETRANSMIT METRIC MISSING"
+            elif retx > ceiling:
+                failures.append(
+                    f"{name}: retransmits_per_drop {retx:.2f} exceeds "
+                    f"{ceiling:.2f} (baseline {b['retransmits_per_drop']:.2f} "
+                    f"+ {args.retx_tolerance:.0%}) — selective repeat has "
+                    "regressed toward go-back-N"
+                )
+                status = "RETRANSMIT REGRESSION"
         print(f"  {name:<34} {ratio:6.2f}x  "
               f"allocs {b.get('allocs_per_op', 0):.3f} -> {c.get('allocs_per_op', 0):.3f}  {status}")
 

@@ -5,12 +5,16 @@
 //     --threads=32 --writes=1 --multi=0.05 --measure-ms=1000
 //   paris_sim --system=bpr --threads=256 --visibility
 //   paris_sim --runtime=threads --workers=4 --dcs=3 --partitions=9 --check
+//   paris_sim --runtime=sockets --processes=3 --dcs=3 --partitions=6 --check
 //
 // --runtime=sim runs the deterministic discrete-event simulator (default;
 // same seed => byte-identical output); --runtime=threads runs the same
-// protocol code on real worker threads. Prints throughput, the latency
-// distribution, blocking statistics (BPR) and, with --visibility, the
-// update-visibility percentiles.
+// protocol code on real worker threads; --runtime=sockets spawns one child
+// process per rank, connected over TCP loopback speaking length-prefixed
+// ReliableFrames, and merges their stats/histories (the checker then runs
+// over the complete cross-process execution). Prints throughput, the
+// latency distribution, blocking statistics (BPR) and, with --visibility,
+// the update-visibility percentiles.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +24,7 @@
 
 #include "cluster/topology.h"
 #include "workload/experiment.h"
+#include "workload/socket_runner.h"
 
 using namespace paris;
 
@@ -29,31 +34,50 @@ namespace {
   std::printf(
       "usage: %s [options]\n"
       "  --system=paris|bpr      protocol under test (default paris)\n"
-      "  --runtime=sim|threads   deterministic simulator or real worker\n"
-      "                          threads (default sim)\n"
-      "  --workers=W             threads runtime: worker threads\n"
-      "                          (default: one per server)\n"
+      "  --runtime=sim|threads|sockets\n"
+      "                          deterministic simulator, real worker threads,\n"
+      "                          or real OS processes over TCP loopback\n"
+      "                          (default sim)\n"
+      "  --workers=W             threads/sockets: worker threads per process\n"
+      "                          (default: one per server hosted locally)\n"
+      "  --processes=N           sockets: child processes; process r owns the\n"
+      "                          DCs with dc mod N == r (default: one per DC)\n"
+      "  --listen-base-port=P    sockets: process r listens on P+r on\n"
+      "                          127.0.0.1 (default 7421)\n"
+      "  --socket-dir=PATH       sockets: per-child logs + result files\n"
+      "                          (default: a fresh temp dir; path is printed)\n"
       "  --latency-model=none|matrix|jitter\n"
-      "                          threads runtime: inject per-DC-pair WAN\n"
+      "                          threads/sockets: inject per-DC-pair WAN\n"
       "                          delay (matrix), plus jitter (default none;\n"
       "                          the sim models latency itself)\n"
-      "  --reliable              threads: at-least-once delivery — every\n"
-      "                          protocol message is sequenced, retransmitted\n"
-      "                          on timeout and deduplicated at the receiver,\n"
-      "                          so chaos drops/partitions of ANY class still\n"
-      "                          converge (exactly-once at the actor)\n"
-      "  --reliable-rto-ms=R     retransmission timeout (default 100)\n"
-      "  --partition-spec=SPEC   threads: scheduled inter-DC blackouts, times\n"
-      "                          in ms on the runtime clock. SPEC is comma-\n"
-      "                          separated windows: A-B:start:end (pair) or\n"
-      "                          A:start:end (isolate DC A). Messages crossing\n"
-      "                          an active window are DROPPED; pair with\n"
-      "                          --reliable to converge after heal\n"
-      "  --chaos-reorder=P       threads: stall probability (cross-channel\n"
-      "                          reorder; per-channel FIFO preserved)\n"
+      "  --reliable              threads/sockets: at-least-once delivery —\n"
+      "                          every protocol message is sequenced,\n"
+      "                          retransmitted on timeout and deduplicated at\n"
+      "                          the receiver, so chaos drops/partitions of\n"
+      "                          ANY class still converge (exactly-once at\n"
+      "                          the actor)\n"
+      "  --reliable-rto-ms=R|auto\n"
+      "                          retransmission timeout in ms (default 100),\n"
+      "                          or 'auto': per-channel Jacobson/Karels RTT\n"
+      "                          estimation (srtt + 4*rttvar, Karn's rule)\n"
+      "  --reliable-sack=on|off  selective-repeat acks: receivers report\n"
+      "                          buffered [lo,hi] seq ranges and senders\n"
+      "                          retransmit only the gaps instead of the\n"
+      "                          whole go-back-N burst (default on)\n"
+      "  --partition-spec=SPEC   threads/sockets: scheduled inter-DC\n"
+      "                          blackouts, times in ms on the runtime clock.\n"
+      "                          SPEC is comma-separated windows:\n"
+      "                          A-B:start:end (pair) or A:start:end (isolate\n"
+      "                          DC A). Messages crossing an active window\n"
+      "                          are DROPPED; pair with --reliable to\n"
+      "                          converge after heal\n"
+      "  --chaos-reorder=P       threads/sockets: stall probability (cross-\n"
+      "                          channel reorder; per-channel FIFO preserved)\n"
       "  --chaos-stall-ms=S      stall length for --chaos-reorder (default 10)\n"
-      "  --chaos-duplicate=P     threads: duplicate replication messages\n"
-      "  --chaos-drop=[CLASS:]P  threads: drop messages with probability P.\n"
+      "  --chaos-duplicate=P     threads/sockets: duplicate replication\n"
+      "                          messages\n"
+      "  --chaos-drop=[CLASS:]P  threads/sockets: drop messages with\n"
+      "                          probability P.\n"
       "                          CLASS is replication (default), requests or\n"
       "                          all. Without --reliable, replication drops\n"
       "                          surface as --check violations and request\n"
@@ -99,8 +123,13 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Socket children re-exec this binary; the hook runs their share of the
+  // experiment and exits. A normal invocation falls straight through.
+  workload::maybe_run_socket_child(argc, argv);
+
   workload::ExperimentConfig cfg;
   cfg.threads_per_process = 8;
+  bool sack_flag_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -117,11 +146,25 @@ int main(int argc, char** argv) {
         cfg.runtime = runtime::Kind::kSim;
       } else if (std::string(v) == "threads") {
         cfg.runtime = runtime::Kind::kThreads;
+      } else if (std::string(v) == "sockets") {
+        cfg.runtime = runtime::Kind::kSockets;
       } else {
         usage(argv[0]);
       }
     } else if (parse_flag(argv[i], "--workers", &v) && v) {
       cfg.worker_threads = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--processes", &v) && v) {
+      cfg.socket.processes = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--listen-base-port", &v) && v) {
+      const long port = std::atol(v);
+      if (port <= 0 || port > 65000) {
+        std::fprintf(stderr, "error: --listen-base-port must be in [1, 65000], got '%s'\n",
+                     v);
+        return 2;
+      }
+      cfg.socket.base_port = static_cast<std::uint16_t>(port);
+    } else if (parse_flag(argv[i], "--socket-dir", &v) && v) {
+      cfg.socket.dir = v;
     } else if (parse_flag(argv[i], "--latency-model", &v) && v) {
       if (std::string(v) == "none") {
         cfg.latency_model = runtime::LatencyModelKind::kNone;
@@ -133,14 +176,31 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (parse_flag(argv[i], "--reliable-rto-ms", &v) && v) {
+      if (std::string(v) == "auto") {
+        cfg.reliable_cfg.adaptive_rto = true;
+        cfg.reliable = true;
+        continue;
+      }
       const long long rto_ms = std::atoll(v);
       if (rto_ms <= 0) {  // also catches non-numeric input (atoll -> 0)
-        std::fprintf(stderr, "error: --reliable-rto-ms must be a positive integer, got '%s'\n",
+        std::fprintf(stderr,
+                     "error: --reliable-rto-ms must be a positive integer or 'auto', "
+                     "got '%s'\n",
                      v);
         return 2;
       }
       cfg.reliable_cfg.rto_us = static_cast<std::uint64_t>(rto_ms) * 1000;
       cfg.reliable = true;
+    } else if (parse_flag(argv[i], "--reliable-sack", &v) && v) {
+      if (std::string(v) == "on") {
+        cfg.reliable_cfg.sack = true;
+      } else if (std::string(v) == "off") {
+        cfg.reliable_cfg.sack = false;
+      } else {
+        std::fprintf(stderr, "error: --reliable-sack takes on|off, got '%s'\n", v);
+        return 2;
+      }
+      sack_flag_set = true;
     } else if (parse_flag(argv[i], "--reliable", &v)) {
       cfg.reliable = true;
     } else if (parse_flag(argv[i], "--partition-spec", &v) && v) {
@@ -220,8 +280,30 @@ int main(int argc, char** argv) {
        cfg.reliable || cfg.partitions.enabled())) {
     std::fprintf(stderr,
                  "error: --latency-model/--chaos-*/--reliable/--partition-spec require "
-                 "--runtime=threads (the simulator models the network itself)\n");
+                 "--runtime=threads or sockets (the simulator models the network "
+                 "itself)\n");
     return 2;
+  }
+  if (sack_flag_set && !cfg.reliable) {
+    std::fprintf(stderr,
+                 "error: --reliable-sack requires --reliable (there is no ack "
+                 "machinery to configure without it)\n");
+    return 2;
+  }
+  if (cfg.runtime != runtime::Kind::kSockets &&
+      (cfg.socket.processes != 0 || !cfg.socket.dir.empty())) {
+    std::fprintf(stderr,
+                 "error: --processes/--socket-dir require --runtime=sockets\n");
+    return 2;
+  }
+  if (cfg.runtime == runtime::Kind::kSockets) {
+    const std::uint32_t nprocs = cfg.socket.resolve_processes(cfg.num_dcs);
+    if (nprocs < 1 || nprocs > cfg.num_dcs) {
+      std::fprintf(stderr,
+                   "error: --processes must be in [1, dcs] (process r owns the DCs "
+                   "with dc mod N == r)\n");
+      return 2;
+    }
   }
   if (!cfg.reliable && cfg.chaos.drop_p > 0 &&
       cfg.chaos.drop_class != runtime::ChaosDropClass::kReplication) {
@@ -239,15 +321,24 @@ int main(int argc, char** argv) {
   std::printf("system=%s M=%u N=%u R=%u (%.0f machines/DC) threads=%u\n",
               proto::system_name(cfg.system), cfg.num_dcs, cfg.num_partitions,
               cfg.replication, cfg.machines_per_dc(), cfg.threads_per_process);
-  // Only announced for the threads runtime: the default sim header stays
+  // Only announced for the real runtimes: the default sim header stays
   // byte-identical across releases (the determinism tests diff it).
-  if (cfg.runtime == runtime::Kind::kThreads) {
-    // Same default as the deployment: one worker per server node.
-    const cluster::Topology topo({cfg.num_dcs, cfg.num_partitions, cfg.replication});
-    std::printf("runtime: threads, %u workers (hw concurrency %u), latency model %s\n",
-                cfg.worker_threads != 0 ? cfg.worker_threads : topo.total_servers(),
-                std::thread::hardware_concurrency(),
-                runtime::latency_model_name(cfg.latency_model));
+  if (cfg.runtime != runtime::Kind::kSim) {
+    if (cfg.runtime == runtime::Kind::kThreads) {
+      // Same default as the deployment: one worker per server node.
+      const cluster::Topology topo({cfg.num_dcs, cfg.num_partitions, cfg.replication});
+      std::printf("runtime: threads, %u workers (hw concurrency %u), latency model %s\n",
+                  cfg.worker_threads != 0 ? cfg.worker_threads : topo.total_servers(),
+                  std::thread::hardware_concurrency(),
+                  runtime::latency_model_name(cfg.latency_model));
+    } else {
+      std::printf(
+          "runtime: sockets, %u processes (base port %u, hw concurrency %u), "
+          "latency model %s\n",
+          cfg.socket.resolve_processes(cfg.num_dcs), cfg.socket.base_port,
+          std::thread::hardware_concurrency(),
+          runtime::latency_model_name(cfg.latency_model));
+    }
     if (cfg.chaos.enabled()) {
       std::printf("chaos: reorder=%.2f (stall %llu ms) duplicate=%.2f drop=%s:%.2f\n",
                   cfg.chaos.reorder_p,
@@ -256,8 +347,14 @@ int main(int argc, char** argv) {
                   runtime::chaos_drop_class_name(cfg.chaos.drop_class), cfg.chaos.drop_p);
     }
     if (cfg.reliable) {
-      std::printf("reliable: at-least-once, rto %llu ms\n",
-                  static_cast<unsigned long long>(cfg.reliable_cfg.rto_us / 1000));
+      if (cfg.reliable_cfg.adaptive_rto) {
+        std::printf("reliable: at-least-once, rto auto (Jacobson/Karels), sack %s\n",
+                    cfg.reliable_cfg.sack ? "on" : "off");
+      } else {
+        std::printf("reliable: at-least-once, rto %llu ms, sack %s\n",
+                    static_cast<unsigned long long>(cfg.reliable_cfg.rto_us / 1000),
+                    cfg.reliable_cfg.sack ? "on" : "off");
+      }
     }
     for (const auto& w : cfg.partitions.windows) {
       if (w.isolate_all) {
@@ -304,11 +401,21 @@ int main(int argc, char** argv) {
   }
   if (cfg.reliable) {
     std::printf("reliable layer  %10s frames, %s retransmits, %s dup-frames dropped, "
-                "%s coalesced\n",
+                "%s coalesced, %s sack-skips\n",
                 stats::with_commas(res.reliable.frames_sent).c_str(),
                 stats::with_commas(res.reliable.retransmits).c_str(),
                 stats::with_commas(res.reliable.dup_frames).c_str(),
-                stats::with_commas(res.reliable.coalesced).c_str());
+                stats::with_commas(res.reliable.coalesced).c_str(),
+                stats::with_commas(res.reliable.sacked_skips).c_str());
+  }
+  if (cfg.runtime == runtime::Kind::kSockets) {
+    std::printf("socket pump     %10s frames out, %s in, %s partial reads, "
+                "%s short writes, %s reconnects\n",
+                stats::with_commas(res.socket.frames_out).c_str(),
+                stats::with_commas(res.socket.frames_in).c_str(),
+                stats::with_commas(res.socket.partial_reads).c_str(),
+                stats::with_commas(res.socket.short_writes).c_str(),
+                stats::with_commas(res.socket.reconnects).c_str());
   }
   std::printf("local-hit rate  %10.1f %%   max client cache %zu entries\n",
               res.local_hit_rate * 100.0, res.max_client_cache);
@@ -316,13 +423,14 @@ int main(int argc, char** argv) {
               stats::with_commas(res.sim_events).c_str(),
               stats::with_commas(res.bytes_sent).c_str());
 
+  // Violations can also arrive without --check (a socket child crashing or
+  // timing out is reported this way); any of them fails the run.
+  if (!res.violations.empty()) {
+    for (const auto& viol : res.violations) std::printf("VIOLATION: %s\n", viol.c_str());
+    return 1;
+  }
   if (cfg.check_consistency) {
-    if (res.violations.empty()) {
-      std::printf("consistency     OK (exactness checker passed)\n");
-    } else {
-      for (const auto& viol : res.violations) std::printf("VIOLATION: %s\n", viol.c_str());
-      return 1;
-    }
+    std::printf("consistency     OK (exactness checker passed)\n");
   }
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "proto/deployment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <initializer_list>
+#include <thread>
 
 #include "common/assert.h"
+#include "common/rng.h"
 #include "runtime/sim_runtime.h"
 #include "runtime/thread_runtime.h"
 
@@ -38,6 +41,7 @@ std::unique_ptr<runtime::Backend> build_backend(const DeploymentConfig& cfg,
     opt.seed = cfg.seed;
     opt.connect_timeout_ms = cfg.socket.connect_timeout_ms;
     opt.mesh_token = cfg.socket.mesh_token;
+    opt.epoch = cfg.socket.epoch;
     if (cfg.worker_threads != 0) {
       opt.workers = cfg.worker_threads;
     } else {
@@ -166,8 +170,105 @@ NodeId Deployment::register_actor(runtime::Actor* real, DcId dc, runtime::Servic
 void Deployment::start() {
   PARIS_CHECK_MSG(!started_, "start() called twice");
   started_ = true;
+  runtime::SocketBackend* sb = socket_backend();
+  if (sb != nullptr) {
+    for (auto& s : servers_)
+      if (backend_->local(s->node())) s->set_incarnation(sb->epoch());
+    wire_epoch_fencing(*sb);  // before the mesh comes up: no fired-early race
+    if (sb->epoch() > 0) {
+      arm_socket_recovery(*sb);
+      return;  // local timers start per-server as each recovery completes
+    }
+  }
   Rng& phase_rng = backend_->rng();
   for (auto& s : servers_) s->start_timers(phase_rng);
+}
+
+void Deployment::wire_epoch_fencing(runtime::SocketBackend& sb) {
+  sb.set_epoch_listener([this, &sb](std::uint32_t peer_rank, std::uint32_t /*epoch*/) {
+    // The rank's previous incarnation is dead: its reliable channel state,
+    // prepared-2PC entries it coordinated, and any un-replicated tail died
+    // with it. Collect the server nodes it owns, then heal every LOCAL
+    // server on its own worker (the listener fires on an io/accept thread).
+    std::vector<NodeId> affected;
+    for (const auto& s : servers_)
+      if (sb.owner_of(s->dc()) == peer_rank) affected.push_back(s->node());
+    if (affected.empty()) return;
+    for (const auto& sp : servers_) {
+      ServerBase* s = sp.get();
+      if (!backend_->local(s->node())) continue;
+      const NodeId self = s->node();
+      exec().post(self, [this, s, self, affected] {
+        // Channel reset FIRST: the fresh incarnation has empty dedup state,
+        // so anything sent afterwards (including the catch-up request
+        // below) must ride a renumbered channel.
+        if (reliable_tp_ != nullptr) reliable_tp_->reset_peer_channels(self, affected);
+        s->fence_lost_coordinators(affected);
+        // Anti-entropy: versions only this survivor ever applied flow to
+        // the respawned replica via its catch-up fan-out; asking it back
+        // heals versions the survivor missed (transitively, through the
+        // respawn's donor + peers). The respawn buffers the request while
+        // still recovering and serves it on finish.
+        for (const auto& o : servers_) {
+          if (o->partition() != s->partition() || o->node() == self) continue;
+          if (std::find(affected.begin(), affected.end(), o->node()) != affected.end())
+            s->request_catchup(o->node());
+        }
+      });
+    }
+  });
+}
+
+void Deployment::arm_socket_recovery(runtime::SocketBackend& sb) {
+  for (auto& sp : servers_) {
+    ServerBase* s = sp.get();
+    if (!backend_->local(s->node())) {
+      s->start_timers(backend_->rng());  // remote: timers are dropped anyway
+      continue;
+    }
+    // Surviving replicas of this partition live in DCs owned by OTHER
+    // ranks (every DC with our residue died with the old incarnation).
+    std::vector<NodeId> remotes;
+    for (DcId d : topo_.replicas(s->partition()))
+      if (sb.owner_of(d) != sb.rank()) remotes.push_back(dir_.server(d, s->partition()));
+    // Timers start from the recovery-done callback on a worker thread; the
+    // shared backend rng is not safe there, so derive a per-server phase rng.
+    const std::uint64_t tseed =
+        splitmix64(cfg_.seed ^ 0x5245'434f'5645'52ull ^ s->node());  // "RECOVER"
+    if (remotes.empty()) {
+      Rng phase_rng(tseed);
+      s->start_timers(phase_rng);  // no donor anywhere: rejoin cold
+      continue;
+    }
+    // Rotate the donor pick so parallel recoveries spread across replicas.
+    const std::size_t pick = (s->dc() + s->partition()) % remotes.size();
+    std::rotate(remotes.begin(), remotes.begin() + static_cast<std::ptrdiff_t>(pick),
+                remotes.end());
+    const NodeId donor = remotes.front();
+    std::vector<NodeId> peers(remotes.begin() + 1, remotes.end());
+    recovering_.fetch_add(1, std::memory_order_acq_rel);
+    exec().post(s->node(), [this, s, donor, peers = std::move(peers), tseed] {
+      s->start_recovery(donor, peers, [this, s, tseed] {
+        Rng phase_rng(tseed);
+        s->start_timers(phase_rng);
+        recovering_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    });
+  }
+}
+
+bool Deployment::wait_recovered(std::uint64_t timeout_ms) {
+  if (recovering_.load(std::memory_order_acquire) == 0) return true;
+  runtime::SocketBackend* sb = socket_backend();
+  PARIS_CHECK_MSG(sb != nullptr, "recovery armed without a socket backend");
+  sb->start();  // idempotent: recovery needs the mesh + workers live
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (recovering_.load(std::memory_order_acquire) != 0) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
 }
 
 Client& Deployment::add_client(DcId dc, PartitionId coordinator_partition) {
@@ -221,6 +322,12 @@ ServerBase::Stats Deployment::total_server_stats() const {
     t.gossip_msgs_sent += x.gossip_msgs_sent;
     t.reads_blocked += x.reads_blocked;
     t.blocked_time_us += x.blocked_time_us;
+    t.snapshots_served += x.snapshots_served;
+    t.catchups_served += x.catchups_served;
+    t.recovery_buffered += x.recovery_buffered;
+    t.orphan_commits += x.orphan_commits;
+    t.orphan_prepare_resps += x.orphan_prepare_resps;
+    t.prepared_fenced += x.prepared_fenced;
   }
   return t;
 }

@@ -10,6 +10,7 @@
 // same protocol code runs on real worker threads. Sim-specific access
 // (fault injection, stepping) lives in proto/sim_access.h.
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -78,7 +79,23 @@ class Deployment {
 
   /// Starts all server timers (apply/replicate, gossip, GC). Call once
   /// before running the deployment.
+  ///
+  /// Socket children additionally get the self-healing wiring (DESIGN §11):
+  /// every local server learns its incarnation epoch, an epoch listener
+  /// fences stale reliable channels / 2PC state when a peer rank respawns,
+  /// and — when this child IS the respawn (epoch > 0) — local servers defer
+  /// their timers until donor state transfer + catch-up completes.
   void start();
+
+  /// Sockets, epoch > 0: number of local servers still streaming donor
+  /// state. Reaches 0 once every local server has rejoined.
+  std::uint32_t recovering_servers() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
+  /// Polls until every local server finished recovery or `timeout_ms`
+  /// elapsed; returns true on success. Trivially true when no recovery was
+  /// armed. Starts the backend workers if start() left them cold.
+  bool wait_recovered(std::uint64_t timeout_ms);
 
   /// Creates a client session collocated with the given coordinator
   /// partition server in `dc` (the paper collocates one client process per
@@ -135,6 +152,16 @@ class Deployment {
   NodeId register_actor(runtime::Actor* real, DcId dc, runtime::ServiceFn service,
                         NodeId colocate_with = kInvalidNode);
 
+  /// Installs the epoch listener: when a peer rank's epoch rises (it was
+  /// respawned), every local server resets its reliable channels to the
+  /// reincarnated nodes, fences prepared 2PC entries of the dead
+  /// coordinators, and offers anti-entropy catch-up.
+  void wire_epoch_fencing(runtime::SocketBackend& sb);
+  /// Epoch > 0 child: posts start_recovery on every local server that has a
+  /// surviving remote replica (donor + peers), deferring its timers to the
+  /// recovery-done callback. Servers with no surviving replica start cold.
+  void arm_socket_recovery(runtime::SocketBackend& sb);
+
   DeploymentConfig cfg_;
   cluster::Topology topo_;
   cluster::Directory dir_;
@@ -151,6 +178,8 @@ class Deployment {
   std::vector<std::unique_ptr<ServerBase>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   bool started_ = false;
+  /// Local servers whose recovery is still in flight (sockets, epoch > 0).
+  std::atomic<std::uint32_t> recovering_{0};
 };
 
 }  // namespace paris::proto

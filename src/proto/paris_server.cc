@@ -104,6 +104,18 @@ void ParisServer::set_ust(Timestamp t) {
   }
 }
 
+void ParisServer::encode_recovery_extras(Encoder& e) const {
+  e.put_varint(ust_.raw);
+  e.put_varint(gc_watermark_.raw);
+}
+
+void ParisServer::decode_recovery_extras(Decoder& d) {
+  const Timestamp donor_ust{d.get_varint()};
+  const Timestamp donor_gc{d.get_varint()};
+  set_ust(std::max(ust_, donor_ust));
+  gc_watermark_ = std::max(gc_watermark_, donor_gc);
+}
+
 // ---------------------------------------------------------------------------
 // Stabilization gossip (Alg. 4 lines 34-38).
 // ---------------------------------------------------------------------------

@@ -49,6 +49,13 @@ class ParisServer : public ServerBase {
   void handle_gossip_root(NodeId from, const wire::GossipRoot& m) override;
   void handle_ust_down(NodeId from, const wire::UstDown& m) override;
 
+  // Snapshot extras (DESIGN §11): a respawned PaRiS server inherits the
+  // donor's UST and GC watermark instead of starting from zero — its
+  // stabilization gossip would eventually recompute both, but until then a
+  // zero UST would assign unreadably stale snapshots to new transactions.
+  void encode_recovery_extras(wire::Encoder& e) const override;
+  void decode_recovery_extras(wire::Decoder& d) override;
+
  private:
   void resolve_tree_nodes();
   void gst_tick();  ///< every ΔG: aggregate minima up the tree / across roots

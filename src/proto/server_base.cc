@@ -67,6 +67,13 @@ sim::SimTime CostModel::service_us(const Message& m) const {
     case MsgType::kReliableFrame:
     case MsgType::kReliableAck:
       return 0;
+    // Recovery state transfer only runs under the socket runtime, outside
+    // the simulated cost model.
+    case MsgType::kSnapshotRequest:
+    case MsgType::kSnapshotChunk:
+    case MsgType::kCatchUpRequest:
+    case MsgType::kCatchUpChunk:
+      return 0;
   }
   return 0;
 }
@@ -104,6 +111,24 @@ void ServerBase::start_timers(Rng& phase_rng) {
 // ---------------------------------------------------------------------------
 
 void ServerBase::on_message(NodeId from, const Message& m) {
+  if (rec_ != nullptr) {
+    switch (m.type()) {
+      case MsgType::kSnapshotChunk:
+      case MsgType::kCatchUpChunk:
+        break;  // recovery traffic flows through
+      default: {
+        // Everything else is held (re-encoded) and replayed after recovery:
+        // the reliable endpoint already delivered it exactly-once, so a drop
+        // here would lose a protocol message for good. That includes peer
+        // Snapshot/CatchUp REQUESTS — a recovering replica serves them once
+        // its own state is whole.
+        auto& slot = rec_->held.emplace_back(from, std::vector<std::uint8_t>{});
+        encode_message(m, slot.second);
+        ++stats_.recovery_buffered;
+        return;
+      }
+    }
+  }
   switch (m.type()) {
     case MsgType::kClientStartReq:
       return handle_start(from, static_cast<const ClientStartReq&>(m));
@@ -133,6 +158,14 @@ void ServerBase::on_message(NodeId from, const Message& m) {
       return handle_gossip_root(from, static_cast<const GossipRoot&>(m));
     case MsgType::kUstDown:
       return handle_ust_down(from, static_cast<const UstDown&>(m));
+    case MsgType::kSnapshotRequest:
+      return handle_snapshot_request(from, static_cast<const SnapshotRequest&>(m));
+    case MsgType::kSnapshotChunk:
+      return handle_snapshot_chunk(from, static_cast<const SnapshotChunk&>(m));
+    case MsgType::kCatchUpRequest:
+      return handle_catchup_request(from, static_cast<const CatchUpRequest&>(m));
+    case MsgType::kCatchUpChunk:
+      return handle_catchup_chunk(from, static_cast<const CatchUpChunk&>(m));
     case MsgType::kClientStartResp:
     case MsgType::kClientReadResp:
     case MsgType::kClientCommitResp:
@@ -251,11 +284,24 @@ void ServerBase::handle_client_commit(NodeId from, const ClientCommitReq& m) {
   }
 }
 
-void ServerBase::handle_prepare_resp(NodeId /*from*/, const PrepareResp& m) {
+void ServerBase::handle_prepare_resp(NodeId from, const PrepareResp& m) {
   auto it = tx_.find(m.tx);
-  PARIS_CHECK_MSG(it != tx_.end(), "prepare response for unknown transaction");
+  if (it == tx_.end() || it->second.commit.outstanding == 0) {
+    // Duplicate vote for an already-decided transaction. After a cohort
+    // respawn the channel reset retransmits unacked PrepareReqs, so the new
+    // incarnation may prepare a transaction whose commit we already
+    // broadcast pre-reset; left alone, its prepared entry would fence its
+    // apply loop forever. Re-send the decision if the ring still has it.
+    ++stats_.orphan_prepare_resps;
+    if (auto ct = recent_commit_ct_.find(m.tx); ct != recent_commit_ct_.end()) {
+      auto cm = make_msg<Commit2pc>();
+      cm->tx = m.tx;
+      cm->ct = ct->second;
+      send(from, std::move(cm));
+    }
+    return;
+  }
   TxCtx& ctx = it->second;
-  PARIS_DCHECK(ctx.commit.outstanding > 0);
   ctx.commit.max_pt = std::max(ctx.commit.max_pt, m.pt);
   if (--ctx.commit.outstanding > 0) return;
 
@@ -267,6 +313,7 @@ void ServerBase::handle_prepare_resp(NodeId /*from*/, const PrepareResp& m) {
     cm->ct = ct;
     send(cohort, std::move(cm));
   }
+  remember_commit(m.tx, ct);
   if (rt_.tracer) rt_.tracer->on_commit_decided(m.tx, ct, dc_, rt_.exec.now_us());
 
   auto resp = make_msg<ClientCommitResp>();
@@ -367,7 +414,14 @@ void ServerBase::handle_prepare(NodeId from, const PrepareReq& m) {
 void ServerBase::handle_commit2pc(NodeId /*from*/, const Commit2pc& m) {
   hlc_.observe(clock_us(), m.ct);  // Alg. 3 line 16
   auto it = prepared_.find(m.tx);
-  PARIS_CHECK_MSG(it != prepared_.end(), "commit for unknown prepared transaction");
+  if (it == prepared_.end()) {
+    // No prepared entry: a predecessor incarnation prepared it before the
+    // crash (the coordinator's retransmitted decision reaches the respawn),
+    // or the entry was epoch-fenced. The writes reach this replica through
+    // snapshot/catch-up or replication from the surviving cohorts.
+    ++stats_.orphan_commits;
+    return;
+  }
   prepared_pts_.erase(it->second.pt);
   PARIS_DCHECK(m.ct >= it->second.pt);
   committed_.emplace(std::make_pair(m.ct, m.tx), std::move(it->second.writes));
@@ -473,7 +527,10 @@ void ServerBase::handle_replicate(NodeId from, const ReplicateBatch& m) {
         store_.apply(w.k, w.v, w.kind != 0 ? w.delta() : 0, g.ct, t.tx, sender_dc, w.kind);
         ++stats_.applied_writes;
       }
-      if (rt_.tracer) rt_.tracer->on_applied(dc_, partition_, t.tx, g.ct, rt_.exec.now_us());
+      if (rt_.tracer) {
+        rt_.tracer->on_applied(dc_, partition_, t.tx, g.ct, rt_.exec.now_us());
+        rt_.tracer->on_replica_commit(t.tx, g.ct, sender_dc, t);
+      }
       note_applied(t.tx, g.ct);
     }
   }
@@ -505,6 +562,245 @@ Timestamp ServerBase::min_vv() const {
 void ServerBase::gc_tick() {
   if (rt_.net.node_paused(self_)) return;
   store_.gc(gc_watermark());
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (DESIGN §11).
+// ---------------------------------------------------------------------------
+
+void ServerBase::set_incarnation(std::uint32_t epoch) {
+  PARIS_CHECK_MSG(epoch < 256, "incarnation epoch exceeds the TxId salt space");
+  incarnation_ = epoch;
+  next_tx_seq_ = 1 + (epoch << 24);
+}
+
+void ServerBase::remember_commit(TxId tx, Timestamp ct) {
+  recent_commits_.emplace_back(tx, ct);
+  recent_commit_ct_.emplace(tx, ct);
+  if (recent_commits_.size() > kRecentCommitCap) {
+    recent_commit_ct_.erase(recent_commits_.front().first);
+    recent_commits_.pop_front();
+  }
+}
+
+void ServerBase::fence_lost_coordinators(const std::vector<NodeId>& nodes) {
+  for (auto it = prepared_.begin(); it != prepared_.end();) {
+    const NodeId coord = it->first.coordinator();
+    if (std::find(nodes.begin(), nodes.end(), coord) != nodes.end()) {
+      prepared_pts_.erase(it->second.pt);
+      it = prepared_.erase(it);
+      ++stats_.prepared_fenced;
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// Record layout: [k][kind u8][ut][tx][sr][kind==0 ? bytes v : zigzag num].
+/// The original source DC travels with every version so the store's total
+/// version order — (ut, tx, sr) — is preserved bit-exactly on the requester.
+void ServerBase::encode_version_record(Encoder& e, Key k, const store::Version& ver) {
+  e.put_varint(k);
+  e.put_u8(ver.kind);
+  e.put_varint(ver.ut.raw);
+  e.put_varint(ver.tx.raw);
+  e.put_varint(ver.sr);
+  if (ver.kind != 0) {
+    e.put_varint(wire::detail::zigzag(ver.numeric()));
+  } else {
+    e.put_bytes(ver.v);
+  }
+}
+
+void ServerBase::install_records(Decoder& d) {
+  const std::uint64_t n = d.get_varint();
+  std::string scratch;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Key k = d.get_varint();
+    const std::uint8_t kind = d.get_u8();
+    const Timestamp ut{d.get_varint()};
+    const TxId tx{d.get_varint()};
+    const DcId sr = static_cast<DcId>(d.get_varint());
+    if (kind != 0) {
+      const std::int64_t delta = wire::detail::unzigzag(d.get_varint());
+      store_.apply(k, Value{}, delta, ut, tx, sr, kind);
+    } else {
+      d.get_bytes_into(scratch);
+      store_.apply(k, scratch, 0, ut, tx, sr, kind);
+    }
+    // No note_applied / tracer on_applied here: these versions were applied
+    // (and traced) by their original replicas; recovery only rebuilds state.
+  }
+}
+
+void ServerBase::start_recovery(NodeId donor, std::vector<NodeId> peers,
+                                std::function<void()> on_done) {
+  PARIS_CHECK_MSG(rec_ == nullptr, "recovery already in progress");
+  rec_ = std::make_unique<RecoveryState>();
+  rec_->donor = donor;
+  rec_->peers = std::move(peers);
+  rec_->on_done = std::move(on_done);
+  auto req = make_msg<SnapshotRequest>();
+  req->partition = partition_;
+  req->epoch = incarnation_;
+  send(donor, std::move(req));
+}
+
+void ServerBase::handle_snapshot_request(NodeId from, const SnapshotRequest& m) {
+  PARIS_DCHECK(m.partition == partition_);
+  (void)m;
+  // One blob: header (HLC, vv, protocol extras), then the whole store.
+  std::vector<std::uint8_t> blob;
+  Encoder e(blob);
+  e.put_varint(hlc_.value().raw);
+  e.put_varint(vv_.size());
+  for (Timestamp t : vv_) e.put_varint(t.raw);
+  encode_recovery_extras(e);
+  std::uint64_t nrec = 0;
+  store_.for_each_chain(
+      [&](Key, const std::vector<store::Version>& chain) { nrec += chain.size(); });
+  e.put_varint(nrec);
+  store_.for_each_chain([&](Key k, const std::vector<store::Version>& chain) {
+    for (const auto& ver : chain) encode_version_record(e, k, ver);
+  });
+
+  // Stream it in bounded chunks; the reliable channel is FIFO, so seq order
+  // is preserved and the requester reassembles by concatenation.
+  constexpr std::size_t kChunkBytes = 256 * 1024;
+  std::uint32_t seq = 0;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(kChunkBytes, blob.size() - off);
+    auto chunk = make_msg<SnapshotChunk>();
+    chunk->partition = partition_;
+    chunk->seq = seq++;
+    chunk->last = (off + n == blob.size()) ? 1 : 0;
+    chunk->payload.assign(blob.begin() + static_cast<std::ptrdiff_t>(off),
+                          blob.begin() + static_cast<std::ptrdiff_t>(off + n));
+    off += n;
+    send(from, std::move(chunk));
+  } while (off < blob.size());
+  ++stats_.snapshots_served;
+}
+
+void ServerBase::handle_snapshot_chunk(NodeId from, const SnapshotChunk& m) {
+  if (rec_ == nullptr || from != rec_->donor) return;  // unsolicited: ignore
+  PARIS_CHECK_MSG(m.seq == rec_->next_chunk, "snapshot chunk out of order on a FIFO channel");
+  ++rec_->next_chunk;
+  rec_->snap_buf.insert(rec_->snap_buf.end(), m.payload.begin(), m.payload.end());
+  if (m.last == 0) return;
+
+  // Install: header, extras, then every version record.
+  Decoder d(rec_->snap_buf);
+  hlc_.observe(clock_us(), Timestamp{d.get_varint()});
+  const std::uint64_t nvv = d.get_varint();
+  PARIS_CHECK_MSG(nvv == vv_.size(), "snapshot vv arity mismatch");
+  for (std::uint64_t i = 0; i < nvv; ++i) {
+    const Timestamp t{d.get_varint()};
+    if (vv_[i] < t) vv_[i] = t;
+  }
+  decode_recovery_extras(d);
+  install_records(d);
+  PARIS_CHECK_MSG(d.done(), "trailing bytes after snapshot records");
+  rec_->snap_buf.clear();
+  rec_->snap_buf.shrink_to_fit();
+  on_vv_advanced();
+
+  // Phase 2: catch-up deltas from the remaining replicas — anything they
+  // applied after the donor's snapshot line (or that only they ever had).
+  if (rec_->peers.empty()) {
+    finish_recovery();
+    return;
+  }
+  rec_->catchup_pending = rec_->peers.size();
+  for (NodeId peer : rec_->peers) request_catchup(peer);
+}
+
+void ServerBase::request_catchup(NodeId peer) {
+  auto req = make_msg<CatchUpRequest>();
+  req->partition = partition_;
+  req->epoch = incarnation_;
+  req->vv.reserve(vv_.size());
+  for (Timestamp t : vv_) req->vv.push_back(t.raw);
+  send(peer, std::move(req));
+}
+
+void ServerBase::handle_catchup_request(NodeId from, const CatchUpRequest& m) {
+  PARIS_DCHECK(m.partition == partition_);
+  // Ship every version above the requester's applied watermark for the
+  // version's source replica; records are idempotent, so over-shipping
+  // (e.g. for a version the snapshot already carried) is harmless.
+  constexpr std::size_t kChunkBytes = 256 * 1024;
+  std::vector<std::uint8_t> body;
+  Encoder be(body);
+  std::uint64_t count = 0;
+  auto emit = [&](bool last) {
+    auto chunk = make_msg<CatchUpChunk>();
+    chunk->partition = partition_;
+    chunk->last = last ? 1 : 0;
+    std::vector<std::uint8_t> payload;
+    Encoder pe(payload);
+    pe.put_varint(count);
+    payload.insert(payload.end(), body.begin(), body.end());
+    if (last) {
+      Encoder tail(payload);
+      tail.put_varint(vv_.size());
+      for (Timestamp t : vv_) tail.put_varint(t.raw);
+    }
+    chunk->payload = std::move(payload);
+    send(from, std::move(chunk));
+    body.clear();
+    count = 0;
+  };
+  store_.for_each_chain([&](Key k, const std::vector<store::Version>& chain) {
+    for (const auto& ver : chain) {
+      const ReplicaIdx slot = rt_.topo.replica_idx(ver.sr, partition_);
+      const std::uint64_t watermark =
+          (slot != kInvalidReplica && slot < m.vv.size()) ? m.vv[slot] : 0;
+      if (ver.ut.raw <= watermark) continue;  // requester already has it
+      encode_version_record(be, k, ver);
+      ++count;
+      if (body.size() >= kChunkBytes) emit(false);
+    }
+  });
+  emit(true);  // always sent: the last chunk carries our version vector
+  ++stats_.catchups_served;
+}
+
+void ServerBase::handle_catchup_chunk(NodeId from, const CatchUpChunk& m) {
+  PARIS_DCHECK(m.partition == partition_);
+  Decoder d(m.payload);
+  install_records(d);
+  if (m.last != 0) {
+    const std::uint64_t nvv = d.get_varint();
+    bool advanced = false;
+    for (std::uint64_t i = 0; i < nvv; ++i) {
+      const Timestamp t{d.get_varint()};
+      if (i < vv_.size() && vv_[i] < t) {
+        vv_[i] = t;
+        advanced = true;
+      }
+    }
+    if (advanced) on_vv_advanced();
+    if (rec_ != nullptr && rec_->catchup_pending > 0 &&
+        std::find(rec_->peers.begin(), rec_->peers.end(), from) != rec_->peers.end()) {
+      if (--rec_->catchup_pending == 0) finish_recovery();
+    }
+  }
+  PARIS_CHECK_MSG(d.done(), "trailing bytes after catch-up records");
+}
+
+void ServerBase::finish_recovery() {
+  // Clear rec_ BEFORE the replay: recovering() must read false so the held
+  // messages take the normal dispatch path (and any Snapshot/CatchUp request
+  // among them is served, not re-buffered).
+  const std::unique_ptr<RecoveryState> rec = std::move(rec_);
+  for (const auto& [from, bytes] : rec->held) {
+    Decoder d(bytes.data(), bytes.size());
+    const MessagePtr m = decode_message_pooled(d, rt_.net.msg_pool(self_));
+    on_message(from, *m);
+  }
+  if (rec->on_done) rec->on_done();
 }
 
 }  // namespace paris::proto

@@ -14,7 +14,10 @@
 //    ΔR, ships them to peer replicas, and emits heartbeats so the version
 //    vector advances in the absence of updates.
 
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -66,8 +69,43 @@ class ServerBase : public runtime::Actor {
     std::uint64_t gossip_msgs_sent = 0;
     std::uint64_t reads_blocked = 0;        ///< BPR only
     sim::SimTime blocked_time_us = 0;       ///< BPR only
+    // --- crash recovery (DESIGN §11) ---
+    std::uint64_t snapshots_served = 0;     ///< donor-side snapshot streams
+    std::uint64_t catchups_served = 0;      ///< anti-entropy deltas answered
+    std::uint64_t recovery_buffered = 0;    ///< messages held during recovery
+    std::uint64_t orphan_commits = 0;       ///< Commit2pc with no prepared entry
+    std::uint64_t orphan_prepare_resps = 0; ///< PrepareResp for unknown/settled tx
+    std::uint64_t prepared_fenced = 0;      ///< prepared entries fenced (dead coordinator)
   };
   const Stats& stats() const { return stats_; }
+
+  // --- crash recovery (DESIGN §11) ---
+
+  /// Epoch-salts coordinator transaction sequence numbers so a respawned
+  /// incarnation can never re-mint a TxId its predecessor already used
+  /// (TxId = (node, seq); the node id survives the respawn). Leaves 2^24
+  /// transactions per incarnation, far beyond any run. Call before serving.
+  void set_incarnation(std::uint32_t epoch);
+
+  /// Deployment hook, run on this server's worker: stream a full snapshot of
+  /// the partition from `donor`, then catch-up deltas from `peers` (the
+  /// remaining replicas), buffering all other traffic meanwhile; when both
+  /// phases finish, replay the buffer and invoke `on_done` (which typically
+  /// starts the timers this server deferred).
+  void start_recovery(NodeId donor, std::vector<NodeId> peers, std::function<void()> on_done);
+  bool recovering() const { return rec_ != nullptr; }
+
+  /// Survivor-side epoch fence: `nodes` belong to a dead incarnation, so any
+  /// 2PC decision they owed this cohort will never arrive. Drops their
+  /// prepared entries — un-fencing the apply upper bound a dead coordinator
+  /// would otherwise pin forever (which would freeze this replica's version
+  /// clock and, transitively, the cluster-wide UST).
+  void fence_lost_coordinators(const std::vector<NodeId>& nodes);
+
+  /// Survivor-side anti-entropy: ask `peer` (a freshly reincarnated replica)
+  /// for every version newer than our applied watermarks — recovers writes
+  /// only the dead incarnation had applied and replicated nowhere.
+  void request_catchup(NodeId peer);
 
  protected:
   // ----- policy points where PaRiS and BPR diverge -----
@@ -97,6 +135,12 @@ class ServerBase : public runtime::Actor {
   /// A transaction's writes were applied locally; PaRiS registers it for
   /// apply->visible tracking (visibility happens when the UST passes ct).
   virtual void note_applied(TxId tx, Timestamp ct);
+
+  /// Protocol-specific state appended to / restored from the snapshot header
+  /// (PaRiS: UST and GC watermark). Encode and decode must consume symmetric
+  /// bytes; donor and requester always run the same protocol subclass.
+  virtual void encode_recovery_extras(wire::Encoder& /*e*/) const {}
+  virtual void decode_recovery_extras(wire::Decoder& /*d*/) {}
 
   // Stabilization-tree traffic; only PaRiS uses it.
   virtual void handle_gossip_up(NodeId /*from*/, const wire::GossipUp& /*m*/) {}
@@ -178,6 +222,18 @@ class ServerBase : public runtime::Actor {
   std::unordered_map<TxId, TxCtx> tx_;
   MinTracker<Timestamp> active_snapshots_;  ///< min = oldest active snapshot
   std::uint32_t next_tx_seq_ = 1;
+  std::uint32_t incarnation_ = 0;
+
+  // Recently decided commit timestamps (bounded ring + index). After a
+  // cohort respawn the channel reset retransmits unacked PrepareReqs, so the
+  // new incarnation can prepare a transaction whose decision this
+  // coordinator already broadcast; its duplicate PrepareResp is answered
+  // from this ring with a fresh Commit2pc, clearing the stale prepared
+  // entry that would otherwise fence the cohort's apply loop forever.
+  static constexpr std::size_t kRecentCommitCap = 8192;
+  std::deque<std::pair<TxId, Timestamp>> recent_commits_;
+  std::unordered_map<TxId, Timestamp> recent_commit_ct_;
+  void remember_commit(TxId tx, Timestamp ct);
 
   // Reusable fan-out scratch for handle_client_read / handle_client_commit:
   // by-node grouping without a per-call map. fan_nodes_ holds the distinct
@@ -201,6 +257,32 @@ class ServerBase : public runtime::Actor {
   runtime::TimerHandle apply_timer_;
   runtime::TimerHandle gc_timer_;
   runtime::TimerHandle ctx_reaper_timer_;
+
+  // --- crash recovery (DESIGN §11) ---
+  struct RecoveryState {
+    NodeId donor = kInvalidNode;
+    std::vector<NodeId> peers;          ///< catch-up targets after the snapshot
+    std::uint32_t next_chunk = 0;       ///< expected SnapshotChunk seq
+    std::size_t catchup_pending = 0;    ///< last-chunks still owed by peers
+    std::vector<std::uint8_t> snap_buf; ///< reassembled snapshot blob
+    /// Traffic held while recovering, replayed on finish: the reliable layer
+    /// already delivered these exactly-once, so dropping them would lose
+    /// protocol messages for good.
+    std::vector<std::pair<NodeId, std::vector<std::uint8_t>>> held;
+    std::function<void()> on_done;
+  };
+  std::unique_ptr<RecoveryState> rec_;
+
+  void handle_snapshot_request(NodeId from, const wire::SnapshotRequest& m);
+  void handle_snapshot_chunk(NodeId from, const wire::SnapshotChunk& m);
+  void handle_catchup_request(NodeId from, const wire::CatchUpRequest& m);
+  void handle_catchup_chunk(NodeId from, const wire::CatchUpChunk& m);
+  void finish_recovery();
+  /// Decodes and installs a length-prefixed version-record list via the
+  /// idempotent store apply (original source DC preserved, no replication
+  /// side effects — these versions were already replicated by their origin).
+  void install_records(wire::Decoder& d);
+  static void encode_version_record(wire::Encoder& e, Key k, const store::Version& ver);
 };
 
 }  // namespace paris::proto

@@ -35,6 +35,14 @@ class Tracer {
   virtual void on_applied(DcId /*dc*/, PartitionId /*partition*/, TxId /*tx*/,
                           Timestamp /*ct*/, sim::SimTime /*now*/) {}
 
+  /// A replica applied tx's writes replicated from a remote DC — enough to
+  /// reconstruct the commit record (ct, origin, write set) when the
+  /// coordinator's process was killed before its own recorder could be
+  /// harvested (DESIGN §11: the history checkers union-merge per-process
+  /// records, so any surviving replica's view completes the commit).
+  virtual void on_replica_commit(TxId /*tx*/, Timestamp /*ct*/, DcId /*origin_dc*/,
+                                 const wire::ReplicateTxn& /*txn*/) {}
+
   /// tx's writes on `partition` became readable at replica `dc` (PaRiS: the
   /// server's UST passed ct; BPR: at apply time).
   virtual void on_visible(DcId /*dc*/, PartitionId /*partition*/, TxId /*tx*/,

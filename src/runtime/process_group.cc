@@ -2,32 +2,88 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/prctl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <unordered_map>
 
 namespace paris::runtime {
 
 namespace {
+
 std::uint64_t now_ms() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+// SIGINT/SIGTERM forwarding: the handler may only touch async-signal-safe
+// state, so live child pids sit in a fixed lock-free table (slot per spawn,
+// cleared on reap). After forwarding, the default disposition is restored
+// and the signal re-raised so the launcher itself still dies with it.
+constexpr std::size_t kMaxForwardSlots = 256;
+std::atomic<pid_t> g_forward_pids[kMaxForwardSlots];
+std::atomic<std::size_t> g_forward_hwm{0};
+std::atomic<bool> g_forward_installed{false};
+
+void forward_signal_handler(int sig) {
+  const std::size_t n = g_forward_hwm.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n && i < kMaxForwardSlots; ++i) {
+    const pid_t p = g_forward_pids[i].load(std::memory_order_acquire);
+    if (p > 0) kill(p, sig);
+  }
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+void install_forwarding_once() {
+  bool expected = false;
+  if (!g_forward_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa = {};
+  sa.sa_handler = forward_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+void clear_forwarding(std::size_t slot) {
+  if (slot < kMaxForwardSlots) g_forward_pids[slot].store(0, std::memory_order_release);
+}
+
 }  // namespace
 
 ProcessGroup::~ProcessGroup() { kill_all(); }
 
+void ProcessGroup::register_forwarding(std::size_t slot, pid_t pid) {
+  install_forwarding_once();
+  if (slot >= kMaxForwardSlots) return;  // beyond the table: not forwarded
+  g_forward_pids[slot].store(pid, std::memory_order_release);
+  std::size_t hwm = g_forward_hwm.load(std::memory_order_relaxed);
+  while (hwm < slot + 1 &&
+         !g_forward_hwm.compare_exchange_weak(hwm, slot + 1, std::memory_order_release)) {
+  }
+}
+
 bool ProcessGroup::spawn(std::uint32_t rank, const std::vector<std::string>& args,
-                         const std::string& log_path) {
+                         const std::string& log_path, std::uint32_t incarnation) {
+  const pid_t parent = getpid();
   const pid_t pid = fork();
   if (pid < 0) return false;
   if (pid == 0) {
+    // A launcher crash must not leak ranks holding ports: ask the kernel to
+    // SIGKILL us when the parent dies. The prctl races with a parent death
+    // between fork and here, so re-check the parent afterwards.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() != parent) _exit(126);
     // Child marker: lets the launcher path detect (and refuse) recursive
     // self-spawning when a binary forgets the maybe_run_socket_child hook.
     setenv("PARIS_SOCKET_CHILD", "1", 1);
@@ -46,7 +102,8 @@ bool ProcessGroup::spawn(std::uint32_t rank, const std::vector<std::string>& arg
     std::fprintf(stderr, "execv(/proc/self/exe) failed: errno=%d\n", errno);
     _exit(127);
   }
-  children_.push_back(Child{rank, pid, log_path, -1});
+  children_.push_back(Child{rank, incarnation, pid, log_path, -1});
+  register_forwarding(children_.size() - 1, pid);
   return true;
 }
 
@@ -58,13 +115,15 @@ bool ProcessGroup::wait_all(std::uint64_t timeout_ms, std::string& error) {
 
   while (live > 0) {
     bool progressed = false;
-    for (auto& c : children_) {
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      Child& c = children_[i];
       if (c.exit_code >= 0) continue;
       int status = 0;
       const pid_t r = waitpid(c.pid, &status, WNOHANG);
       if (r == c.pid) {
         c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
                                         : 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+        clear_forwarding(i);
         --live;
         progressed = true;
         if (c.exit_code != 0) {
@@ -89,13 +148,128 @@ bool ProcessGroup::wait_all(std::uint64_t timeout_ms, std::string& error) {
   return true;
 }
 
+bool ProcessGroup::wait_supervised(std::uint64_t timeout_ms, const SuperviseOptions& opts,
+                                   std::vector<KillEvent>& kills, std::string& error) {
+  const std::uint64_t start = now_ms();
+  const std::uint64_t deadline = start + timeout_ms;
+
+  struct PendingRespawn {
+    std::uint32_t rank;
+    std::uint32_t incarnation;
+    std::uint64_t due_ms;
+  };
+  std::vector<PendingRespawn> pending;
+  std::unordered_map<std::uint32_t, std::uint64_t> backoff_ms;     // per rank
+  std::unordered_map<std::uint32_t, std::uint32_t> incarnations;   // per rank
+
+  while (true) {
+    const std::uint64_t now = now_ms();
+    bool progressed = false;
+
+    // Fire the fault schedule against the CURRENT incarnation of the rank.
+    for (auto& k : kills) {
+      if (k.fired || now < start + k.after_ms) continue;
+      k.fired = true;
+      for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+        if (it->rank == k.rank && it->exit_code < 0) {
+          kill(it->pid, SIGKILL);
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    // Reap; a nonzero exit becomes a respawn instead of a group kill.
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      Child& c = children_[i];
+      if (c.exit_code >= 0) continue;
+      int status = 0;
+      const pid_t r = waitpid(c.pid, &status, WNOHANG);
+      if (r != c.pid) continue;
+      c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                      : 128 + (WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+      clear_forwarding(i);
+      progressed = true;
+      if (c.exit_code == 0) continue;
+      if (!opts.respawn || respawns_ >= opts.max_respawns) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "child rank %u (pid %d) exited with code %d and the respawn "
+                      "budget (%u) is exhausted — see %s",
+                      c.rank, static_cast<int>(c.pid), c.exit_code, opts.max_respawns,
+                      c.log_path.c_str());
+        error = buf;
+        kill_all();
+        return false;
+      }
+      ++respawns_;
+      std::uint64_t& b = backoff_ms[c.rank];
+      const std::uint64_t delay = b;  // first respawn of a rank is immediate
+      b = b == 0 ? opts.backoff_base_ms : std::min(b * 2, opts.backoff_cap_ms);
+      const std::uint32_t inc = ++incarnations[c.rank];
+      pending.push_back(PendingRespawn{c.rank, inc, now + delay});
+    }
+
+    // Launch due respawns.
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].due_ms > now) {
+        ++i;
+        continue;
+      }
+      const PendingRespawn p = pending[i];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      std::string log_path;
+      const std::vector<std::string> args = opts.respawn(p.rank, p.incarnation, log_path);
+      if (!spawn(p.rank, args, log_path, p.incarnation)) {
+        error = "respawn fork failed";
+        kill_all();
+        return false;
+      }
+      progressed = true;
+    }
+
+    std::size_t live = 0;
+    for (const auto& c : children_)
+      if (c.exit_code < 0) ++live;
+    if (live == 0 && pending.empty()) break;
+
+    if (now_ms() >= deadline) {
+      error = "timed out waiting for socket children (supervised); killing the group";
+      kill_all();
+      return false;
+    }
+    if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Success iff the LAST incarnation of every rank exited zero (earlier
+  // incarnations died on purpose — that is what supervision is for).
+  std::unordered_map<std::uint32_t, const Child*> last;
+  for (const auto& c : children_) {
+    auto [it, fresh] = last.emplace(c.rank, &c);
+    if (!fresh && c.incarnation >= it->second->incarnation) it->second = &c;
+  }
+  for (const auto& [rank, c] : last) {
+    if (c->exit_code != 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "final incarnation %u of rank %u exited with code %d — see %s",
+                    c->incarnation, rank, c->exit_code, c->log_path.c_str());
+      error = buf;
+      return false;
+    }
+  }
+  return true;
+}
+
 void ProcessGroup::kill_all() {
-  for (auto& c : children_) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    Child& c = children_[i];
     if (c.exit_code >= 0) continue;
     kill(c.pid, SIGKILL);
     int status = 0;
     waitpid(c.pid, &status, 0);
     c.exit_code = 128 + SIGKILL;
+    clear_forwarding(i);
   }
 }
 

@@ -6,10 +6,25 @@
 // that marker — so paris_sim, benches and tools all self-spawn without a
 // separate worker binary. Each child's stdout/stderr is redirected to a log
 // file (CI uploads them as artifacts on failure).
+//
+// Two wait disciplines:
+//  * wait_all — fail-fast: the first nonzero exit kills the group. CI
+//    exactness jobs use this so a wedged peer cannot eat the job limit.
+//  * wait_supervised — self-healing: a dead child is respawned (bounded by
+//    max_respawns, per-rank doubling backoff) with a fresh incarnation
+//    number; the caller's RespawnFn builds the new argv (carrying the
+//    incarnation epoch into the socket hello). A kill schedule lets tests
+//    SIGKILL a rank mid-run to exercise the recovery path.
+//
+// Children are shielded against launcher death: PR_SET_PDEATHSIG delivers
+// SIGKILL if the launcher dies, and SIGINT/SIGTERM on the launcher are
+// forwarded to all live children, so an interrupted run never leaks orphan
+// ranks holding ports.
 
 #include <sys/types.h>
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,9 +34,30 @@ class ProcessGroup {
  public:
   struct Child {
     std::uint32_t rank = 0;
+    std::uint32_t incarnation = 0;  ///< 0 for the initial spawn, +1 per respawn
     pid_t pid = -1;
     std::string log_path;
     int exit_code = -1;  ///< -1 until reaped; 128+sig for signal deaths
+  };
+
+  /// Builds the argv (argv[1..]) and log path for a respawned incarnation
+  /// of `rank`. `incarnation` is >= 1 (the initial spawn was 0).
+  using RespawnFn = std::function<std::vector<std::string>(
+      std::uint32_t rank, std::uint32_t incarnation, std::string& log_path)>;
+
+  struct SuperviseOptions {
+    std::uint32_t max_respawns = 2;       ///< total budget across the group
+    std::uint64_t backoff_base_ms = 100;  ///< first respawn delay, doubled per rank
+    std::uint64_t backoff_cap_ms = 2000;
+    RespawnFn respawn;  ///< required: builds the new incarnation's argv
+  };
+
+  /// One scheduled fault: SIGKILL `rank` once `after_ms` of supervised wait
+  /// have elapsed. `fired` is set by wait_supervised.
+  struct KillEvent {
+    std::uint32_t rank = 0;
+    std::uint64_t after_ms = 0;
+    bool fired = false;
   };
 
   ~ProcessGroup();  // kills stragglers
@@ -30,7 +66,7 @@ class ProcessGroup {
   /// `args` (argv[1..]; argv[0] is the binary itself). Returns false if the
   /// fork/exec plumbing fails.
   bool spawn(std::uint32_t rank, const std::vector<std::string>& args,
-             const std::string& log_path);
+             const std::string& log_path, std::uint32_t incarnation = 0);
 
   /// Reaps every child, failing fast: any nonzero exit kills the remaining
   /// children immediately (a wedged peer must not eat the CI job limit),
@@ -38,11 +74,21 @@ class ProcessGroup {
   /// exited zero; otherwise `error` names the first failure.
   bool wait_all(std::uint64_t timeout_ms, std::string& error);
 
+  /// Supervised reap: fires the kill schedule, respawns dead children via
+  /// opts.respawn (respecting the respawn budget and per-rank backoff) and
+  /// returns true when the LAST incarnation of every rank exited zero.
+  bool wait_supervised(std::uint64_t timeout_ms, const SuperviseOptions& opts,
+                       std::vector<KillEvent>& kills, std::string& error);
+
   void kill_all();
   const std::vector<Child>& children() const { return children_; }
+  std::uint32_t respawns() const { return respawns_; }
 
  private:
+  void register_forwarding(std::size_t slot, pid_t pid);
+
   std::vector<Child> children_;
+  std::uint32_t respawns_ = 0;
 };
 
 }  // namespace paris::runtime

@@ -88,6 +88,43 @@ class ReliableTransport::Endpoint final : public Actor {
     return n;
   }
 
+  /// A peer incarnation restarted with empty reliable state: renumber every
+  /// unacked frame toward it from seq 1 (fresh ReliableFrame objects — an
+  /// in-flight delayed copy may still reference the old ones) and restart
+  /// the dedup state of the channel FROM it. Runs on this node's worker.
+  void reset_channels(const std::vector<NodeId>& peers) {
+    const std::uint64_t now = rt_.exec_.now_us();
+    for (const NodeId peer : peers) {
+      if (auto it = send_.find(peer); it != send_.end()) {
+        SendChannel& ch = it->second;
+        std::uint64_t n = 0;
+        for (Flight& fl : ch.window) {
+          const auto& old = static_cast<const wire::ReliableFrame&>(*fl.frame);
+          auto nf = rt_.inner_.msg_pool(self_).make<wire::ReliableFrame>();
+          nf->seq = ++n;
+          nf->inner_type = old.inner_type;
+          nf->payload = old.payload;
+          fl.frame = wire::MessagePtr(std::move(nf));
+          fl.sent_at_us = 0;  // queued again: pump retransmits from scratch
+          fl.sacked = false;
+          fl.retransmitted = true;  // Karn: its ack would be ambiguous
+        }
+        for (auto& lw : ch.latest_wins) lw = lw > ch.acked ? lw - ch.acked : 0;
+        ch.next_seq = n;
+        ch.acked = 0;
+        ch.sent = 0;
+        ch.backoff = 1;
+        rt_.stats_.channel_resets.fetch_add(1, std::memory_order_relaxed);
+        pump(peer, ch, now);
+      }
+      if (auto it = recv_.find(peer); it != recv_.end()) {
+        it->second.delivered = 0;
+        it->second.ooo.clear();
+        rt_.stats_.channel_resets.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
  private:
   struct Flight {
     wire::MessagePtr frame;
@@ -408,12 +445,18 @@ ReliableTransport::Stats ReliableTransport::stats() const {
   s.sacked_skips = stats_.sacked_skips.load(std::memory_order_relaxed);
   s.malformed_acks = stats_.malformed_acks.load(std::memory_order_relaxed);
   s.rtt_samples = stats_.rtt_samples.load(std::memory_order_relaxed);
+  s.channel_resets = stats_.channel_resets.load(std::memory_order_relaxed);
   return s;
 }
 
 std::size_t ReliableTransport::window_size(NodeId node) const {
   Endpoint* ep = node < by_node_.size() ? by_node_[node] : nullptr;
   return ep != nullptr ? ep->window_size() : 0;
+}
+
+void ReliableTransport::reset_peer_channels(NodeId self, const std::vector<NodeId>& peers) {
+  Endpoint* ep = self < by_node_.size() ? by_node_[self] : nullptr;
+  if (ep != nullptr) ep->reset_channels(peers);
 }
 
 }  // namespace paris::runtime

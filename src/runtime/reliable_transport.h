@@ -166,6 +166,7 @@ class ReliableTransport final : public TransportDecorator {
     std::uint64_t sacked_skips = 0;      ///< retransmissions avoided via SACK
     std::uint64_t malformed_acks = 0;    ///< acks with rejected SACK ranges
     std::uint64_t rtt_samples = 0;       ///< Karn-valid samples fed to estimators
+    std::uint64_t channel_resets = 0;    ///< channels renumbered after a peer respawn
   };
 
   ReliableTransport(Transport& inner, Executor& exec, ReliableConfig cfg);
@@ -187,6 +188,15 @@ class ReliableTransport final : public TransportDecorator {
   /// (test/diagnostic access; call only when the backend is quiescent).
   std::size_t window_size(NodeId node) const;
 
+  /// Epoch-fenced membership (DESIGN §11): the process owning `peers` was
+  /// respawned, so its reliable state (delivered seqs, dedup windows) is
+  /// gone. Every send channel from `self` toward a peer is renumbered from
+  /// seq 1 — unacked frames are re-framed in place and retransmitted, so
+  /// nothing the old incarnation failed to ack is lost — and every receive
+  /// channel from a peer restarts its dedup state at 0. MUST run on
+  /// `self`'s worker (post it via the executor), like all endpoint state.
+  void reset_peer_channels(NodeId self, const std::vector<NodeId>& peers);
+
  private:
   class Endpoint;
 
@@ -200,7 +210,7 @@ class ReliableTransport final : public TransportDecorator {
   struct AtomicStats {
     std::atomic<std::uint64_t> frames_sent{0}, retransmits{0}, fast_retransmits{0},
         acks_sent{0}, dup_frames{0}, ooo_frames{0}, stale_acks{0}, coalesced{0},
-        sacked_skips{0}, malformed_acks{0}, rtt_samples{0};
+        sacked_skips{0}, malformed_acks{0}, rtt_samples{0}, channel_resets{0};
   };
   AtomicStats stats_;
 };

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/assert.h"
+#include "wire/messages.h"
 
 namespace paris::runtime {
 
@@ -93,9 +94,23 @@ bool FrameReassembler::next(Frame& out) {
 
 namespace {
 
-constexpr std::uint64_t kRedialPeriodUs = 200'000;
+// Redial backoff: capped exponential per dead episode. The first retry is
+// quick (a blip should not stall the mesh), the cap keeps a dead peer from
+// being hammered, and the attempt cap bounds a peer that never comes back —
+// a respawned incarnation revives the episode by dialing US.
+constexpr std::uint64_t kRedialBaseUs = 50'000;
+constexpr std::uint64_t kRedialCapUs = 2'000'000;
+constexpr std::uint32_t kRedialMaxTries = 64;
+constexpr std::uint64_t kBeaconPeriodUs = 50'000;  ///< epoch lease heartbeat
 constexpr std::uint64_t kFlushBudgetUs = 300'000;  ///< stop(): outbuf drain bound
 constexpr int kPollSliceMs = 100;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
 
 void set_nonblocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
@@ -115,22 +130,27 @@ sockaddr_in loopback_addr(std::uint16_t port) {
   return addr;
 }
 
-/// [magic u32][rank u32][token u64], little-endian via memcpy (loopback:
-/// both ends share endianness; cross-host would pin it explicitly).
+/// [magic u32][rank u32][token u64][epoch u32][reserved u32], little-endian
+/// via memcpy (loopback: both ends share endianness; cross-host would pin
+/// it explicitly).
 void make_hello(std::uint8_t (&h)[sockdetail::kHelloSize], std::uint32_t rank,
-                std::uint64_t token) {
+                std::uint64_t token, std::uint32_t epoch) {
   const std::uint32_t magic = sockdetail::kHelloMagic;
+  const std::uint32_t reserved = 0;
   std::memcpy(h, &magic, 4);
   std::memcpy(h + 4, &rank, 4);
   std::memcpy(h + 8, &token, 8);
+  std::memcpy(h + 16, &epoch, 4);
+  std::memcpy(h + 20, &reserved, 4);
 }
 
 bool parse_hello(const std::uint8_t (&h)[sockdetail::kHelloSize], std::uint32_t& rank,
-                 std::uint64_t& token) {
+                 std::uint64_t& token, std::uint32_t& epoch) {
   std::uint32_t magic;
   std::memcpy(&magic, h, 4);
   std::memcpy(&rank, h + 4, 4);
   std::memcpy(&token, h + 8, 8);
+  std::memcpy(&epoch, h + 16, 4);
   return magic == sockdetail::kHelloMagic;
 }
 
@@ -147,6 +167,32 @@ SocketBackend::SocketBackend(Options opt)
     peers_.push_back(std::make_unique<Peer>());
     peers_[r]->we_dial = r < opt_.rank;  // dial down, accept up
   }
+  peer_epochs_ = std::make_unique<std::atomic<std::uint32_t>[]>(opt_.nprocs);
+  for (std::uint32_t r = 0; r < opt_.nprocs; ++r) {
+    peer_epochs_[r].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool SocketBackend::note_epoch(std::uint32_t rank, std::uint32_t e) {
+  auto& slot = peer_epochs_[rank];
+  std::uint32_t cur = slot.load(std::memory_order_acquire);
+  while (e > cur) {
+    if (slot.compare_exchange_weak(cur, e, std::memory_order_acq_rel)) {
+      if (epoch_listener_) epoch_listener_(rank, e);
+      return true;
+    }
+  }
+  return e >= cur;  // false: stale incarnation — the caller fences it
+}
+
+void SocketBackend::queue_beacon(Peer& p) {
+  std::uint8_t payload[sockdetail::kBeaconBytes];
+  std::memcpy(payload, &opt_.rank, 4);
+  std::memcpy(payload + 4, &opt_.epoch, 4);
+  std::lock_guard<std::mutex> lk(p.mu);
+  if (!p.alive) return;
+  sockdetail::append_frame(p.out, opt_.rank, sockdetail::kEpochBeaconDst, payload,
+                           sizeof(payload));
 }
 
 SocketBackend::~SocketBackend() { stop(); }
@@ -246,18 +292,27 @@ void SocketBackend::start() {
     }
     std::uint32_t rank;
     std::uint64_t token;
-    if (got != sizeof(hello) || !parse_hello(hello, rank, token) ||
+    std::uint32_t epoch;
+    if (got != sizeof(hello) || !parse_hello(hello, rank, token, epoch) ||
         token != opt_.mesh_token || rank <= opt_.rank || rank >= opt_.nprocs ||
         peers_[rank]->alive) {
       close(fd);  // stranger (e.g. a concurrent run on our port range)
       continue;
     }
+    if (!note_epoch(rank, epoch)) {  // a zombie old incarnation dialed in
+      stats_.fenced_stale_epoch.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      continue;
+    }
     set_nonblocking(fd);
     set_nodelay(fd);
     Peer& p = *peers_[rank];
-    std::lock_guard<std::mutex> lk(p.mu);
-    p.fd = fd;
-    p.alive = true;
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.fd = fd;
+      p.alive = true;
+    }
+    queue_beacon(p);  // the dialer learns OUR epoch from the first beacon
     --missing;
   }
 
@@ -275,7 +330,7 @@ bool SocketBackend::dial_peer(std::uint32_t r, std::uint64_t deadline_us) {
     PARIS_CHECK(fd >= 0);
     if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
       std::uint8_t hello[sockdetail::kHelloSize];
-      make_hello(hello, opt_.rank, opt_.mesh_token);
+      make_hello(hello, opt_.rank, opt_.mesh_token, opt_.epoch);
       if (write(fd, hello, sizeof(hello)) != sizeof(hello)) {
         close(fd);
         return false;
@@ -283,9 +338,15 @@ bool SocketBackend::dial_peer(std::uint32_t r, std::uint64_t deadline_us) {
       set_nonblocking(fd);
       set_nodelay(fd);
       Peer& p = *peers_[r];
-      std::lock_guard<std::mutex> lk(p.mu);
-      p.fd = fd;
-      p.alive = true;
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        p.fd = fd;
+        p.alive = true;
+        p.redial_tries = 0;
+        p.redial_backoff_us = 0;
+        p.redial_gave_up = false;
+      }
+      queue_beacon(p);  // lease heartbeat; the hello already carried the epoch
       return true;
     }
     close(fd);
@@ -336,7 +397,11 @@ void SocketBackend::mark_dead_locked(Peer& p) {
   p.out.clear();
   p.drain.clear();
   p.doff = 0;
-  p.next_redial_us = tb_.now_us() + kRedialPeriodUs;
+  // Fresh dead episode: quick first retry, then exponential backoff.
+  p.redial_tries = 0;
+  p.redial_backoff_us = kRedialBaseUs;
+  p.redial_gave_up = false;
+  p.next_redial_us = tb_.now_us() + kRedialBaseUs;
 }
 
 void SocketBackend::mark_dead(Peer& p) {
@@ -357,10 +422,36 @@ void SocketBackend::handle_readable(Peer& p) {
       sockdetail::FrameView f;
       while (p.in.next_view(f)) {  // zero-copy: straight into the envelope
         stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+        if (f.to == sockdetail::kEpochBeaconDst) {
+          // Pump-level epoch lease. A beacon from a STALE incarnation means
+          // a zombie half of an old process still owns this connection:
+          // fence the whole link before it can touch reliable windows.
+          if (f.len != sockdetail::kBeaconBytes) {
+            stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          std::uint32_t brank, bepoch;
+          std::memcpy(&brank, f.data, 4);
+          std::memcpy(&bepoch, f.data + 4, 4);
+          if (brank >= opt_.nprocs || brank == opt_.rank ||
+              !note_epoch(brank, bepoch)) {
+            stats_.fenced_stale_epoch.fetch_add(1, std::memory_order_relaxed);
+            mark_dead(p);
+            return;
+          }
+          continue;
+        }
         // The sender knows our node ids (identical registration order), so
         // anything out of range or non-local is a peer bug; drop it rather
-        // than corrupt the mailboxes.
+        // than corrupt the mailboxes. Payload bytes crossed a process
+        // boundary: validate before handing them to the strict (aborting)
+        // in-process decoder — corruption is counted and dropped, never a
+        // crash (the reliable layer re-covers dropped frames).
         if (f.to < node_dc_.size() && f.from < node_dc_.size() && is_local(f.to)) {
+          if (!wire::validate_encoded_message(f.data, f.len)) {
+            stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           tb_.inject_encoded(f.from, f.to, f.data, f.len);
         }
       }
@@ -435,18 +526,31 @@ void SocketBackend::accept_pending() {
     if (pa.got == sizeof(pa.hello)) {
       std::uint32_t rank;
       std::uint64_t token;
-      if (parse_hello(pa.hello, rank, token) && token == opt_.mesh_token &&
+      std::uint32_t epoch;
+      if (parse_hello(pa.hello, rank, token, epoch) && token == opt_.mesh_token &&
           rank < opt_.nprocs && rank != opt_.rank) {
-        Peer& p = *peers_[rank];
-        std::lock_guard<std::mutex> lk(p.mu);
-        if (p.fd >= 0) close(p.fd);  // replaced: the peer restarted its side
-        p.fd = pa.fd;
-        p.alive = true;
-        p.in.reset();
-        p.out.clear();
-        p.drain.clear();
-        p.doff = 0;
-        stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        if (!note_epoch(rank, epoch)) {
+          // A dead incarnation of this rank redialed in: fence it.
+          stats_.fenced_stale_epoch.fetch_add(1, std::memory_order_relaxed);
+          close(pa.fd);
+        } else {
+          Peer& p = *peers_[rank];
+          {
+            std::lock_guard<std::mutex> lk(p.mu);
+            if (p.fd >= 0) close(p.fd);  // replaced: the peer restarted its side
+            p.fd = pa.fd;
+            p.alive = true;
+            p.in.reset();
+            p.out.clear();
+            p.drain.clear();
+            p.doff = 0;
+            p.redial_tries = 0;
+            p.redial_backoff_us = 0;
+            p.redial_gave_up = false;
+          }
+          queue_beacon(p);
+          stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        }
       } else {
         close(pa.fd);  // stranger or token mismatch: not our mesh
       }
@@ -511,17 +615,40 @@ void SocketBackend::io_main() {
     }
 
     if (!flushing) {
-      // Redial dead peers we originally dialed; the accept side of a dead
-      // link just waits for the peer's redial.
       const std::uint64_t now = tb_.now_us();
+      // Redial dead peers we originally dialed; the accept side of a dead
+      // link just waits for the peer's redial. Backoff doubles per failed
+      // attempt up to the cap; the jitter is a pure function of
+      // (seed, rank, attempt) so a run replays the same schedule.
       for (std::uint32_t r = 0; r < opt_.nprocs; ++r) {
         Peer& p = *peers_[r];
-        if (p.alive || !p.we_dial || now < p.next_redial_us) continue;
-        if (!dial_peer(r, now + 1)) {  // single quick attempt per period
-          p.next_redial_us = now + kRedialPeriodUs;
-        } else {
-          stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        if (p.alive || !p.we_dial || p.redial_gave_up || now < p.next_redial_us) {
+          continue;
         }
+        stats_.redial_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (dial_peer(r, now + 1)) {  // single quick attempt per period
+          stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (++p.redial_tries >= kRedialMaxTries) {
+          p.redial_gave_up = true;  // a respawned peer revives us by dialing in
+          stats_.redial_giveups.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const std::uint64_t jitter =
+            splitmix64(opt_.seed ^ (std::uint64_t{r} << 32) ^ p.redial_tries) %
+            (p.redial_backoff_us / 4 + 1);
+        p.next_redial_us = now + p.redial_backoff_us + jitter;
+        p.redial_backoff_us = std::min(p.redial_backoff_us * 2, kRedialCapUs);
+      }
+      // Epoch lease heartbeat: every live connection re-announces our
+      // incarnation so a peer that missed the hello (or a half-open zombie)
+      // converges on the newest epoch within a beacon period.
+      if (now >= next_beacon_us_) {
+        for (auto& up : peers_) {
+          if (up->alive) queue_beacon(*up);
+        }
+        next_beacon_us_ = now + kBeaconPeriodUs;
       }
     }
   }
@@ -537,6 +664,10 @@ SocketStats SocketBackend::stats() const {
   s.short_writes = stats_.short_writes.load(std::memory_order_relaxed);
   s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
   s.dropped_dead = stats_.dropped_dead.load(std::memory_order_relaxed);
+  s.redial_attempts = stats_.redial_attempts.load(std::memory_order_relaxed);
+  s.redial_giveups = stats_.redial_giveups.load(std::memory_order_relaxed);
+  s.fenced_stale_epoch = stats_.fenced_stale_epoch.load(std::memory_order_relaxed);
+  s.malformed_frames = stats_.malformed_frames.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -26,9 +26,21 @@
 // never block on the network: a send appends to the peer's buffer and, when
 // the buffer was empty, pokes the wake pipe. The pump's poll timeout doubles
 // as the redial timer: if a connection dies mid-run, the original dialer
-// redials every kRedialPeriodMs — in-flight bytes on the dead connection are
-// gone (exactly the crash/restart case), and the reliable layer's seq state
-// retransmits and dedups across the reconnect.
+// redials with capped exponential backoff + seed-deterministic jitter —
+// in-flight bytes on the dead connection are gone (exactly the
+// crash/restart case), and the reliable layer's seq state retransmits and
+// dedups across the reconnect.
+//
+// Membership is epoch-fenced (DESIGN §11): every (re)incarnation of a rank
+// carries a monotonically increasing epoch in its connection hello, and both
+// sides heartbeat it as a pump-level beacon lease. A hello or beacon whose
+// epoch is OLDER than the best known for that rank is fenced — the
+// connection is closed and counted — so a zombie half of a partitioned old
+// incarnation can never feed stale frames into reliable windows. Inbound
+// frames are additionally validated byte-level (wire::validate_encoded_
+// message) before touching a mailbox: the strict in-process decoder treats
+// malformation as a codec bug and aborts, but bytes from a socket are a
+// trust boundary — corrupt frames are counted and dropped instead.
 //
 // Determinism: none beyond the thread runtime's — see DESIGN §10 for which
 // guarantees survive real sockets (checker-validated convergence does;
@@ -37,6 +49,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +73,19 @@ struct SocketConfig {
   /// 0 = the launcher derives one (pid ^ seed) and ships it to children.
   std::uint64_t mesh_token = 0;
   std::string dir;  ///< launcher: child logs + result files (empty = temp dir)
+  /// Incarnation epoch of THIS child's rank: 0 for the initial spawn, +1 per
+  /// respawn (the launcher passes it via argv, not the shared config file).
+  /// Carried in the hello and heartbeated as a beacon lease; peers fence any
+  /// connection or beacon carrying an older epoch for the same rank.
+  std::uint32_t epoch = 0;
+  /// Launcher: respawn a dead rank (with a bumped epoch + state transfer)
+  /// instead of failing fast. CI exactness jobs keep the fail-fast default.
+  bool supervise = false;
+  std::uint32_t max_respawns = 2;  ///< supervise: total respawn budget
+  /// Launcher fault schedule: SIGKILL `kill_rank` once `kill_after_ms` of
+  /// supervised wait have elapsed (-1 = no scheduled kill).
+  std::int32_t kill_rank = -1;
+  std::uint64_t kill_after_ms = 0;
 
   std::uint32_t resolve_processes(std::uint32_t num_dcs) const {
     return processes != 0 ? processes : num_dcs;
@@ -76,14 +102,26 @@ struct SocketStats {
   std::uint64_t short_writes = 0;   ///< writes that drained only part of a buffer
   std::uint64_t reconnects = 0;     ///< connections re-established mid-run
   std::uint64_t dropped_dead = 0;   ///< frames dropped: peer down, no buffer
+  std::uint64_t redial_attempts = 0;   ///< redials tried (incl. failures)
+  std::uint64_t redial_giveups = 0;    ///< dead episodes that hit the retry cap
+  std::uint64_t fenced_stale_epoch = 0;  ///< hellos/beacons from a dead incarnation
+  std::uint64_t malformed_frames = 0;    ///< inbound frames failing validation
 };
 
 namespace sockdetail {
 
 inline constexpr std::uint32_t kHelloMagic = 0x50415253;  // "PARS"
-inline constexpr std::size_t kHelloSize = 16;  // [magic u32][rank u32][token u64]
+/// [magic u32][rank u32][token u64][epoch u32][reserved u32]
+inline constexpr std::size_t kHelloSize = 24;
 inline constexpr std::size_t kFrameHeader = 4;            // u32 length prefix
 inline constexpr std::size_t kMaxFrame = 64u << 20;       // sanity bound
+
+/// Frames whose `to` field is this sentinel are pump-level epoch beacons
+/// ([rank u32][epoch u32] payload), consumed by the peer's pump as a lease
+/// heartbeat — never injected into a mailbox. The sentinel can't collide
+/// with a real node id (kInvalidNode).
+inline constexpr std::uint32_t kEpochBeaconDst = 0xFFFF'FFFFu;
+inline constexpr std::size_t kBeaconBytes = 8;
 
 /// One reassembled wire frame.
 struct Frame {
@@ -144,6 +182,8 @@ class SocketBackend final : public Backend, public RemoteRouter {
     /// Must match across the whole mesh; hellos carrying a different token
     /// are rejected (a concurrent run sharing the port range, not a peer).
     std::uint64_t mesh_token = 0;
+    /// This rank's incarnation epoch (0 = initial spawn); see SocketConfig.
+    std::uint32_t epoch = 0;
   };
 
   explicit SocketBackend(Options opt);
@@ -176,7 +216,19 @@ class SocketBackend final : public Backend, public RemoteRouter {
   std::uint32_t owner_of(DcId dc) const { return dc % opt_.nprocs; }
   std::uint32_t rank() const { return opt_.rank; }
   std::uint32_t nprocs() const { return opt_.nprocs; }
+  std::uint32_t epoch() const { return opt_.epoch; }
   SocketStats stats() const;
+
+  /// Fired (from the pump thread, or the start() caller during mesh setup)
+  /// whenever a peer rank's known epoch INCREASES — i.e. that rank was
+  /// respawned. Install before start(); the deployment layer uses it to
+  /// reset reliable channels and fence lost coordinators.
+  using EpochListener = std::function<void(std::uint32_t rank, std::uint32_t epoch)>;
+  void set_epoch_listener(EpochListener fn) { epoch_listener_ = std::move(fn); }
+  /// Highest epoch observed (via hello or beacon) for `peer_rank`.
+  std::uint32_t peer_epoch(std::uint32_t peer_rank) const {
+    return peer_epochs_[peer_rank].load(std::memory_order_acquire);
+  }
 
   /// Test hook: shuts down the TCP connection to `peer_rank` (both
   /// directions), as if the link died. The pump notices EOF; the original
@@ -189,7 +241,13 @@ class SocketBackend final : public Backend, public RemoteRouter {
     int fd = -1;
     bool alive = false;
     bool we_dial = false;  ///< we originated the connection (and redial it)
+    // Redial schedule (pump thread only): capped exponential backoff with
+    // seed-deterministic jitter, reset per dead episode. After the retry cap
+    // the episode gives up — a respawned peer revives it by dialing us.
     std::uint64_t next_redial_us = 0;
+    std::uint64_t redial_backoff_us = 0;
+    std::uint32_t redial_tries = 0;
+    bool redial_gave_up = false;
     sockdetail::FrameReassembler in;
     // Outbound double buffer: workers append to `out` under mu; the pump
     // SWAPS it for the (pump-owned) `drain` buffer and runs send() with no
@@ -211,6 +269,11 @@ class SocketBackend final : public Backend, public RemoteRouter {
   bool dial_peer(std::uint32_t r, std::uint64_t deadline_ms);
   void accept_pending();
   void wake();
+  /// Queues an epoch beacon ([rank][epoch] of SELF) on `p` (locks p.mu).
+  void queue_beacon(Peer& p);
+  /// Records `e` for `rank`; fires the listener on an increase. Returns
+  /// false when `e` is OLDER than the known epoch — the caller must fence.
+  bool note_epoch(std::uint32_t rank, std::uint32_t e);
 
   Options opt_;
   ThreadBackend tb_;
@@ -233,9 +296,16 @@ class SocketBackend final : public Backend, public RemoteRouter {
 
   struct AtomicStats {
     std::atomic<std::uint64_t> frames_out{0}, frames_in{0}, bytes_out{0}, bytes_in{0},
-        partial_reads{0}, short_writes{0}, reconnects{0}, dropped_dead{0};
+        partial_reads{0}, short_writes{0}, reconnects{0}, dropped_dead{0},
+        redial_attempts{0}, redial_giveups{0}, fenced_stale_epoch{0},
+        malformed_frames{0};
   };
   AtomicStats stats_;
+
+  /// Highest epoch seen per peer rank (hello or beacon); [rank()] unused.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> peer_epochs_;
+  EpochListener epoch_listener_;
+  std::uint64_t next_beacon_us_ = 0;  ///< pump thread only
 };
 
 }  // namespace paris::runtime

@@ -112,6 +112,18 @@ class MvStore {
   std::size_t num_versions() const { return num_versions_; }
   const StoreStats& stats() const { return stats_; }
 
+  /// Visits every non-empty version chain as (key, const vector<Version>&),
+  /// unordered. Snapshot state transfer streams the whole store through
+  /// this; apply() is idempotent on (ut, tx, sr), so re-installing a
+  /// visited version elsewhere is safe even when snapshot and catch-up
+  /// streams overlap.
+  template <class F>
+  void for_each_chain(F&& f) const {
+    for (const auto& [k, chain] : chains_) {
+      if (!chain.empty()) f(k, chain);
+    }
+  }
+
  private:
   std::unordered_map<Key, std::vector<Version>> chains_;
   // Keys whose chain may shrink under GC; avoids full scans on every cycle.

@@ -32,6 +32,31 @@ void HistoryRecorder::on_commit_decided(TxId tx, Timestamp ct, DcId origin,
   ++decided_;
 }
 
+void HistoryRecorder::on_replica_commit(TxId tx, Timestamp ct, DcId origin,
+                                        const wire::ReplicateTxn& txn) {
+  // A replica's view of a remote commit: authoritative iff the coordinator's
+  // own record is missing (its process was killed before harvest). Only this
+  // partition's writes are visible here; other partitions' replicas complete
+  // the record via the same union. decided_ is NOT bumped — it counts
+  // coordinator decisions.
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& rec = txs_[tx];
+  if (rec.ct.is_zero()) {
+    rec.ct = ct;
+    rec.origin = origin;
+  }
+  for (const auto& w : txn.writes) {
+    bool known = false;
+    for (const auto& have : rec.writes) {
+      if (have.k == w.k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) rec.writes.push_back(w);
+  }
+}
+
 void HistoryRecorder::on_slice_served(DcId server_dc, PartitionId partition, TxId tx,
                                       Timestamp snapshot, std::uint8_t mode,
                                       const std::vector<Item>& items, sim::SimTime now) {
@@ -79,10 +104,32 @@ void HistoryRecorder::merge_serialized(const std::uint8_t* data, std::size_t n) 
   wire::detail::WireReader r{d};
   for (std::uint64_t i = 0, ntx = d.get_varint(); i < ntx; ++i) {
     const TxId tx{d.get_varint()};
+    const Timestamp ct{d.get_varint()};
+    const DcId origin = static_cast<DcId>(d.get_varint());
+    std::vector<WriteKV> writes;
+    r(writes);
+    // Union, not overwrite: after a mid-run kill the same tx can appear in
+    // several children's blobs — the dead coordinator's partial record and
+    // the surviving replicas' per-partition views.
     TxRecord& rec = txs_[tx];
-    rec.ct = Timestamp{d.get_varint()};
-    rec.origin = static_cast<DcId>(d.get_varint());
-    r(rec.writes);
+    if (rec.ct.is_zero() && !ct.is_zero()) {
+      rec.ct = ct;
+      rec.origin = origin;
+    }
+    if (rec.writes.empty()) {
+      rec.writes = std::move(writes);
+    } else {
+      for (auto& w : writes) {
+        bool known = false;
+        for (const auto& have : rec.writes) {
+          if (have.k == w.k) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) rec.writes.push_back(std::move(w));
+      }
+    }
   }
   for (std::uint64_t i = 0, ns = d.get_varint(); i < ns; ++i) {
     SliceRecord s;

@@ -53,6 +53,8 @@ class HistoryRecorder : public proto::Tracer {
   void on_commit_writes(TxId tx, DcId origin,
                         const std::vector<wire::WriteKV>& writes) override;
   void on_commit_decided(TxId tx, Timestamp ct, DcId origin, sim::SimTime now) override;
+  void on_replica_commit(TxId tx, Timestamp ct, DcId origin,
+                         const wire::ReplicateTxn& txn) override;
   void on_slice_served(DcId server_dc, PartitionId partition, TxId tx, Timestamp snapshot,
                        std::uint8_t mode, const std::vector<wire::Item>& items,
                        sim::SimTime now) override;
@@ -65,9 +67,11 @@ class HistoryRecorder : public proto::Tracer {
   /// Serializes the complete recorded history (commit records, slices,
   /// per-session snapshot streams) so a socket-runtime child can ship it to
   /// the launcher; merge_serialized() appends such a blob into this
-  /// recorder. Safe to merge any number of children: commits and session
-  /// streams are recorded only in the process hosting their coordinator/
-  /// client, so the blobs never overlap.
+  /// recorder. Commit records are UNION-merged (ct adopted if unknown,
+  /// writes united by key): when a coordinator's process is killed mid-run
+  /// its own record dies with it, and the surviving replicas' views
+  /// (on_replica_commit) — shipped in other children's blobs — reconstruct
+  /// the commit so applied-then-read writes are not misflagged as phantoms.
   void serialize(std::vector<std::uint8_t>& out) const;
   void merge_serialized(const std::uint8_t* data, std::size_t n);
 

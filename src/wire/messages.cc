@@ -32,6 +32,154 @@ std::unique_ptr<Message> decode_message(Decoder& d) {
   return nullptr;
 }
 
+namespace {
+
+/// Non-aborting counterpart of Decoder for trust-boundary validation: any
+/// malformation latches ok_ = false and every later read returns a benign
+/// zero without consuming, so a validation pass can never crash, loop on a
+/// huge fake count, or read out of bounds.
+class TryDecoder {
+ public:
+  TryDecoder(const std::uint8_t* data, std::size_t len) : p_(data), end_(data + len) {}
+
+  std::uint64_t get_varint() {
+    if (!ok_) return 0;
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (p_ >= end_ || shift >= 64) return fail();
+      const std::uint8_t b = *p_++;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  std::uint8_t get_u8() {
+    if (!ok_ || p_ >= end_) return static_cast<std::uint8_t>(fail());
+    return *p_++;
+  }
+
+  /// Length-prefixed bytes/blob: skipped, never materialized.
+  void skip_bytes() {
+    const std::uint64_t n = get_varint();
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) {
+      fail();
+      return;
+    }
+    p_ += n;
+  }
+
+  /// Element count: each element costs >= 1 byte on the wire, so any count
+  /// above the remaining bytes is malformed — rejecting it here bounds the
+  /// validator's loop work by the frame size.
+  std::uint64_t get_count() {
+    const std::uint64_t n = get_varint();
+    if (!ok_ || n > static_cast<std::size_t>(end_ - p_)) return fail();
+    return n;
+  }
+
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && p_ == end_; }
+  const std::uint8_t* cur() const { return p_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  std::uint64_t fail() {
+    ok_ = false;
+    return 0;
+  }
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+};
+
+/// Field visitor that PARSES (and discards) the same wire layout WireReader
+/// materializes, driven by each message's own fields() declaration over a
+/// default-constructed dummy — one source of truth for the format, zero
+/// allocation, no aborts.
+struct WireValidator {
+  TryDecoder& d;
+  void operator()(WriteKV&) {
+    d.get_varint();  // k
+    d.skip_bytes();  // v
+    const std::uint8_t flags = d.get_u8();
+    if (flags & 2u) d.get_varint();  // num
+  }
+  void operator()(Item&) {
+    d.get_varint();  // k
+    d.skip_bytes();  // v
+    d.get_varint();  // ut
+    d.get_varint();  // tx
+    const std::uint64_t sr_flags = d.get_varint();
+    if (sr_flags & 1u) d.get_varint();  // num
+  }
+  void operator()(std::uint8_t&) { d.get_u8(); }
+  void operator()(std::uint64_t&) { d.get_varint(); }
+  void operator()(std::uint32_t&) { d.get_varint(); }
+  void operator()(std::uint16_t&) { d.get_varint(); }
+  void operator()(std::int64_t&) { d.get_varint(); }
+  void operator()(std::string&) { d.skip_bytes(); }
+  void operator()(Timestamp&) { d.get_varint(); }
+  void operator()(TxId&) { d.get_varint(); }
+  void operator()(std::vector<std::uint8_t>&) { d.skip_bytes(); }
+  template <class T>
+  void operator()(std::vector<T>&) {
+    const std::uint64_t n = d.get_count();
+    T scratch{};
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i) (*this)(scratch);
+  }
+  template <class T>
+  void operator()(RecyclingVec<T>&) {
+    const std::uint64_t n = d.get_count();
+    T scratch{};
+    for (std::uint64_t i = 0; i < n && d.ok(); ++i) (*this)(scratch);
+  }
+  template <class T>
+    requires requires(T& t, WireValidator& v) { T::fields(t, v); }
+  void operator()(T& v) {
+    T::fields(v, *this);
+  }
+};
+
+bool validate_impl(const std::uint8_t* data, std::size_t len, int depth) {
+  if (len == 0 || depth > 2) return false;
+  TryDecoder d(data, len);
+  const auto t = static_cast<MsgType>(d.get_u8());
+  // A ReliableFrame carries a nested encoded message: validate the payload
+  // recursively, since the reliable layer will hand it to the strict
+  // decoder on delivery. Empty payloads are legal placeholders.
+  if (t == MsgType::kReliableFrame) {
+    d.get_varint();  // seq
+    d.get_u8();      // inner_type
+    const std::uint64_t n = d.get_count();
+    if (!d.ok()) return false;
+    // The payload blob is the final field: it must span exactly the rest of
+    // the buffer, and (when non-empty) itself be a valid encoded message.
+    if (d.remaining() != n) return false;
+    return n == 0 || validate_impl(d.cur(), static_cast<std::size_t>(n), depth + 1);
+  }
+  WireValidator v{d};
+  switch (t) {
+#define PARIS_MSG_VALIDATE_CASE(T) \
+  case T::kType: {                 \
+    T dummy;                       \
+    T::fields(dummy, v);           \
+    return d.done();               \
+  }
+    PARIS_FOREACH_MESSAGE(PARIS_MSG_VALIDATE_CASE)
+#undef PARIS_MSG_VALIDATE_CASE
+  }
+  return false;  // unknown type tag
+}
+
+}  // namespace
+
+bool validate_encoded_message(const std::uint8_t* data, std::size_t len) {
+  return validate_impl(data, len, 0);
+}
+
 MessagePtr decode_message_pooled(Decoder& d, MessagePool& pool) {
   const auto t = static_cast<MsgType>(d.get_u8());
   switch (t) {

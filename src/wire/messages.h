@@ -40,10 +40,14 @@ enum class MsgType : std::uint8_t {
   kUstDown,
   kReliableFrame,
   kReliableAck,
+  kSnapshotRequest,
+  kSnapshotChunk,
+  kCatchUpRequest,
+  kCatchUpChunk,
 };
 
 const char* msg_type_name(MsgType t);
-inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kReliableAck) + 1;
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kCatchUpChunk) + 1;
 
 // ---------------------------------------------------------------------------
 // Plain data sub-records.
@@ -827,6 +831,86 @@ struct ReliableAck : MessageBase<ReliableAck, MsgType::kReliableAck> {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Crash recovery: snapshot + catch-up state transfer (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+/// Respawned replica -> donor replica: stream me the full state of
+/// `partition`. `epoch` names the requester's incarnation (diagnostics; the
+/// socket layer already fences stale incarnations).
+struct SnapshotRequest : MessageBase<SnapshotRequest, MsgType::kSnapshotRequest> {
+  PartitionId partition = 0;
+  std::uint32_t epoch = 0;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.partition);
+    f(s.epoch);
+  }
+};
+
+/// Donor -> requester: one slice of the snapshot stream, in `seq` order over
+/// a FIFO reliable channel. The chunks are arbitrary splits of one snapshot
+/// blob — header (HLC, version vector, protocol extras) followed by a
+/// version-record list — which the requester reassembles and installs when
+/// `last` closes the stream.
+struct SnapshotChunk : MessageBase<SnapshotChunk, MsgType::kSnapshotChunk> {
+  PartitionId partition = 0;
+  std::uint32_t seq = 0;
+  std::uint8_t last = 0;
+  std::vector<std::uint8_t> payload;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.partition);
+    f(s.seq);
+    f(s.last);
+    f(s.payload);
+  }
+};
+
+/// Anti-entropy delta request: send me every version of `partition` newer
+/// than my per-replica applied watermarks (`vv`, raw timestamps in replica
+/// slot order). Sent by a recovered replica to its non-donor peers, and by
+/// survivors to a reincarnated peer to recover anything only the dead
+/// incarnation had applied.
+struct CatchUpRequest : MessageBase<CatchUpRequest, MsgType::kCatchUpRequest> {
+  PartitionId partition = 0;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint64_t> vv;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.partition);
+    f(s.epoch);
+    f(s.vv);
+  }
+};
+
+/// Delta reply: a self-contained version-record list per chunk (records are
+/// idempotent to apply, so chunk order does not matter); the `last` chunk
+/// also carries the sender's version vector so the requester can advance its
+/// own watermarks past heartbeat-only progress.
+struct CatchUpChunk : MessageBase<CatchUpChunk, MsgType::kCatchUpChunk> {
+  PartitionId partition = 0;
+  std::uint8_t last = 0;
+  std::vector<std::uint8_t> payload;
+  template <class S, class F>
+  static void fields(S& s, F&& f) {
+    f(s.partition);
+    f(s.last);
+    f(s.payload);
+  }
+};
+
+/// Byte-level validation of an encode_message() buffer WITHOUT the strict
+/// decoder's abort-on-malformed contract: returns false on unknown type,
+/// truncation, overlong varints, oversized counts or trailing garbage, and
+/// never allocates proportionally to attacker-controlled counts. The socket
+/// runtime runs this on every inbound frame — bytes that crossed a process
+/// boundary are a trust boundary, not a codec invariant — and drops (counts)
+/// failures; only validated bytes reach decode_message_pooled. ReliableFrame
+/// payloads are validated recursively so a corrupt nested message cannot
+/// abort the receiving worker either.
+bool validate_encoded_message(const std::uint8_t* data, std::size_t len);
+
 /// X-macro over every concrete message type (used by the codec registry and
 /// by tests that fuzz the codec).
 #define PARIS_FOREACH_MESSAGE(X) \
@@ -848,6 +932,10 @@ struct ReliableAck : MessageBase<ReliableAck, MsgType::kReliableAck> {
   X(GossipRoot)                  \
   X(UstDown)                     \
   X(ReliableFrame)               \
-  X(ReliableAck)
+  X(ReliableAck)                 \
+  X(SnapshotRequest)             \
+  X(SnapshotChunk)               \
+  X(CatchUpRequest)              \
+  X(CatchUpChunk)
 
 }  // namespace paris::wire

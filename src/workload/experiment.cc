@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/assert.h"
 #include "verify/history.h"
 #include "workload/driver.h"
 #include "workload/socket_runner.h"
@@ -44,6 +45,11 @@ class ExperimentTracer : public proto::Tracer {
       std::lock_guard<std::mutex> lk(mu_);
       commit_wall_[tx] = now;
     }
+  }
+
+  void on_replica_commit(TxId tx, Timestamp ct, DcId origin,
+                         const wire::ReplicateTxn& txn) override {
+    if (history_) history_->on_replica_commit(tx, ct, origin, txn);
   }
 
   void on_slice_served(DcId dc, PartitionId p, TxId tx, Timestamp snapshot,
@@ -109,17 +115,11 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   proto::Deployment dep(dc, &tracer);
   dep.start();
 
-  // The measurement window is anchored at the current runtime time: zero
-  // for the sim backend (as before), the setup-elapsed steady-clock offset
-  // for the threads backend.
-  const sim::SimTime t0 = dep.exec().now_us();
-  Collector collector;
-  collector.set_window(t0 + cfg.warmup_us, t0 + cfg.warmup_us + cfg.measure_us);
-
   // One client process per partition per DC, threads_per_process sessions
   // each, collocated with their coordinator (§V-A). EVERY process of a
   // socket deployment registers EVERY client — node ids must agree across
   // processes — but only builds sessions for the clients it hosts.
+  Collector collector;
   std::vector<std::unique_ptr<Session>> sessions;
   std::vector<NodeId> session_nodes;
   for (DcId d = 0; d < dep.topo().num_dcs(); ++d) {
@@ -136,6 +136,28 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
       }
     }
   }
+
+  // A respawned socket child (epoch > 0) streams donor state + catch-up
+  // before it may serve: this starts the backend (all actors are registered
+  // by now) and blocks until the transfer completes, so the t0 anchor below
+  // never covers transactions run against a half-recovered store. Trivially
+  // true for every other runtime.
+  const auto recover_start = std::chrono::steady_clock::now();
+  PARIS_CHECK_MSG(dep.wait_recovered(cfg.socket.connect_timeout_ms + 30'000),
+                  "socket child: state transfer did not complete in time");
+  const std::uint64_t recovery_ms =
+      cfg.socket.epoch > 0
+          ? static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                           std::chrono::steady_clock::now() - recover_start)
+                                           .count())
+          : 0;
+
+  // The measurement window is anchored at the current runtime time: zero
+  // for the sim backend (as before), the setup-elapsed steady-clock offset
+  // for the threads backend.
+  const sim::SimTime t0 = dep.exec().now_us();
+  collector.set_window(t0 + cfg.warmup_us, t0 + cfg.warmup_us + cfg.measure_us);
+
   // Kick each closed loop on its client's execution context: inline for the
   // sim backend (the historical behavior), a mailbox task for threads.
   for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -162,6 +184,10 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
                          : 0.0;
 
   res.gossip_msgs = server_stats.gossip_msgs_sent;
+  res.snapshots_served = server_stats.snapshots_served;
+  res.catchups_served = server_stats.catchups_served;
+  res.prepared_fenced = server_stats.prepared_fenced;
+  res.recovery_ms = recovery_ms;
   for (const auto& c : dep.clients()) {
     res.max_client_cache = std::max(res.max_client_cache, c->stats().max_cache_size);
     res.keys_read += c->stats().keys_read;

@@ -112,6 +112,14 @@ struct ExperimentResult {
   runtime::PartitionTransport::Stats partition;
   /// Socket-runtime tallies, summed across children (zero otherwise).
   runtime::SocketStats socket;
+  /// Self-healing tallies (supervised socket runs; zero otherwise).
+  std::uint64_t respawns = 0;          ///< launcher: dead ranks respawned
+  std::uint64_t snapshots_served = 0;  ///< donor-side state transfers
+  std::uint64_t catchups_served = 0;   ///< catch-up delta streams served
+  std::uint64_t prepared_fenced = 0;   ///< 2PC entries fenced after a crash
+  /// Slowest child's mesh-join + state-transfer time (ms): ~0 for a cold
+  /// start, the time-to-rejoin for a respawned rank.
+  std::uint64_t recovery_ms = 0;
   std::vector<std::string> violations;  // non-empty => consistency bug
 };
 

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -93,6 +94,13 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "socket_base_port", static_cast<std::uint64_t>(c.socket.base_port));
   put(o, "socket_connect_timeout_ms", c.socket.connect_timeout_ms);
   put(o, "socket_mesh_token", c.socket.mesh_token);
+  put(o, "socket_supervise", static_cast<std::uint64_t>(c.socket.supervise));
+  put(o, "socket_max_respawns", static_cast<std::uint64_t>(c.socket.max_respawns));
+  // -1 (no scheduled kill) survives the unsigned line format: strtoull
+  // negates a leading '-' and the cast back recovers the value.
+  put(o, "socket_kill_rank",
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(c.socket.kill_rank)));
+  put(o, "socket_kill_after_ms", c.socket.kill_after_ms);
   for (const auto& w : c.partitions.windows) {
     o << "partition_window " << w.a << ' ' << w.b << ' ' << (w.isolate_all ? 1 : 0) << ' '
       << w.start_us << ' ' << w.end_us << '\n';
@@ -224,6 +232,14 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.socket.connect_timeout_ms = u;
     } else if (key == "socket_mesh_token") {
       c.socket.mesh_token = u;
+    } else if (key == "socket_supervise") {
+      c.socket.supervise = u != 0;
+    } else if (key == "socket_max_respawns") {
+      c.socket.max_respawns = static_cast<std::uint32_t>(u);
+    } else if (key == "socket_kill_rank") {
+      c.socket.kill_rank = static_cast<std::int32_t>(static_cast<std::int64_t>(u));
+    } else if (key == "socket_kill_after_ms") {
+      c.socket.kill_after_ms = u;
     } else {
       return false;  // unknown key: launcher/child version skew
     }
@@ -336,6 +352,15 @@ void encode_child_result(const ExperimentResult& res,
   e.put_varint(res.socket.short_writes);
   e.put_varint(res.socket.reconnects);
   e.put_varint(res.socket.dropped_dead);
+  e.put_varint(res.socket.redial_attempts);
+  e.put_varint(res.socket.redial_giveups);
+  e.put_varint(res.socket.fenced_stale_epoch);
+  e.put_varint(res.socket.malformed_frames);
+  e.put_varint(res.reliable.channel_resets);
+  e.put_varint(res.snapshots_served);
+  e.put_varint(res.catchups_served);
+  e.put_varint(res.prepared_fenced);
+  e.put_varint(res.recovery_ms);
   e.put_blob(history);
   out.insert(out.end(), kResultTrailer, kResultTrailer + sizeof(kResultTrailer));
 }
@@ -392,6 +417,15 @@ bool decode_child_result(const std::vector<std::uint8_t>& in, ExperimentResult& 
   res.socket.short_writes = d.get_varint();
   res.socket.reconnects = d.get_varint();
   res.socket.dropped_dead = d.get_varint();
+  res.socket.redial_attempts = d.get_varint();
+  res.socket.redial_giveups = d.get_varint();
+  res.socket.fenced_stale_epoch = d.get_varint();
+  res.socket.malformed_frames = d.get_varint();
+  res.reliable.channel_resets = d.get_varint();
+  res.snapshots_served = d.get_varint();
+  res.catchups_served = d.get_varint();
+  res.prepared_fenced = d.get_varint();
+  res.recovery_ms = d.get_varint();
   d.get_blob_into(history);
   return d.done();
 }
@@ -447,13 +481,15 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
   for (std::uint32_t r = 0; r < nprocs; ++r) {
     outfiles.push_back(dir + "/result-" + std::to_string(r) + ".bin");
     const std::string log = dir + "/child-" + std::to_string(r) + ".log";
-    PARIS_CHECK_MSG(
-        pg.spawn(r, {"--paris-socket-child", cfgfile, std::to_string(r), outfiles.back()},
-                 log),
-        "fork/exec of a socket child failed");
+    PARIS_CHECK_MSG(pg.spawn(r,
+                             {"--paris-socket-child", cfgfile, std::to_string(r),
+                              outfiles.back(), "0"},
+                             log),
+                    "fork/exec of a socket child failed");
   }
-  std::printf("sockets: %u child processes (base port %u), artifacts in %s\n", nprocs,
-              cfg.socket.base_port, dir.c_str());
+  std::printf("sockets: %u child processes (base port %u)%s, artifacts in %s\n", nprocs,
+              cfg.socket.base_port, cfg.socket.supervise ? ", supervised" : "",
+              dir.c_str());
   std::fflush(stdout);
 
   ExperimentResult res;
@@ -461,7 +497,36 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
   std::string err;
   // Generous deadline: mesh setup + 3x the run (sanitizer builds crawl) +
   // slack — a wedged child is killed instead of eating the CI job limit.
-  if (!pg.wait_all(cfg.socket.connect_timeout_ms + run_ms * 3 + 60'000, err)) {
+  // A respawned incarnation restarts its whole warmup+measure window after
+  // the kill point, so supervised runs extend the budget accordingly.
+  const std::uint64_t deadline_ms =
+      cfg.socket.connect_timeout_ms + run_ms * 3 + 60'000 +
+      (cfg.socket.supervise ? run_ms * 3 + cfg.socket.kill_after_ms : 0);
+  bool ok;
+  if (cfg.socket.supervise) {
+    runtime::ProcessGroup::SuperviseOptions sup;
+    sup.max_respawns = cfg.socket.max_respawns;
+    sup.respawn = [&dir, &cfgfile, &outfiles](std::uint32_t rank, std::uint32_t incarnation,
+                                              std::string& log) {
+      log = dir + "/child-" + std::to_string(rank) + ".r" + std::to_string(incarnation) +
+            ".log";
+      return std::vector<std::string>{"--paris-socket-child", cfgfile,
+                                      std::to_string(rank), outfiles[rank],
+                                      std::to_string(incarnation)};
+    };
+    std::vector<runtime::ProcessGroup::KillEvent> kills;
+    if (cfg.socket.kill_rank >= 0) {
+      PARIS_CHECK_MSG(static_cast<std::uint32_t>(cfg.socket.kill_rank) < nprocs,
+                      "sockets: --kill-rank out of range");
+      kills.push_back(
+          {static_cast<std::uint32_t>(cfg.socket.kill_rank), cfg.socket.kill_after_ms, false});
+    }
+    ok = pg.wait_supervised(deadline_ms, sup, kills, err);
+    res.respawns = pg.respawns();
+  } else {
+    ok = pg.wait_all(deadline_ms, err);
+  }
+  if (!ok) {
     std::fprintf(stderr, "socket launcher: %s\n", err.c_str());
     for (const auto& c : pg.children()) dump_log_tail(c.log_path);
     res.violations.push_back("socket run failed: " + err);
@@ -512,6 +577,15 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
     res.socket.short_writes += part.socket.short_writes;
     res.socket.reconnects += part.socket.reconnects;
     res.socket.dropped_dead += part.socket.dropped_dead;
+    res.socket.redial_attempts += part.socket.redial_attempts;
+    res.socket.redial_giveups += part.socket.redial_giveups;
+    res.socket.fenced_stale_epoch += part.socket.fenced_stale_epoch;
+    res.socket.malformed_frames += part.socket.malformed_frames;
+    res.reliable.channel_resets += part.reliable.channel_resets;
+    res.snapshots_served += part.snapshots_served;
+    res.catchups_served += part.catchups_served;
+    res.prepared_fenced += part.prepared_fenced;
+    res.recovery_ms = std::max(res.recovery_ms, part.recovery_ms);
     if (cfg.check_consistency && !history.empty()) {
       merged.merge_serialized(history.data(), history.size());
     }
@@ -537,15 +611,18 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
 }  // namespace detail
 
 void maybe_run_socket_child(int argc, char** argv) {
-  if (argc != 5 || std::strcmp(argv[1], "--paris-socket-child") != 0) return;
+  if (argc != 6 || std::strcmp(argv[1], "--paris-socket-child") != 0) return;
   ExperimentConfig cfg;
   const std::string text = detail::read_file(argv[2]);
   PARIS_CHECK_MSG(!text.empty() && detail::decode_experiment_config(text, cfg),
                   "socket child: unreadable or version-skewed config file");
   cfg.socket.rank = std::atoi(argv[3]);
+  // The incarnation epoch rides argv, not the shared config file: every
+  // respawn of a rank gets a bumped value while the siblings keep theirs.
+  cfg.socket.epoch = static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 10));
   const std::uint32_t nprocs = cfg.socket.resolve_processes(cfg.num_dcs);
-  std::printf("socket child: rank %d/%u pid %d system=%s port=%u\n", cfg.socket.rank,
-              nprocs, static_cast<int>(getpid()),
+  std::printf("socket child: rank %d/%u epoch %u pid %d system=%s port=%u\n",
+              cfg.socket.rank, nprocs, cfg.socket.epoch, static_cast<int>(getpid()),
               proto::system_name(cfg.system),
               cfg.socket.base_port + static_cast<std::uint32_t>(cfg.socket.rank));
   std::fflush(stdout);
@@ -560,9 +637,13 @@ void maybe_run_socket_child(int argc, char** argv) {
                   "socket child: cannot write the result file");
   std::printf(
       "socket child: done — %" PRIu64 " committed, %" PRIu64 " frames out / %" PRIu64
-      " in, %" PRIu64 " retransmits\n",
+      " in, %" PRIu64 " retransmits, %" PRIu64 " redials (%" PRIu64 " giveups), %" PRIu64
+      " stale-epoch fenced, %" PRIu64 " malformed, %" PRIu64 " snapshots / %" PRIu64
+      " catchups served\n",
       res.committed, res.socket.frames_out, res.socket.frames_in,
-      res.reliable.retransmits);
+      res.reliable.retransmits, res.socket.redial_attempts, res.socket.redial_giveups,
+      res.socket.fenced_stale_epoch, res.socket.malformed_frames, res.snapshots_served,
+      res.catchups_served);
   std::exit(0);
 }
 

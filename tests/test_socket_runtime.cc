@@ -239,8 +239,10 @@ TEST(SocketBackendPair, DeliversAcrossRealTcpInOrder) {
     EXPECT_EQ(b.sink.froms[i], a.n0) << "the wire frame must carry the true sender";
   }
   EXPECT_EQ(a.sink.values.size(), 0u);
-  EXPECT_EQ(a.be.stats().frames_out, kMsgs);
-  EXPECT_EQ(b.be.stats().frames_in, kMsgs);
+  // Epoch beacons (DESIGN §11) ride the same frame path as data, so the
+  // counters are a floor, not an exact match.
+  EXPECT_GE(a.be.stats().frames_out, kMsgs);
+  EXPECT_GE(b.be.stats().frames_in, kMsgs);
 }
 
 /// Reliable endpoints over the socket pair: built like Half, but the sink

@@ -46,6 +46,15 @@ namespace {
       "                          127.0.0.1 (default 7421)\n"
       "  --socket-dir=PATH       sockets: per-child logs + result files\n"
       "                          (default: a fresh temp dir; path is printed)\n"
+      "  --supervise             sockets: respawn a dead rank (bumped\n"
+      "                          incarnation epoch + snapshot state transfer\n"
+      "                          from a surviving replica) instead of failing\n"
+      "                          the whole run fast\n"
+      "  --max-respawns=K        sockets: total respawn budget under\n"
+      "                          --supervise (default 2)\n"
+      "  --kill-rank=R:MS        sockets: SIGKILL rank R once MS ms of the\n"
+      "                          supervised run have elapsed (fault schedule;\n"
+      "                          requires --supervise)\n"
       "  --latency-model=none|matrix|jitter\n"
       "                          threads/sockets: inject per-DC-pair WAN\n"
       "                          delay (matrix), plus jitter (default none;\n"
@@ -165,6 +174,22 @@ int main(int argc, char** argv) {
       cfg.socket.base_port = static_cast<std::uint16_t>(port);
     } else if (parse_flag(argv[i], "--socket-dir", &v) && v) {
       cfg.socket.dir = v;
+    } else if (parse_flag(argv[i], "--supervise", &v)) {
+      cfg.socket.supervise = true;
+    } else if (parse_flag(argv[i], "--max-respawns", &v) && v) {
+      cfg.socket.max_respawns = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--kill-rank", &v) && v) {
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "error: --kill-rank takes R:MS, got '%s'\n", v);
+        return 2;
+      }
+      cfg.socket.kill_rank = std::atoi(v);
+      cfg.socket.kill_after_ms = std::strtoull(colon + 1, nullptr, 10);
+      if (cfg.socket.kill_rank < 0) {
+        std::fprintf(stderr, "error: --kill-rank rank must be >= 0, got '%s'\n", v);
+        return 2;
+      }
     } else if (parse_flag(argv[i], "--latency-model", &v) && v) {
       if (std::string(v) == "none") {
         cfg.latency_model = runtime::LatencyModelKind::kNone;
@@ -291,9 +316,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (cfg.runtime != runtime::Kind::kSockets &&
-      (cfg.socket.processes != 0 || !cfg.socket.dir.empty())) {
+      (cfg.socket.processes != 0 || !cfg.socket.dir.empty() || cfg.socket.supervise ||
+       cfg.socket.kill_rank >= 0)) {
     std::fprintf(stderr,
-                 "error: --processes/--socket-dir require --runtime=sockets\n");
+                 "error: --processes/--socket-dir/--supervise/--kill-rank require "
+                 "--runtime=sockets\n");
+    return 2;
+  }
+  if (cfg.socket.kill_rank >= 0 && !cfg.socket.supervise) {
+    std::fprintf(stderr,
+                 "error: --kill-rank without --supervise would just fail the run "
+                 "fast (nothing respawns the killed rank)\n");
     return 2;
   }
   if (cfg.runtime == runtime::Kind::kSockets) {
@@ -338,6 +371,14 @@ int main(int argc, char** argv) {
           cfg.socket.resolve_processes(cfg.num_dcs), cfg.socket.base_port,
           std::thread::hardware_concurrency(),
           runtime::latency_model_name(cfg.latency_model));
+      if (cfg.socket.supervise) {
+        std::printf("supervise: respawn budget %u", cfg.socket.max_respawns);
+        if (cfg.socket.kill_rank >= 0) {
+          std::printf(", SIGKILL rank %d at %llu ms", cfg.socket.kill_rank,
+                      static_cast<unsigned long long>(cfg.socket.kill_after_ms));
+        }
+        std::printf("\n");
+      }
     }
     if (cfg.chaos.enabled()) {
       std::printf("chaos: reorder=%.2f (stall %llu ms) duplicate=%.2f drop=%s:%.2f\n",
@@ -416,6 +457,16 @@ int main(int argc, char** argv) {
                 stats::with_commas(res.socket.partial_reads).c_str(),
                 stats::with_commas(res.socket.short_writes).c_str(),
                 stats::with_commas(res.socket.reconnects).c_str());
+    if (cfg.socket.supervise) {
+      std::printf("self-healing    %10s respawns, %s snapshots / %s catchups served, "
+                  "%s prepared fenced, %s stale-epoch fenced, %s redials\n",
+                  stats::with_commas(res.respawns).c_str(),
+                  stats::with_commas(res.snapshots_served).c_str(),
+                  stats::with_commas(res.catchups_served).c_str(),
+                  stats::with_commas(res.prepared_fenced).c_str(),
+                  stats::with_commas(res.socket.fenced_stale_epoch).c_str(),
+                  stats::with_commas(res.socket.redial_attempts).c_str());
+    }
   }
   std::printf("local-hit rate  %10.1f %%   max client cache %zu entries\n",
               res.local_hit_rate * 100.0, res.max_client_cache);

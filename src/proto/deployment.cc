@@ -42,6 +42,9 @@ std::unique_ptr<runtime::Backend> build_backend(const DeploymentConfig& cfg,
     opt.connect_timeout_ms = cfg.socket.connect_timeout_ms;
     opt.mesh_token = cfg.socket.mesh_token;
     opt.epoch = cfg.socket.epoch;
+    opt.pump = cfg.socket.pump;
+    opt.outbound_budget = cfg.socket.outbound_budget;
+    opt.batch_io = cfg.socket.batch_io;
     if (cfg.worker_threads != 0) {
       opt.workers = cfg.worker_threads;
     } else {

@@ -18,18 +18,40 @@
 // on top unchanged, because it runs above the Transport seam in the sending
 // process.
 //
-// I/O model: one pump thread per process runs poll() over the peer sockets
-// (all nonblocking), the listen socket and a wake pipe. Inbound bytes are
-// reassembled into frames (partial reads of any granularity) and injected
-// into the owning worker's mailbox; outbound bytes queue per peer and drain
-// on POLLOUT (short writes resume where they left off). Worker threads
-// never block on the network: a send appends to the peer's buffer and, when
-// the buffer was empty, pokes the wake pipe. The pump's poll timeout doubles
-// as the redial timer: if a connection dies mid-run, the original dialer
-// redials with capped exponential backoff + seed-deterministic jitter —
-// in-flight bytes on the dead connection are gone (exactly the
-// crash/restart case), and the reliable layer's seq state retransmits and
-// dedups across the reconnect.
+// I/O model (DESIGN §12): one pump thread per process services the peer
+// sockets (all nonblocking), the listen socket and a wake pipe, through one
+// of two interchangeable engines selected by Options::pump:
+//
+//   * poll: a poll(2) readiness loop. Outbound frames queue per peer as a
+//     ring of frame buffers; the pump swaps the ring for its private drain
+//     list and flushes it as iovec chains via one sendmsg() per batch (≤
+//     kMaxWritevIovecs iovecs / kMaxWritevBytes bytes per call, resuming
+//     mid-iovec after a short write). Inbound reads land directly in the
+//     reassembler's buffer in kReadChunk gulps, so one syscall drains many
+//     frames.
+//   * uring: the same batching policy driven by an io_uring submission
+//     ring (recv + sendmsg SQEs, a timeout tick for beacons/redial).
+//     Probed at runtime; when the kernel lacks io_uring the backend logs a
+//     note, counts uring_fallback and runs the poll engine instead — never
+//     a hard failure.
+//
+// Flow control: each peer's outbound ring is bounded by
+// Options::outbound_budget bytes. When the ring is full, forward() REFUSES
+// the frame (returns false) and the sending worker parks the envelope
+// locally (ThreadBackend's router park path, counted as
+// backpressure_stalls) and retries shortly — one slow peer degrades that
+// channel instead of ballooning resident memory. The reliable layer's
+// per-channel in-flight cap bounds how much a channel can ever park.
+//
+// Worker threads never block on the network: a send appends to the peer's
+// ring and, when the ring was empty, pokes the wake pipe (a one-byte
+// nonblocking write, elided while a wake is already armed so a flood of
+// senders can't fill the pipe). The pump's poll timeout doubles as the
+// redial timer: if a connection dies mid-run, the original dialer redials
+// with capped exponential backoff + seed-deterministic jitter — in-flight
+// bytes on the dead connection are gone (exactly the crash/restart case),
+// and the reliable layer's seq state retransmits and dedups across the
+// reconnect.
 //
 // Membership is epoch-fenced (DESIGN §11): every (re)incarnation of a rank
 // carries a monotonically increasing epoch in its connection hello, and both
@@ -42,10 +64,13 @@
 // malformation as a codec bug and aborts, but bytes from a socket are a
 // trust boundary — corrupt frames are counted and dropped instead.
 //
-// Determinism: none beyond the thread runtime's — see DESIGN §10 for which
-// guarantees survive real sockets (checker-validated convergence does;
-// byte-identical output and seed-reproducible chaos schedules across
-// processes do not, since every process draws from its own stream).
+// Determinism: none beyond the thread runtime's — see DESIGN §10/§12 for
+// which guarantees survive real sockets (checker-validated convergence
+// does, under either pump engine; byte-identical output and
+// seed-reproducible chaos schedules across processes do not, since every
+// process draws from its own stream and the kernel orders completions).
+
+#include <sys/uio.h>
 
 #include <atomic>
 #include <cstdint>
@@ -59,6 +84,16 @@
 #include "runtime/thread_runtime.h"
 
 namespace paris::runtime {
+
+/// Which engine drives the socket pump thread (DESIGN §12).
+enum class SocketPump : std::uint8_t {
+  kPoll = 0,   ///< poll(2) readiness loop (default, works everywhere)
+  kUring = 1,  ///< io_uring submission ring; falls back to poll if absent
+};
+
+inline const char* socket_pump_name(SocketPump p) {
+  return p == SocketPump::kUring ? "uring" : "poll";
+}
 
 /// Placement + wiring of a multi-process socket deployment. rank < 0 means
 /// "launcher": run_experiment spawns the children and aggregates; only
@@ -86,6 +121,15 @@ struct SocketConfig {
   /// supervised wait have elapsed (-1 = no scheduled kill).
   std::int32_t kill_rank = -1;
   std::uint64_t kill_after_ms = 0;
+  /// I/O pump engine; uring probes at runtime and falls back to poll.
+  SocketPump pump = SocketPump::kPoll;
+  /// Per-peer outbound ring budget in bytes; a full ring makes forward()
+  /// refuse frames so senders park (backpressure). 0 = unbounded (the
+  /// pre-§12 behavior, kept for A/B measurement only).
+  std::uint64_t outbound_budget = 4u << 20;
+  /// false = one frame per write syscall + 4KB reads (the unbatched path,
+  /// kept measurable for the bench's batched-vs-unbatched row).
+  bool batch_io = true;
 
   std::uint32_t resolve_processes(std::uint32_t num_dcs) const {
     return processes != 0 ? processes : num_dcs;
@@ -99,13 +143,35 @@ struct SocketStats {
   std::uint64_t bytes_out = 0;      ///< payload bytes written to sockets
   std::uint64_t bytes_in = 0;       ///< payload bytes read from sockets
   std::uint64_t partial_reads = 0;  ///< reads that ended mid-frame
-  std::uint64_t short_writes = 0;   ///< writes that drained only part of a buffer
+  std::uint64_t short_writes = 0;   ///< writes that drained only part of a batch
   std::uint64_t reconnects = 0;     ///< connections re-established mid-run
   std::uint64_t dropped_dead = 0;   ///< frames dropped: peer down, no buffer
   std::uint64_t redial_attempts = 0;   ///< redials tried (incl. failures)
   std::uint64_t redial_giveups = 0;    ///< dead episodes that hit the retry cap
   std::uint64_t fenced_stale_epoch = 0;  ///< hellos/beacons from a dead incarnation
   std::uint64_t malformed_frames = 0;    ///< inbound frames failing validation
+  std::uint64_t read_syscalls = 0;   ///< recv/readv/uring-recv completions
+  std::uint64_t write_syscalls = 0;  ///< sendmsg/uring-send completions
+  std::uint64_t flushes = 0;         ///< outbound ring→drain swaps (batches)
+  std::uint64_t backpressure_stalls = 0;  ///< envelopes parked: peer ring full
+  std::uint64_t backpressure_drops = 0;   ///< parked envelopes shed at the cap
+  std::uint64_t uring_fallback = 0;  ///< 1 if uring was asked for but absent
+
+  /// Syscalls spent per frame moved (both directions); the bench's headline
+  /// batching metric. 0 when no frames moved.
+  double syscalls_per_frame() const {
+    const std::uint64_t fr = frames_out + frames_in;
+    return fr == 0 ? 0.0
+                   : static_cast<double>(read_syscalls + write_syscalls) /
+                         static_cast<double>(fr);
+  }
+  /// Payload bytes moved per syscall (both directions). 0 when idle.
+  double bytes_per_syscall() const {
+    const std::uint64_t sc = read_syscalls + write_syscalls;
+    return sc == 0 ? 0.0
+                   : static_cast<double>(bytes_out + bytes_in) /
+                         static_cast<double>(sc);
+  }
 };
 
 namespace sockdetail {
@@ -122,6 +188,12 @@ inline constexpr std::size_t kMaxFrame = 64u << 20;       // sanity bound
 /// with a real node id (kInvalidNode).
 inline constexpr std::uint32_t kEpochBeaconDst = 0xFFFF'FFFFu;
 inline constexpr std::size_t kBeaconBytes = 8;
+
+/// Batching policy (DESIGN §12): one outbound syscall covers at most this
+/// many iovecs / bytes, and one inbound syscall reads up to kReadChunk.
+inline constexpr std::size_t kMaxWritevIovecs = 64;
+inline constexpr std::size_t kMaxWritevBytes = 256u << 10;
+inline constexpr std::size_t kReadChunk = 256u << 10;
 
 /// One reassembled wire frame.
 struct Frame {
@@ -150,23 +222,63 @@ void append_frame(std::vector<std::uint8_t>& out, NodeId from, NodeId to,
 /// byte. Returns false from feed() on a protocol error (frame longer than
 /// kMaxFrame or shorter than its own header), after which the stream is
 /// unusable.
+///
+/// The pump's zero-copy inbound path skips feed()'s memcpy entirely:
+/// reserve(n) hands out a writable window at the tail of the internal
+/// buffer (compacting/growing as needed) for recv() to fill, and commit(m)
+/// publishes the m bytes actually read. feed() is reserve+memcpy+commit.
 class FrameReassembler {
  public:
   bool feed(const std::uint8_t* p, std::size_t n);
+  std::uint8_t* reserve(std::size_t n);  ///< writable tail window of >= n bytes
+  void commit(std::size_t n) { len_ += n; }
+  bool ok() const { return !bad_; }  ///< false once the stream went corrupt
   bool next(Frame& out);       ///< copying variant (tests, tools)
   bool next_view(FrameView& out);  ///< zero-copy variant (the pump's hot path)
-  std::size_t buffered() const { return buf_.size() - off_; }
+  std::size_t buffered() const { return len_ - off_; }
   void reset() {
-    buf_.clear();
+    len_ = 0;
     off_ = 0;
     bad_ = false;
   }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> buf_;  ///< capacity storage; valid bytes = [off_, len_)
+  std::size_t len_ = 0;
   std::size_t off_ = 0;
   bool bad_ = false;
 };
+
+/// Scatter-gather cursor over a queue of whole-frame buffers: build() fills
+/// an iovec chain (capped by count and bytes) starting wherever the last
+/// short write stopped, advance(n) consumes n written bytes — possibly
+/// mid-frame, mid-iovec — and done() says the queue drained. This is the
+/// resumable core of the pump's batched write path, kept free of fd/state
+/// so the torture test can drive it over a socketpair directly.
+class FrameQueueCursor {
+ public:
+  /// Fills up to max_iov entries covering at most max_bytes unwritten bytes;
+  /// returns the number of entries filled (0 = nothing left).
+  std::size_t build(const std::vector<std::vector<std::uint8_t>>& frames,
+                    struct iovec* iov, std::size_t max_iov,
+                    std::size_t max_bytes) const;
+  void advance(const std::vector<std::vector<std::uint8_t>>& frames, std::size_t n);
+  bool done(const std::vector<std::vector<std::uint8_t>>& frames) const {
+    return frame_ >= frames.size();
+  }
+  std::size_t frame_index() const { return frame_; }
+  std::size_t byte_offset() const { return off_; }
+  void reset() {
+    frame_ = 0;
+    off_ = 0;
+  }
+
+ private:
+  std::size_t frame_ = 0;  ///< first frame with unwritten bytes
+  std::size_t off_ = 0;    ///< written prefix of frames[frame_]
+};
+
+struct Uring;  // io_uring engine state; defined in socket_runtime.cc only
 
 }  // namespace sockdetail
 
@@ -184,6 +296,12 @@ class SocketBackend final : public Backend, public RemoteRouter {
     std::uint64_t mesh_token = 0;
     /// This rank's incarnation epoch (0 = initial spawn); see SocketConfig.
     std::uint32_t epoch = 0;
+    /// I/O pump engine; kUring probes at start() and falls back to poll.
+    SocketPump pump = SocketPump::kPoll;
+    /// Per-peer outbound ring budget in bytes (0 = unbounded); see
+    /// SocketConfig::outbound_budget.
+    std::uint64_t outbound_budget = 4u << 20;
+    bool batch_io = true;  ///< false: 1 frame/write + 4KB reads (bench A/B)
   };
 
   explicit SocketBackend(Options opt);
@@ -205,7 +323,7 @@ class SocketBackend final : public Backend, public RemoteRouter {
   bool is_local(NodeId n) const override {
     return owner_of(node_dc_[n]) == opt_.rank;
   }
-  void forward(NodeId from, NodeId to, const std::vector<std::uint8_t>& bytes) override;
+  bool forward(NodeId from, NodeId to, const std::vector<std::uint8_t>& bytes) override;
 
   /// Binds the listen port, establishes the full peer mesh (dial ranks
   /// below ours, accept ranks above; blocks until complete or
@@ -217,7 +335,14 @@ class SocketBackend final : public Backend, public RemoteRouter {
   std::uint32_t rank() const { return opt_.rank; }
   std::uint32_t nprocs() const { return opt_.nprocs; }
   std::uint32_t epoch() const { return opt_.epoch; }
+  /// Engine actually driving the pump (kPoll after a uring fallback).
+  SocketPump active_pump() const { return active_pump_; }
   SocketStats stats() const;
+
+  /// True when this kernel can set up and drive an io_uring; `why` (if
+  /// non-null) gets the failure reason. Probing builds and tears down a
+  /// tiny ring — cheap enough for CLI/CI gating (--probe-io-uring).
+  static bool probe_io_uring(std::string* why = nullptr);
 
   /// Fired (from the pump thread, or the start() caller during mesh setup)
   /// whenever a peer rank's known epoch INCREASES — i.e. that rank was
@@ -236,6 +361,17 @@ class SocketBackend final : public Backend, public RemoteRouter {
   /// dedup must recover everything that was in flight.
   void debug_kill_connection(std::uint32_t peer_rank);
 
+  /// Test hook: while set, the pump neither reads from nor writes to
+  /// `peer_rank`'s connection — as if the remote kernel stopped draining
+  /// its receive buffer. The link stays alive, so forward() keeps queueing
+  /// until the outbound budget refuses frames and senders park
+  /// (backpressure). Clearing it lets the stalled bytes flow again.
+  void debug_stall_peer(std::uint32_t peer_rank, bool stalled);
+
+  /// Test hook: bytes currently queued (unwritten) toward `peer_rank` —
+  /// the quantity outbound_budget bounds.
+  std::uint64_t debug_outbound_queued(std::uint32_t peer_rank) const;
+
  private:
   struct Peer {
     int fd = -1;
@@ -249,21 +385,53 @@ class SocketBackend final : public Backend, public RemoteRouter {
     std::uint32_t redial_tries = 0;
     bool redial_gave_up = false;
     sockdetail::FrameReassembler in;
-    // Outbound double buffer: workers append to `out` under mu; the pump
-    // SWAPS it for the (pump-owned) `drain` buffer and runs send() with no
-    // lock held, so a slow syscall burst never stalls a forwarding worker.
-    // Short writes resume at `doff`; order holds because drain always
-    // empties before the next swap.
+    // Outbound ring (DESIGN §12): workers append whole-frame buffers to
+    // `out` under mu, recycling from `spare`; the pump SWAPS the ring for
+    // its private `drain` list and flushes iovec chains with no lock held,
+    // so a slow syscall burst never stalls a forwarding worker. Short
+    // writes resume at `dcur`; order holds because drain always empties
+    // before the next swap. `queued` tracks every unwritten byte
+    // (out + drain + staged) — forward()'s budget check and the pump's
+    // "anything pending?" test read it lock-free.
     std::mutex mu;
-    std::vector<std::uint8_t> out;    ///< producers, guarded by mu
-    std::vector<std::uint8_t> drain;  ///< pump thread only
-    std::size_t doff = 0;             ///< pump thread only
+    std::vector<std::vector<std::uint8_t>> out;    ///< producers, under mu
+    std::vector<std::vector<std::uint8_t>> spare;  ///< recycled buffers, under mu
+    std::vector<std::vector<std::uint8_t>> drain;  ///< pump thread only
+    sockdetail::FrameQueueCursor dcur;             ///< pump thread only
+    std::atomic<std::uint64_t> queued{0};
+    std::atomic<bool> stalled{false};  ///< debug_stall_peer
+    // uring engine only (pump thread): one recv and one send op may be in
+    // flight per peer; staged send bytes live in sbuf so drain buffers can
+    // recycle at submission time while the kernel still reads sbuf.
+    bool recv_inflight = false;
+    bool send_inflight = false;
+    std::vector<std::uint8_t> sbuf;  ///< staged send bytes (stable in flight)
+    std::size_t sbuf_off = 0, sbuf_len = 0;
+    /// Bumped on every fd change (attach/redial/death). uring completions
+    /// carry the generation they were submitted under; a mismatch means the
+    /// op belongs to a previous connection (fd numbers get reused) and its
+    /// result is discarded.
+    std::uint32_t conn_gen = 0;
   };
 
   void io_main();
+  void io_main_poll();
+  void io_main_uring(sockdetail::Uring& ur);
+  /// Shared periodic work (both engines): beacons, redial schedule,
+  /// pending-hello progression. Returns the poll/tick timeout hint in ms.
+  int periodic(std::uint64_t now_us);
   void handle_readable(Peer& p);
   void handle_writable(Peer& p);
-  bool out_pending(Peer& p);
+  /// Runs the reassembler over freshly-committed inbound bytes: beacons,
+  /// validation, mailbox injection. Shared by both engines. Returns false
+  /// when the stream went corrupt (caller must mark_dead).
+  bool process_inbound(Peer& p, std::size_t bytes_read);
+  /// Swaps out→drain when drain is empty (recycling spent buffers into
+  /// spare); returns true when drain has unwritten bytes afterwards.
+  bool refill_drain(Peer& p);
+  bool out_pending(Peer& p) const {
+    return p.queued.load(std::memory_order_relaxed) != 0;
+  }
   void mark_dead(Peer& p);
   void mark_dead_locked(Peer& p);  ///< caller holds p.mu
   bool dial_peer(std::uint32_t r, std::uint64_t deadline_ms);
@@ -288,17 +456,25 @@ class SocketBackend final : public Backend, public RemoteRouter {
   std::vector<PendingAccept> pending_;
   int listen_fd_ = -1;
   int wake_rd_ = -1, wake_wr_ = -1;
+  /// True between a wake-pipe write and the pump draining it: senders skip
+  /// the syscall (and can't fill the pipe) while a wake is already armed.
+  std::atomic<bool> wake_armed_{false};
   std::thread io_thread_;
   std::atomic<bool> io_running_{false};
   std::atomic<bool> flush_and_exit_{false};
   bool started_ = false;
   bool stopped_ = false;
+  SocketPump active_pump_ = SocketPump::kPoll;
+  /// Live io_uring engine state (null when polling); built in start() so
+  /// the fallback decision is visible before the pump thread exists.
+  std::unique_ptr<sockdetail::Uring> uring_;
 
   struct AtomicStats {
     std::atomic<std::uint64_t> frames_out{0}, frames_in{0}, bytes_out{0}, bytes_in{0},
         partial_reads{0}, short_writes{0}, reconnects{0}, dropped_dead{0},
         redial_attempts{0}, redial_giveups{0}, fenced_stale_epoch{0},
-        malformed_frames{0};
+        malformed_frames{0}, read_syscalls{0}, write_syscalls{0}, flushes{0},
+        uring_fallback{0};
   };
   AtomicStats stats_;
 

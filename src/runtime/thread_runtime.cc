@@ -8,6 +8,15 @@ namespace paris::runtime {
 
 namespace {
 constexpr std::uint64_t kNoDeadline = ~0ull;
+/// The Worker whose loop runs on this thread (null on the main thread and
+/// on the pump thread) — lets enqueue_message tell owner-thread sends,
+/// which may touch the worker's parked queue directly, from foreign-thread
+/// sends, which must go through the mailbox.
+thread_local const void* t_worker = nullptr;
+/// How soon a worker with parked (backpressured) envelopes re-tries the
+/// router; the pump drains rings continuously, so this is the worst-case
+/// added latency per refused batch, not a rate limit.
+constexpr std::uint64_t kParkRetryUs = 200;
 }
 
 ThreadBackend::ThreadBackend(Options opt)
@@ -73,12 +82,40 @@ void ThreadBackend::enqueue_message(NodeId from, NodeId to, const wire::Message&
     if (deliver_at_us == 0) {
       // Immediate remote send: encode into a thread-local scratch buffer
       // (keeps its capacity, so the remote fast path allocates nothing in
-      // steady state) and hand it straight to the router.
+      // steady state) and hand it straight to the router. The copy into an
+      // envelope happens only on the slow path: a refusal (destination ring
+      // at its byte budget), or earlier envelopes to this destination
+      // already parked — bypassing them would break per-channel FIFO.
       thread_local std::vector<std::uint8_t> scratch;
       scratch.clear();
       wire::encode_message(msg, scratch);
       bytes_sent_.fetch_add(scratch.size(), std::memory_order_relaxed);
-      router_->forward(from, to, scratch);
+      Worker& sw = *workers_[nodes_[from].worker];
+      // The parked queue is owner-only state. A send from a foreign thread
+      // (tests and setup helpers; protocol sends always run on the from-
+      // node's worker) routes through sw's mailbox instead, and deliver()
+      // forwards or parks it on the owning thread.
+      if (started_ && t_worker != &sw) {
+        Envelope env = take_envelope(sw);
+        env.from = from;
+        env.to = to;
+        env.deliver_at_us = 0;
+        env.remote = true;
+        env.bytes.assign(scratch.begin(), scratch.end());
+        enqueue(sw, std::move(env));
+        return;
+      }
+      if (sw.parked_dst.find(to) == sw.parked_dst.end() &&
+          router_->forward(from, to, scratch)) {
+        return;
+      }
+      Envelope env = take_envelope(sw);
+      env.from = from;
+      env.to = to;
+      env.deliver_at_us = 0;
+      env.remote = true;
+      env.bytes.assign(scratch.begin(), scratch.end());
+      park_remote(sw, std::move(env));
       return;
     }
     // Timed remote send (latency decorators model the one-way WAN delay on
@@ -211,8 +248,17 @@ void ThreadBackend::deliver(Worker& w, Envelope& env) {
     env.task = nullptr;
   } else if (env.remote) {
     // A parked timed send to a node another process hosts, now due: hand
-    // the already-encoded bytes across the process boundary.
-    router_->forward(env.from, env.to, env.bytes);
+    // the already-encoded bytes across the process boundary. FIFO per
+    // destination: if earlier envelopes to this destination are parked, or
+    // the router refuses (ring at budget), park this one behind them and
+    // leave a husk so the caller skips the recycle.
+    if (w.parked_dst.find(env.to) != w.parked_dst.end() ||
+        !router_->forward(env.from, env.to, env.bytes)) {
+      park_remote(w, std::move(env));
+      env.to = kInvalidNode;
+      env.bytes.clear();
+      return;  // delivery happens when the ring drains, not now
+    }
     env.remote = false;
   } else {
     wire::Decoder dec(env.bytes);
@@ -235,11 +281,63 @@ void ThreadBackend::release_due_held(Worker& w, std::uint64_t now) {
     Envelope env = std::move(w.held.back());
     w.held.pop_back();
     deliver(w, env);
+    // A husk (to == kInvalidNode) means deliver() parked the envelope for a
+    // backpressure retry; only real envelopes recycle.
+    if (env.to != kInvalidNode) w.done.push_back(std::move(env));
+  }
+}
+
+void ThreadBackend::park_remote(Worker& w, Envelope&& env) {
+  // Per-worker bound on parked bytes: backpressure must cap memory, not
+  // relocate the blowup. The reliable layer's in-flight cap keeps well
+  // under this in practice; shedding beyond it is honest loss that
+  // retransmission re-covers.
+  constexpr std::size_t kParkedBytesCap = 8u << 20;
+  router_parks_.fetch_add(1, std::memory_order_relaxed);
+  if (w.parked_bytes + env.bytes.size() > kParkedBytesCap) {
+    router_park_drops_.fetch_add(1, std::memory_order_relaxed);
+    env.bytes.clear();
+    env.remote = false;
+    env.deliver_at_us = 0;
     w.done.push_back(std::move(env));
+    return;
+  }
+  w.parked_bytes += env.bytes.size();
+  ++w.parked_dst[env.to];
+  w.parked.push_back(std::move(env));
+}
+
+void ThreadBackend::flush_parked(Worker& w) {
+  if (w.parked.empty()) return;
+  // One rotation over the queue: forward each envelope unless its
+  // destination already refused this pass. Same-destination order is
+  // preserved (refusal parks the whole run again); other destinations
+  // proceed independently, so one stalled peer never blocks the rest.
+  std::vector<NodeId> refused;
+  const std::size_t n = w.parked.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Envelope env = std::move(w.parked.front());
+    w.parked.pop_front();
+    const bool blocked =
+        std::find(refused.begin(), refused.end(), env.to) != refused.end();
+    if (!blocked && router_->forward(env.from, env.to, env.bytes)) {
+      w.parked_bytes -= env.bytes.size();
+      const auto it = w.parked_dst.find(env.to);
+      if (--it->second == 0) w.parked_dst.erase(it);
+      env.bytes.clear();
+      env.remote = false;
+      env.deliver_at_us = 0;
+      w.events.fetch_add(1, std::memory_order_relaxed);
+      w.done.push_back(std::move(env));
+      continue;
+    }
+    if (!blocked) refused.push_back(env.to);
+    w.parked.push_back(std::move(env));
   }
 }
 
 void ThreadBackend::worker_main(Worker& w) {
+  t_worker = &w;
   while (running_.load(std::memory_order_acquire)) {
     // Drain the mailbox in one batched swap.
     w.batch.clear();
@@ -248,6 +346,10 @@ void ThreadBackend::worker_main(Worker& w) {
       if (w.inbox.empty()) {
         std::uint64_t next = w.timers.empty() ? kNoDeadline : w.timers.top().deadline_us;
         if (!w.held.empty()) next = std::min(next, w.held.front().deliver_at_us);
+        // Backpressure retry cadence: while envelopes are parked, poll the
+        // router again soon instead of sleeping on the cv — the peer's ring
+        // drains from the pump thread, which has no handle to wake us.
+        if (!w.parked.empty()) next = std::min(next, now_us() + kParkRetryUs);
         if (next == kNoDeadline) {
           w.cv.wait(lk, [&] {
             return !w.inbox.empty() || !running_.load(std::memory_order_acquire);
@@ -260,6 +362,9 @@ void ThreadBackend::worker_main(Worker& w) {
       }
       std::swap(w.inbox, w.batch);
     }
+
+    // Backpressured envelopes retry before anything newer delivers.
+    flush_parked(w);
 
     // Parked timed envelopes that came due arrived (on their channels)
     // before anything in this batch: release them first. ONE time snapshot

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -51,11 +52,18 @@ namespace paris::runtime {
 /// enqueued into a local mailbox. forward() is called from worker threads
 /// (and from the main thread before start) and must be thread-safe; the
 /// byte buffer is only valid for the duration of the call.
+///
+/// forward() returns false to REFUSE the frame — the destination's outbound
+/// ring is at its byte budget (flow control, DESIGN §12). The caller then
+/// parks the envelope on the sending worker and retries shortly, preserving
+/// per-destination FIFO; a refusal is backpressure, not loss. Returning
+/// true means the frame was consumed (possibly by dropping it on a dead
+/// link, which the reliable layer re-covers).
 class RemoteRouter {
  public:
   virtual ~RemoteRouter() = default;
   virtual bool is_local(NodeId n) const = 0;
-  virtual void forward(NodeId from, NodeId to, const std::vector<std::uint8_t>& bytes) = 0;
+  virtual bool forward(NodeId from, NodeId to, const std::vector<std::uint8_t>& bytes) = 0;
 };
 
 class ThreadBackend final : public Backend, public Executor, public Transport {
@@ -129,6 +137,16 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
     return bytes_sent_.load(std::memory_order_relaxed);
   }
 
+  /// Envelopes parked because the router refused them (peer ring full) —
+  /// the socket backend reports this as backpressure_stalls.
+  std::uint64_t router_parks() const {
+    return router_parks_.load(std::memory_order_relaxed);
+  }
+  /// Parked envelopes shed at the per-worker cap (reliable re-covers them).
+  std::uint64_t router_park_drops() const {
+    return router_park_drops_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One mailbox entry: either an encoded message or a deferred task.
   struct Envelope {
@@ -177,6 +195,13 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
     std::unordered_map<std::uint64_t, std::uint64_t> last_arrival;
     wire::MessagePool pool;  ///< owning thread only
     std::atomic<std::uint64_t> events{0};
+    /// Router backpressure (owning thread only; main thread before start):
+    /// envelopes forward() refused, waiting for the peer's outbound ring to
+    /// drain. FIFO per destination — while a destination has parked
+    /// envelopes, new sends to it park behind them rather than bypass.
+    std::deque<Envelope> parked;
+    std::unordered_map<NodeId, std::uint32_t> parked_dst;  ///< dst → count
+    std::size_t parked_bytes = 0;
   };
 
   struct Node {
@@ -197,6 +222,13 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
                        std::uint64_t deliver_at_us);
   void deliver(Worker& w, Envelope& env);
   void release_due_held(Worker& w, std::uint64_t now);
+  /// Parks a refused remote envelope on `w` (bounded; sheds + counts beyond
+  /// the cap) and moves `env` into the queue.
+  void park_remote(Worker& w, Envelope&& env);
+  /// Retries parked envelopes once, preserving per-destination FIFO: a
+  /// destination that refuses again keeps its whole run parked; other
+  /// destinations proceed independently (no cross-peer head-of-line).
+  void flush_parked(Worker& w);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Node> nodes_;
@@ -208,6 +240,8 @@ class ThreadBackend final : public Backend, public Executor, public Transport {
   bool started_ = false;
   bool stopped_ = false;  ///< stop() is terminal: no restart
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> router_parks_{0};
+  std::atomic<std::uint64_t> router_park_drops_{0};
 
   std::mutex timer_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<TimerRec>> timer_recs_;

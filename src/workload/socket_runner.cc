@@ -101,6 +101,9 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "socket_kill_rank",
       static_cast<std::uint64_t>(static_cast<std::int64_t>(c.socket.kill_rank)));
   put(o, "socket_kill_after_ms", c.socket.kill_after_ms);
+  put(o, "socket_pump", static_cast<std::uint64_t>(c.socket.pump));
+  put(o, "socket_outbound_budget", c.socket.outbound_budget);
+  put(o, "socket_batch_io", static_cast<std::uint64_t>(c.socket.batch_io));
   for (const auto& w : c.partitions.windows) {
     o << "partition_window " << w.a << ' ' << w.b << ' ' << (w.isolate_all ? 1 : 0) << ' '
       << w.start_us << ' ' << w.end_us << '\n';
@@ -240,6 +243,12 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.socket.kill_rank = static_cast<std::int32_t>(static_cast<std::int64_t>(u));
     } else if (key == "socket_kill_after_ms") {
       c.socket.kill_after_ms = u;
+    } else if (key == "socket_pump") {
+      c.socket.pump = static_cast<runtime::SocketPump>(u);
+    } else if (key == "socket_outbound_budget") {
+      c.socket.outbound_budget = u;
+    } else if (key == "socket_batch_io") {
+      c.socket.batch_io = u != 0;
     } else {
       return false;  // unknown key: launcher/child version skew
     }
@@ -361,6 +370,12 @@ void encode_child_result(const ExperimentResult& res,
   e.put_varint(res.catchups_served);
   e.put_varint(res.prepared_fenced);
   e.put_varint(res.recovery_ms);
+  e.put_varint(res.socket.read_syscalls);
+  e.put_varint(res.socket.write_syscalls);
+  e.put_varint(res.socket.flushes);
+  e.put_varint(res.socket.backpressure_stalls);
+  e.put_varint(res.socket.backpressure_drops);
+  e.put_varint(res.socket.uring_fallback);
   e.put_blob(history);
   out.insert(out.end(), kResultTrailer, kResultTrailer + sizeof(kResultTrailer));
 }
@@ -426,6 +441,12 @@ bool decode_child_result(const std::vector<std::uint8_t>& in, ExperimentResult& 
   res.catchups_served = d.get_varint();
   res.prepared_fenced = d.get_varint();
   res.recovery_ms = d.get_varint();
+  res.socket.read_syscalls = d.get_varint();
+  res.socket.write_syscalls = d.get_varint();
+  res.socket.flushes = d.get_varint();
+  res.socket.backpressure_stalls = d.get_varint();
+  res.socket.backpressure_drops = d.get_varint();
+  res.socket.uring_fallback = d.get_varint();
   d.get_blob_into(history);
   return d.done();
 }
@@ -581,6 +602,12 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
     res.socket.redial_giveups += part.socket.redial_giveups;
     res.socket.fenced_stale_epoch += part.socket.fenced_stale_epoch;
     res.socket.malformed_frames += part.socket.malformed_frames;
+    res.socket.read_syscalls += part.socket.read_syscalls;
+    res.socket.write_syscalls += part.socket.write_syscalls;
+    res.socket.flushes += part.socket.flushes;
+    res.socket.backpressure_stalls += part.socket.backpressure_stalls;
+    res.socket.backpressure_drops += part.socket.backpressure_drops;
+    res.socket.uring_fallback += part.socket.uring_fallback;
     res.reliable.channel_resets += part.reliable.channel_resets;
     res.snapshots_served += part.snapshots_served;
     res.catchups_served += part.catchups_served;

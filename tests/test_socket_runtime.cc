@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -200,9 +201,12 @@ wire::MessagePtr numbered(std::uint64_t i) {
 /// DC == rank (nprocs 2). Node 0 lives on rank 0, node 1 on rank 1; both
 /// backends register both nodes in the same order.
 struct Half {
-  explicit Half(std::uint32_t rank, std::uint16_t base_port)
+  explicit Half(std::uint32_t rank, std::uint16_t base_port,
+                std::uint64_t outbound_budget = 4u << 20)
       : be(SocketBackend::Options{rank, 2, base_port, /*workers=*/1, /*seed=*/1,
-                                  /*connect_timeout_ms=*/10'000}) {
+                                  /*connect_timeout_ms=*/10'000, /*mesh_token=*/0,
+                                  /*epoch=*/0, runtime::SocketPump::kPoll,
+                                  outbound_budget}) {
     n0 = be.add_node(rank == 0 ? static_cast<runtime::Actor*>(&sink) : &null_, /*dc=*/0,
                      nullptr);
     n1 = be.add_node(rank == 1 ? static_cast<runtime::Actor*>(&sink) : &null_, /*dc=*/1,
@@ -320,6 +324,156 @@ TEST(SocketBackendPair, ReliableRetransmitsAcrossReconnectExactlyOnce) {
   const auto sb = b.be.stats();
   EXPECT_GE(sa.reconnects + sb.reconnects, 1u) << "the link must actually have died";
   EXPECT_GT(a.rt.stats().retransmits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batched write path (DESIGN §12).
+// ---------------------------------------------------------------------------
+
+TEST(SocketFraming, CursorResumesShortWritesMidIovecOverASocketpair) {
+  // The pump's batched write path under maximum kernel hostility: a tiny
+  // send buffer forces sendmsg to accept only part of an iovec chain, so
+  // the cursor must resume mid-frame (possibly mid-iovec) on every flush.
+  // The reader sips 1..13-byte reads, so reassembly sees every split point
+  // the cursor can produce.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int sndbuf = 4096;
+  ASSERT_EQ(setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf)), 0);
+  const int wflags = fcntl(sv[0], F_GETFL, 0);
+  ASSERT_EQ(fcntl(sv[0], F_SETFL, wflags | O_NONBLOCK), 0);
+
+  const int kFrames = 41;
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto p = payload_of(static_cast<std::size_t>(1 + (i * 977) % 3000),
+                              static_cast<std::uint8_t>(i * 5 + 1));
+    payloads.push_back(p);
+    std::vector<std::uint8_t> f;
+    append_frame(f, static_cast<NodeId>(i), static_cast<NodeId>(1000 + i), p.data(),
+                 p.size());
+    frames.push_back(std::move(f));
+  }
+
+  FrameQueueCursor cur;
+  FrameReassembler ra;
+  std::vector<Frame> got;
+  std::uint64_t short_writes = 0;
+  std::uint8_t sip[13];
+  int sipn = 1;
+  while (!cur.done(frames) || got.size() < static_cast<std::size_t>(kFrames)) {
+    if (!cur.done(frames)) {
+      struct iovec iov[kMaxWritevIovecs];
+      const std::size_t cnt = cur.build(frames, iov, kMaxWritevIovecs, kMaxWritevBytes);
+      std::size_t total = 0;
+      for (std::size_t k = 0; k < cnt; ++k) total += iov[k].iov_len;
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = cnt;
+      const ssize_t n = sendmsg(sv[0], &mh, MSG_NOSIGNAL);
+      if (n > 0) {
+        cur.advance(frames, static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < total) ++short_writes;
+      } else {
+        ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+      }
+    }
+    const ssize_t r = read(sv[1], sip, static_cast<std::size_t>(sipn));
+    sipn = sipn % 13 + 1;
+    if (r > 0) {
+      ASSERT_TRUE(ra.feed(sip, static_cast<std::size_t>(r)));
+      Frame f;
+      while (ra.next(f)) got.push_back(f);
+    }
+  }
+  close(sv[0]);
+  close(sv[1]);
+
+  EXPECT_GT(short_writes, 0u) << "the tiny SNDBUF must actually have split a batch";
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i].from, static_cast<NodeId>(i));
+    EXPECT_EQ(got[i].to, static_cast<NodeId>(1000 + i));
+    EXPECT_EQ(got[i].bytes, payloads[i]) << "frame " << i << " must survive byte-exact";
+  }
+}
+
+TEST(SocketBackendPair, WakeFloodLosesNoWakeups) {
+  // Hammer the pump's wake path: a flood of single sends, each a potential
+  // empty->non-empty ring transition racing the pump's "drain pipe, clear
+  // armed flag, rescan" sequence. A lost wakeup would strand the last
+  // frame(s) in the ring until the next beacon; losing NONE of 3000 proves
+  // the clear-before-scan ordering.
+  Half a(0, 7641), b(1, 7641);
+  std::thread tb([&] { b.be.start(); });
+  a.be.start();
+  tb.join();
+
+  const std::uint64_t kMsgs = 3000;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    a.be.transport().send(a.n0, a.n1, numbered(i));
+  }
+  for (int spin = 0; spin < 300 && b.sink.delivered.load() < kMsgs; ++spin) {
+    b.be.run_for(20'000);
+  }
+  a.be.stop();
+  b.be.stop();
+
+  ASSERT_EQ(b.sink.values.size(), kMsgs);
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(b.sink.values[i], i) << "flood must deliver in order with no loss";
+  }
+  // The whole point of batching: far fewer write syscalls than frames.
+  const auto sa = a.be.stats();
+  EXPECT_LT(sa.write_syscalls, sa.frames_out)
+      << "coalescing must beat one write per frame on a flood";
+}
+
+TEST(SocketBackendPair, BackpressureBoundsOutboundAndConvergesAfterHeal) {
+  // A stalled peer (pump ignores its socket entirely — a slow consumer
+  // taken to the limit) must NOT let the sender queue grow without bound:
+  // the ring fills to its byte budget, forward() refuses, and the sending
+  // worker parks envelopes (counted as backpressure stalls). Healing the
+  // peer drains the ring and the parked queue in order — backpressure is
+  // deferral, never loss.
+  const std::uint64_t kBudget = 4096;
+  Half a(0, 7661, kBudget), b(1, 7661, kBudget);
+  std::thread tb([&] { b.be.start(); });
+  a.be.start();
+  tb.join();
+
+  a.be.debug_stall_peer(1, true);
+  const std::uint64_t kMsgs = 2000;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    a.be.transport().send(a.n0, a.n1, numbered(i));
+  }
+  // Give the sending worker time to hit the budget and start parking.
+  for (int spin = 0; spin < 50 && a.be.stats().backpressure_stalls == 0; ++spin) {
+    a.be.run_for(10'000);
+  }
+  const auto stalled = a.be.stats();
+  EXPECT_GT(stalled.backpressure_stalls, 0u)
+      << "a full ring must park senders, not grow";
+  // Bounded memory: the ring never exceeds its budget plus the epoch
+  // beacons that bypass it (16 wire bytes per 50ms — a rounding error).
+  EXPECT_LE(a.be.debug_outbound_queued(1), kBudget + 2048)
+      << "the outbound ring must respect its byte budget while stalled";
+
+  a.be.debug_stall_peer(1, false);
+  for (int spin = 0; spin < 500 && b.sink.delivered.load() < kMsgs; ++spin) {
+    b.be.run_for(20'000);
+  }
+  a.be.stop();
+  b.be.stop();
+
+  ASSERT_EQ(b.sink.values.size(), kMsgs)
+      << "every parked envelope must deliver after the heal";
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(b.sink.values[i], i) << "parked envelopes must preserve FIFO";
+  }
+  EXPECT_EQ(a.be.stats().backpressure_drops, 0u)
+      << "2000 small envelopes sit far under the parked-bytes cap";
 }
 
 }  // namespace

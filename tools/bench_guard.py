@@ -30,6 +30,14 @@ BENCH_realtime_socket.json) are guarded too:
     UPWARD — current must stay under baseline * (1 + --retx-tolerance).
     A SACK regression back to go-back-N multiplies this metric, which a
     throughput check alone would miss on a latency-bound run.
+  * rows with a nonzero "syscalls_per_frame" (the batching headline:
+    pump syscalls per frame moved) are guarded UPWARD the same way —
+    current must stay under baseline * (1 + --tolerance). Losing the
+    writev/large-read coalescing multiplies this metric while goodput on
+    a fast loopback barely moves.
+  * baseline rows marked "optional": true (e.g. sockets_uring, which only
+    exists on kernels with io_uring) may be missing from the current run —
+    skipped with a notice instead of failing.
 
 Exit code 0 = pass, 1 = regression, 2 = usage/IO error.
 """
@@ -77,6 +85,9 @@ def main():
     for name, b in sorted(base.items()):
         c = cur.get(name)
         if c is None:
+            if b.get("optional"):
+                print(f"  {name:<34} (optional row absent from current run; skipped)")
+                continue
             failures.append(f"{name}: missing from current run")
             continue
         tol = args.tolerance
@@ -117,6 +128,23 @@ def main():
                     "regressed toward go-back-N"
                 )
                 status = "RETRANSMIT REGRESSION"
+        if b.get("syscalls_per_frame", 0.0) > 0.0:
+            ceiling = b["syscalls_per_frame"] * (1.0 + args.tolerance)
+            spf = c.get("syscalls_per_frame")
+            if spf is None:
+                failures.append(
+                    f"{name}: syscalls_per_frame missing from the current "
+                    "run (guarded metrics may not silently disappear)"
+                )
+                status = "SYSCALL METRIC MISSING"
+            elif spf > ceiling:
+                failures.append(
+                    f"{name}: syscalls_per_frame {spf:.2f} exceeds "
+                    f"{ceiling:.2f} (baseline {b['syscalls_per_frame']:.2f} "
+                    f"+ {args.tolerance:.0%}) — the pump's batching has "
+                    "regressed toward one syscall per frame"
+                )
+                status = "SYSCALL BATCHING REGRESSION"
         print(f"  {name:<34} {ratio:6.2f}x  "
               f"allocs {b.get('allocs_per_op', 0):.3f} -> {c.get('allocs_per_op', 0):.3f}  {status}")
 

@@ -24,6 +24,7 @@
 
 #include "cluster/topology.h"
 #include "workload/experiment.h"
+#include "runtime/socket_runtime.h"
 #include "workload/socket_runner.h"
 
 using namespace paris;
@@ -55,6 +56,20 @@ namespace {
       "  --kill-rank=R:MS        sockets: SIGKILL rank R once MS ms of the\n"
       "                          supervised run have elapsed (fault schedule;\n"
       "                          requires --supervise)\n"
+      "  --socket-pump=poll|uring\n"
+      "                          sockets: I/O engine for the per-process pump\n"
+      "                          thread. uring probes io_uring at startup and\n"
+      "                          falls back to poll with a notice if the\n"
+      "                          kernel lacks it (default poll)\n"
+      "  --socket-outbound-kb=K  sockets: per-peer outbound ring budget in\n"
+      "                          KiB; a full ring backpressures senders\n"
+      "                          (parked envelopes, not loss). 0 = unbounded\n"
+      "                          (default 4096)\n"
+      "  --socket-unbatched      sockets: one frame per write syscall + 4KB\n"
+      "                          reads (the pre-batching I/O pattern, kept\n"
+      "                          for A/B measurement)\n"
+      "  --probe-io-uring        print whether io_uring is usable on this\n"
+      "                          kernel and exit (0 = yes, 3 = no)\n"
       "  --latency-model=none|matrix|jitter\n"
       "                          threads/sockets: inject per-DC-pair WAN\n"
       "                          delay (matrix), plus jitter (default none;\n"
@@ -139,6 +154,10 @@ int main(int argc, char** argv) {
   workload::ExperimentConfig cfg;
   cfg.threads_per_process = 8;
   bool sack_flag_set = false;
+  bool socket_pump_set = false;
+  bool socket_budget_set = false;
+  bool socket_batch_set = false;
+  bool probe_uring = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -190,6 +209,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --kill-rank rank must be >= 0, got '%s'\n", v);
         return 2;
       }
+    } else if (parse_flag(argv[i], "--socket-pump", &v) && v) {
+      if (std::string(v) == "poll") {
+        cfg.socket.pump = runtime::SocketPump::kPoll;
+      } else if (std::string(v) == "uring") {
+        cfg.socket.pump = runtime::SocketPump::kUring;
+      } else {
+        std::fprintf(stderr, "error: --socket-pump takes poll|uring, got '%s'\n", v);
+        return 2;
+      }
+      socket_pump_set = true;
+    } else if (parse_flag(argv[i], "--socket-outbound-kb", &v) && v) {
+      const long long kb = std::atoll(v);
+      if (kb < 0) {
+        std::fprintf(stderr, "error: --socket-outbound-kb must be >= 0, got '%s'\n", v);
+        return 2;
+      }
+      cfg.socket.outbound_budget = static_cast<std::uint64_t>(kb) * 1024;
+      socket_budget_set = true;
+    } else if (parse_flag(argv[i], "--socket-unbatched", &v)) {
+      cfg.socket.batch_io = false;
+      socket_batch_set = true;
+    } else if (parse_flag(argv[i], "--probe-io-uring", &v)) {
+      probe_uring = true;
     } else if (parse_flag(argv[i], "--latency-model", &v) && v) {
       if (std::string(v) == "none") {
         cfg.latency_model = runtime::LatencyModelKind::kNone;
@@ -300,6 +342,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (probe_uring) {
+    std::string why;
+    if (runtime::SocketBackend::probe_io_uring(&why)) {
+      std::printf("io_uring: available\n");
+      return 0;
+    }
+    std::printf("io_uring: unavailable (%s)\n", why.c_str());
+    return 3;
+  }
+
   if (cfg.runtime == runtime::Kind::kSim &&
       (cfg.latency_model != runtime::LatencyModelKind::kNone || cfg.chaos.enabled() ||
        cfg.reliable || cfg.partitions.enabled())) {
@@ -317,9 +369,11 @@ int main(int argc, char** argv) {
   }
   if (cfg.runtime != runtime::Kind::kSockets &&
       (cfg.socket.processes != 0 || !cfg.socket.dir.empty() || cfg.socket.supervise ||
-       cfg.socket.kill_rank >= 0)) {
+       cfg.socket.kill_rank >= 0 || socket_pump_set || socket_budget_set ||
+       socket_batch_set)) {
     std::fprintf(stderr,
-                 "error: --processes/--socket-dir/--supervise/--kill-rank require "
+                 "error: --processes/--socket-dir/--supervise/--kill-rank/"
+                 "--socket-pump/--socket-outbound-kb/--socket-unbatched require "
                  "--runtime=sockets\n");
     return 2;
   }
@@ -367,10 +421,13 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "runtime: sockets, %u processes (base port %u, hw concurrency %u), "
-          "latency model %s\n",
+          "latency model %s, pump %s%s, outbound budget %llu KiB\n",
           cfg.socket.resolve_processes(cfg.num_dcs), cfg.socket.base_port,
           std::thread::hardware_concurrency(),
-          runtime::latency_model_name(cfg.latency_model));
+          runtime::latency_model_name(cfg.latency_model),
+          runtime::socket_pump_name(cfg.socket.pump),
+          cfg.socket.batch_io ? "" : " (unbatched)",
+          static_cast<unsigned long long>(cfg.socket.outbound_budget / 1024));
       if (cfg.socket.supervise) {
         std::printf("supervise: respawn budget %u", cfg.socket.max_respawns);
         if (cfg.socket.kill_rank >= 0) {
@@ -457,6 +514,17 @@ int main(int argc, char** argv) {
                 stats::with_commas(res.socket.partial_reads).c_str(),
                 stats::with_commas(res.socket.short_writes).c_str(),
                 stats::with_commas(res.socket.reconnects).c_str());
+    std::printf("socket io       %10s syscalls (%.2f/frame, %s bytes/syscall), "
+                "%s flushes, %s backpressure stalls%s%s\n",
+                stats::with_commas(res.socket.read_syscalls +
+                                   res.socket.write_syscalls).c_str(),
+                res.socket.syscalls_per_frame(),
+                stats::with_commas(
+                    static_cast<std::uint64_t>(res.socket.bytes_per_syscall())).c_str(),
+                stats::with_commas(res.socket.flushes).c_str(),
+                stats::with_commas(res.socket.backpressure_stalls).c_str(),
+                res.socket.backpressure_drops != 0 ? " (some shed)" : "",
+                res.socket.uring_fallback != 0 ? ", uring->poll fallback" : "");
     if (cfg.socket.supervise) {
       std::printf("self-healing    %10s respawns, %s snapshots / %s catchups served, "
                   "%s prepared fenced, %s stale-epoch fenced, %s redials\n",

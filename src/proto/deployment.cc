@@ -75,6 +75,16 @@ std::unique_ptr<runtime::LatencyTransport> build_latency_tp(const DeploymentConf
                                                      std::move(model), cfg.seed);
 }
 
+std::unique_ptr<runtime::WanTransport> build_wan_tp(const DeploymentConfig& cfg,
+                                                    runtime::Backend& be,
+                                                    runtime::Transport* below) {
+  if (cfg.runtime == runtime::Kind::kSim || !cfg.wan.enabled()) return nullptr;
+  runtime::WanConfig wan = cfg.wan;
+  if (wan.seed == 0) wan.seed = cfg.seed;
+  return std::make_unique<runtime::WanTransport>(
+      below != nullptr ? *below : be.transport(), be.exec(), std::move(wan));
+}
+
 std::unique_ptr<runtime::PartitionTransport> build_partition_tp(const DeploymentConfig& cfg,
                                                                 runtime::Backend& be,
                                                                 runtime::Transport* below) {
@@ -93,12 +103,27 @@ std::unique_ptr<runtime::ChaosTransport> build_chaos_tp(const DeploymentConfig& 
       below != nullptr ? *below : be.transport(), be.exec(), chaos);
 }
 
+std::unique_ptr<runtime::FuzzTransport> build_fuzz_tp(const DeploymentConfig& cfg,
+                                                      runtime::Backend& be,
+                                                      runtime::Transport* below) {
+  if (cfg.runtime == runtime::Kind::kSim || !cfg.fuzz.enabled()) return nullptr;
+  runtime::FuzzConfig fuzz = cfg.fuzz;
+  if (fuzz.seed == 0) fuzz.seed = cfg.seed;
+  return std::make_unique<runtime::FuzzTransport>(
+      below != nullptr ? *below : be.transport(), be.exec(), fuzz);
+}
+
 std::unique_ptr<runtime::ReliableTransport> build_reliable_tp(const DeploymentConfig& cfg,
                                                               runtime::Backend& be,
                                                               runtime::Transport* below) {
   if (cfg.runtime == runtime::Kind::kSim || !cfg.reliable) return nullptr;
+  runtime::ReliableConfig rc = cfg.reliable_cfg;
+  // Frames are stamped with the receiver's incarnation so post-respawn
+  // retransmissions of the dead channel can never mingle with the
+  // renumbered stream (threads/sim stay at epoch 0 throughout).
+  if (auto* sb = dynamic_cast<runtime::SocketBackend*>(&be)) rc.self_epoch = sb->epoch();
   return std::make_unique<runtime::ReliableTransport>(
-      below != nullptr ? *below : be.transport(), be.exec(), cfg.reliable_cfg);
+      below != nullptr ? *below : be.transport(), be.exec(), rc);
 }
 
 runtime::Transport* first_nonnull(std::initializer_list<runtime::Transport*> ts) {
@@ -118,16 +143,24 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
       dir_(topo_),
       backend_(build_backend(cfg, topo_)),
       latency_tp_(build_latency_tp(cfg, *backend_)),
-      partition_tp_(build_partition_tp(cfg, *backend_, latency_tp_.get())),
+      wan_tp_(build_wan_tp(cfg, *backend_, latency_tp_.get())),
+      partition_tp_(build_partition_tp(
+          cfg, *backend_, first_nonnull({wan_tp_.get(), latency_tp_.get()}))),
       chaos_tp_(build_chaos_tp(
-          cfg, *backend_, first_nonnull({partition_tp_.get(), latency_tp_.get()}))),
+          cfg, *backend_,
+          first_nonnull({partition_tp_.get(), wan_tp_.get(), latency_tp_.get()}))),
+      fuzz_tp_(build_fuzz_tp(
+          cfg, *backend_,
+          first_nonnull(
+              {chaos_tp_.get(), partition_tp_.get(), wan_tp_.get(), latency_tp_.get()}))),
       reliable_tp_(build_reliable_tp(
           cfg, *backend_,
-          first_nonnull({chaos_tp_.get(), partition_tp_.get(), latency_tp_.get()}))),
+          first_nonnull({fuzz_tp_.get(), chaos_tp_.get(), partition_tp_.get(),
+                         wan_tp_.get(), latency_tp_.get()}))),
       rt_{backend_->exec(),
           outermost(*backend_,
-                    first_nonnull({reliable_tp_.get(), chaos_tp_.get(),
-                                   partition_tp_.get(), latency_tp_.get()})),
+                    first_nonnull({reliable_tp_.get(), fuzz_tp_.get(), chaos_tp_.get(),
+                                   partition_tp_.get(), wan_tp_.get(), latency_tp_.get()})),
           topo_,
           dir_,
           cfg.cost,
@@ -188,7 +221,7 @@ void Deployment::start() {
 }
 
 void Deployment::wire_epoch_fencing(runtime::SocketBackend& sb) {
-  sb.set_epoch_listener([this, &sb](std::uint32_t peer_rank, std::uint32_t /*epoch*/) {
+  sb.set_epoch_listener([this, &sb](std::uint32_t peer_rank, std::uint32_t epoch) {
     // The rank's previous incarnation is dead: its reliable channel state,
     // prepared-2PC entries it coordinated, and any un-replicated tail died
     // with it. Collect the server nodes it owns, then heal every LOCAL
@@ -201,11 +234,11 @@ void Deployment::wire_epoch_fencing(runtime::SocketBackend& sb) {
       ServerBase* s = sp.get();
       if (!backend_->local(s->node())) continue;
       const NodeId self = s->node();
-      exec().post(self, [this, s, self, affected] {
+      exec().post(self, [this, s, self, affected, epoch] {
         // Channel reset FIRST: the fresh incarnation has empty dedup state,
         // so anything sent afterwards (including the catch-up request
-        // below) must ride a renumbered channel.
-        if (reliable_tp_ != nullptr) reliable_tp_->reset_peer_channels(self, affected);
+        // below) must ride a renumbered channel stamped with its epoch.
+        if (reliable_tp_ != nullptr) reliable_tp_->reset_peer_channels(self, affected, epoch);
         s->fence_lost_coordinators(affected);
         // Anti-entropy: versions only this survivor ever applied flow to
         // the respawned replica via its catch-up fan-out; asking it back

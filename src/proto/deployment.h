@@ -20,9 +20,11 @@
 #include "proto/paris_server.h"
 #include "proto/runtime.h"
 #include "runtime/backend.h"
+#include "runtime/fuzz_transport.h"
 #include "runtime/latency_transport.h"
 #include "runtime/partition_transport.h"
 #include "runtime/reliable_transport.h"
+#include "runtime/wan_transport.h"
 #include "runtime/socket_runtime.h"
 #include "sim/codec_mode.h"
 
@@ -69,6 +71,12 @@ struct DeploymentConfig {
   /// Threads backend only: scheduled inter-DC blackouts (messages crossing
   /// an active window are dropped; heals at the window deadline).
   runtime::PartitionSpec partitions;
+  /// Threads/sockets: WAN-realism link episodes (asymmetric delay ramps,
+  /// bandwidth caps, Gilbert–Elliott burst loss). Off when empty.
+  runtime::WanConfig wan;
+  /// Threads/sockets: live channel fuzzing (mutate-then-drop + replay),
+  /// below the reliable layer. Off by default.
+  runtime::FuzzConfig fuzz;
   std::uint64_t seed = 1;
 };
 
@@ -118,6 +126,10 @@ class Deployment {
   runtime::ReliableTransport* reliable_transport() { return reliable_tp_.get(); }
   /// Non-null when scheduled blackouts are configured (cfg.partitions).
   runtime::PartitionTransport* partition_transport() { return partition_tp_.get(); }
+  /// Non-null when WAN link episodes are configured (cfg.wan.enabled()).
+  runtime::WanTransport* wan_transport() { return wan_tp_.get(); }
+  /// Non-null when channel fuzzing is on (cfg.fuzz.enabled()).
+  runtime::FuzzTransport* fuzz_transport() { return fuzz_tp_.get(); }
   /// Non-null when this deployment runs the socket backend (child process).
   runtime::SocketBackend* socket_backend() {
     return cfg_.runtime == runtime::Kind::kSockets
@@ -166,13 +178,18 @@ class Deployment {
   cluster::Topology topo_;
   cluster::Directory dir_;
   std::unique_ptr<runtime::Backend> backend_;
-  // Transport decorator chain (threads backend only); the protocol sends
-  // through reliable -> chaos -> partition -> latency -> backend (each
-  // layer optional). Declared innermost-first and before rt_, which binds
-  // a reference to the outermost transport.
+  // Transport decorator chain (threads/sockets backends only); the protocol
+  // sends through reliable -> fuzz -> chaos -> partition -> wan -> latency
+  // -> backend (each layer optional). Fuzz sits just below reliable so it
+  // sees — and may corrupt/replay — the sequenced frames the reliable layer
+  // must recover from; wan shapes links next to the latency model it
+  // perturbs. Declared innermost-first and before rt_, which binds a
+  // reference to the outermost transport.
   std::unique_ptr<runtime::LatencyTransport> latency_tp_;
+  std::unique_ptr<runtime::WanTransport> wan_tp_;
   std::unique_ptr<runtime::PartitionTransport> partition_tp_;
   std::unique_ptr<runtime::ChaosTransport> chaos_tp_;
+  std::unique_ptr<runtime::FuzzTransport> fuzz_tp_;
   std::unique_ptr<runtime::ReliableTransport> reliable_tp_;
   Runtime rt_;
   std::vector<std::unique_ptr<ServerBase>> servers_;

@@ -85,6 +85,8 @@ bool drop_eligible(const wire::Message& m, ChaosDropClass c) {
 }
 }  // namespace
 
+bool idempotent_message_class(const wire::Message& m) { return replication_layer_of(m); }
+
 void ChaosTransport::send_at(NodeId from, NodeId to, wire::MessagePtr msg,
                              std::uint64_t at_us) {
   if (cfg_.drop_p > 0 && drop_eligible(*msg, cfg_.drop_class) &&

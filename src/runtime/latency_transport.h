@@ -150,6 +150,13 @@ enum class ChaosDropClass : std::uint8_t {
 
 const char* chaos_drop_class_name(ChaosDropClass c);
 
+/// True for the idempotent replication/stabilization layer (ReplicateBatch,
+/// Heartbeat), classified THROUGH reliable frames by the message they carry;
+/// bare ReliableAcks are not idempotent-class. Shared by every decorator
+/// that may duplicate traffic (chaos, WAN, fuzz): duplicating anything else
+/// without a reliability layer above would wedge transactions.
+bool idempotent_message_class(const wire::Message& m);
+
 /// Fault-injection decorator. All knobs default to off; enabling any makes
 /// the transport adversarial on purpose:
 ///  * reorder_p: probability a message is stalled by reorder_stall_us

@@ -68,6 +68,7 @@ class ReliableTransport::Endpoint final : public Actor {
 
     auto frame = rt_.inner_.msg_pool(self_).make<wire::ReliableFrame>();
     frame->seq = seq;
+    frame->dst_epoch = ch.dst_epoch;
     frame->inner_type = static_cast<std::uint8_t>(t);
     wire::encode_message(msg, frame->payload);
 
@@ -92,31 +93,31 @@ class ReliableTransport::Endpoint final : public Actor {
   /// unacked frame toward it from seq 1 (fresh ReliableFrame objects — an
   /// in-flight delayed copy may still reference the old ones) and restart
   /// the dedup state of the channel FROM it. Runs on this node's worker.
-  void reset_channels(const std::vector<NodeId>& peers) {
+  void reset_channels(const std::vector<NodeId>& peers, std::uint32_t peer_epoch) {
     const std::uint64_t now = rt_.exec_.now_us();
     for (const NodeId peer : peers) {
-      if (auto it = send_.find(peer); it != send_.end()) {
-        SendChannel& ch = it->second;
-        std::uint64_t n = 0;
-        for (Flight& fl : ch.window) {
-          const auto& old = static_cast<const wire::ReliableFrame&>(*fl.frame);
-          auto nf = rt_.inner_.msg_pool(self_).make<wire::ReliableFrame>();
-          nf->seq = ++n;
-          nf->inner_type = old.inner_type;
-          nf->payload = old.payload;
-          fl.frame = wire::MessagePtr(std::move(nf));
-          fl.sent_at_us = 0;  // queued again: pump retransmits from scratch
-          fl.sacked = false;
-          fl.retransmitted = true;  // Karn: its ack would be ambiguous
-        }
-        for (auto& lw : ch.latest_wins) lw = lw > ch.acked ? lw - ch.acked : 0;
-        ch.next_seq = n;
-        ch.acked = 0;
-        ch.sent = 0;
-        ch.backoff = 1;
-        rt_.stats_.channel_resets.fetch_add(1, std::memory_order_relaxed);
-        pump(peer, ch, now);
+      SendChannel& ch = send_[peer];  // created if absent: future sends need the epoch
+      ch.dst_epoch = peer_epoch;
+      std::uint64_t n = 0;
+      for (Flight& fl : ch.window) {
+        const auto& old = static_cast<const wire::ReliableFrame&>(*fl.frame);
+        auto nf = rt_.inner_.msg_pool(self_).make<wire::ReliableFrame>();
+        nf->seq = ++n;
+        nf->dst_epoch = peer_epoch;
+        nf->inner_type = old.inner_type;
+        nf->payload = old.payload;
+        fl.frame = wire::MessagePtr(std::move(nf));
+        fl.sent_at_us = 0;  // queued again: pump retransmits from scratch
+        fl.sacked = false;
+        fl.retransmitted = true;  // Karn: its ack would be ambiguous
       }
+      for (auto& lw : ch.latest_wins) lw = lw > ch.acked ? lw - ch.acked : 0;
+      ch.next_seq = n;
+      ch.acked = 0;
+      ch.sent = 0;
+      ch.backoff = 1;
+      rt_.stats_.channel_resets.fetch_add(1, std::memory_order_relaxed);
+      pump(peer, ch, now);
       if (auto it = recv_.find(peer); it != recv_.end()) {
         it->second.delivered = 0;
         it->second.ooo.clear();
@@ -135,6 +136,7 @@ class ReliableTransport::Endpoint final : public Actor {
   };
   struct SendChannel {
     std::uint64_t next_seq = 0;  ///< last assigned
+    std::uint32_t dst_epoch = 0;  ///< receiver incarnation the numbering belongs to
     std::uint64_t acked = 0;     ///< cumulative; window holds [acked+1, next_seq]
     std::uint64_t sent = 0;      ///< highest seq transmitted at least once
     std::uint32_t backoff = 1;   ///< RTO multiplier, doubled per silent round
@@ -184,12 +186,23 @@ class ReliableTransport::Endpoint final : public Actor {
     if (old.payload.empty()) return;  // already a placeholder
     auto ph = rt_.inner_.msg_pool(self_).make<wire::ReliableFrame>();
     ph->seq = seq;
+    ph->dst_epoch = old.dst_epoch;
     ph->inner_type = old.inner_type;
     fl.frame = wire::MessagePtr(std::move(ph));
     rt_.stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
   }
 
   void handle_frame(NodeId from, const wire::ReliableFrame& f) {
+    if (f.dst_epoch != rt_.cfg_.self_epoch) {
+      // Stamped for another incarnation of this process: a retransmission
+      // numbered for the dead channel (or one sent before the peer noticed
+      // our respawn). Dropping it — no ack, no buffering — keeps stale
+      // seqs out of the reorder buffer, where they would later mask the
+      // renumbered frame carrying the same seq. The sender renumbers and
+      // restamps on its own epoch notice, so delivery converges.
+      rt_.stats_.fenced_frames.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     RecvChannel& ch = recv_[from];
     if (f.seq <= ch.delivered) {
       // Duplicate: a retransmission raced the ack. Re-ack so the sender's
@@ -446,6 +459,7 @@ ReliableTransport::Stats ReliableTransport::stats() const {
   s.malformed_acks = stats_.malformed_acks.load(std::memory_order_relaxed);
   s.rtt_samples = stats_.rtt_samples.load(std::memory_order_relaxed);
   s.channel_resets = stats_.channel_resets.load(std::memory_order_relaxed);
+  s.fenced_frames = stats_.fenced_frames.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -454,9 +468,10 @@ std::size_t ReliableTransport::window_size(NodeId node) const {
   return ep != nullptr ? ep->window_size() : 0;
 }
 
-void ReliableTransport::reset_peer_channels(NodeId self, const std::vector<NodeId>& peers) {
+void ReliableTransport::reset_peer_channels(NodeId self, const std::vector<NodeId>& peers,
+                                            std::uint32_t peer_epoch) {
   Endpoint* ep = self < by_node_.size() ? by_node_[self] : nullptr;
-  if (ep != nullptr) ep->reset_channels(peers);
+  if (ep != nullptr) ep->reset_channels(peers, peer_epoch);
 }
 
 }  // namespace paris::runtime

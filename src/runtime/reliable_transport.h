@@ -107,6 +107,11 @@ struct ReliableConfig {
   /// Floor for the adaptive RTO: loopback RTTs are microseconds, and an
   /// RTO that small turns scheduling hiccups into retransmission storms.
   std::uint64_t min_rto_us = 5'000;
+  /// This process's incarnation (SocketBackend epoch; 0 on threads/sim).
+  /// Receivers drop frames whose dst_epoch differs — retransmissions
+  /// numbered for a dead incarnation's channel must never mingle with the
+  /// renumbered stream (see ReliableFrame::dst_epoch).
+  std::uint32_t self_epoch = 0;
 
   std::uint64_t effective_scan_period_us() const {
     return scan_period_us != 0 ? scan_period_us : rto_us / 2;
@@ -167,6 +172,7 @@ class ReliableTransport final : public TransportDecorator {
     std::uint64_t malformed_acks = 0;    ///< acks with rejected SACK ranges
     std::uint64_t rtt_samples = 0;       ///< Karn-valid samples fed to estimators
     std::uint64_t channel_resets = 0;    ///< channels renumbered after a peer respawn
+    std::uint64_t fenced_frames = 0;     ///< frames stamped for another incarnation
   };
 
   ReliableTransport(Transport& inner, Executor& exec, ReliableConfig cfg);
@@ -189,13 +195,17 @@ class ReliableTransport final : public TransportDecorator {
   std::size_t window_size(NodeId node) const;
 
   /// Epoch-fenced membership (DESIGN §11): the process owning `peers` was
-  /// respawned, so its reliable state (delivered seqs, dedup windows) is
-  /// gone. Every send channel from `self` toward a peer is renumbered from
-  /// seq 1 — unacked frames are re-framed in place and retransmitted, so
-  /// nothing the old incarnation failed to ack is lost — and every receive
-  /// channel from a peer restarts its dedup state at 0. MUST run on
-  /// `self`'s worker (post it via the executor), like all endpoint state.
-  void reset_peer_channels(NodeId self, const std::vector<NodeId>& peers);
+  /// respawned with incarnation `peer_epoch`, so its reliable state
+  /// (delivered seqs, dedup windows) is gone. Every send channel from
+  /// `self` toward a peer is renumbered from seq 1 and restamped with the
+  /// new epoch — unacked frames are re-framed in place and retransmitted,
+  /// so nothing the old incarnation failed to ack is lost, while copies of
+  /// the OLD framing still in flight are fenced at the receiver by their
+  /// stale dst_epoch — and every receive channel from a peer restarts its
+  /// dedup state at 0. MUST run on `self`'s worker (post it via the
+  /// executor), like all endpoint state.
+  void reset_peer_channels(NodeId self, const std::vector<NodeId>& peers,
+                           std::uint32_t peer_epoch);
 
  private:
   class Endpoint;
@@ -210,7 +220,8 @@ class ReliableTransport final : public TransportDecorator {
   struct AtomicStats {
     std::atomic<std::uint64_t> frames_sent{0}, retransmits{0}, fast_retransmits{0},
         acks_sent{0}, dup_frames{0}, ooo_frames{0}, stale_acks{0}, coalesced{0},
-        sacked_skips{0}, malformed_acks{0}, rtt_samples{0}, channel_resets{0};
+        sacked_skips{0}, malformed_acks{0}, rtt_samples{0}, channel_resets{0},
+        fenced_frames{0};
   };
   AtomicStats stats_;
 };

@@ -1,0 +1,118 @@
+#include "runtime/wan_transport.h"
+
+namespace paris::runtime {
+
+WanTransport::WanTransport(Transport& inner, Executor& exec, WanConfig cfg)
+    : TransportDecorator(inner),
+      exec_(exec),
+      cfg_(std::move(cfg)),
+      draws_(splitmix64(cfg_.seed ^ 0x77616e5452505854ull)),  // salt: "wanTRPXT"
+      ge_(cfg_.episodes.size()) {}
+
+bool WanTransport::chain_state(std::size_t ep, std::uint64_t slot) {
+  std::lock_guard<std::mutex> lk(ge_mu_);
+  GeChain& c = ge_[ep];
+  const WanLinkEpisode& e = cfg_.episodes[ep];
+  while (c.bad.size() <= slot) {
+    const std::uint64_t k = c.bad.size();
+    const bool prev = k == 0 ? false : c.bad[k - 1];  // chains start good
+    // Transition draw: a pure function of (seed, episode, slot) — every
+    // thread/process extending this chain computes identical states.
+    const std::uint64_t h =
+        splitmix64(splitmix64(cfg_.seed ^ 0x4745636861696eull ^ ep) ^ k);  // "GEchain"
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    c.bad.push_back(prev ? (u >= e.p_bad_good) : (u < e.p_good_bad));
+  }
+  return c.bad[slot];
+}
+
+bool WanTransport::ge_bad(std::size_t ep, std::uint64_t now) {
+  const WanLinkEpisode& e = cfg_.episodes[ep];
+  const std::uint64_t slot = now >= e.start_us ? (now - e.start_us) / kGeSlotUs : 0;
+  return chain_state(ep, slot);
+}
+
+void WanTransport::send_at(NodeId from, NodeId to, wire::MessagePtr msg,
+                           std::uint64_t at_us) {
+  const DcId da = dc_of(from), db = dc_of(to);
+  if (da == db) {  // intra-DC traffic never crosses a WAN link
+    inner_.send_at(from, to, std::move(msg), at_us);
+    return;
+  }
+  const std::uint64_t now = exec_.now_us();
+  std::uint64_t deliver_at = at_us;
+  bool shaped = false;
+  for (std::size_t i = 0; i < cfg_.episodes.size(); ++i) {
+    const WanLinkEpisode& e = cfg_.episodes[i];
+    if (!e.matches(da, db, now)) continue;
+    shaped = true;
+
+    // Correlated loss first: a message eaten by a burst pays nothing else.
+    if (e.has_loss()) {
+      const double p = ge_bad(i, now) ? e.loss_bad : e.loss_good;
+      if (p > 0 && draws_.next(from, to) < p) {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.ge_dropped;
+        ++stats_.shaped;
+        return;  // msg released, never delivered
+      }
+    }
+
+    // Bandwidth cap: the link is a FIFO pipe; this message departs when the
+    // pipe has drained everything ahead of it plus its own serialization
+    // time. Keyed by directed DC pair so both directions own private pipes.
+    if (e.bandwidth_bytes_per_us > 0) {
+      const std::uint64_t bytes = msg->wire_size() + 1;  // +1 type tag
+      const std::uint64_t ser_us =
+          (bytes + e.bandwidth_bytes_per_us - 1) / e.bandwidth_bytes_per_us;
+      const std::uint64_t key = (static_cast<std::uint64_t>(da) << 32) | db;
+      std::uint64_t depart;
+      std::uint64_t waited = 0;
+      {
+        std::lock_guard<std::mutex> lk(pipe_mu_);
+        Pipe& pipe = pipes_[key];
+        const std::uint64_t start = pipe.free_at_us > at_us ? pipe.free_at_us : at_us;
+        waited = start - at_us;
+        depart = start + ser_us;
+        pipe.free_at_us = depart;
+      }
+      deliver_at = deliver_at > depart ? deliver_at : depart;
+      if (waited > 0) {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.bw_queued;
+        stats_.bw_wait_us += waited;
+      }
+    }
+
+    // Time-varying extra delay: linear ramp across the episode window.
+    if (e.extra_delay_start_us != 0 || e.extra_delay_end_us != 0) {
+      const std::uint64_t span = e.end_us - e.start_us;
+      const std::uint64_t off = now - e.start_us;
+      const double frac = span != 0 ? static_cast<double>(off) / static_cast<double>(span)
+                                    : 0.0;
+      const double d = static_cast<double>(e.extra_delay_start_us) +
+                       frac * (static_cast<double>(e.extra_delay_end_us) -
+                               static_cast<double>(e.extra_delay_start_us));
+      deliver_at += static_cast<std::uint64_t>(d);
+    }
+
+    if (e.duplicate_p > 0 && idempotent_message_class(*msg) &&
+        draws_.next(from, to) < e.duplicate_p) {
+      inner_.send_at(from, to, msg, deliver_at);  // handle copy, same payload
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.duplicated;
+    }
+  }
+  if (shaped) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.shaped;
+  }
+  inner_.send_at(from, to, std::move(msg), deliver_at);
+}
+
+WanTransport::Stats WanTransport::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace paris::runtime

@@ -1,0 +1,137 @@
+#pragma once
+// WanTransport: WAN-realism link shaping for the thread/socket runtimes
+// (DESIGN.md §13).
+//
+// The LatencyTransport models a healthy WAN: a static per-DC-pair mean plus
+// symmetric jitter. Real long-haul links misbehave in ways that matter to a
+// causal-consistency protocol — routes degrade mid-run, the two directions
+// of a path see different delay, a congested link serializes bytes instead
+// of delaying messages independently, and loss arrives in bursts, not as
+// independent coin flips. This decorator adds exactly those behaviors as
+// scheduled per-link EPISODES, composable with the rest of the chain:
+//
+//   protocol -> Reliable -> Fuzz -> Chaos -> Partition -> Wan -> Latency -> backend
+//
+// Each episode names a directed DC link (or both directions) and a time
+// window, and contributes:
+//  * extra one-way delay, linearly ramped from `extra_delay_start_us` at the
+//    window start to `extra_delay_end_us` at the window end (mid-run
+//    degradation; asymmetric because episodes are directional);
+//  * a bandwidth cap modeled as serialization delay: the link is a FIFO
+//    pipe draining `bandwidth_bytes_per_us`, so a message departs at
+//    max(now, link_free) + bytes/rate and delivery order on the link equals
+//    arrival order (the FIFO invariant tests assert this);
+//  * Gilbert–Elliott correlated loss: a two-state (good/bad) Markov chain
+//    advanced once per kGeSlotUs time slot, with per-message drop
+//    probability loss_good / loss_bad depending on the state. The chain is
+//    a pure function of (seed, episode index, slot) — precomputed lazily
+//    and identical across threads, processes and reruns — so burst
+//    placement is seed-deterministic on every backend;
+//  * optional duplication of the idempotent replication layer.
+//
+// Determinism: per-message draws use the PR 3 counter-hash idiom (pure
+// function of seed, channel and the channel's send index); the GE chain is
+// time-sliced as above. Two runs with the same seed shape/drop the same
+// per-channel message sequence on every backend, including the 3-process
+// socket runtime where each child evaluates the identical pure functions.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/latency_transport.h"
+
+namespace paris::runtime {
+
+/// One scheduled link-shaping episode; see file header. Times are absolute
+/// executor µs (run-relative for the thread backend, warmup included).
+struct WanLinkEpisode {
+  DcId a = 0;
+  DcId b = 0;
+  /// false: shapes only traffic from DC a to DC b (asymmetric); true: both.
+  bool symmetric = false;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;  ///< exclusive
+  std::uint64_t extra_delay_start_us = 0;  ///< added delay at window start
+  std::uint64_t extra_delay_end_us = 0;    ///< ... ramped to this at the end
+  std::uint32_t bandwidth_bytes_per_us = 0;  ///< 0 = uncapped
+  double p_good_bad = 0;  ///< GE per-slot transition P(good -> bad)
+  double p_bad_good = 0;  ///< GE per-slot transition P(bad -> good)
+  double loss_good = 0;   ///< per-message drop probability in good state
+  double loss_bad = 0;    ///< ... in bad state
+  double duplicate_p = 0; ///< idempotent-layer duplication probability
+
+  bool matches(DcId from, DcId to, std::uint64_t now) const {
+    if (now < start_us || now >= end_us) return false;
+    if (from == a && to == b) return true;
+    return symmetric && from == b && to == a;
+  }
+  bool has_loss() const { return loss_good > 0 || loss_bad > 0; }
+};
+
+struct WanConfig {
+  std::vector<WanLinkEpisode> episodes;
+  std::uint64_t seed = 0;  ///< 0: the deployment substitutes its own seed
+
+  bool enabled() const { return !episodes.empty(); }
+};
+
+class WanTransport final : public TransportDecorator {
+ public:
+  /// GE chain time-slice: one state transition per 10ms of executor time.
+  static constexpr std::uint64_t kGeSlotUs = 10'000;
+
+  struct Stats {
+    std::uint64_t shaped = 0;      ///< messages that crossed an active episode
+    std::uint64_t ge_dropped = 0;  ///< eaten by Gilbert–Elliott loss
+    std::uint64_t duplicated = 0;
+    std::uint64_t bw_queued = 0;   ///< messages that waited behind the pipe
+    std::uint64_t bw_wait_us = 0;  ///< total serialization queue wait
+  };
+
+  WanTransport(Transport& inner, Executor& exec, WanConfig cfg);
+
+  void send(NodeId from, NodeId to, wire::MessagePtr msg) override {
+    send_at(from, to, std::move(msg), exec_.now_us());
+  }
+  void send_at(NodeId from, NodeId to, wire::MessagePtr msg, std::uint64_t at_us) override;
+
+  Stats stats() const;
+
+  /// GE state of episode `ep` at executor time `now` — a pure function of
+  /// (cfg.seed, ep, slot), public so tests can measure burstiness directly.
+  bool ge_bad(std::size_t ep, std::uint64_t now);
+
+  const WanConfig& config() const { return cfg_; }
+
+ private:
+  /// Lazily extends episode ep's precomputed state chain through `slot`.
+  bool chain_state(std::size_t ep, std::uint64_t slot);
+
+  Executor& exec_;
+  WanConfig cfg_;
+  detail::ChannelDraws draws_;
+
+  /// Per-episode precomputed GE chain (true = bad state), grown on demand.
+  /// A chain is a pure function of the seed, so all threads extend it to
+  /// identical values; the mutex only orders the growth.
+  struct GeChain {
+    std::vector<bool> bad;
+  };
+  std::mutex ge_mu_;
+  std::vector<GeChain> ge_;
+
+  /// Per directed-DC-link serialization pipe (bandwidth episodes).
+  struct Pipe {
+    std::uint64_t free_at_us = 0;
+  };
+  std::mutex pipe_mu_;
+  std::unordered_map<std::uint64_t, Pipe> pipes_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace paris::runtime

@@ -152,6 +152,7 @@ bool validate_impl(const std::uint8_t* data, std::size_t len, int depth) {
   // decoder on delivery. Empty payloads are legal placeholders.
   if (t == MsgType::kReliableFrame) {
     d.get_varint();  // seq
+    d.get_varint();  // dst_epoch
     d.get_u8();      // inner_type
     const std::uint64_t n = d.get_count();
     if (!d.ok()) return false;

@@ -798,13 +798,22 @@ struct UstDown : MessageBase<UstDown, MsgType::kUstDown> {
 /// without decoding the blob. An EMPTY payload is a placeholder: the frame
 /// only advances the receiver's sequence (used when a superseded latest-wins
 /// message was coalesced out of the retransmission window).
+///
+/// `dst_epoch` is the sender's view of the RECEIVER's process incarnation
+/// (always 0 on the thread backend). A receiver drops frames stamped with a
+/// different epoch: after a rank is killed and respawned, retransmissions
+/// still numbered for the dead incarnation's channel would otherwise land in
+/// the fresh receiver's reorder buffer and later mask a renumbered frame
+/// with the same seq — an acked-but-never-delivered message.
 struct ReliableFrame : MessageBase<ReliableFrame, MsgType::kReliableFrame> {
   std::uint64_t seq = 0;           ///< 1-based, contiguous per (from, to)
+  std::uint32_t dst_epoch = 0;     ///< receiver incarnation this seq belongs to
   std::uint8_t inner_type = 0;     ///< MsgType of the carried message
   std::vector<std::uint8_t> payload;  ///< encode_message() bytes; empty = placeholder
   template <class S, class F>
   static void fields(S& s, F&& f) {
     f(s.seq);
+    f(s.dst_epoch);
     f(s.inner_type);
     f(s.payload);
   }

@@ -108,6 +108,8 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   dc.reliable = cfg.reliable;
   dc.reliable_cfg = cfg.reliable_cfg;
   dc.partitions = cfg.partitions;
+  dc.wan = cfg.wan;
+  dc.fuzz = cfg.fuzz;
   dc.seed = cfg.seed;
 
   ExperimentTracer tracer(cfg.check_consistency, cfg.measure_visibility,
@@ -203,6 +205,8 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   if (dep.chaos_transport() != nullptr) res.chaos = dep.chaos_transport()->stats();
   if (dep.reliable_transport() != nullptr) res.reliable = dep.reliable_transport()->stats();
   if (dep.partition_transport() != nullptr) res.partition = dep.partition_transport()->stats();
+  if (dep.wan_transport() != nullptr) res.wan = dep.wan_transport()->stats();
+  if (dep.fuzz_transport() != nullptr) res.fuzz = dep.fuzz_transport()->stats();
   if (dep.socket_backend() != nullptr) res.socket = dep.socket_backend()->stats();
   if (tracer.history() != nullptr) {
     if (history_out != nullptr) {

@@ -65,6 +65,10 @@ struct ExperimentConfig {
   bool reliable = false;
   runtime::ReliableConfig reliable_cfg;
   runtime::PartitionSpec partitions;
+  /// Threads/sockets: WAN-realism link episodes and live channel fuzzing
+  /// (the scenario engine's knobs; both off by default).
+  runtime::WanConfig wan;
+  runtime::FuzzConfig fuzz;
   /// Benchmarks default to size-only codec accounting; tests use kBytes to
   /// exercise the serialization on every delivery.
   sim::CodecMode codec = sim::CodecMode::kSizeOnly;
@@ -110,6 +114,10 @@ struct ExperimentResult {
   runtime::ReliableTransport::Stats reliable;
   /// Blackout tallies (all zero unless cfg.partitions configured).
   runtime::PartitionTransport::Stats partition;
+  /// WAN link-shaping tallies (all zero unless cfg.wan configured).
+  runtime::WanTransport::Stats wan;
+  /// Channel-fuzzing tallies (all zero unless cfg.fuzz enabled).
+  runtime::FuzzTransport::Stats fuzz;
   /// Socket-runtime tallies, summed across children (zero otherwise).
   runtime::SocketStats socket;
   /// Self-healing tallies (supervised socket runs; zero otherwise).

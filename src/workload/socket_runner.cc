@@ -104,9 +104,22 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "socket_pump", static_cast<std::uint64_t>(c.socket.pump));
   put(o, "socket_outbound_budget", c.socket.outbound_budget);
   put(o, "socket_batch_io", static_cast<std::uint64_t>(c.socket.batch_io));
+  put(o, "wan_seed", c.wan.seed);
+  put(o, "fuzz_corrupt_p", c.fuzz.corrupt_p);
+  put(o, "fuzz_replay_p", c.fuzz.replay_p);
+  put(o, "fuzz_seed", c.fuzz.seed);
+  put(o, "fuzz_max_capture_bytes", static_cast<std::uint64_t>(c.fuzz.max_capture_bytes));
   for (const auto& w : c.partitions.windows) {
     o << "partition_window " << w.a << ' ' << w.b << ' ' << (w.isolate_all ? 1 : 0) << ' '
       << w.start_us << ' ' << w.end_us << '\n';
+  }
+  for (const auto& e : c.wan.episodes) {
+    char fp[160];
+    std::snprintf(fp, sizeof(fp), "%.17g %.17g %.17g %.17g %.17g", e.p_good_bad,
+                  e.p_bad_good, e.loss_good, e.loss_bad, e.duplicate_p);
+    o << "wan_episode " << e.a << ' ' << e.b << ' ' << (e.symmetric ? 1 : 0) << ' '
+      << e.start_us << ' ' << e.end_us << ' ' << e.extra_delay_start_us << ' '
+      << e.extra_delay_end_us << ' ' << e.bandwidth_bytes_per_us << ' ' << fp << '\n';
   }
   return o.str();
 }
@@ -121,6 +134,18 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       if (!(in >> w.a >> w.b >> iso >> w.start_us >> w.end_us)) return false;
       w.isolate_all = iso != 0;
       c.partitions.windows.push_back(w);
+      continue;
+    }
+    if (key == "wan_episode") {
+      runtime::WanLinkEpisode e;
+      std::uint32_t sym = 0;
+      if (!(in >> e.a >> e.b >> sym >> e.start_us >> e.end_us >> e.extra_delay_start_us >>
+            e.extra_delay_end_us >> e.bandwidth_bytes_per_us >> e.p_good_bad >>
+            e.p_bad_good >> e.loss_good >> e.loss_bad >> e.duplicate_p)) {
+        return false;
+      }
+      e.symmetric = sym != 0;
+      c.wan.episodes.push_back(e);
       continue;
     }
     std::string val;
@@ -249,6 +274,16 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.socket.outbound_budget = u;
     } else if (key == "socket_batch_io") {
       c.socket.batch_io = u != 0;
+    } else if (key == "wan_seed") {
+      c.wan.seed = u;
+    } else if (key == "fuzz_corrupt_p") {
+      c.fuzz.corrupt_p = d;
+    } else if (key == "fuzz_replay_p") {
+      c.fuzz.replay_p = d;
+    } else if (key == "fuzz_seed") {
+      c.fuzz.seed = u;
+    } else if (key == "fuzz_max_capture_bytes") {
+      c.fuzz.max_capture_bytes = static_cast<std::uint32_t>(u);
     } else {
       return false;  // unknown key: launcher/child version skew
     }
@@ -366,6 +401,7 @@ void encode_child_result(const ExperimentResult& res,
   e.put_varint(res.socket.fenced_stale_epoch);
   e.put_varint(res.socket.malformed_frames);
   e.put_varint(res.reliable.channel_resets);
+  e.put_varint(res.reliable.fenced_frames);
   e.put_varint(res.snapshots_served);
   e.put_varint(res.catchups_served);
   e.put_varint(res.prepared_fenced);
@@ -376,6 +412,19 @@ void encode_child_result(const ExperimentResult& res,
   e.put_varint(res.socket.backpressure_stalls);
   e.put_varint(res.socket.backpressure_drops);
   e.put_varint(res.socket.uring_fallback);
+  e.put_varint(res.wan.shaped);
+  e.put_varint(res.wan.ge_dropped);
+  e.put_varint(res.wan.duplicated);
+  e.put_varint(res.wan.bw_queued);
+  e.put_varint(res.wan.bw_wait_us);
+  e.put_varint(res.fuzz.mutated);
+  e.put_varint(res.fuzz.flips);
+  e.put_varint(res.fuzz.truncations);
+  e.put_varint(res.fuzz.splices);
+  e.put_varint(res.fuzz.rejected_validate);
+  e.put_varint(res.fuzz.accepted_validate);
+  e.put_varint(res.fuzz.replays);
+  e.put_varint(res.fuzz.captured);
   e.put_blob(history);
   out.insert(out.end(), kResultTrailer, kResultTrailer + sizeof(kResultTrailer));
 }
@@ -437,6 +486,7 @@ bool decode_child_result(const std::vector<std::uint8_t>& in, ExperimentResult& 
   res.socket.fenced_stale_epoch = d.get_varint();
   res.socket.malformed_frames = d.get_varint();
   res.reliable.channel_resets = d.get_varint();
+  res.reliable.fenced_frames = d.get_varint();
   res.snapshots_served = d.get_varint();
   res.catchups_served = d.get_varint();
   res.prepared_fenced = d.get_varint();
@@ -447,6 +497,19 @@ bool decode_child_result(const std::vector<std::uint8_t>& in, ExperimentResult& 
   res.socket.backpressure_stalls = d.get_varint();
   res.socket.backpressure_drops = d.get_varint();
   res.socket.uring_fallback = d.get_varint();
+  res.wan.shaped = d.get_varint();
+  res.wan.ge_dropped = d.get_varint();
+  res.wan.duplicated = d.get_varint();
+  res.wan.bw_queued = d.get_varint();
+  res.wan.bw_wait_us = d.get_varint();
+  res.fuzz.mutated = d.get_varint();
+  res.fuzz.flips = d.get_varint();
+  res.fuzz.truncations = d.get_varint();
+  res.fuzz.splices = d.get_varint();
+  res.fuzz.rejected_validate = d.get_varint();
+  res.fuzz.accepted_validate = d.get_varint();
+  res.fuzz.replays = d.get_varint();
+  res.fuzz.captured = d.get_varint();
   d.get_blob_into(history);
   return d.done();
 }
@@ -608,7 +671,21 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
     res.socket.backpressure_stalls += part.socket.backpressure_stalls;
     res.socket.backpressure_drops += part.socket.backpressure_drops;
     res.socket.uring_fallback += part.socket.uring_fallback;
+    res.wan.shaped += part.wan.shaped;
+    res.wan.ge_dropped += part.wan.ge_dropped;
+    res.wan.duplicated += part.wan.duplicated;
+    res.wan.bw_queued += part.wan.bw_queued;
+    res.wan.bw_wait_us += part.wan.bw_wait_us;
+    res.fuzz.mutated += part.fuzz.mutated;
+    res.fuzz.flips += part.fuzz.flips;
+    res.fuzz.truncations += part.fuzz.truncations;
+    res.fuzz.splices += part.fuzz.splices;
+    res.fuzz.rejected_validate += part.fuzz.rejected_validate;
+    res.fuzz.accepted_validate += part.fuzz.accepted_validate;
+    res.fuzz.replays += part.fuzz.replays;
+    res.fuzz.captured += part.fuzz.captured;
     res.reliable.channel_resets += part.reliable.channel_resets;
+    res.reliable.fenced_frames += part.reliable.fenced_frames;
     res.snapshots_served += part.snapshots_served;
     res.catchups_served += part.catchups_served;
     res.prepared_fenced += part.prepared_fenced;

@@ -39,11 +39,18 @@ BENCH_realtime_socket.json) are guarded too:
     exists on kernels with io_uring) may be missing from the current run —
     skipped with a notice instead of failing.
 
+Self-check mode: `bench_guard.py --json-schema FILE...` validates committed
+bench documents instead of comparing two runs — every numeric field must be
+finite and non-negative (NaN/Infinity parse fine under Python's json module,
+so a broken bench emitter can commit them silently; a negative counter means
+an underflowed subtraction). CI runs this over every BENCH_*.json.
+
 Exit code 0 = pass, 1 = regression, 2 = usage/IO error.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -67,19 +74,69 @@ def load_rows(path):
     return out
 
 
+def schema_check(paths):
+    """Walks every numeric field of each JSON document; NaN/Infinity and
+    negative values fail (counters and rates are non-negative by
+    construction — a violation means the emitter or a merge underflowed)."""
+    bad = 0
+
+    def walk(v, where):
+        nonlocal bad
+        if isinstance(v, bool):
+            return
+        if isinstance(v, (int, float)):
+            if not math.isfinite(v):
+                print(f"  {where}: non-finite value {v!r}", file=sys.stderr)
+                bad += 1
+            elif v < 0:
+                print(f"  {where}: negative value {v!r}", file=sys.stderr)
+                bad += 1
+        elif isinstance(v, dict):
+            for k, x in v.items():
+                walk(x, f"{where}.{k}")
+        elif isinstance(v, list):
+            for i, x in enumerate(v):
+                walk(x, f"{where}[{i}]")
+
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        walk(doc, path)
+    if bad:
+        print(f"\nbench_guard: FAIL ({bad} malformed numeric fields)", file=sys.stderr)
+        return 1
+    print(f"bench_guard: OK ({len(paths)} documents, all numeric fields "
+          "finite and non-negative)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("files", nargs="+",
+                    help="BASELINE CURRENT (compare mode) or any number of "
+                         "bench JSONs with --json-schema")
     ap.add_argument("--tolerance", type=float, default=0.30)
     ap.add_argument("--retx-tolerance", type=float, default=1.00,
                     help="allowed upward slack on retransmits_per_drop rows "
                          "(1.0 = current may be up to 2x the baseline; a "
                          "go-back-N regression overshoots far past that)")
+    ap.add_argument("--json-schema", action="store_true",
+                    help="validate the given bench documents instead of "
+                         "comparing: every numeric field must be finite and "
+                         "non-negative")
     args = ap.parse_args()
 
-    base = load_rows(args.baseline)
-    cur = load_rows(args.current)
+    if args.json_schema:
+        return schema_check(args.files)
+    if len(args.files) != 2:
+        ap.error("compare mode takes exactly BASELINE and CURRENT")
+
+    base = load_rows(args.files[0])
+    cur = load_rows(args.files[1])
     failures = []
 
     for name, b in sorted(base.items()):

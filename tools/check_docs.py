@@ -11,6 +11,11 @@
    DESIGN.md must point at an existing file or directory (http(s) links are
    skipped — CI runs offline).
 
+3. Scenario-flag coverage: every `--scenario-*` flag the binary reports in
+   --help must appear inside the README help block (belt-and-braces on top
+   of the verbatim diff: it still fires if the markers are moved to exclude
+   the scenario section, and it pins the minimum expected flag set).
+
 Usage: tools/check_docs.py [--binary build/paris_sim]
 Exit code 0 = docs consistent, 1 = drift/broken links (diff printed).
 """
@@ -62,6 +67,34 @@ def check_help(binary: pathlib.Path) -> int:
     return 0
 
 
+def check_scenario_flags(binary: pathlib.Path) -> int:
+    out = subprocess.run([str(binary), "--help"], capture_output=True, text=True)
+    if out.returncode != 0:
+        print(f"ERROR: {binary} --help exited {out.returncode}")
+        return 1
+    flags = sorted(set(re.findall(r"--scenario-[a-z-]+", out.stdout)))
+    expected = {"--scenario-seed", "--scenario-file", "--scenario-print"}
+    missing_from_help = expected - set(flags)
+    if missing_from_help:
+        print(f"ERROR: paris_sim --help lost scenario flags: "
+              f"{', '.join(sorted(missing_from_help))}")
+        return 1
+    readme = (ROOT / "README.md").read_text()
+    try:
+        block = readme.split(BEGIN)[1].split(END)[0]
+    except IndexError:
+        print(f"ERROR: README.md is missing the {BEGIN} / {END} markers")
+        return 1
+    undocumented = [f for f in flags if f not in block]
+    if undocumented:
+        print("ERROR: README help block is missing scenario flags: "
+              f"{', '.join(undocumented)}")
+        return 1
+    print(f"scenario-flag check: {len(flags)} --scenario-* flags documented "
+          "in the README help block")
+    return 0
+
+
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 
 
@@ -86,7 +119,7 @@ def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--binary", default=ROOT / "build" / "paris_sim", type=pathlib.Path)
     args = ap.parse_args()
-    return check_help(args.binary) | check_links()
+    return check_help(args.binary) | check_links() | check_scenario_flags(args.binary)
 
 
 if __name__ == "__main__":

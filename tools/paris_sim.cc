@@ -19,10 +19,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "cluster/topology.h"
+#include "scenario/scenario.h"
 #include "workload/experiment.h"
 #include "runtime/socket_runtime.h"
 #include "workload/socket_runner.h"
@@ -88,6 +91,22 @@ namespace {
       "                          buffered [lo,hi] seq ranges and senders\n"
       "                          retransmit only the gaps instead of the\n"
       "                          whole go-back-N burst (default on)\n"
+      "  --scenario-seed=S       threads/sockets: draw a full adversarial\n"
+      "                          fault schedule (DC partitions, WAN link\n"
+      "                          episodes, chaos knobs, live frame fuzzing,\n"
+      "                          clock skew, rank kills on supervised\n"
+      "                          sockets) from seed S and fold it onto the\n"
+      "                          run. The schedule owns cluster shape, run\n"
+      "                          window and fault knobs; --system/--runtime\n"
+      "                          pick the cell. See tools/scenario_runner\n"
+      "                          for whole fuzzing campaigns\n"
+      "  --scenario-file=PATH    replay a pinned corpus schedule\n"
+      "                          (tests/corpus/*.scenario) instead of\n"
+      "                          generating one; the file pins system AND\n"
+      "                          runtime\n"
+      "  --scenario-print        print the materialized schedule text and\n"
+      "                          exit without running (requires one of\n"
+      "                          --scenario-seed/--scenario-file)\n"
       "  --partition-spec=SPEC   threads/sockets: scheduled inter-DC\n"
       "                          blackouts, times in ms on the runtime clock.\n"
       "                          SPEC is comma-separated windows:\n"
@@ -158,6 +177,10 @@ int main(int argc, char** argv) {
   bool socket_budget_set = false;
   bool socket_batch_set = false;
   bool probe_uring = false;
+  bool scenario_seed_set = false;
+  std::uint64_t scenario_seed = 0;
+  std::string scenario_file;
+  bool scenario_print = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -270,6 +293,13 @@ int main(int argc, char** argv) {
       sack_flag_set = true;
     } else if (parse_flag(argv[i], "--reliable", &v)) {
       cfg.reliable = true;
+    } else if (parse_flag(argv[i], "--scenario-seed", &v) && v) {
+      scenario_seed = std::strtoull(v, nullptr, 10);
+      scenario_seed_set = true;
+    } else if (parse_flag(argv[i], "--scenario-file", &v) && v) {
+      scenario_file = v;
+    } else if (parse_flag(argv[i], "--scenario-print", &v)) {
+      scenario_print = true;
     } else if (parse_flag(argv[i], "--partition-spec", &v) && v) {
       if (!runtime::parse_partition_spec(v, cfg.partitions)) {
         std::fprintf(stderr, "error: malformed --partition-spec '%s'\n", v);
@@ -350,6 +380,55 @@ int main(int argc, char** argv) {
     }
     std::printf("io_uring: unavailable (%s)\n", why.c_str());
     return 3;
+  }
+
+  // Scenario resolution: generate from seed (cell picked by --system/
+  // --runtime) or decode a corpus file (which pins both), then fold the
+  // schedule onto the config. Folding overwrites cluster shape, run window
+  // and every fault knob — socket port/dir flags still apply on top.
+  if (scenario_seed_set && !scenario_file.empty()) {
+    std::fprintf(stderr, "error: --scenario-seed and --scenario-file are exclusive\n");
+    return 2;
+  }
+  if (scenario_print && !scenario_seed_set && scenario_file.empty()) {
+    std::fprintf(stderr,
+                 "error: --scenario-print needs --scenario-seed or --scenario-file\n");
+    return 2;
+  }
+  if (scenario_seed_set || !scenario_file.empty()) {
+    scenario::Scenario sc;
+    if (!scenario_file.empty()) {
+      std::ifstream in(scenario_file);
+      if (!in.good()) {
+        std::fprintf(stderr, "error: cannot read --scenario-file '%s'\n",
+                     scenario_file.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      if (!scenario::decode_scenario(text.str(), sc)) {
+        std::fprintf(stderr, "error: malformed scenario file '%s'\n",
+                     scenario_file.c_str());
+        return 2;
+      }
+    } else {
+      if (cfg.runtime == runtime::Kind::kSim) {
+        std::fprintf(stderr,
+                     "error: --scenario-seed requires --runtime=threads or sockets "
+                     "(schedules drive the transport decorator chain)\n");
+        return 2;
+      }
+      scenario::ScenarioOptions opts;
+      opts.system = cfg.system;
+      opts.runtime = cfg.runtime;
+      sc = scenario::generate_scenario(scenario_seed, opts);
+    }
+    if (scenario_print) {
+      std::fputs(scenario::encode_scenario(sc).c_str(), stdout);
+      return 0;
+    }
+    scenario::apply_scenario(sc, cfg);
+    std::printf("scenario: %s\n", scenario::describe(sc).c_str());
   }
 
   if (cfg.runtime == runtime::Kind::kSim &&
@@ -496,6 +575,24 @@ int main(int argc, char** argv) {
   if (res.partition.dropped > 0) {
     std::printf("partition drops %10s messages eaten by blackouts\n",
                 stats::with_commas(res.partition.dropped).c_str());
+  }
+  if (res.wan.shaped > 0) {
+    std::printf("wan shaping     %10s shaped, %s burst-dropped, %s duplicated, "
+                "%s queued behind pipes (%s ms total wait)\n",
+                stats::with_commas(res.wan.shaped).c_str(),
+                stats::with_commas(res.wan.ge_dropped).c_str(),
+                stats::with_commas(res.wan.duplicated).c_str(),
+                stats::with_commas(res.wan.bw_queued).c_str(),
+                stats::with_commas(res.wan.bw_wait_us / 1000).c_str());
+  }
+  if (res.fuzz.mutated + res.fuzz.replays > 0) {
+    std::printf("frame fuzzing   %10s mutated (%s rejected / %s parsed-then-"
+                "discarded), %s replays of %s captured\n",
+                stats::with_commas(res.fuzz.mutated).c_str(),
+                stats::with_commas(res.fuzz.rejected_validate).c_str(),
+                stats::with_commas(res.fuzz.accepted_validate).c_str(),
+                stats::with_commas(res.fuzz.replays).c_str(),
+                stats::with_commas(res.fuzz.captured).c_str());
   }
   if (cfg.reliable) {
     std::printf("reliable layer  %10s frames, %s retransmits, %s dup-frames dropped, "

@@ -32,6 +32,16 @@ inline std::uint64_t bench_seed() {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : 42;
 }
 
+/// How the driver issued load for a row: "open" (Poisson arrivals from a
+/// schedule, latency charged from the scheduled instant) or "closed" (each
+/// session waits for its previous transaction). The two modes measure
+/// different things — closed-loop p99 hides queueing that open-loop intended
+/// latency charges in full — so every realtime bench row records its mode
+/// and tools/bench_guard.py refuses to compare rows whose modes differ.
+inline const char* loop_mode(const ExperimentConfig& cfg) {
+  return cfg.openloop.enabled ? "open" : "closed";
+}
+
 /// The paper's default deployment (§V-A): 5 DCs (Virginia, Oregon, Ireland,
 /// Mumbai, Sydney), 45 partitions, replication factor 2 => 18 machines/DC,
 /// 95:5 r:w, 95:5 local:multi, 4 partitions/tx, zipf 0.99.

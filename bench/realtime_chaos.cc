@@ -162,12 +162,13 @@ int main() {
     const auto& r = rows[i];
     std::fprintf(
         f,
-        "    {\"system\": \"%s\", \"scenario\": \"%s\", \"drop_p\": %.2f, "
+        "    {\"system\": \"%s\", \"scenario\": \"%s\", \"loop_mode\": \"%s\", "
+        "\"drop_p\": %.2f, "
         "\"partition_ms\": %llu, \"goodput_tx_s\": %.1f, \"lat_p50_ms\": %.3f, "
         "\"lat_p99_ms\": %.3f, \"vis_p50_ms\": %.3f, \"vis_p99_ms\": %.3f, "
         "\"committed\": %llu, \"chaos_dropped\": %llu, \"partition_dropped\": %llu, "
         "\"frames\": %llu, \"retransmits\": %llu, \"coalesced\": %llu}%s\n",
-        r.system, r.scenario.c_str(), r.drop_p,
+        r.system, r.scenario.c_str(), loop_mode(chaos_config(System::kParis)), r.drop_p,
         static_cast<unsigned long long>(r.partition_ms), r.result.throughput_tx_s,
         r.result.latency_us.p50 / 1000.0, r.result.latency_us.p99 / 1000.0,
         r.result.visibility_hist.percentile(0.5) / 1000.0,

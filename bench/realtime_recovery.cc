@@ -139,12 +139,14 @@ int main(int argc, char** argv) {
     const auto& r = rows[i];
     std::fprintf(
         f,
-        "    {\"name\": \"%s\", \"goodput_tx_s\": %.1f, \"lat_p50_ms\": %.3f, "
+        "    {\"name\": \"%s\", \"loop_mode\": \"%s\", \"goodput_tx_s\": %.1f, "
+        "\"lat_p50_ms\": %.3f, "
         "\"committed\": %llu, \"respawns\": %llu, \"snapshots_served\": %llu, "
         "\"catchups_served\": %llu, \"prepared_fenced\": %llu, "
         "\"stale_epoch_fenced\": %llu, \"time_to_rejoin_ms\": %llu, "
         "\"violations\": %zu}%s\n",
-        r.name.c_str(), r.result.throughput_tx_s, r.result.latency_us.p50 / 1000.0,
+        r.name.c_str(), loop_mode(recovery_config(/*kill=*/false)),
+        r.result.throughput_tx_s, r.result.latency_us.p50 / 1000.0,
         static_cast<unsigned long long>(r.result.committed),
         static_cast<unsigned long long>(r.result.respawns),
         static_cast<unsigned long long>(r.result.snapshots_served),

@@ -91,9 +91,10 @@ int main() {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     std::fprintf(f,
-                 "    {\"runtime\": \"%s\", \"workers\": %u, \"throughput_tx_s\": %.1f, "
+                 "    {\"runtime\": \"%s\", \"workers\": %u, \"loop_mode\": \"%s\", "
+                 "\"throughput_tx_s\": %.1f, "
                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"committed\": %llu}%s\n",
-                 p.workers == 0 ? "sim" : "threads", p.workers,
+                 p.workers == 0 ? "sim" : "threads", p.workers, loop_mode(scaling_config()),
                  p.result.throughput_tx_s, p.result.latency_us.p50 / 1000.0,
                  p.result.latency_us.p99 / 1000.0,
                  static_cast<unsigned long long>(p.result.committed),

@@ -181,13 +181,15 @@ int main(int argc, char** argv) {
     const auto& r = rows[i];
     std::fprintf(
         f,
-        "    {\"name\": \"%s\", \"goodput_tx_s\": %.1f, \"lat_p50_ms\": %.3f, "
+        "    {\"name\": \"%s\", \"loop_mode\": \"%s\", \"goodput_tx_s\": %.1f, "
+        "\"lat_p50_ms\": %.3f, "
         "\"committed\": %llu, \"frames\": %llu, \"retransmits\": %llu, "
         "\"dropped\": %llu, \"retransmits_per_drop\": %.3f, \"sack_skips\": %llu, "
         "\"socket_frames_out\": %llu, \"syscalls_per_frame\": %.3f, "
         "\"bytes_per_syscall\": %.1f, \"flushes\": %llu, "
         "\"backpressure_stalls\": %llu%s}%s\n",
-        r.name.c_str(), r.result.throughput_tx_s, r.result.latency_us.p50 / 1000.0,
+        r.name.c_str(), loop_mode(socket_config(/*sockets=*/true)),
+        r.result.throughput_tx_s, r.result.latency_us.p50 / 1000.0,
         static_cast<unsigned long long>(r.result.committed),
         static_cast<unsigned long long>(r.result.reliable.frames_sent),
         static_cast<unsigned long long>(r.result.reliable.retransmits),

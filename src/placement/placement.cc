@@ -1,0 +1,144 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace paris::placement {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kHash: return "hash";
+    case Policy::kWorkloadAware: return "workload";
+  }
+  return "?";
+}
+
+bool parse_policy(const char* text, Policy* out) {
+  if (std::strcmp(text, "hash") == 0) { *out = Policy::kHash; return true; }
+  if (std::strcmp(text, "workload") == 0) { *out = Policy::kWorkloadAware; return true; }
+  return false;
+}
+
+AccessSketch::AccessSketch(std::uint32_t capacity) : capacity_(capacity ? capacity : 1) {
+  entries_.reserve(capacity_);
+}
+
+void AccessSketch::note(Key k, DcId accessing_dc) {
+  ++total_;
+  const std::uint32_t bit = 1u << (accessing_dc & 31u);
+  if (auto it = index_.find(k); it != index_.end()) {
+    Entry& e = entries_[it->second];
+    ++e.count;
+    e.dc_mask |= bit;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_.emplace(k, static_cast<std::uint32_t>(entries_.size()));
+    entries_.push_back(Entry{k, 1, bit});
+    return;
+  }
+  // Space-Saving eviction: the minimum-count entry hands its slot (and its
+  // count, the sketch's error bound) to the newcomer.
+  std::uint32_t victim = 0;
+  for (std::uint32_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].count < entries_[victim].count) victim = i;
+  index_.erase(entries_[victim].key);
+  index_.emplace(k, victim);
+  entries_[victim].key = k;
+  entries_[victim].count += 1;
+  entries_[victim].dc_mask = bit;
+}
+
+std::vector<AccessSketch::Entry> AccessSketch::top(std::uint32_t k) const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void AccessSketch::merge(const std::vector<Entry>& reported) {
+  for (const Entry& r : reported) {
+    total_ += r.count;
+    if (auto it = index_.find(r.key); it != index_.end()) {
+      entries_[it->second].count += r.count;
+      entries_[it->second].dc_mask |= r.dc_mask;
+      continue;
+    }
+    if (entries_.size() < capacity_) {
+      index_.emplace(r.key, static_cast<std::uint32_t>(entries_.size()));
+      entries_.push_back(r);
+      continue;
+    }
+    std::uint32_t victim = 0;
+    for (std::uint32_t i = 1; i < entries_.size(); ++i)
+      if (entries_[i].count < entries_[victim].count) victim = i;
+    if (entries_[victim].count >= r.count) continue;  // newcomer is colder
+    index_.erase(entries_[victim].key);
+    index_.emplace(r.key, victim);
+    entries_[victim] = r;
+  }
+}
+
+void AccessSketch::clear() {
+  entries_.clear();
+  index_.clear();
+  total_ = 0;
+}
+
+PlacementScore score_assignment(const cluster::Topology& topo,
+                                const std::vector<AccessSketch::Entry>& keys,
+                                const std::function<PartitionId(Key)>& assign) {
+  PlacementScore s;
+  if (keys.empty()) return s;
+  std::vector<std::uint64_t> load(topo.num_partitions(), 0);
+  double weighted = 0;
+  std::uint64_t total = 0;
+  for (const auto& e : keys) {
+    const PartitionId p = assign(e.key);
+    PARIS_DCHECK(p < topo.num_partitions());
+    load[p] += e.count;
+    std::uint32_t mask = e.dc_mask;
+    for (DcId d : topo.replicas(p)) mask |= 1u << (d & 31u);
+    weighted += static_cast<double>(e.count) * std::popcount(mask);
+    total += e.count;
+  }
+  s.replicate_factor = total ? weighted / static_cast<double>(total) : 0;
+  const double mean = static_cast<double>(total) / static_cast<double>(load.size());
+  if (mean > 0) {
+    double var = 0;
+    for (std::uint64_t l : load) {
+      const double d = static_cast<double>(l) - mean;
+      var += d * d;
+    }
+    s.load_relative_stddev = std::sqrt(var / static_cast<double>(load.size())) / mean;
+  }
+  return s;
+}
+
+PartitionId choose_partition(const cluster::Topology& topo, const AccessSketch::Entry& e,
+                             const std::vector<std::uint64_t>& part_load) {
+  PARIS_DCHECK(part_load.size() == topo.num_partitions());
+  PartitionId best = 0;
+  int best_cover = -1;
+  std::uint64_t best_load = 0;
+  for (PartitionId p = 0; p < topo.num_partitions(); ++p) {
+    std::uint32_t covered = 0;
+    for (DcId d : topo.replicas(p)) covered |= 1u << (d & 31u);
+    const int cover = std::popcount(covered & e.dc_mask);
+    if (cover > best_cover || (cover == best_cover && part_load[p] < best_load)) {
+      best = p;
+      best_cover = cover;
+      best_load = part_load[p];
+    }
+  }
+  return best;
+}
+
+}  // namespace paris::placement

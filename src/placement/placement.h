@@ -1,0 +1,86 @@
+#pragma once
+// Workload-aware data placement (DESIGN §14). Keys start on the hash
+// baseline (Topology::partition_of). Each server feeds an online per-key
+// access sketch (Space-Saving top-K with a per-key accessing-DC bitmask);
+// sketches are periodically reported to a controller server which scores the
+// current assignment the way the NuCut/parsa graph partitioners score cuts:
+//
+//   replicate_factor     count-weighted average, over sketched keys, of
+//                        |D_k ∪ S_k| — the DCs that access the key plus the
+//                        DCs that must store it. Lower = less cross-DC
+//                        traffic per access.
+//   load_relative_stddev stddev/mean of per-partition sketched load.
+//                        Lower = better balance.
+//
+// The workload-aware policy then migrates the hottest keys to the partition
+// whose replica set best covers the key's accessing DCs (ties: least loaded
+// partition). Migration itself is the wire protocol in proto/server_base.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+
+namespace paris::placement {
+
+enum class Policy : std::uint8_t {
+  kHash = 0,           ///< static Topology::partition_of — the baseline
+  kWorkloadAware = 1,  ///< sketch-driven online hot-key migration
+};
+
+const char* policy_name(Policy p);
+bool parse_policy(const char* text, Policy* out);
+
+/// Space-Saving top-K frequency sketch (Metwally et al.) with a per-key
+/// accessing-DC bitmask. O(1) expected per note(); bounded memory.
+class AccessSketch {
+ public:
+  struct Entry {
+    Key key = 0;
+    std::uint64_t count = 0;
+    std::uint32_t dc_mask = 0;  ///< bit d set => DC d accessed the key
+  };
+
+  explicit AccessSketch(std::uint32_t capacity = 256);
+
+  void note(Key k, DcId accessing_dc);
+  /// Top `k` entries, highest count first (key ascending on ties, so the
+  /// order is deterministic across runtimes).
+  std::vector<Entry> top(std::uint32_t k) const;
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::uint64_t total() const { return total_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// Controller side: fold a reported sketch into this one.
+  void merge(const std::vector<Entry>& reported);
+  void clear();
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, std::uint32_t> index_;  // key -> entries_ slot
+  std::uint64_t total_ = 0;
+};
+
+struct PlacementScore {
+  double replicate_factor = 0;
+  double load_relative_stddev = 0;
+};
+
+/// Scores an assignment over the sketched keys. `assign` maps key ->
+/// partition (the hash baseline or hash + migration overrides).
+PlacementScore score_assignment(const cluster::Topology& topo,
+                                const std::vector<AccessSketch::Entry>& keys,
+                                const std::function<PartitionId(Key)>& assign);
+
+/// Workload-aware target for a hot key: the partition whose replica-DC set
+/// covers the most of the key's accessing DCs; ties broken by lower sketched
+/// load, then lower partition id (deterministic). `part_load` has one entry
+/// per partition.
+PartitionId choose_partition(const cluster::Topology& topo, const AccessSketch::Entry& e,
+                             const std::vector<std::uint64_t>& part_load);
+
+}  // namespace paris::placement

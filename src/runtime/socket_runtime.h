@@ -130,6 +130,15 @@ struct SocketConfig {
   /// false = one frame per write syscall + 4KB reads (the unbatched path,
   /// kept measurable for the bench's batched-vs-unbatched row).
   bool batch_io = true;
+  /// Coordinated-omission regression hook (tests): stall_at_ms into the run,
+  /// the child with rank == stall_rank stops draining outbound frames toward
+  /// stall_peer for stall_len_ms (debug_stall_peer), then resumes. A
+  /// closed-loop driver's percentiles stay flat through such a stall; the
+  /// open-loop intended percentiles must not. -1 = disabled.
+  std::int32_t stall_rank = -1;
+  std::uint32_t stall_peer = 0;
+  std::uint64_t stall_at_ms = 0;
+  std::uint64_t stall_len_ms = 0;
 
   std::uint32_t resolve_processes(std::uint32_t num_dcs) const {
     return processes != 0 ? processes : num_dcs;

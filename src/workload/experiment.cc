@@ -3,11 +3,14 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "stats/latency_recorder.h"
 #include "verify/history.h"
 #include "workload/driver.h"
+#include "workload/openloop.h"
 #include "workload/socket_runner.h"
 
 namespace paris::workload {
@@ -121,11 +124,53 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   // each, collocated with their coordinator (§V-A). EVERY process of a
   // socket deployment registers EVERY client — node ids must agree across
   // processes — but only builds sessions for the clients it hosts.
+  //
+  // Open-loop mode replaces the closed-loop sessions with one engine per
+  // (DC, partition), multiplexing cfg.openloop.sessions logical sessions
+  // onto a threads_per_process-wide client pool. Engine indices enumerate
+  // the same (d, p) loop in every process so pre-drawn schedules (and the
+  // cross-runtime workload digest) agree regardless of which process hosts
+  // which engine.
+  const bool open_loop = cfg.openloop.enabled;
+  const std::uint64_t horizon_us = cfg.warmup_us + cfg.measure_us;
+  std::vector<TraceEntry> trace;
+  if (open_loop && !cfg.openloop.trace_path.empty()) {
+    std::string err;
+    const bool ok = load_trace(cfg.openloop.trace_path, &trace, &err);
+    PARIS_CHECK_MSG(ok, err.c_str());
+  }
   Collector collector;
   std::vector<std::unique_ptr<Session>> sessions;
   std::vector<NodeId> session_nodes;
+  std::vector<std::unique_ptr<OpenLoopEngine>> engines;
+  const std::uint32_t num_engines = cfg.num_partitions * cfg.replication;
+  std::uint32_t engine_index = 0;
   for (DcId d = 0; d < dep.topo().num_dcs(); ++d) {
     for (PartitionId p : dep.topo().partitions_at(d)) {
+      if (open_loop) {
+        std::vector<proto::Client*> pool;
+        bool local = true;
+        for (std::uint32_t t = 0; t < cfg.threads_per_process; ++t) {
+          auto& client = dep.add_client(d, p);
+          if (!dep.backend().local(client.node())) {
+            local = false;
+            continue;
+          }
+          pool.push_back(&client);
+        }
+        if (local && !pool.empty()) {
+          const std::uint64_t eseed =
+              splitmix64(cfg.seed ^ (static_cast<std::uint64_t>(d) << 40) ^
+                         (static_cast<std::uint64_t>(p) << 20) ^ 0xA5A5ULL);
+          auto eng = std::make_unique<OpenLoopEngine>(
+              dep.topo(), cfg.workload, cfg.openloop, d, p, engine_index, num_engines,
+              horizon_us, eseed, trace.empty() ? nullptr : &trace);
+          for (proto::Client* c : pool) eng->add_client(c);
+          engines.push_back(std::move(eng));
+        }
+        ++engine_index;
+        continue;
+      }
       for (std::uint32_t t = 0; t < cfg.threads_per_process; ++t) {
         auto& client = dep.add_client(d, p);
         if (!dep.backend().local(client.node())) continue;
@@ -159,6 +204,10 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   // for the threads backend.
   const sim::SimTime t0 = dep.exec().now_us();
   collector.set_window(t0 + cfg.warmup_us, t0 + cfg.warmup_us + cfg.measure_us);
+  for (auto& eng : engines) {
+    eng->recorder().set_window(t0 + cfg.warmup_us, t0 + cfg.warmup_us + cfg.measure_us);
+    eng->start(dep.exec(), t0);
+  }
 
   // Kick each closed loop on its client's execution context: inline for the
   // sim backend (the historical behavior), a mailbox task for threads.
@@ -167,8 +216,28 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
     dep.exec().post(session_nodes[i], [s] { s->run(); });
   }
 
+  // Scheduled stall (CO regression tests): a helper thread flips the socket
+  // pump's outbound stall toward one peer mid-run, then releases it.
+  std::thread staller;
+  if (cfg.runtime == runtime::Kind::kSockets && cfg.socket.rank >= 0 &&
+      cfg.socket.rank == cfg.socket.stall_rank && cfg.socket.stall_len_ms > 0) {
+    auto* sb = dep.socket_backend();
+    PARIS_CHECK(sb != nullptr);
+    const auto peer = cfg.socket.stall_peer;
+    const auto at_ms = cfg.socket.stall_at_ms;
+    const auto len_ms = cfg.socket.stall_len_ms;
+    staller = std::thread([sb, peer, at_ms, len_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(at_ms));
+      sb->debug_stall_peer(peer, true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(len_ms));
+      sb->debug_stall_peer(peer, false);
+    });
+  }
+
   dep.run_for(cfg.warmup_us + cfg.measure_us);
+  if (staller.joinable()) staller.join();
   dep.stop();  // quiesce thread workers before reading state (sim: no-op)
+  for (auto& eng : engines) eng->finalize();
 
   ExperimentResult res;
   res.throughput_tx_s = collector.throughput_tx_s();
@@ -177,6 +246,27 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   res.latency_local_hist = collector.latency_local();
   res.latency_multi_hist = collector.latency_multi();
   res.latency_us = stats::Summary::of(res.latency_hist);
+
+  if (open_loop) {
+    stats::LatencyRecorder rec;
+    for (const auto& eng : engines) {
+      rec.merge(eng->recorder());
+      res.workload_digest ^= eng->digest();
+    }
+    res.intended_rate_tx_s = rec.intended_rate();
+    res.achieved_rate_tx_s = rec.achieved_rate();
+    res.scheduled = rec.scheduled();
+    res.overdue = rec.overdue();
+    res.max_backlog = rec.max_backlog();
+    res.intended_hist = rec.intended();
+    res.service_hist = rec.service();
+    res.intended_us = stats::Summary::of(res.intended_hist);
+    res.service_us = stats::Summary::of(res.service_hist);
+    // The generic throughput fields report the open-loop equivalents so
+    // shared tooling (bench JSON, guard floors) keeps working.
+    res.throughput_tx_s = res.achieved_rate_tx_s;
+    res.committed = rec.completed();
+  }
 
   const auto server_stats = dep.total_server_stats();
   res.blocked_reads = server_stats.reads_blocked;
@@ -190,6 +280,19 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   res.catchups_served = server_stats.catchups_served;
   res.prepared_fenced = server_stats.prepared_fenced;
   res.recovery_ms = recovery_ms;
+  res.keys_migrated = server_stats.keys_migrated;
+  res.migrate_parked = server_stats.migrate_parked;
+  res.migrate_chains_sent = server_stats.migrate_chains_sent;
+  res.migrate_chains_installed = server_stats.migrate_chains_installed;
+  res.sketch_reports = server_stats.sketch_reports_sent;
+  res.replicate_factor_before =
+      static_cast<double>(server_stats.replicate_factor_before_x1e6) / 1e6;
+  res.replicate_factor_after =
+      static_cast<double>(server_stats.replicate_factor_after_x1e6) / 1e6;
+  res.load_rel_stddev_before =
+      static_cast<double>(server_stats.load_rel_stddev_before_x1e6) / 1e6;
+  res.load_rel_stddev_after =
+      static_cast<double>(server_stats.load_rel_stddev_after_x1e6) / 1e6;
   for (const auto& c : dep.clients()) {
     res.max_client_cache = std::max(res.max_client_cache, c->stats().max_cache_size);
     res.keys_read += c->stats().keys_read;

@@ -11,6 +11,7 @@
 #include "proto/deployment.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
+#include "workload/openloop.h"
 #include "workload/spec.h"
 
 namespace paris::workload {
@@ -34,6 +35,11 @@ struct ExperimentConfig {
   std::uint32_t replication = 2;
 
   WorkloadSpec workload;
+  /// Open-loop mode (DESIGN §14): when enabled, the closed-loop sessions are
+  /// replaced by one OpenLoopEngine per (DC, partition replicated there)
+  /// releasing a pre-drawn arrival schedule; threads_per_process sizes each
+  /// engine's client pool instead of its session count.
+  OpenLoopSpec openloop;
   /// Client threads per (DC, partition) client process; the load knob the
   /// paper sweeps to trace the throughput/latency curves.
   std::uint32_t threads_per_process = 4;
@@ -128,6 +134,35 @@ struct ExperimentResult {
   /// Slowest child's mesh-join + state-transfer time (ms): ~0 for a cold
   /// start, the time-to-rejoin for a respawned rank.
   std::uint64_t recovery_ms = 0;
+
+  // --- Open-loop engine results (all zero/empty unless cfg.openloop.enabled;
+  // DESIGN §14). Intended latency is measured from each request's SCHEDULED
+  // arrival, service latency from its actual start — coordinated-omission-
+  // safe, so a stalled server shows up in intended p99 instead of vanishing.
+  double intended_rate_tx_s = 0;   ///< what the arrival process asked for
+  double achieved_rate_tx_s = 0;   ///< what the system completed
+  std::uint64_t scheduled = 0;     ///< arrivals scheduled inside the window
+  std::uint64_t overdue = 0;       ///< arrivals that had to queue for a client
+  std::uint64_t max_backlog = 0;   ///< deepest release backlog observed
+  stats::Histogram intended_hist;  ///< µs, finished - scheduled
+  stats::Histogram service_hist;   ///< µs, finished - started
+  stats::Summary intended_us;
+  stats::Summary service_us;
+  /// XOR of per-engine FNV-1a schedule digests: equal across the sim, thread
+  /// and socket runtimes for the same (config, seed).
+  std::uint64_t workload_digest = 0;
+
+  // --- Workload-aware placement results (zero unless placement_policy set).
+  double replicate_factor_before = 0;
+  double replicate_factor_after = 0;
+  double load_rel_stddev_before = 0;
+  double load_rel_stddev_after = 0;
+  std::uint64_t keys_migrated = 0;
+  std::uint64_t migrate_parked = 0;
+  std::uint64_t migrate_chains_sent = 0;
+  std::uint64_t migrate_chains_installed = 0;
+  std::uint64_t sketch_reports = 0;
+
   std::vector<std::string> violations;  // non-empty => consistency bug
 };
 

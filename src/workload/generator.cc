@@ -8,8 +8,7 @@ namespace paris::workload {
 
 TxGenerator::TxGenerator(const cluster::Topology& topo, const WorkloadSpec& spec,
                          DcId client_dc, std::uint64_t seed)
-    : topo_(topo), spec_(spec), dc_(client_dc), rng_(seed),
-      zipf_(spec.keys_per_partition, spec.zipf_theta) {
+    : topo_(topo), spec_(spec), dc_(client_dc), rng_(seed), picker_(spec) {
   PARIS_CHECK(spec.writes_per_tx <= spec.ops_per_tx);
   PARIS_CHECK(spec.partitions_per_tx >= 1);
 }
@@ -50,6 +49,14 @@ TxPlan TxGenerator::next() {
   plan.writes.reserve(spec_.writes_per_tx);
   for (std::uint32_t i = 0; i < spec_.writes_per_tx; ++i)
     plan.writes.push_back(wire::WriteKV{draw_key(parts[i % k]), make_value()});
+  return plan;
+}
+
+TxPlan TxGenerator::next_for_key(Key k) {
+  TxPlan plan;
+  plan.multi_dc = !topo_.dc_replicates(dc_, topo_.partition_of(k));
+  plan.reads.push_back(k);
+  plan.writes.push_back(wire::WriteKV{k, make_value()});
   return plan;
 }
 

@@ -8,6 +8,7 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "wire/messages.h"
+#include "workload/keydist.h"
 #include "workload/spec.h"
 
 namespace paris::workload {
@@ -27,17 +28,23 @@ class TxGenerator {
 
   TxPlan next();
 
+  /// Trace replay: a minimal transaction pinned to `k` — one read of k and
+  /// one write to k (multi_dc iff k's partition is not replicated locally).
+  /// Bypasses the arrival-independent key distribution entirely.
+  TxPlan next_for_key(Key k);
+
   const WorkloadSpec& spec() const { return spec_; }
+  const KeyPicker& picker() const { return picker_; }
 
  private:
-  Key draw_key(PartitionId p) { return topo_.make_key(p, zipf_.draw(rng_)); }
+  Key draw_key(PartitionId p) { return topo_.make_key(p, picker_.draw(rng_)); }
   Value make_value();
 
   const cluster::Topology& topo_;
   WorkloadSpec spec_;
   DcId dc_;
   Rng rng_;
-  Zipfian zipf_;
+  KeyPicker picker_;
   std::uint64_t value_seq_ = 0;
 };
 

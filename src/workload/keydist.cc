@@ -1,0 +1,140 @@
+#include "workload/keydist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace paris::workload {
+
+const char* key_dist_name(KeyDistKind kind) {
+  switch (kind) {
+    case KeyDistKind::kZipfGray: return "zipf";
+    case KeyDistKind::kUniform: return "uniform";
+    case KeyDistKind::kZipfRejection: return "zipf-ri";
+    case KeyDistKind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+bool parse_key_dist(const char* text, KeyDistKind* out) {
+  if (std::strcmp(text, "zipf") == 0) { *out = KeyDistKind::kZipfGray; return true; }
+  if (std::strcmp(text, "uniform") == 0) { *out = KeyDistKind::kUniform; return true; }
+  if (std::strcmp(text, "zipf-ri") == 0) { *out = KeyDistKind::kZipfRejection; return true; }
+  if (std::strcmp(text, "hotspot") == 0) { *out = KeyDistKind::kHotspot; return true; }
+  return false;
+}
+
+namespace {
+// Numerically stable helpers from Hörmann & Derflinger, "Rejection-inversion
+// to generate variates from monotone discrete distributions" (1996):
+// helper1(x) = log1p(x)/x, helper2(x) = expm1(x)/x, both with series
+// expansions near 0 so theta == 1 is handled exactly.
+double helper1(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+double helper2(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x));
+}
+double zeta_sum(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    sum += std::exp(-theta * std::log(static_cast<double>(i)));
+  return sum;
+}
+}  // namespace
+
+// H(x) = integral of x^-theta: (x^{1-theta} - 1)/(1-theta), log x at theta=1.
+double KeyPicker::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - theta_) * log_x) * log_x;
+}
+
+double KeyPicker::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+double KeyPicker::h_integral_inverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // round-off guard near the domain boundary
+  return std::exp(helper1(t) * x);
+}
+
+KeyPicker::KeyPicker(const WorkloadSpec& spec)
+    : kind_(spec.key_dist),
+      n_(spec.keys_per_partition),
+      theta_(spec.zipf_theta),
+      // The Gray generator only supports theta in (0,1); feed it a clamped
+      // value when another kind is active (it is never drawn from then).
+      gray_(spec.keys_per_partition,
+            spec.key_dist == KeyDistKind::kZipfGray
+                ? spec.zipf_theta
+                : std::clamp(spec.zipf_theta, 0.01, 0.99)) {
+  PARIS_CHECK_MSG(n_ > 0, "key distribution over empty domain");
+  if (kind_ == KeyDistKind::kZipfRejection) {
+    PARIS_CHECK_MSG(theta_ > 0, "zipf-ri needs theta > 0");
+    ri_hx1_ = h_integral(1.5) - 1.0;
+    ri_hn_ = h_integral(static_cast<double>(n_) + 0.5);
+    ri_s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+    ri_zetan_ = zeta_sum(n_, theta_);
+  } else if (kind_ == KeyDistKind::kZipfGray) {
+    ri_zetan_ = zeta_sum(n_, theta_);
+  } else if (kind_ == KeyDistKind::kHotspot) {
+    PARIS_CHECK_MSG(spec.hot_key_frac > 0 && spec.hot_key_frac < 1,
+                    "hot_key_frac must be in (0,1)");
+    PARIS_CHECK_MSG(spec.hot_access_frac >= 0 && spec.hot_access_frac <= 1,
+                    "hot_access_frac must be in [0,1]");
+    hot_access_frac_ = spec.hot_access_frac;
+    const auto hot = static_cast<std::uint64_t>(
+        std::llround(spec.hot_key_frac * static_cast<double>(n_)));
+    hot_n_ = std::clamp<std::uint64_t>(hot, 1, n_ > 1 ? n_ - 1 : 1);
+  }
+}
+
+std::uint64_t KeyPicker::draw_rejection(Rng& rng) const {
+  // Hörmann rejection-inversion over [1, n]; expected < 1.1 iterations.
+  for (;;) {
+    const double u = ri_hn_ + rng.next_double() * (ri_hx1_ - ri_hn_);
+    const double x = h_integral_inverse(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    const double nd = static_cast<double>(n_);
+    if (kd > nd) kd = nd;
+    if (kd - x <= ri_s_ || u >= h_integral(kd + 0.5) - h(kd))
+      return static_cast<std::uint64_t>(kd) - 1;
+  }
+}
+
+std::uint64_t KeyPicker::draw(Rng& rng) const {
+  switch (kind_) {
+    case KeyDistKind::kZipfGray:
+      return gray_.draw(rng);
+    case KeyDistKind::kUniform:
+      return rng.next_below(n_);
+    case KeyDistKind::kZipfRejection:
+      return draw_rejection(rng);
+    case KeyDistKind::kHotspot:
+      if (rng.chance(hot_access_frac_)) return rng.next_below(hot_n_);
+      return n_ > hot_n_ ? hot_n_ + rng.next_below(n_ - hot_n_) : rng.next_below(n_);
+  }
+  PARIS_CHECK_MSG(false, "bad key dist");
+  return 0;
+}
+
+double KeyPicker::pmf(std::uint64_t rank) const {
+  PARIS_DCHECK(rank < n_);
+  switch (kind_) {
+    case KeyDistKind::kUniform:
+      return 1.0 / static_cast<double>(n_);
+    case KeyDistKind::kZipfGray:
+    case KeyDistKind::kZipfRejection:
+      return std::exp(-theta_ * std::log(static_cast<double>(rank + 1))) / ri_zetan_;
+    case KeyDistKind::kHotspot:
+      if (rank < hot_n_) return hot_access_frac_ / static_cast<double>(hot_n_);
+      return (1.0 - hot_access_frac_) / static_cast<double>(n_ - hot_n_);
+  }
+  return 0;
+}
+
+}  // namespace paris::workload

@@ -1,0 +1,67 @@
+#pragma once
+// Pluggable key-popularity distributions for the workload engine. Every
+// picker draws a RANK in [0, keys_per_partition); the generator maps ranks
+// to keys with Topology::make_key, so a picker is partition-agnostic.
+//
+// Kinds:
+//  - kZipfGray      YCSB Zipf via Gray et al. (common/rng.h Zipfian). The
+//                   historical default: byte-identical draw sequences with
+//                   every pre-existing seed are preserved by keeping it.
+//  - kUniform       uniform over all ranks.
+//  - kZipfRejection Zipf via Hörmann & Derflinger rejection-inversion:
+//                   O(1) setup (no O(n) zeta precompute), exact Zipf PMF,
+//                   supports theta >= 1 where the Gray generator cannot.
+//  - kHotspot       hot_key_frac of the ranks absorb hot_access_frac of the
+//                   accesses; uniform within the hot and cold sets.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "workload/spec.h"
+
+namespace paris::workload {
+
+const char* key_dist_name(KeyDistKind kind);
+/// Parses "zipf" | "uniform" | "zipf-ri" | "hotspot"; false on junk.
+bool parse_key_dist(const char* text, KeyDistKind* out);
+
+class KeyPicker {
+ public:
+  /// Domain and distribution parameters come from the spec
+  /// (keys_per_partition, zipf_theta, key_dist, hot_*_frac).
+  explicit KeyPicker(const WorkloadSpec& spec);
+
+  /// Draws a key rank in [0, n). Pure function of (picker, rng state):
+  /// identical sequences per seed on every runtime backend.
+  std::uint64_t draw(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  KeyDistKind kind() const { return kind_; }
+  /// Number of ranks in the hot set (kHotspot only).
+  std::uint64_t hot_n() const { return hot_n_; }
+
+  /// Analytic P(rank = r) for the configured distribution — the oracle the
+  /// chi-square generator tests compare empirical frequencies against.
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  std::uint64_t draw_rejection(Rng& rng) const;
+  double h_integral(double x) const;
+  double h(double x) const;
+  double h_integral_inverse(double x) const;
+
+  KeyDistKind kind_;
+  std::uint64_t n_;
+  double theta_ = 0;
+  Zipfian gray_;  // always built; only consulted for kZipfGray
+  // Rejection-inversion state (Hörmann & Derflinger 1996), kZipfRejection.
+  double ri_hx1_ = 0;        // hIntegral(1.5) - 1
+  double ri_hn_ = 0;         // hIntegral(n + 0.5)
+  double ri_s_ = 0;          // acceptance shortcut threshold
+  double ri_zetan_ = 0;      // zeta(n, theta), for pmf() only (lazy exact sum)
+  // Hot-spot state.
+  double hot_access_frac_ = 0;
+  std::uint64_t hot_n_ = 0;
+};
+
+}  // namespace paris::workload

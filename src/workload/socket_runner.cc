@@ -51,6 +51,21 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "keys_per_partition", c.workload.keys_per_partition);
   put(o, "zipf_theta", c.workload.zipf_theta);
   put(o, "value_size", static_cast<std::uint64_t>(c.workload.value_size));
+  put(o, "key_dist", static_cast<std::uint64_t>(c.workload.key_dist));
+  put(o, "hot_key_frac", c.workload.hot_key_frac);
+  put(o, "hot_access_frac", c.workload.hot_access_frac);
+  put(o, "openloop_enabled", static_cast<std::uint64_t>(c.openloop.enabled));
+  put(o, "arrival_rate", c.openloop.arrival_rate);
+  put(o, "openloop_sessions", static_cast<std::uint64_t>(c.openloop.sessions));
+  put(o, "rate_profile", static_cast<std::uint64_t>(c.openloop.profile));
+  put(o, "diurnal_amp", c.openloop.diurnal_amp);
+  put(o, "diurnal_period_us", c.openloop.diurnal_period_us);
+  put(o, "flash_mult", c.openloop.flash_mult);
+  put(o, "flash_at_us", c.openloop.flash_at_us);
+  put(o, "flash_len_us", c.openloop.flash_len_us);
+  // Single-token line: trace paths with whitespace are rejected up front by
+  // the CLI, so the token-stream decoder below stays trivial.
+  if (!c.openloop.trace_path.empty()) o << "trace_path " << c.openloop.trace_path << '\n';
   put(o, "threads_per_process", static_cast<std::uint64_t>(c.threads_per_process));
   put(o, "warmup_us", static_cast<std::uint64_t>(c.warmup_us));
   put(o, "measure_us", static_cast<std::uint64_t>(c.measure_us));
@@ -68,6 +83,14 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "bpr_gc_retention_us", static_cast<std::uint64_t>(c.protocol.bpr_gc_retention_us));
   put(o, "tx_context_timeout_us",
       static_cast<std::uint64_t>(c.protocol.tx_context_timeout_us));
+  put(o, "placement_policy", static_cast<std::uint64_t>(c.protocol.placement_policy));
+  put(o, "sketch_capacity", static_cast<std::uint64_t>(c.protocol.sketch_capacity));
+  put(o, "sketch_report_period_us",
+      static_cast<std::uint64_t>(c.protocol.sketch_report_period_us));
+  put(o, "migrate_top_k", static_cast<std::uint64_t>(c.protocol.migrate_top_k));
+  put(o, "migrate_at_us", static_cast<std::uint64_t>(c.protocol.migrate_at_us));
+  put(o, "migrate_fault_skip_copy",
+      static_cast<std::uint64_t>(c.protocol.migrate_fault_skip_copy));
   put(o, "aws_latency", static_cast<std::uint64_t>(c.aws_latency));
   put(o, "uniform_inter_dc_us", c.uniform_inter_dc_us);
   put(o, "uniform_intra_dc_us", c.uniform_intra_dc_us);
@@ -104,6 +127,11 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "socket_pump", static_cast<std::uint64_t>(c.socket.pump));
   put(o, "socket_outbound_budget", c.socket.outbound_budget);
   put(o, "socket_batch_io", static_cast<std::uint64_t>(c.socket.batch_io));
+  put(o, "socket_stall_rank",
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(c.socket.stall_rank)));
+  put(o, "socket_stall_peer", static_cast<std::uint64_t>(c.socket.stall_peer));
+  put(o, "socket_stall_at_ms", c.socket.stall_at_ms);
+  put(o, "socket_stall_len_ms", c.socket.stall_len_ms);
   put(o, "wan_seed", c.wan.seed);
   put(o, "fuzz_corrupt_p", c.fuzz.corrupt_p);
   put(o, "fuzz_replay_p", c.fuzz.replay_p);
@@ -176,6 +204,32 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.workload.zipf_theta = d;
     } else if (key == "value_size") {
       c.workload.value_size = static_cast<std::uint32_t>(u);
+    } else if (key == "key_dist") {
+      c.workload.key_dist = static_cast<KeyDistKind>(u);
+    } else if (key == "hot_key_frac") {
+      c.workload.hot_key_frac = d;
+    } else if (key == "hot_access_frac") {
+      c.workload.hot_access_frac = d;
+    } else if (key == "openloop_enabled") {
+      c.openloop.enabled = u != 0;
+    } else if (key == "arrival_rate") {
+      c.openloop.arrival_rate = d;
+    } else if (key == "openloop_sessions") {
+      c.openloop.sessions = static_cast<std::uint32_t>(u);
+    } else if (key == "rate_profile") {
+      c.openloop.profile = static_cast<RateProfile>(u);
+    } else if (key == "diurnal_amp") {
+      c.openloop.diurnal_amp = d;
+    } else if (key == "diurnal_period_us") {
+      c.openloop.diurnal_period_us = u;
+    } else if (key == "flash_mult") {
+      c.openloop.flash_mult = d;
+    } else if (key == "flash_at_us") {
+      c.openloop.flash_at_us = u;
+    } else if (key == "flash_len_us") {
+      c.openloop.flash_len_us = u;
+    } else if (key == "trace_path") {
+      c.openloop.trace_path = val;
     } else if (key == "threads_per_process") {
       c.threads_per_process = static_cast<std::uint32_t>(u);
     } else if (key == "warmup_us") {
@@ -208,6 +262,18 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.protocol.bpr_gc_retention_us = u;
     } else if (key == "tx_context_timeout_us") {
       c.protocol.tx_context_timeout_us = u;
+    } else if (key == "placement_policy") {
+      c.protocol.placement_policy = static_cast<std::uint8_t>(u);
+    } else if (key == "sketch_capacity") {
+      c.protocol.sketch_capacity = static_cast<std::uint32_t>(u);
+    } else if (key == "sketch_report_period_us") {
+      c.protocol.sketch_report_period_us = u;
+    } else if (key == "migrate_top_k") {
+      c.protocol.migrate_top_k = static_cast<std::uint32_t>(u);
+    } else if (key == "migrate_at_us") {
+      c.protocol.migrate_at_us = u;
+    } else if (key == "migrate_fault_skip_copy") {
+      c.protocol.migrate_fault_skip_copy = u != 0;
     } else if (key == "aws_latency") {
       c.aws_latency = u != 0;
     } else if (key == "uniform_inter_dc_us") {
@@ -274,6 +340,14 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.socket.outbound_budget = u;
     } else if (key == "socket_batch_io") {
       c.socket.batch_io = u != 0;
+    } else if (key == "socket_stall_rank") {
+      c.socket.stall_rank = static_cast<std::int32_t>(static_cast<std::int64_t>(u));
+    } else if (key == "socket_stall_peer") {
+      c.socket.stall_peer = static_cast<std::uint32_t>(u);
+    } else if (key == "socket_stall_at_ms") {
+      c.socket.stall_at_ms = u;
+    } else if (key == "socket_stall_len_ms") {
+      c.socket.stall_len_ms = u;
     } else if (key == "wan_seed") {
       c.wan.seed = u;
     } else if (key == "fuzz_corrupt_p") {
@@ -425,6 +499,23 @@ void encode_child_result(const ExperimentResult& res,
   e.put_varint(res.fuzz.accepted_validate);
   e.put_varint(res.fuzz.replays);
   e.put_varint(res.fuzz.captured);
+  e.put_varint(res.scheduled);
+  e.put_varint(res.overdue);
+  e.put_varint(res.max_backlog);
+  e.put_varint(res.workload_digest);
+  put_hist(e, res.intended_hist);
+  put_hist(e, res.service_hist);
+  e.put_varint(res.keys_migrated);
+  e.put_varint(res.migrate_parked);
+  e.put_varint(res.migrate_chains_sent);
+  e.put_varint(res.migrate_chains_installed);
+  e.put_varint(res.sketch_reports);
+  // Placement scores ride as fixed-point x1e6 (same convention as the
+  // server stats they came from).
+  e.put_varint(static_cast<std::uint64_t>(res.replicate_factor_before * 1e6 + 0.5));
+  e.put_varint(static_cast<std::uint64_t>(res.replicate_factor_after * 1e6 + 0.5));
+  e.put_varint(static_cast<std::uint64_t>(res.load_rel_stddev_before * 1e6 + 0.5));
+  e.put_varint(static_cast<std::uint64_t>(res.load_rel_stddev_after * 1e6 + 0.5));
   e.put_blob(history);
   out.insert(out.end(), kResultTrailer, kResultTrailer + sizeof(kResultTrailer));
 }
@@ -510,6 +601,21 @@ bool decode_child_result(const std::vector<std::uint8_t>& in, ExperimentResult& 
   res.fuzz.accepted_validate = d.get_varint();
   res.fuzz.replays = d.get_varint();
   res.fuzz.captured = d.get_varint();
+  res.scheduled = d.get_varint();
+  res.overdue = d.get_varint();
+  res.max_backlog = d.get_varint();
+  res.workload_digest = d.get_varint();
+  get_hist(d, res.intended_hist);
+  get_hist(d, res.service_hist);
+  res.keys_migrated = d.get_varint();
+  res.migrate_parked = d.get_varint();
+  res.migrate_chains_sent = d.get_varint();
+  res.migrate_chains_installed = d.get_varint();
+  res.sketch_reports = d.get_varint();
+  res.replicate_factor_before = static_cast<double>(d.get_varint()) / 1e6;
+  res.replicate_factor_after = static_cast<double>(d.get_varint()) / 1e6;
+  res.load_rel_stddev_before = static_cast<double>(d.get_varint()) / 1e6;
+  res.load_rel_stddev_after = static_cast<double>(d.get_varint()) / 1e6;
   d.get_blob_into(history);
   return d.done();
 }
@@ -690,6 +796,28 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
     res.catchups_served += part.catchups_served;
     res.prepared_fenced += part.prepared_fenced;
     res.recovery_ms = std::max(res.recovery_ms, part.recovery_ms);
+    res.scheduled += part.scheduled;
+    res.overdue += part.overdue;
+    res.max_backlog = std::max(res.max_backlog, part.max_backlog);
+    // Every engine lives in exactly one child, so XOR across children equals
+    // the global XOR over all engines (the cross-runtime digest invariant).
+    res.workload_digest ^= part.workload_digest;
+    res.intended_hist.merge(part.intended_hist);
+    res.service_hist.merge(part.service_hist);
+    res.keys_migrated += part.keys_migrated;
+    res.migrate_parked += part.migrate_parked;
+    res.migrate_chains_sent += part.migrate_chains_sent;
+    res.migrate_chains_installed += part.migrate_chains_installed;
+    res.sketch_reports += part.sketch_reports;
+    // Scores are controller-only: every other child reports 0, max wins.
+    res.replicate_factor_before =
+        std::max(res.replicate_factor_before, part.replicate_factor_before);
+    res.replicate_factor_after =
+        std::max(res.replicate_factor_after, part.replicate_factor_after);
+    res.load_rel_stddev_before =
+        std::max(res.load_rel_stddev_before, part.load_rel_stddev_before);
+    res.load_rel_stddev_after =
+        std::max(res.load_rel_stddev_after, part.load_rel_stddev_after);
     if (cfg.check_consistency && !history.empty()) {
       merged.merge_serialized(history.data(), history.size());
     }
@@ -699,6 +827,13 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
   res.throughput_tx_s =
       window_s > 0 ? static_cast<double>(res.committed) / window_s : 0.0;
   res.latency_us = stats::Summary::of(res.latency_hist);
+  if (cfg.openloop.enabled) {
+    res.intended_rate_tx_s =
+        window_s > 0 ? static_cast<double>(res.scheduled) / window_s : 0.0;
+    res.achieved_rate_tx_s = res.throughput_tx_s;
+    res.intended_us = stats::Summary::of(res.intended_hist);
+    res.service_us = stats::Summary::of(res.service_hist);
+  }
   res.avg_block_ms = res.blocked_reads != 0
                          ? res.avg_block_ms / static_cast<double>(res.blocked_reads)
                          : 0.0;

@@ -5,12 +5,32 @@
 namespace paris::workload {
 
 std::string WorkloadSpec::describe() const {
-  char buf[160];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "%u ops/tx (%ur:%uw), %u partitions/tx, local:multi %.0f:%.0f, zipf %.2f",
                 ops_per_tx, reads_per_tx(), writes_per_tx, partitions_per_tx,
                 (1.0 - multi_dc_ratio) * 100.0, multi_dc_ratio * 100.0, zipf_theta);
-  return buf;
+  std::string out = buf;
+  // Non-default distributions announce themselves; the default keeps the
+  // historical one-line format byte-identical (the determinism CI gate
+  // byte-diffs sim output).
+  switch (key_dist) {
+    case KeyDistKind::kZipfGray:
+      break;
+    case KeyDistKind::kUniform:
+      out += ", dist uniform";
+      break;
+    case KeyDistKind::kZipfRejection:
+      out += ", dist zipf-ri";
+      break;
+    case KeyDistKind::kHotspot: {
+      std::snprintf(buf, sizeof(buf), ", dist hotspot %.0f%%/%.0f%%", hot_key_frac * 100.0,
+                    hot_access_frac * 100.0);
+      out += buf;
+      break;
+    }
+  }
+  return out;
 }
 
 }  // namespace paris::workload

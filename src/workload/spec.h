@@ -7,6 +7,14 @@
 
 namespace paris::workload {
 
+/// Key-popularity distribution (see workload/keydist.h for semantics).
+enum class KeyDistKind : std::uint8_t {
+  kZipfGray = 0,       ///< YCSB Zipf, Gray et al. (historical default)
+  kUniform = 1,        ///< uniform over all ranks
+  kZipfRejection = 2,  ///< Zipf via Hörmann rejection-inversion (theta >= 1 ok)
+  kHotspot = 3,        ///< hot_key_frac of keys get hot_access_frac of accesses
+};
+
 struct WorkloadSpec {
   /// Operations per transaction (the paper always uses 20).
   std::uint32_t ops_per_tx = 20;
@@ -23,6 +31,12 @@ struct WorkloadSpec {
   double zipf_theta = 0.99;
   /// Item payload size (the paper uses small 8-byte items).
   std::uint32_t value_size = 8;
+  /// Which key-popularity distribution draws ranks within a partition.
+  KeyDistKind key_dist = KeyDistKind::kZipfGray;
+  /// kHotspot: fraction of keys in the hot set (N%)...
+  double hot_key_frac = 0.01;
+  /// ...and fraction of accesses that land in it (M%).
+  double hot_access_frac = 0.90;
 
   /// YCSB-B-like: 95:5 r:w => 19 reads + 1 write.
   static WorkloadSpec read_heavy() { return WorkloadSpec{}; }

@@ -176,7 +176,7 @@ TEST(Messages, TypeNamesAreDistinct) {
 #define COLLECT_NAME(T) names.insert(msg_type_name(T::kType));
   PARIS_FOREACH_MESSAGE(COLLECT_NAME)
 #undef COLLECT_NAME
-  EXPECT_EQ(names.size(), 23u) << "every message type must have a unique name";
+  EXPECT_EQ(names.size(), 30u) << "every message type must have a unique name";
 }
 
 // Randomized fuzz: build messages with random field contents, roundtrip.

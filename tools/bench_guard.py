@@ -35,6 +35,16 @@ BENCH_realtime_socket.json) are guarded too:
     current must stay under baseline * (1 + --tolerance). Losing the
     writev/large-read coalescing multiplies this metric while goodput on
     a fast loopback barely moves.
+  * rows carry a "loop_mode" ("open" or "closed"): comparing rows of
+    different modes is meaningless — closed-loop p99 hides queueing that
+    open-loop intended latency charges in full — so a mode mismatch (or a
+    mode that silently disappears from the current run) fails outright, it
+    is never a tolerance question.
+  * rows with a nonzero "achieved_intended_ratio" (open-loop health: the
+    rate the system completed over the rate the arrival schedule asked
+    for) are guarded DOWNWARD like a throughput floor — an engine that
+    silently falls behind its own schedule fails even when raw goodput
+    still looks plausible. The metric vanishing also fails.
   * baseline rows marked "optional": true (e.g. sockets_uring, which only
     exists on kernels with io_uring) may be missing from the current run —
     skipped with a notice instead of failing.
@@ -150,6 +160,23 @@ def main():
         tol = args.tolerance
         if b.get("ns_per_op", 1e9) < 5.0:  # layout-sensitive micro-row
             tol = min(2 * tol, 0.60)
+        if b.get("loop_mode") is not None:
+            mode = c.get("loop_mode")
+            if mode is None:
+                failures.append(
+                    f"{name}: loop_mode missing from the current run "
+                    f"(baseline is \"{b['loop_mode']}\"; the mode a row was "
+                    "driven in may not silently disappear)"
+                )
+            elif mode != b["loop_mode"]:
+                failures.append(
+                    f"{name}: loop_mode changed from \"{b['loop_mode']}\" to "
+                    f"\"{mode}\" — open- and closed-loop rows measure "
+                    "different things and must never be compared"
+                )
+                print(f"  {name:<34} LOOP MODE MISMATCH "
+                      f"({b['loop_mode']} vs {mode})")
+                continue  # the numeric comparison below would be meaningless
         floor = (1.0 - tol) * b["ops_per_sec"]
         ratio = c["ops_per_sec"] / b["ops_per_sec"] if b["ops_per_sec"] else 1.0
         status = "ok"
@@ -185,6 +212,23 @@ def main():
                     "regressed toward go-back-N"
                 )
                 status = "RETRANSMIT REGRESSION"
+        if b.get("achieved_intended_ratio", 0.0) > 0.0:
+            r_floor = b["achieved_intended_ratio"] * (1.0 - args.tolerance)
+            air = c.get("achieved_intended_ratio")
+            if air is None:
+                failures.append(
+                    f"{name}: achieved_intended_ratio missing from the "
+                    "current run (guarded metrics may not silently disappear)"
+                )
+                status = "OPEN-LOOP METRIC MISSING"
+            elif air < r_floor:
+                failures.append(
+                    f"{name}: achieved_intended_ratio {air:.3f} fell below "
+                    f"{r_floor:.3f} (baseline {b['achieved_intended_ratio']:.3f} "
+                    f"- {args.tolerance:.0%}) — the open-loop engine is "
+                    "falling behind its own arrival schedule"
+                )
+                status = "OPEN-LOOP RATE REGRESSION"
         if b.get("syscalls_per_frame", 0.0) > 0.0:
             ceiling = b["syscalls_per_frame"] * (1.0 + args.tolerance)
             spf = c.get("syscalls_per_frame")

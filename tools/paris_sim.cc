@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "cluster/topology.h"
+#include "placement/placement.h"
 #include "scenario/scenario.h"
 #include "workload/experiment.h"
 #include "runtime/socket_runtime.h"
@@ -136,6 +137,46 @@ namespace {
       "  --multi=F               multi-DC transaction ratio in [0,1] (default 0.05)\n"
       "  --keys=K                keys per partition (default 10000)\n"
       "  --zipf=T                zipfian theta (default 0.99)\n"
+      "  --key-dist=zipf|uniform|zipf-ri|hotspot\n"
+      "                          key-popularity distribution within a\n"
+      "                          partition: YCSB zipfian (default), uniform,\n"
+      "                          zipfian via rejection-inversion (exact PMF,\n"
+      "                          supports theta >= 1), or hot-spot\n"
+      "  --hot-keys=F            hotspot: fraction of keys in the hot set\n"
+      "                          (default 0.01)\n"
+      "  --hot-access=F          hotspot: fraction of accesses landing on the\n"
+      "                          hot set (default 0.90)\n"
+      "  --arrival-rate=R        OPEN-LOOP mode: replace the closed-loop\n"
+      "                          sessions with a pre-drawn Poisson arrival\n"
+      "                          process at R tx/s total. Latency is measured\n"
+      "                          from each request's SCHEDULED arrival\n"
+      "                          (coordinated-omission-safe); both the\n"
+      "                          intended and the achieved rate are reported\n"
+      "  --sessions=S            open loop: logical sessions multiplexed per\n"
+      "                          engine (default 1024)\n"
+      "  --rate-profile=constant|diurnal|flash\n"
+      "                          open loop: shape the arrival rate — flat, a\n"
+      "                          sinusoidal day/night ramp, or a flash crowd\n"
+      "                          (default constant)\n"
+      "  --flash-at-ms=T         flash profile: crowd arrives T ms into the\n"
+      "                          run (default 300)\n"
+      "  --flash-len-ms=L        flash profile: crowd lasts L ms (default 200)\n"
+      "  --flash-mult=X          flash profile: rate multiplier (default 4)\n"
+      "  --trace=PATH            open loop: replay arrivals from a text trace\n"
+      "                          ('offset_us [key_rank]' per line, time-\n"
+      "                          sorted, '#' comments) instead of drawing a\n"
+      "                          Poisson process\n"
+      "  --placement=hash|workload\n"
+      "                          key->partition placement: static hash\n"
+      "                          (default) or workload-aware — servers sketch\n"
+      "                          per-key access (Space-Saving top-K), a\n"
+      "                          controller scores placement by replication\n"
+      "                          factor and load balance\n"
+      "  --migrate-top-k=K       workload placement: migrate the K hottest\n"
+      "                          keys online (fence -> flush -> copy chain ->\n"
+      "                          commit; causal snapshots hold throughout)\n"
+      "  --migrate-at-ms=T       workload placement: trigger the migration T\n"
+      "                          ms into the run (0 = never; default 0)\n"
       "  --warmup-ms=W           warmup (default 300)\n"
       "  --measure-ms=M          measurement window (default 1000)\n"
       "  --duration-ms=D         alias for --measure-ms\n"
@@ -172,6 +213,8 @@ int main(int argc, char** argv) {
 
   workload::ExperimentConfig cfg;
   cfg.threads_per_process = 8;
+  bool sessions_set = false;
+  bool profile_set = false;
   bool sack_flag_set = false;
   bool socket_pump_set = false;
   bool socket_budget_set = false;
@@ -349,6 +392,49 @@ int main(int argc, char** argv) {
       cfg.workload.keys_per_partition = static_cast<std::uint64_t>(std::atoll(v));
     } else if (parse_flag(argv[i], "--zipf", &v) && v) {
       cfg.workload.zipf_theta = std::atof(v);
+    } else if (parse_flag(argv[i], "--key-dist", &v) && v) {
+      if (!workload::parse_key_dist(v, &cfg.workload.key_dist)) {
+        std::fprintf(stderr,
+                     "error: --key-dist takes zipf|uniform|zipf-ri|hotspot, got '%s'\n", v);
+        return 2;
+      }
+    } else if (parse_flag(argv[i], "--hot-keys", &v) && v) {
+      cfg.workload.hot_key_frac = std::atof(v);
+    } else if (parse_flag(argv[i], "--hot-access", &v) && v) {
+      cfg.workload.hot_access_frac = std::atof(v);
+    } else if (parse_flag(argv[i], "--arrival-rate", &v) && v) {
+      cfg.openloop.arrival_rate = std::atof(v);
+      cfg.openloop.enabled = true;
+    } else if (parse_flag(argv[i], "--sessions", &v) && v) {
+      cfg.openloop.sessions = static_cast<std::uint32_t>(std::atoi(v));
+      sessions_set = true;
+    } else if (parse_flag(argv[i], "--rate-profile", &v) && v) {
+      if (!workload::parse_rate_profile(v, &cfg.openloop.profile)) {
+        std::fprintf(stderr,
+                     "error: --rate-profile takes constant|diurnal|flash, got '%s'\n", v);
+        return 2;
+      }
+      profile_set = true;
+    } else if (parse_flag(argv[i], "--flash-at-ms", &v) && v) {
+      cfg.openloop.flash_at_us = static_cast<std::uint64_t>(std::atoll(v)) * 1000;
+    } else if (parse_flag(argv[i], "--flash-len-ms", &v) && v) {
+      cfg.openloop.flash_len_us = static_cast<std::uint64_t>(std::atoll(v)) * 1000;
+    } else if (parse_flag(argv[i], "--flash-mult", &v) && v) {
+      cfg.openloop.flash_mult = std::atof(v);
+    } else if (parse_flag(argv[i], "--trace", &v) && v) {
+      cfg.openloop.trace_path = v;
+      cfg.openloop.enabled = true;
+    } else if (parse_flag(argv[i], "--placement", &v) && v) {
+      placement::Policy pol;
+      if (!placement::parse_policy(v, &pol)) {
+        std::fprintf(stderr, "error: --placement takes hash|workload, got '%s'\n", v);
+        return 2;
+      }
+      cfg.protocol.placement_policy = static_cast<std::uint8_t>(pol);
+    } else if (parse_flag(argv[i], "--migrate-top-k", &v) && v) {
+      cfg.protocol.migrate_top_k = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (parse_flag(argv[i], "--migrate-at-ms", &v) && v) {
+      cfg.protocol.migrate_at_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
     } else if (parse_flag(argv[i], "--warmup-ms", &v) && v) {
       cfg.warmup_us = static_cast<sim::SimTime>(std::atoll(v)) * 1000;
     } else if (parse_flag(argv[i], "--measure-ms", &v) && v) {
@@ -483,6 +569,49 @@ int main(int argc, char** argv) {
                  "warning: --partition-spec without --reliable loses every message "
                  "crossing a blackout (no retransmission after heal)\n");
   }
+  if (!cfg.openloop.trace_path.empty() && profile_set) {
+    std::fprintf(stderr,
+                 "error: --trace and --rate-profile are exclusive (a trace IS the "
+                 "arrival process)\n");
+    return 2;
+  }
+  if ((sessions_set || profile_set) && !cfg.openloop.enabled) {
+    std::fprintf(stderr,
+                 "error: --sessions/--rate-profile require open-loop mode "
+                 "(--arrival-rate or --trace)\n");
+    return 2;
+  }
+  if (cfg.openloop.enabled && cfg.openloop.trace_path.empty() &&
+      cfg.openloop.arrival_rate <= 0) {
+    std::fprintf(stderr, "error: --arrival-rate must be positive\n");
+    return 2;
+  }
+  if (!cfg.openloop.trace_path.empty() &&
+      cfg.openloop.trace_path.find_first_of(" \t") != std::string::npos) {
+    std::fprintf(stderr,
+                 "error: --trace paths with whitespace are not supported (the socket "
+                 "config codec is line-oriented)\n");
+    return 2;
+  }
+  if (cfg.workload.key_dist == workload::KeyDistKind::kHotspot &&
+      (cfg.workload.hot_key_frac <= 0 || cfg.workload.hot_key_frac >= 1 ||
+       cfg.workload.hot_access_frac <= 0 || cfg.workload.hot_access_frac >= 1)) {
+    std::fprintf(stderr, "error: --hot-keys/--hot-access must be in (0, 1)\n");
+    return 2;
+  }
+  if (cfg.workload.key_dist != workload::KeyDistKind::kZipfRejection &&
+      cfg.workload.zipf_theta >= 1.0) {
+    std::fprintf(stderr,
+                 "error: --zipf >= 1 needs --key-dist=zipf-ri (the YCSB generator's "
+                 "zeta diverges)\n");
+    return 2;
+  }
+  if ((cfg.protocol.migrate_top_k != 0 || cfg.protocol.migrate_at_us != 0) &&
+      cfg.protocol.placement_policy == 0) {
+    std::fprintf(stderr,
+                 "error: --migrate-top-k/--migrate-at-ms require --placement=workload\n");
+    return 2;
+  }
 
   std::printf("system=%s M=%u N=%u R=%u (%.0f machines/DC) threads=%u\n",
               proto::system_name(cfg.system), cfg.num_dcs, cfg.num_partitions,
@@ -546,6 +675,28 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("workload: %s\n", cfg.workload.describe().c_str());
+  // Announced only when the new modes are on: the default sim stdout stays
+  // byte-identical across releases (the determinism tests diff it).
+  if (cfg.openloop.enabled) {
+    if (!cfg.openloop.trace_path.empty()) {
+      std::printf("open loop: trace replay from %s, %u logical sessions/engine\n",
+                  cfg.openloop.trace_path.c_str(), cfg.openloop.sessions);
+    } else {
+      std::printf("open loop: %.0f tx/s target, %s profile, %u logical sessions/engine\n",
+                  cfg.openloop.arrival_rate,
+                  workload::rate_profile_name(cfg.openloop.profile), cfg.openloop.sessions);
+    }
+  }
+  if (cfg.protocol.placement_policy != 0) {
+    std::printf("placement: workload-aware (sketch %u entries, report every %llu ms",
+                cfg.protocol.sketch_capacity,
+                static_cast<unsigned long long>(cfg.protocol.sketch_report_period_us / 1000));
+    if (cfg.protocol.migrate_top_k != 0 && cfg.protocol.migrate_at_us != 0) {
+      std::printf(", migrate top %u at %llu ms", cfg.protocol.migrate_top_k,
+                  static_cast<unsigned long long>(cfg.protocol.migrate_at_us / 1000));
+    }
+    std::printf(")\n");
+  }
 
   const auto res = workload::run_experiment(cfg);
 
@@ -556,6 +707,36 @@ int main(int argc, char** argv) {
   std::printf("latency p50     %10.2f ms\n", res.latency_us.p50 / 1000.0);
   std::printf("latency p95     %10.2f ms\n", res.latency_us.p95 / 1000.0);
   std::printf("latency p99     %10.2f ms\n", res.latency_us.p99 / 1000.0);
+  if (cfg.openloop.enabled) {
+    const double ratio = res.intended_rate_tx_s > 0
+                             ? res.achieved_rate_tx_s / res.intended_rate_tx_s
+                             : 0.0;
+    std::printf("open loop       %10.1f tx/s intended -> %.1f tx/s achieved (%.1f %%)\n",
+                res.intended_rate_tx_s, res.achieved_rate_tx_s, ratio * 100.0);
+    std::printf("intended p50    %10.2f ms   p99 %10.2f ms  (from scheduled arrival)\n",
+                res.intended_us.p50 / 1000.0, res.intended_us.p99 / 1000.0);
+    std::printf("service  p50    %10.2f ms   p99 %10.2f ms  (from actual start)\n",
+                res.service_us.p50 / 1000.0, res.service_us.p99 / 1000.0);
+    std::printf("overdue         %10s of %s scheduled, max backlog %s\n",
+                stats::with_commas(res.overdue).c_str(),
+                stats::with_commas(res.scheduled).c_str(),
+                stats::with_commas(res.max_backlog).c_str());
+    std::printf("workload digest %#18llx\n",
+                static_cast<unsigned long long>(res.workload_digest));
+  }
+  if (cfg.protocol.placement_policy != 0) {
+    std::printf("placement       replicate_factor %.3f -> %.3f, load rel-stddev "
+                "%.3f -> %.3f\n",
+                res.replicate_factor_before, res.replicate_factor_after,
+                res.load_rel_stddev_before, res.load_rel_stddev_after);
+    std::printf("migration       %10s keys moved, %s parked, %s chains shipped / "
+                "%s installed, %s sketch reports\n",
+                stats::with_commas(res.keys_migrated).c_str(),
+                stats::with_commas(res.migrate_parked).c_str(),
+                stats::with_commas(res.migrate_chains_sent).c_str(),
+                stats::with_commas(res.migrate_chains_installed).c_str(),
+                stats::with_commas(res.sketch_reports).c_str());
+  }
   if (res.blocked_reads > 0) {
     std::printf("blocked reads   %10s (avg %.1f ms)\n",
                 stats::with_commas(res.blocked_reads).c_str(), res.avg_block_ms);

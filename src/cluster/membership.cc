@@ -1,0 +1,128 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace paris::cluster {
+
+Topology::Topology(const TopologyConfig& cfg) : cfg_(cfg) {
+  PARIS_CHECK_MSG(cfg.num_dcs >= 1, "need at least one DC");
+  PARIS_CHECK_MSG(cfg.num_partitions >= 1, "need at least one partition");
+  PARIS_CHECK_MSG(cfg.replication >= 1 && cfg.replication <= cfg.num_dcs,
+                  "replication factor must be in [1, M]");
+
+  const std::uint32_t M = cfg.num_dcs, N = cfg.num_partitions, R = cfg.replication;
+  replicas_.resize(N);
+  replica_idx_.assign(static_cast<std::size_t>(M) * N, kInvalidReplica);
+  local_partitions_.resize(M);
+
+  for (PartitionId p = 0; p < N; ++p) {
+    replicas_[p].reserve(R);
+    for (std::uint32_t j = 0; j < R; ++j) {
+      const DcId dc = (p + j) % M;
+      replicas_[p].push_back(dc);
+      replica_idx_[static_cast<std::size_t>(dc) * N + p] = j;
+      local_partitions_[dc].push_back(p);
+    }
+  }
+  for (auto& v : local_partitions_) {
+    std::sort(v.begin(), v.end());
+    total_servers_ += static_cast<std::uint32_t>(v.size());
+  }
+}
+
+DcId Topology::target_dc(DcId client_dc, PartitionId p) const {
+  const ReplicaIdx local = replica_idx(client_dc, p);
+  if (local != kInvalidReplica) return client_dc;
+  const auto& reps = replicas(p);
+  // Fixed per-(DC, partition) preference, rotated across DCs so remote load
+  // spreads over the R replicas (round-robin assignment of §V-A).
+  return reps[(client_dc + p) % reps.size()];
+}
+
+namespace {
+
+// Rebuilds the view-relative pieces (ever_active carry, per-partition active
+// replica subsets) from an updated active mask.
+void finalize_view(const Topology& topo, const MembershipView* prev, MembershipView* v) {
+  const std::uint32_t M = topo.num_dcs(), N = topo.num_partitions();
+  v->ever_active.assign(M, 0);
+  for (DcId d = 0; d < M; ++d) {
+    const bool before = prev != nullptr && prev->ever_active[d] != 0;
+    v->ever_active[d] = (before || v->active[d] != 0) ? 1 : 0;
+  }
+  v->replica_sets.assign(N, {});
+  for (PartitionId p = 0; p < N; ++p) {
+    for (DcId d : topo.replicas(p)) {
+      if (v->active[d] != 0) v->replica_sets[p].push_back(d);
+    }
+    PARIS_CHECK_MSG(!v->replica_sets[p].empty(),
+                    "membership view would leave a partition with no active replica");
+  }
+}
+
+}  // namespace
+
+Membership::Membership(const Topology& topo, std::vector<Member> members,
+                       std::vector<ViewChange> changes)
+    : topo_(topo), changes_(std::move(changes)) {
+  const std::uint32_t M = topo.num_dcs();
+
+  MembershipView v0;
+  v0.view_id = 0;
+  v0.members = std::move(members);
+  v0.active.assign(M, 1);
+  // DCs scheduled to JOIN start out of the replica set; everything else is a
+  // founding member of view 0.
+  for (const ViewChange& c : changes_) {
+    if (!c.join) continue;
+    for (DcId d : c.dcs) {
+      PARIS_CHECK_MSG(d < M, "join schedule names a DC outside the topology");
+      PARIS_CHECK_MSG(v0.active[d] != 0, "DC scheduled to join twice");
+      v0.active[d] = 0;
+    }
+  }
+  finalize_view(topo_, nullptr, &v0);
+  views_.push_back(std::move(v0));
+
+  std::uint64_t prev_at = 0;
+  for (const ViewChange& c : changes_) {
+    PARIS_CHECK_MSG(c.at_us >= prev_at, "membership schedule must be sorted by time");
+    prev_at = c.at_us;
+    MembershipView v = views_.back();
+    v.view_id = static_cast<std::uint32_t>(views_.size());
+    for (DcId d : c.dcs) {
+      PARIS_CHECK_MSG(d < M, "membership schedule names a DC outside the topology");
+      if (c.join) {
+        PARIS_CHECK_MSG(v.active[d] == 0, "DC joining is already active");
+      } else {
+        PARIS_CHECK_MSG(v.active[d] != 0, "DC leaving is not active");
+      }
+      v.active[d] = c.join ? 1 : 0;
+    }
+    finalize_view(topo_, &views_.back(), &v);
+    views_.push_back(std::move(v));
+  }
+}
+
+bool Membership::install(std::uint32_t view_id) {
+  const std::uint32_t last = static_cast<std::uint32_t>(views_.size()) - 1;
+  const std::uint32_t target = std::min(view_id, last);
+  std::uint32_t cur = cur_.load(std::memory_order_acquire);
+  while (cur < target) {
+    if (cur_.compare_exchange_weak(cur, target, std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+      return true;
+  }
+  return false;
+}
+
+DcId Membership::target_dc(DcId client_dc, PartitionId p) const {
+  const MembershipView& v = view();
+  if (v.active[client_dc] != 0 && topo_.dc_replicates(client_dc, p)) return client_dc;
+  const auto& reps = v.replica_sets[p];
+  // Same fixed rotation as Topology::target_dc, but over the view's active
+  // replicas so reads never route to a drained or not-yet-joined DC.
+  return reps[(client_dc + p) % reps.size()];
+}
+
+}  // namespace paris::cluster

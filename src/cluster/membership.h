@@ -1,0 +1,256 @@
+#pragma once
+// Cluster membership: the static universe (topology) plus the versioned
+// membership VIEW machinery that makes replica sets elastic (DESIGN §11).
+//
+// The universe — M data centers, N partitions, replication factor R, each
+// partition replicated at R DCs chosen round-robin (partition p lives at
+// DCs (p+j) mod M for j in [0,R), §II-C) — is fixed for the lifetime of a
+// run. What changes mid-run is which DCs are ACTIVE: a membership view is
+// {view_id, members: [(rank, endpoint, epoch)], replica_sets}, and a
+// join/leave schedule precomputes the whole view sequence up front so every
+// process derives identical views from the shared config. Installation is a
+// single atomic index bump (monotone, idempotent); on the socket runtime
+// the current view id piggybacks on the epoch beacons, so peers converge on
+// a view change within one beacon period.
+//
+// This header also hosts the pieces the old cluster/ layer kept in separate
+// files: the Directory (where each (dc, partition) server actor lives) and
+// the intra-DC stabilization tree (§IV-B) PaRiS aggregates its UST over.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "runtime/endpoint.h"
+
+namespace paris::cluster {
+
+struct TopologyConfig {
+  std::uint32_t num_dcs = 3;         ///< M
+  std::uint32_t num_partitions = 9;  ///< N
+  std::uint32_t replication = 2;     ///< R (<= M)
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& cfg);
+
+  std::uint32_t num_dcs() const { return cfg_.num_dcs; }
+  std::uint32_t num_partitions() const { return cfg_.num_partitions; }
+  std::uint32_t replication() const { return cfg_.replication; }
+
+  /// Deterministic key -> partition map. Keys are constructed by
+  /// make_key(partition, rank) so workloads can target partitions directly;
+  /// the inverse is a plain modulo (the paper only requires a deterministic
+  /// hash assignment).
+  PartitionId partition_of(Key k) const { return static_cast<PartitionId>(k % cfg_.num_partitions); }
+  Key make_key(PartitionId p, std::uint64_t rank) const {
+    return rank * cfg_.num_partitions + p;
+  }
+
+  /// The R DCs storing partition p, primary first.
+  const std::vector<DcId>& replicas(PartitionId p) const {
+    PARIS_DCHECK(p < cfg_.num_partitions);
+    return replicas_[p];
+  }
+
+  bool dc_replicates(DcId dc, PartitionId p) const {
+    return replica_idx(dc, p) != kInvalidReplica;
+  }
+
+  /// Index of DC `dc` within replicas(p), or kInvalidReplica.
+  ReplicaIdx replica_idx(DcId dc, PartitionId p) const {
+    PARIS_DCHECK(dc < cfg_.num_dcs && p < cfg_.num_partitions);
+    return replica_idx_[static_cast<std::size_t>(dc) * cfg_.num_partitions + p];
+  }
+
+  /// Partitions with a replica in `dc` (sorted). One server each => this is
+  /// also the per-DC server list ("machines per DC" in the paper's plots).
+  const std::vector<PartitionId>& partitions_at(DcId dc) const {
+    PARIS_DCHECK(dc < cfg_.num_dcs);
+    return local_partitions_[dc];
+  }
+
+  std::uint32_t servers_per_dc(DcId dc) const {
+    return static_cast<std::uint32_t>(partitions_at(dc).size());
+  }
+  std::uint32_t total_servers() const { return total_servers_; }
+
+  /// DC whose replica of p a node in client_dc should contact: the local DC
+  /// if it replicates p, otherwise a per-(DC, partition) round-robin choice,
+  /// fixed for all clients of the DC (§V-A "preferred remote replica").
+  /// View-blind; Membership::target_dc is the view-relative variant.
+  DcId target_dc(DcId client_dc, PartitionId p) const;
+
+ private:
+  TopologyConfig cfg_;
+  std::vector<std::vector<DcId>> replicas_;             // [p] -> R DCs
+  std::vector<ReplicaIdx> replica_idx_;                 // [dc*N+p]
+  std::vector<std::vector<PartitionId>> local_partitions_;  // [dc]
+  std::uint32_t total_servers_ = 0;
+};
+
+/// Runtime directory: where each (dc, partition) server actor lives in the
+/// network. Populated by the cluster builder; covers the whole universe —
+/// inactive DCs keep their slots so a joining DC's servers are addressable
+/// the instant its view installs.
+class Directory {
+ public:
+  explicit Directory(const Topology& topo)
+      : topo_(&topo),
+        nodes_(static_cast<std::size_t>(topo.num_dcs()) * topo.num_partitions(), kInvalidNode) {}
+
+  void set_server(DcId dc, PartitionId p, NodeId node) {
+    nodes_[index(dc, p)] = node;
+  }
+  NodeId server(DcId dc, PartitionId p) const {
+    const NodeId n = nodes_[index(dc, p)];
+    PARIS_DCHECK(n != kInvalidNode);
+    return n;
+  }
+  bool has_server(DcId dc, PartitionId p) const { return nodes_[index(dc, p)] != kInvalidNode; }
+
+ private:
+  std::size_t index(DcId dc, PartitionId p) const {
+    PARIS_DCHECK(dc < topo_->num_dcs() && p < topo_->num_partitions());
+    return static_cast<std::size_t>(dc) * topo_->num_partitions() + p;
+  }
+  const Topology* topo_;
+  std::vector<NodeId> nodes_;
+};
+
+/// Intra-DC stabilization tree (§IV-B): the servers of a DC are arranged in
+/// a k-ary tree; minima are aggregated leaves->root, and the UST is
+/// disseminated root->leaves (following GentleRain/Cure) to keep the gossip
+/// message count linear.
+class StabTree {
+ public:
+  /// A k-ary heap-shaped tree over n nodes indexed 0..n-1; node 0 is root.
+  StabTree(std::uint32_t n, std::uint32_t fanout = 2) : n_(n), fanout_(fanout) {
+    PARIS_CHECK(n >= 1);
+    PARIS_CHECK(fanout >= 1);
+  }
+
+  std::uint32_t size() const { return n_; }
+  std::uint32_t fanout() const { return fanout_; }
+  bool is_root(std::uint32_t i) const { return i == 0; }
+
+  std::uint32_t parent(std::uint32_t i) const {
+    PARIS_DCHECK(i > 0 && i < n_);
+    return (i - 1) / fanout_;
+  }
+
+  std::vector<std::uint32_t> children(std::uint32_t i) const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = i * fanout_ + 1; c <= i * fanout_ + fanout_ && c < n_; ++c)
+      out.push_back(c);
+    return out;
+  }
+
+  std::uint32_t depth() const {
+    std::uint32_t d = 0, span = 1, covered = 1;
+    while (covered < n_) {
+      span *= fanout_;
+      covered += span;
+      ++d;
+    }
+    return d;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t fanout_;
+};
+
+// ---------------------------------------------------------------------------
+// Versioned membership views.
+// ---------------------------------------------------------------------------
+
+/// One rank of the process mesh as a view names it: by endpoint, not by
+/// port arithmetic. Threads deployments use synthetic members (rank == dc,
+/// empty endpoint) so the same view machinery runs without a mesh.
+struct Member {
+  std::uint32_t rank = 0;
+  runtime::Endpoint endpoint;
+  std::uint32_t epoch = 0;  ///< incarnation at the time the view was built
+};
+
+/// A scheduled membership change: the named DCs join (become active) or
+/// leave (drain) at `at_us` of run time. Each change produces one view.
+struct ViewChange {
+  bool join = true;
+  std::vector<DcId> dcs;
+  std::uint64_t at_us = 0;
+};
+
+struct MembershipView {
+  std::uint32_t view_id = 0;
+  std::vector<Member> members;
+  std::vector<std::uint8_t> active;       ///< [dc] -> replicates in this view
+  std::vector<std::uint8_t> ever_active;  ///< [dc] -> active in any view <= this
+  /// [p] -> the active subset of Topology::replicas(p), replica order kept.
+  std::vector<std::vector<DcId>> replica_sets;
+
+  bool is_active(DcId d) const { return active[d] != 0; }
+};
+
+/// The precomputed view sequence + an atomic cursor. All views are derived
+/// up front from the schedule (every process computes the same sequence from
+/// the shared config); install() only ever moves the cursor forward, so
+/// concurrent installs from a beacon listener and the local schedule agree.
+class Membership {
+ public:
+  /// No schedule: one static view with every DC active.
+  explicit Membership(const Topology& topo) : Membership(topo, {}, {}) {}
+
+  /// `changes` must be sorted by at_us; a DC named by a join must not be
+  /// active in view 0 (it starts out), a DC named by a leave must be. Every
+  /// view must leave each partition with at least one active replica.
+  Membership(const Topology& topo, std::vector<Member> members,
+             std::vector<ViewChange> changes);
+
+  const Topology& topo() const { return topo_; }
+  const std::vector<ViewChange>& changes() const { return changes_; }
+  std::uint32_t num_views() const { return static_cast<std::uint32_t>(views_.size()); }
+  const MembershipView& view_at(std::uint32_t id) const {
+    PARIS_DCHECK(id < views_.size());
+    return views_[id];
+  }
+
+  std::uint32_t current_view_id() const { return cur_.load(std::memory_order_acquire); }
+  const MembershipView& view() const { return views_[current_view_id()]; }
+
+  /// Monotone cutover: moves the cursor to max(current, view_id). Returns
+  /// true when the cursor advanced. Safe from any thread (beacon listener,
+  /// local schedule timer); out-of-range ids clamp to the last view.
+  bool install(std::uint32_t view_id);
+
+  /// DC replicates in the CURRENT view (fan-out + routing predicate).
+  bool active(DcId d) const { return view().active[d] != 0; }
+  /// DC was active in the current or any earlier view (version-vector slots
+  /// of a drained DC keep counting; a never-joined DC's slot does not).
+  bool ever_active(DcId d) const { return view().ever_active[d] != 0; }
+  /// DC was active in view 0 (a "founding" member; late joiners report
+  /// false — their zero vv entries are skippable until they first ship).
+  bool initially_active(DcId d) const { return views_[0].active[d] != 0; }
+
+  const std::vector<DcId>& active_replicas(PartitionId p) const {
+    return view().replica_sets[p];
+  }
+
+  /// View-relative Topology::target_dc: the local DC if it actively
+  /// replicates p, else a fixed per-(DC, partition) rotation over the
+  /// CURRENT view's active replicas of p.
+  DcId target_dc(DcId client_dc, PartitionId p) const;
+
+ private:
+  const Topology& topo_;
+  std::vector<ViewChange> changes_;
+  std::vector<MembershipView> views_;
+  std::atomic<std::uint32_t> cur_{0};
+};
+
+}  // namespace paris::cluster

@@ -21,7 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "common/types.h"
 
 namespace paris::placement {

@@ -3,16 +3,82 @@
 #include <algorithm>
 #include <chrono>
 #include <initializer_list>
+#include <mutex>
 #include <thread>
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "runtime/endpoint.h"
 #include "runtime/sim_runtime.h"
 #include "runtime/thread_runtime.h"
 
 namespace paris::proto {
 
 namespace {
+/// The executor has no one-shot delayed post; a fire-once schedule entry is
+/// a periodic timer with an absurd period plus an atomic fired flag.
+constexpr std::uint64_t kFireOncePeriodUs = 3'600'000'000ull;  // 1h
+/// How often a joining server polls peer view advertisements (sockets).
+constexpr std::uint64_t kGatePollPeriodUs = 10'000;
+
+/// Join-time catch-up gate (sockets): phase 2 of a joining server's state
+/// transfer holds until every peer rank has advertised the join view — from
+/// then on peers include the joiner in their replication fan-out, so the
+/// per-source catch-up watermarks cover the cutover with no gap.
+struct JoinGate {
+  std::mutex mu;
+  bool open = false;
+  std::function<void()> resume;
+};
+
+/// The socket host list every layer derives endpoints from: the configured
+/// --hosts list verbatim, or the back-compat loopback expansion of the
+/// deprecated base-port scheme (the ONLY sanctioned port-arithmetic site).
+std::vector<runtime::Endpoint> resolve_hosts(const DeploymentConfig& cfg) {
+  const std::uint32_t nprocs = cfg.socket.resolve_processes(cfg.topo.num_dcs);
+  return cfg.socket.hosts.empty()
+             ? runtime::loopback_host_list(nprocs, cfg.socket.base_port)
+             : cfg.socket.hosts;
+}
+
+std::unique_ptr<cluster::Membership> build_membership(const DeploymentConfig& cfg,
+                                                      const cluster::Topology& topo) {
+  if (!cfg.membership.enabled()) return nullptr;
+  const bool sockets = cfg.runtime == runtime::Kind::kSockets;
+  const std::uint32_t nprocs =
+      sockets ? cfg.socket.resolve_processes(cfg.topo.num_dcs) : 0;
+  std::vector<cluster::Member> members;
+  if (sockets) {
+    const auto hosts = resolve_hosts(cfg);
+    for (std::uint32_t r = 0; r < hosts.size(); ++r)
+      members.push_back({r, hosts[r], static_cast<std::uint32_t>(cfg.socket.epoch)});
+  }
+  // A schedule event names a process rank; it expands to every DC that rank
+  // owns (sockets) or to DC `rank` directly (threads/sim), so each change
+  // moves whole failure domains at once.
+  std::vector<cluster::ViewChange> changes;
+  for (const MembershipEvent& ev : cfg.membership.events) {
+    cluster::ViewChange c;
+    c.join = ev.join;
+    c.at_us = ev.at_ms * 1000;
+    if (sockets) {
+      PARIS_CHECK_MSG(ev.rank < nprocs, "membership event names a rank outside the cluster");
+      for (DcId d = 0; d < cfg.topo.num_dcs; ++d)
+        if (d % nprocs == ev.rank) c.dcs.push_back(d);
+    } else {
+      PARIS_CHECK_MSG(ev.rank < cfg.topo.num_dcs,
+                      "membership event names a DC outside the topology");
+      c.dcs.push_back(static_cast<DcId>(ev.rank));
+    }
+    changes.push_back(std::move(c));
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const cluster::ViewChange& a, const cluster::ViewChange& b) {
+                     return a.at_us < b.at_us;
+                   });
+  return std::make_unique<cluster::Membership>(topo, std::move(members), std::move(changes));
+}
+
 sim::LatencyModel build_latency(const DeploymentConfig& cfg) {
   auto m = cfg.aws_latency
                ? sim::LatencyModel::aws(cfg.topo.num_dcs)
@@ -37,7 +103,7 @@ std::unique_ptr<runtime::Backend> build_backend(const DeploymentConfig& cfg,
     runtime::SocketBackend::Options opt;
     opt.rank = static_cast<std::uint32_t>(cfg.socket.rank);
     opt.nprocs = cfg.socket.resolve_processes(cfg.topo.num_dcs);
-    opt.base_port = cfg.socket.base_port;
+    opt.hosts = resolve_hosts(cfg);
     opt.seed = cfg.seed;
     opt.connect_timeout_ms = cfg.socket.connect_timeout_ms;
     opt.mesh_token = cfg.socket.mesh_token;
@@ -141,6 +207,7 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
     : cfg_(cfg),
       topo_(cfg.topo),
       dir_(topo_),
+      membership_(build_membership(cfg, topo_)),
       backend_(build_backend(cfg, topo_)),
       latency_tp_(build_latency_tp(cfg, *backend_)),
       wan_tp_(build_wan_tp(cfg, *backend_, latency_tp_.get())),
@@ -165,7 +232,8 @@ Deployment::Deployment(const DeploymentConfig& cfg, Tracer* tracer)
           dir_,
           cfg.cost,
           cfg.protocol,
-          tracer} {
+          tracer,
+          membership_.get()} {
   // One server per (DC, partition) replica; registration order is
   // deterministic: DC-major, partition-minor.
   const auto service = [cost = rt_.cost](const wire::Message& m) {
@@ -212,12 +280,156 @@ void Deployment::start() {
       if (backend_->local(s->node())) s->set_incarnation(sb->epoch());
     wire_epoch_fencing(*sb);  // before the mesh comes up: no fired-early race
     if (sb->epoch() > 0) {
+      PARIS_CHECK_MSG(membership_ == nullptr,
+                      "elastic membership combined with a supervised respawn is not "
+                      "supported (the scenario generator keeps them exclusive)");
       arm_socket_recovery(*sb);
       return;  // local timers start per-server as each recovery completes
     }
   }
   Rng& phase_rng = backend_->rng();
+  if (membership_ != nullptr) {
+    arm_membership(phase_rng);
+    return;  // joining DCs' timers start from their join-done callbacks
+  }
   for (auto& s : servers_) s->start_timers(phase_rng);
+}
+
+void Deployment::arm_membership(Rng& phase_rng) {
+  cluster::Membership& mem = *membership_;
+  runtime::SocketBackend* sb = socket_backend();
+
+  // Servers of later-joining DCs park from t = 0: everything that arrives
+  // before their join (replicate/heartbeat tails routed by a peer that
+  // installed the view first, early client reads) is buffered and replayed
+  // after the state transfer, so nothing is double-counted into the version
+  // vector. Everyone else starts normally.
+  for (auto& sp : servers_) {
+    ServerBase* s = sp.get();
+    if (!backend_->local(s->node())) {
+      s->start_timers(phase_rng);  // remote: timers are dropped anyway
+      continue;
+    }
+    if (mem.initially_active(s->dc())) {
+      s->start_timers(phase_rng);
+    } else {
+      s->park_for_join();
+    }
+  }
+
+  // Beacon-driven installs (sockets): a peer advertising view V pulls us to
+  // V within one beacon period even if our own schedule timer is late; the
+  // echo advertisement confirms the install to the joiner's catch-up gate.
+  if (sb != nullptr) {
+    sb->set_view_listener([this, sb](std::uint32_t /*rank*/, std::uint32_t view) {
+      install_view_local(view);
+      sb->advertise_view(view);
+    });
+  }
+
+  // One fire-once timer per scheduled change, hosted on the first local
+  // server's context. Every rank runs the same schedule, so views converge
+  // even without beacons; beacons just tighten the window.
+  memb_timer_node_ = kInvalidNode;
+  for (auto& sp : servers_)
+    if (backend_->local(sp->node())) {
+      memb_timer_node_ = sp->node();
+      break;
+    }
+  PARIS_CHECK_MSG(memb_timer_node_ != kInvalidNode,
+                  "membership schedule with no local servers");
+
+  for (std::uint32_t i = 0; i < mem.changes().size(); ++i) {
+    const cluster::ViewChange& c = mem.changes()[i];
+    const std::uint32_t view_id = i + 1;
+    std::vector<DcId> local_joins;
+    if (c.join)
+      for (DcId d : c.dcs)
+        if (hosts_dc(d)) local_joins.push_back(d);
+    sched_fired_.push_back(std::make_unique<std::atomic<bool>>(false));
+    std::atomic<bool>* fired = sched_fired_.back().get();
+    sched_timers_.push_back(exec().every(
+        memb_timer_node_, kFireOncePeriodUs, std::max<std::uint64_t>(c.at_us, 1),
+        [this, view_id, local_joins, fired] {
+          if (fired->exchange(true, std::memory_order_acq_rel)) return;
+          install_view_local(view_id);
+          if (runtime::SocketBackend* b = socket_backend()) b->advertise_view(view_id);
+          for (DcId d : local_joins) begin_join(d, view_id);
+        }));
+  }
+}
+
+bool Deployment::hosts_dc(DcId d) const {
+  if (cfg_.runtime != runtime::Kind::kSockets) return true;
+  const std::uint32_t nprocs = cfg_.socket.resolve_processes(cfg_.topo.num_dcs);
+  return d % nprocs == static_cast<std::uint32_t>(cfg_.socket.rank);
+}
+
+void Deployment::install_view_local(std::uint32_t view_id) {
+  if (membership_ != nullptr) membership_->install(view_id);
+}
+
+void Deployment::begin_join(DcId dc, std::uint32_t view_id) {
+  runtime::SocketBackend* sb = socket_backend();
+  // Donors come from the replicas active in the PREVIOUS view (the joiner is
+  // excluded by construction; view validation guarantees at least one).
+  const cluster::MembershipView& prev = membership_->view_at(view_id - 1);
+  for (auto& sp : servers_) {
+    ServerBase* s = sp.get();
+    if (s->dc() != dc || !backend_->local(s->node())) continue;
+    std::vector<NodeId> remotes;
+    for (DcId d : prev.replica_sets[s->partition()])
+      remotes.push_back(dir_.server(d, s->partition()));
+    PARIS_CHECK_MSG(!remotes.empty(), "join with no active donor replica");
+    // Rotate the donor pick so parallel joins spread across replicas.
+    const std::size_t pick = (s->dc() + s->partition()) % remotes.size();
+    std::rotate(remotes.begin(), remotes.begin() + static_cast<std::ptrdiff_t>(pick),
+                remotes.end());
+    const NodeId donor = remotes.front();
+    std::vector<NodeId> peers(remotes.begin() + 1, remotes.end());
+    const NodeId self = s->node();
+    if (sb != nullptr) {
+      auto gate = std::make_shared<JoinGate>();
+      s->set_catchup_gate([this, self, gate](std::function<void()> resume) {
+        std::lock_guard<std::mutex> lk(gate->mu);
+        if (gate->open) {
+          exec().post(self, std::move(resume));
+          return;
+        }
+        gate->resume = std::move(resume);
+      });
+      // The poller lives on memb_timer_node_ — the actor whose worker is
+      // running this very callback, the only context allowed to create
+      // timers post-start. It reads peer-view atomics and posts the resume
+      // cross-thread, both safe from here.
+      const std::uint32_t nprocs = cfg_.socket.resolve_processes(cfg_.topo.num_dcs);
+      sched_timers_.push_back(exec().every(
+          memb_timer_node_, kGatePollPeriodUs, kGatePollPeriodUs,
+          [this, sb, nprocs, view_id, self, gate] {
+            for (std::uint32_t r = 0; r < nprocs; ++r)
+              if (r != sb->rank() && sb->peer_view(r) < view_id) return;
+            std::function<void()> resume;
+            {
+              std::lock_guard<std::mutex> lk(gate->mu);
+              if (gate->open) return;
+              gate->open = true;
+              resume = std::move(gate->resume);
+            }
+            if (resume) exec().post(self, std::move(resume));
+          }));
+    }
+    // Timers start from the join-done callback on a worker thread; derive a
+    // per-server phase rng (the shared backend rng is not safe there).
+    const std::uint64_t tseed = splitmix64(cfg_.seed ^ 0x4a4f'494eull ^ s->node());  // "JOIN"
+    recovering_.fetch_add(1, std::memory_order_acq_rel);
+    exec().post(self, [this, s, donor, peers = std::move(peers), tseed] {
+      s->start_recovery(donor, peers, [this, s, tseed] {
+        Rng phase_rng(tseed);
+        s->start_timers(phase_rng);
+        recovering_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    });
+  }
 }
 
 void Deployment::wire_epoch_fencing(runtime::SocketBackend& sb) {

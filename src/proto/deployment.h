@@ -14,7 +14,7 @@
 #include <memory>
 #include <vector>
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "proto/bpr_server.h"
 #include "proto/client.h"
 #include "proto/paris_server.h"
@@ -34,6 +34,21 @@ enum class System { kParis, kBpr };
 
 inline const char* system_name(System s) { return s == System::kParis ? "PaRiS" : "BPR"; }
 
+/// Elastic membership schedule (DESIGN §11): at `at_ms` of run time, the DCs
+/// owned by process rank `rank` join (start inactive, snapshot + catch-up in,
+/// then serve) or leave (drain: peers stop fanning out / routing to them).
+/// On the threads/sim backends "rank" addresses DC `rank` directly.
+struct MembershipEvent {
+  bool join = true;
+  std::uint32_t rank = 0;
+  std::uint64_t at_ms = 0;
+};
+
+struct MembershipSchedule {
+  std::vector<MembershipEvent> events;
+  bool enabled() const { return !events.empty(); }
+};
+
 struct DeploymentConfig {
   System system = System::kParis;
   cluster::TopologyConfig topo;
@@ -49,6 +64,8 @@ struct DeploymentConfig {
   /// only ever built INSIDE a child process (rank >= 0); the launcher side
   /// lives in workload::run_experiment, which spawns children and merges.
   runtime::SocketConfig socket;
+  /// Scheduled DC join/leave view changes (empty = static membership).
+  MembershipSchedule membership;
   sim::CodecMode codec = sim::CodecMode::kBytes;
   /// true: AWS-calibrated inter-DC latencies (first M of the paper's ten
   /// regions); false: uniform latencies (unit tests).
@@ -173,10 +190,23 @@ class Deployment {
   /// surviving remote replica (donor + peers), deferring its timers to the
   /// recovery-done callback. Servers with no surviving replica start cold.
   void arm_socket_recovery(runtime::SocketBackend& sb);
+  /// Elastic membership (DESIGN §11): parks the servers of later-joining
+  /// DCs, schedules the local join/leave view installs, wires the beacon
+  /// view listener (sockets) and the catch-up gate, and arms the join-time
+  /// state transfer for the local DCs that join late (their timers are
+  /// deferred to the join-done callback).
+  void arm_membership(Rng& phase_rng);
+  /// DCs this process hosts (all of them off the socket backend).
+  bool hosts_dc(DcId d) const;
+  void install_view_local(std::uint32_t view_id);
+  void begin_join(DcId d, std::uint32_t view_id);
 
   DeploymentConfig cfg_;
   cluster::Topology topo_;
   cluster::Directory dir_;
+  /// Built before rt_ (which carries the pointer); views precomputed from
+  /// cfg_.membership so every process derives the identical sequence.
+  std::unique_ptr<cluster::Membership> membership_;
   std::unique_ptr<runtime::Backend> backend_;
   // Transport decorator chain (threads/sockets backends only); the protocol
   // sends through reliable -> fuzz -> chaos -> partition -> wan -> latency
@@ -195,8 +225,20 @@ class Deployment {
   std::vector<std::unique_ptr<ServerBase>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   bool started_ = false;
-  /// Local servers whose recovery is still in flight (sockets, epoch > 0).
+  /// Local servers whose recovery is still in flight (sockets epoch > 0
+  /// respawn, or an elastic join's state transfer).
   std::atomic<std::uint32_t> recovering_{0};
+  /// Fire-once membership schedule timers + catch-up gate pollers (the
+  /// executor has no one-shot delayed post; each handle guards with a flag).
+  std::vector<runtime::TimerHandle> sched_timers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> sched_fired_;
+  /// Actor hosting every membership schedule/gate timer: timers may only be
+  /// created pre-start or from this actor's own worker (its callbacks).
+  NodeId memb_timer_node_ = kInvalidNode;
+
+ public:
+  /// The membership view machinery (null when no schedule is configured).
+  cluster::Membership* membership() { return membership_.get(); }
 };
 
 }  // namespace paris::proto

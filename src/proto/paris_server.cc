@@ -67,8 +67,10 @@ void ParisServer::handle_read_slice(NodeId from, const ReadSliceReq& req) {
   // Alg. 3 line 2: the incoming snapshot is stable, adopt it if fresher.
   set_ust(std::max(ust_, req.snapshot));
   // The UST invariant that makes non-blocking reads safe: any snapshot
-  // handed out by any coordinator in any DC is already installed here.
-  PARIS_PARANOID_CHECK(min_vv() >= req.snapshot);
+  // handed out by any coordinator in any DC is already installed here. The
+  // installed variant ignores a freshly joined DC's still-empty slot (the
+  // join HLC floor keeps its future versions above every stable snapshot).
+  PARIS_PARANOID_CHECK(min_vv_installed() >= req.snapshot);
   serve_slice(from, req);  // never blocks
 }
 
@@ -153,7 +155,9 @@ void ParisServer::gst_tick() {
   root_msg->oldest_active = oldest_by_dc_[dc_];
   const wire::MessagePtr root_shared = std::move(root_msg);
   for (DcId d = 0; d < rt_.topo.num_dcs(); ++d) {
-    if (d == dc_ || dc_roots_[d] == kInvalidNode) continue;
+    // Only currently-active DCs take part in the root exchange: a drained
+    // DC stops gossiping, a not-yet-joined one has nothing to contribute.
+    if (d == dc_ || dc_roots_[d] == kInvalidNode || !rt_.dc_active(d)) continue;
     send(dc_roots_[d], root_shared);
     ++stats_.gossip_msgs_sent;
   }
@@ -178,15 +182,20 @@ void ParisServer::ust_tick() {
   resolve_tree_nodes();
   rt_.net.charge_cpu(self_, rt_.cost.gossip_us);
 
-  // The UST is the aggregate minimum of all DCs' GSTs; it is 0 (no stable
-  // snapshot yet) until every DC has reported at least once.
+  // The UST is the aggregate minimum of the currently-active DCs' GSTs; it
+  // is 0 (no stable snapshot yet) until each of them has reported at least
+  // once — which also freezes the UST across a join until the new DC's root
+  // first reports, mirroring the conservative min_vv(). A drained DC drops
+  // out of the minimum (its replicated versions are covered by the active
+  // DCs' own min_vv terms).
   Timestamp candidate = kTsMax;
   Timestamp oldest = kTsMax;
   for (DcId d = 0; d < rt_.topo.num_dcs(); ++d) {
+    if (!rt_.dc_active(d)) continue;
     candidate = std::min(candidate, gsv_[d]);
     oldest = std::min(oldest, oldest_by_dc_[d]);
   }
-  if (candidate.is_zero()) return;
+  if (candidate.is_zero() || candidate == kTsMax) return;
 
   set_ust(std::max(ust_, candidate));
   // GC below both every DC's oldest active snapshot and the UST itself.

@@ -18,7 +18,7 @@
 
 #include <queue>
 
-#include "cluster/tree.h"
+#include "cluster/membership.h"
 #include "proto/server_base.h"
 
 namespace paris::proto {

@@ -6,7 +6,7 @@
 // deterministic simulator (runtime::SimBackend) and on real worker threads
 // (runtime::ThreadBackend).
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "proto/config.h"
 #include "proto/tracer.h"
 #include "runtime/executor.h"
@@ -22,6 +22,26 @@ struct Runtime {
   CostModel cost;
   ProtocolConfig cfg;
   Tracer* tracer = nullptr;  ///< optional, not owned
+  /// Versioned membership views (DESIGN §11); null = every DC active for
+  /// the whole run (the static pre-elastic behavior).
+  cluster::Membership* mem = nullptr;  ///< optional, not owned
+
+  /// Replication fan-out / routing predicate: does `d` replicate in the
+  /// CURRENT view?
+  bool dc_active(DcId d) const { return mem == nullptr || mem->active(d); }
+  /// Has `d` ever been active up to the current view? Version-vector slots
+  /// of never-joined DCs are skippable in stabilization minima; a drained
+  /// DC's slot keeps counting.
+  bool dc_ever_active(DcId d) const { return mem == nullptr || mem->ever_active(d); }
+  /// Was `d` active in view 0? A late joiner's zero vv entry is skippable
+  /// until its first heartbeat lands (the join HLC floor keeps that sound).
+  bool dc_initially_active(DcId d) const {
+    return mem == nullptr || mem->initially_active(d);
+  }
+  /// View-relative Topology::target_dc.
+  DcId route_dc(DcId client_dc, PartitionId p) const {
+    return mem != nullptr ? mem->target_dc(client_dc, p) : topo.target_dc(client_dc, p);
+  }
 };
 
 }  // namespace paris::proto

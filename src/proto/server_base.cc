@@ -226,7 +226,7 @@ void ServerBase::handle_start(NodeId from, const ClientStartReq& m) {
 }
 
 NodeId ServerBase::route_to_partition(PartitionId p) const {
-  return rt_.dir.server(rt_.topo.target_dc(dc_, p), p);
+  return rt_.dir.server(rt_.route_dc(dc_, p), p);
 }
 
 void ServerBase::handle_client_read(NodeId from, const ClientReadReq& m) {
@@ -538,7 +538,10 @@ void ServerBase::apply_tick() {
     batch->upto = ub;
     const wire::MessagePtr batch_msg = std::move(batch);  // shared across peers
     for (DcId peer : rt_.topo.replicas(partition_)) {
-      if (peer == dc_) continue;
+      // Fan out only to peers active in the current membership view: a
+      // drained DC gets no new batches, a not-yet-joined DC catches up via
+      // snapshot + catch-up transfer instead.
+      if (peer == dc_ || !rt_.dc_active(peer)) continue;
       send(rt_.dir.server(peer, partition_), batch_msg);
       ++stats_.replicate_batches_sent;
       shipped = true;
@@ -555,7 +558,7 @@ void ServerBase::apply_tick() {
     // Alg. 4 line 21: heartbeat so peer version vectors advance without
     // updates.
     for (DcId peer : rt_.topo.replicas(partition_)) {
-      if (peer == dc_) continue;
+      if (peer == dc_ || !rt_.dc_active(peer)) continue;
       auto hb = make_msg<Heartbeat>();
       hb->partition = partition_;
       hb->t = ub;
@@ -606,8 +609,36 @@ void ServerBase::handle_heartbeat(NodeId from, const Heartbeat& m) {
 }
 
 Timestamp ServerBase::min_vv() const {
+  // Conservative minimum over the replica slots of every DC that has EVER
+  // been active in the installed membership view sequence. A never-joined
+  // DC's zero slot is skipped (it has shipped nothing, so nothing of its
+  // can be missing from a snapshot); the instant its join view installs,
+  // its slot counts — stabilization freezes at the pre-join value until the
+  // joiner's first batch/heartbeat lands, which is safe (monotone) and what
+  // makes the freeze window measurable rather than hidden.
+  const auto& reps = rt_.topo.replicas(partition_);
   Timestamp m = kTsMax;
-  for (Timestamp t : vv_) m = std::min(m, t);
+  for (ReplicaIdx i = 0; i < vv_.size(); ++i) {
+    if (!rt_.dc_ever_active(reps[i])) continue;
+    m = std::min(m, vv_[i]);
+  }
+  return m;
+}
+
+Timestamp ServerBase::min_vv_installed() const {
+  // Like min_vv(), but additionally skips the still-zero slots of DCs that
+  // were NOT active in view 0 — i.e. a fresh joiner between view install and
+  // its first heartbeat. Used only by serving-side sanity checks: the join
+  // HLC floor guarantees every post-join version exceeds any pre-join stable
+  // snapshot, so a snapshot above this relaxed minimum can still be served
+  // exactly during the freeze window.
+  const auto& reps = rt_.topo.replicas(partition_);
+  Timestamp m = kTsMax;
+  for (ReplicaIdx i = 0; i < vv_.size(); ++i) {
+    if (!rt_.dc_ever_active(reps[i])) continue;
+    if (vv_[i].is_zero() && !rt_.dc_initially_active(reps[i])) continue;
+    m = std::min(m, vv_[i]);
+  }
   return m;
 }
 
@@ -987,10 +1018,27 @@ void ServerBase::install_records(Decoder& d) {
   }
 }
 
+void ServerBase::park_for_join() {
+  PARIS_CHECK_MSG(rec_ == nullptr, "park_for_join after recovery started");
+  rec_ = std::make_unique<RecoveryState>();
+  rec_->parked = true;
+  // donor stays kInvalidNode: buffer everything, transfer nothing — yet.
+  // start_recovery() arms the transfer in place when the join view installs.
+}
+
 void ServerBase::start_recovery(NodeId donor, std::vector<NodeId> peers,
                                 std::function<void()> on_done) {
-  PARIS_CHECK_MSG(rec_ == nullptr, "recovery already in progress");
-  rec_ = std::make_unique<RecoveryState>();
+  if (rec_ != nullptr && rec_->parked) {
+    // Elastic join: the parked buffer (everything since deployment start)
+    // carries over; the transfer phases begin now, and the finish ticks the
+    // HLC past the transferred vv so post-join commits clear every snapshot
+    // that stabilized while this DC was out.
+    rec_->parked = false;
+    rec_->join_floor = true;
+  } else {
+    PARIS_CHECK_MSG(rec_ == nullptr, "recovery already in progress");
+    rec_ = std::make_unique<RecoveryState>();
+  }
   rec_->donor = donor;
   rec_->peers = std::move(peers);
   rec_->on_done = std::move(on_done);
@@ -1062,12 +1110,23 @@ void ServerBase::handle_snapshot_chunk(NodeId from, const SnapshotChunk& m) {
 
   // Phase 2: catch-up deltas from the remaining replicas — anything they
   // applied after the donor's snapshot line (or that only they ever had).
-  if (rec_->peers.empty()) {
-    finish_recovery();
-    return;
+  // The gate (elastic join, sockets) defers this until every peer rank has
+  // advertised the join view, so the watermarks peers answer with are
+  // post-cutover; without a gate it runs inline.
+  auto resume = [this] {
+    if (rec_ == nullptr) return;  // raced with an external finish
+    if (rec_->peers.empty()) {
+      finish_recovery();
+      return;
+    }
+    rec_->catchup_pending = rec_->peers.size();
+    for (NodeId peer : rec_->peers) request_catchup(peer);
+  };
+  if (catchup_gate_) {
+    catchup_gate_(std::move(resume));
+  } else {
+    resume();
   }
-  rec_->catchup_pending = rec_->peers.size();
-  for (NodeId peer : rec_->peers) request_catchup(peer);
 }
 
 void ServerBase::request_catchup(NodeId peer) {
@@ -1145,6 +1204,16 @@ void ServerBase::handle_catchup_chunk(NodeId from, const CatchUpChunk& m) {
 }
 
 void ServerBase::finish_recovery() {
+  if (rec_->join_floor) {
+    // Elastic join HLC floor (the §14 migration argument): every vv entry we
+    // now hold is >= the cluster's frozen stabilization point at cutover, so
+    // ticking the HLC past max(vv_) guarantees every commit this server
+    // proposes post-join lands strictly above any snapshot that stabilized
+    // while its DC was out — those snapshots stay exact forever.
+    Timestamp floor;
+    for (Timestamp t : vv_) floor = std::max(floor, t);
+    hlc_.observe(clock_us(), floor.next());
+  }
   // Clear rec_ BEFORE the replay: recovering() must read false so the held
   // messages take the normal dispatch path (and any Snapshot/CatchUp request
   // among them is served, not re-buffered).

@@ -50,8 +50,13 @@ class ServerBase : public runtime::Actor {
   NodeId node() const { return self_; }
   ReplicaIdx replica_idx() const { return replica_idx_; }
   /// min over the version vector: the snapshot fully installed locally
-  /// ("local stable time" of this partition replica).
+  /// ("local stable time" of this partition replica). Skips the slots of
+  /// DCs that have never been active in any installed membership view.
   Timestamp min_vv() const;
+  /// min_vv() that additionally skips the still-zero slot of a freshly
+  /// joined DC (view installed, first heartbeat not yet landed). For
+  /// serving-side sanity checks only — the join HLC floor makes it sound.
+  Timestamp min_vv_installed() const;
   Timestamp vv_entry(ReplicaIdx r) const { return vv_[r]; }
   const store::MvStore& kvstore() const { return store_; }
   Timestamp hlc_value() const { return hlc_.value(); }
@@ -108,6 +113,24 @@ class ServerBase : public runtime::Actor {
   /// starts the timers this server deferred).
   void start_recovery(NodeId donor, std::vector<NodeId> peers, std::function<void()> on_done);
   bool recovering() const { return rec_ != nullptr; }
+
+  /// Elastic join, phase 0 (DESIGN §11): a server of a DC scheduled to join
+  /// later parks from deployment start — every protocol message is buffered
+  /// exactly as during recovery, so when the join view installs and
+  /// start_recovery() runs, nothing that arrived early (a replicate batch
+  /// from an eager peer, a routed read) is lost or applied out of order.
+  /// start_recovery() reuses the parked state in place.
+  void park_for_join();
+
+  /// Elastic join, catch-up gate: when set, the transition from snapshot
+  /// phase to catch-up phase passes through `gate(resume)` instead of
+  /// running inline. The deployment layer uses it on sockets to wait until
+  /// every peer rank has advertised the join view — guaranteeing the
+  /// catch-up watermarks returned by peers are post-cutover — and then
+  /// calls resume() on this server's worker.
+  void set_catchup_gate(std::function<void(std::function<void()>)> gate) {
+    catchup_gate_ = std::move(gate);
+  }
 
   /// Survivor-side epoch fence: `nodes` belong to a dead incarnation, so any
   /// 2PC decision they owed this cohort will never arrive. Drops their
@@ -284,8 +307,15 @@ class ServerBase : public runtime::Actor {
     /// protocol messages for good.
     std::vector<std::pair<NodeId, std::vector<std::uint8_t>>> held;
     std::function<void()> on_done;
+    /// park_for_join(): buffering started before any transfer was armed.
+    bool parked = false;
+    /// Elastic join: on finish, tick the HLC past max(vv_) so every commit
+    /// this server coordinates post-join exceeds any snapshot that
+    /// stabilized while it was out (the §14 migration floor argument).
+    bool join_floor = false;
   };
   std::unique_ptr<RecoveryState> rec_;
+  std::function<void(std::function<void()>)> catchup_gate_;
 
   // --- workload-aware placement + online key migration (DESIGN §14) ---
   //

@@ -176,35 +176,27 @@ void set_nodelay(int fd) {
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-sockaddr_in loopback_addr(std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  return addr;
-}
-
-/// [magic u32][rank u32][token u64][epoch u32][reserved u32], little-endian
-/// via memcpy (loopback: both ends share endianness; cross-host would pin
-/// it explicitly).
+/// [magic u32][rank u32][token u64][epoch u32][view u32], little-endian via
+/// memcpy (the mesh is homogeneous x86/ARM-LE in every supported deployment;
+/// a mixed-endian mesh would pin byte order explicitly).
 void make_hello(std::uint8_t (&h)[sockdetail::kHelloSize], std::uint32_t rank,
-                std::uint64_t token, std::uint32_t epoch) {
+                std::uint64_t token, std::uint32_t epoch, std::uint32_t view) {
   const std::uint32_t magic = sockdetail::kHelloMagic;
-  const std::uint32_t reserved = 0;
   std::memcpy(h, &magic, 4);
   std::memcpy(h + 4, &rank, 4);
   std::memcpy(h + 8, &token, 8);
   std::memcpy(h + 16, &epoch, 4);
-  std::memcpy(h + 20, &reserved, 4);
+  std::memcpy(h + 20, &view, 4);
 }
 
 bool parse_hello(const std::uint8_t (&h)[sockdetail::kHelloSize], std::uint32_t& rank,
-                 std::uint64_t& token, std::uint32_t& epoch) {
+                 std::uint64_t& token, std::uint32_t& epoch, std::uint32_t& view) {
   std::uint32_t magic;
   std::memcpy(&magic, h, 4);
   std::memcpy(&rank, h + 4, 4);
   std::memcpy(&token, h + 8, 8);
   std::memcpy(&epoch, h + 16, 4);
+  std::memcpy(&view, h + 20, 4);
   return magic == sockdetail::kHelloMagic;
 }
 
@@ -411,10 +403,11 @@ struct Uring {
 #endif  // PARIS_HAS_IO_URING
 
 SocketBackend::SocketBackend(Options opt)
-    : opt_(opt), tb_(ThreadBackend::Options{opt.workers, opt.seed}) {
+    : opt_(std::move(opt)), tb_(ThreadBackend::Options{opt_.workers, opt_.seed}) {
   PARIS_CHECK(opt_.nprocs >= 1 && opt_.rank < opt_.nprocs);
-  PARIS_CHECK_MSG(static_cast<std::uint32_t>(opt_.base_port) + opt_.nprocs - 1 <= 65535,
-                  "socket backend: base_port + nprocs overflows the port range");
+  std::string err;
+  PARIS_CHECK_MSG(validate_host_list(opt_.hosts, opt_.nprocs, &err),
+                  "socket backend: bad host list");
   tb_.set_router(this);
   peers_.reserve(opt_.nprocs);
   for (std::uint32_t r = 0; r < opt_.nprocs; ++r) {
@@ -422,8 +415,10 @@ SocketBackend::SocketBackend(Options opt)
     peers_[r]->we_dial = r < opt_.rank;  // dial down, accept up
   }
   peer_epochs_ = std::make_unique<std::atomic<std::uint32_t>[]>(opt_.nprocs);
+  peer_views_ = std::make_unique<std::atomic<std::uint32_t>[]>(opt_.nprocs);
   for (std::uint32_t r = 0; r < opt_.nprocs; ++r) {
     peer_epochs_[r].store(0, std::memory_order_relaxed);
+    peer_views_[r].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -439,10 +434,41 @@ bool SocketBackend::note_epoch(std::uint32_t rank, std::uint32_t e) {
   return e >= cur;  // false: stale incarnation — the caller fences it
 }
 
+void SocketBackend::note_view(std::uint32_t rank, std::uint32_t v) {
+  auto& slot = peer_views_[rank];
+  std::uint32_t cur = slot.load(std::memory_order_acquire);
+  while (v > cur) {
+    if (slot.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+      if (view_listener_) view_listener_(rank, v);
+      return;
+    }
+  }
+}
+
+void SocketBackend::advertise_view(std::uint32_t v) {
+  auto& slot = peer_views_[opt_.rank];
+  std::uint32_t cur = slot.load(std::memory_order_acquire);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+  }
+  // Push the news now instead of waiting out the beacon period: the view
+  // change gates the joiner's catch-up phase, so propagation latency is
+  // directly part of the join window.
+  bool poke = false;
+  for (auto& up : peers_) {
+    if (up->alive) {
+      queue_beacon(*up);
+      poke = true;
+    }
+  }
+  if (poke) wake();
+}
+
 void SocketBackend::queue_beacon(Peer& p) {
+  const std::uint32_t view = peer_views_[opt_.rank].load(std::memory_order_acquire);
   std::uint8_t payload[sockdetail::kBeaconBytes];
   std::memcpy(payload, &opt_.rank, 4);
   std::memcpy(payload + 4, &opt_.epoch, 4);
+  std::memcpy(payload + 8, &view, 4);
   std::lock_guard<std::mutex> lk(p.mu);
   if (!p.alive) return;
   // Beacons bypass the budget (they ARE the liveness signal and are tiny)
@@ -531,12 +557,17 @@ void SocketBackend::start() {
   set_nonblocking(wake_rd_);
   set_nonblocking(wake_wr_);
 
-  // Listen socket: rank r owns port base + r.
+  // Listen socket: rank r binds its own endpoint from the host list, so a
+  // multi-homed box (or CI's distinct loopback IPs) binds the exact address
+  // peers will dial.
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
   PARIS_CHECK(listen_fd_ >= 0);
   const int one = 1;
   (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = loopback_addr(static_cast<std::uint16_t>(opt_.base_port + opt_.rank));
+  sockaddr_in addr;
+  std::string rerr;
+  PARIS_CHECK_MSG(resolve_ipv4(opt_.hosts[opt_.rank], &addr, &rerr),
+                  "socket backend: cannot resolve own listen endpoint");
   PARIS_CHECK_MSG(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
                   "socket backend: bind failed (port in use?)");
   PARIS_CHECK(listen(listen_fd_, 64) == 0);
@@ -576,7 +607,8 @@ void SocketBackend::start() {
     std::uint32_t rank;
     std::uint64_t token;
     std::uint32_t epoch;
-    if (got != sizeof(hello) || !parse_hello(hello, rank, token, epoch) ||
+    std::uint32_t view;
+    if (got != sizeof(hello) || !parse_hello(hello, rank, token, epoch, view) ||
         token != opt_.mesh_token || rank <= opt_.rank || rank >= opt_.nprocs ||
         peers_[rank]->alive) {
       close(fd);  // stranger (e.g. a concurrent run on our port range)
@@ -587,6 +619,7 @@ void SocketBackend::start() {
       close(fd);
       continue;
     }
+    note_view(rank, view);
     set_nonblocking(fd);
     set_nodelay(fd);
     Peer& p = *peers_[rank];
@@ -623,14 +656,17 @@ void SocketBackend::start() {
 }
 
 bool SocketBackend::dial_peer(std::uint32_t r, std::uint64_t deadline_us) {
-  const sockaddr_in addr =
-      loopback_addr(static_cast<std::uint16_t>(opt_.base_port + r));
+  sockaddr_in addr;
+  std::string rerr;
+  PARIS_CHECK_MSG(resolve_ipv4(opt_.hosts[r], &addr, &rerr),
+                  "socket backend: cannot resolve peer endpoint");
   while (true) {  // always at least one attempt (redial passes a past deadline)
     const int fd = socket(AF_INET, SOCK_STREAM, 0);
     PARIS_CHECK(fd >= 0);
     if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
       std::uint8_t hello[sockdetail::kHelloSize];
-      make_hello(hello, opt_.rank, opt_.mesh_token, opt_.epoch);
+      make_hello(hello, opt_.rank, opt_.mesh_token, opt_.epoch,
+                 peer_views_[opt_.rank].load(std::memory_order_acquire));
       if (write(fd, hello, sizeof(hello)) != sizeof(hello)) {
         close(fd);
         return false;
@@ -732,13 +768,15 @@ bool SocketBackend::process_inbound(Peer& p, std::size_t bytes_read) {
         stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      std::uint32_t brank, bepoch;
+      std::uint32_t brank, bepoch, bview;
       std::memcpy(&brank, f.data, 4);
       std::memcpy(&bepoch, f.data + 4, 4);
+      std::memcpy(&bview, f.data + 8, 4);
       if (brank >= opt_.nprocs || brank == opt_.rank || !note_epoch(brank, bepoch)) {
         stats_.fenced_stale_epoch.fetch_add(1, std::memory_order_relaxed);
         return false;  // caller tears the connection down
       }
+      note_view(brank, bview);
       continue;
     }
     // The sender knows our node ids (identical registration order), so
@@ -868,13 +906,15 @@ void SocketBackend::accept_pending() {
       std::uint32_t rank;
       std::uint64_t token;
       std::uint32_t epoch;
-      if (parse_hello(pa.hello, rank, token, epoch) && token == opt_.mesh_token &&
+      std::uint32_t view;
+      if (parse_hello(pa.hello, rank, token, epoch, view) && token == opt_.mesh_token &&
           rank < opt_.nprocs && rank != opt_.rank) {
         if (!note_epoch(rank, epoch)) {
           // A dead incarnation of this rank redialed in: fence it.
           stats_.fenced_stale_epoch.fetch_add(1, std::memory_order_relaxed);
           close(pa.fd);
         } else {
+          note_view(rank, view);
           Peer& p = *peers_[rank];
           {
             std::lock_guard<std::mutex> lk(p.mu);

@@ -81,6 +81,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/endpoint.h"
 #include "runtime/thread_runtime.h"
 
 namespace paris::runtime {
@@ -101,7 +102,11 @@ inline const char* socket_pump_name(SocketPump p) {
 struct SocketConfig {
   std::int32_t rank = -1;        ///< this process's rank; -1 = launcher
   std::uint32_t processes = 0;   ///< 0 = one per DC
-  std::uint16_t base_port = 7421;  ///< rank r listens on base_port + r
+  /// Rank r listens on hosts[r]. Empty = the deprecated --listen-base-port
+  /// convenience applies: the deployment expands loopback_host_list(nprocs,
+  /// base_port) — the only surviving base_port + rank site in the tree.
+  std::vector<Endpoint> hosts;
+  std::uint16_t base_port = 7421;  ///< DEPRECATED alias; see `hosts`
   std::uint64_t connect_timeout_ms = 15'000;
   /// Mesh identity, echoed in every connection hello: two concurrent runs
   /// sharing a port range must not silently cross-connect their clusters.
@@ -192,11 +197,13 @@ inline constexpr std::size_t kFrameHeader = 4;            // u32 length prefix
 inline constexpr std::size_t kMaxFrame = 64u << 20;       // sanity bound
 
 /// Frames whose `to` field is this sentinel are pump-level epoch beacons
-/// ([rank u32][epoch u32] payload), consumed by the peer's pump as a lease
-/// heartbeat — never injected into a mailbox. The sentinel can't collide
-/// with a real node id (kInvalidNode).
+/// ([rank u32][epoch u32][view u32] payload), consumed by the peer's pump as
+/// a lease heartbeat — never injected into a mailbox. The view field is how
+/// membership view changes propagate (DESIGN §11): a rank that installed
+/// view V advertises it here, and peers install on observation. The sentinel
+/// can't collide with a real node id (kInvalidNode).
 inline constexpr std::uint32_t kEpochBeaconDst = 0xFFFF'FFFFu;
-inline constexpr std::size_t kBeaconBytes = 8;
+inline constexpr std::size_t kBeaconBytes = 12;
 
 /// Batching policy (DESIGN §12): one outbound syscall covers at most this
 /// many iovecs / bytes, and one inbound syscall reads up to kReadChunk.
@@ -296,7 +303,9 @@ class SocketBackend final : public Backend, public RemoteRouter {
   struct Options {
     std::uint32_t rank = 0;
     std::uint32_t nprocs = 1;
-    std::uint16_t base_port = 7421;
+    /// Rank r binds hosts[r] and dials peers at their listed endpoints;
+    /// exactly nprocs entries. There is no port arithmetic at this layer.
+    std::vector<Endpoint> hosts;
     std::uint32_t workers = 1;  ///< worker threads for the LOCAL actor set
     std::uint64_t seed = 1;
     std::uint64_t connect_timeout_ms = 15'000;
@@ -362,6 +371,21 @@ class SocketBackend final : public Backend, public RemoteRouter {
   /// Highest epoch observed (via hello or beacon) for `peer_rank`.
   std::uint32_t peer_epoch(std::uint32_t peer_rank) const {
     return peer_epochs_[peer_rank].load(std::memory_order_acquire);
+  }
+
+  /// Fired (pump thread or mesh setup) whenever a peer rank's advertised
+  /// membership view id INCREASES. The deployment layer installs the view
+  /// locally, so a view change scheduled on one rank reaches the whole mesh
+  /// within a beacon period. Install before start().
+  using ViewListener = std::function<void(std::uint32_t rank, std::uint32_t view)>;
+  void set_view_listener(ViewListener fn) { view_listener_ = std::move(fn); }
+  /// Starts advertising membership view `v` in this rank's hellos and
+  /// beacons (monotone max) and pushes an immediate beacon to every live
+  /// peer rather than waiting out the beacon period.
+  void advertise_view(std::uint32_t v);
+  /// Highest view id observed (via hello or beacon) from `peer_rank`.
+  std::uint32_t peer_view(std::uint32_t peer_rank) const {
+    return peer_views_[peer_rank].load(std::memory_order_acquire);
   }
 
   /// Test hook: shuts down the TCP connection to `peer_rank` (both
@@ -446,11 +470,15 @@ class SocketBackend final : public Backend, public RemoteRouter {
   bool dial_peer(std::uint32_t r, std::uint64_t deadline_ms);
   void accept_pending();
   void wake();
-  /// Queues an epoch beacon ([rank][epoch] of SELF) on `p` (locks p.mu).
+  /// Queues an epoch beacon ([rank][epoch][view] of SELF) on `p` (locks p.mu).
   void queue_beacon(Peer& p);
   /// Records `e` for `rank`; fires the listener on an increase. Returns
   /// false when `e` is OLDER than the known epoch — the caller must fence.
   bool note_epoch(std::uint32_t rank, std::uint32_t e);
+  /// Records view `v` for `rank`; fires the view listener on an increase.
+  /// Views only ever grow — an older advertised view is simply stale news
+  /// (the peer will catch up from OUR beacons), never a fencing offense.
+  void note_view(std::uint32_t rank, std::uint32_t v);
 
   Options opt_;
   ThreadBackend tb_;
@@ -490,6 +518,10 @@ class SocketBackend final : public Backend, public RemoteRouter {
   /// Highest epoch seen per peer rank (hello or beacon); [rank()] unused.
   std::unique_ptr<std::atomic<std::uint32_t>[]> peer_epochs_;
   EpochListener epoch_listener_;
+  /// Highest membership view id each peer rank has advertised; [rank()]
+  /// holds OUR advertised view (what hellos and beacons carry).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> peer_views_;
+  ViewListener view_listener_;
   std::uint64_t next_beacon_us_ = 0;  ///< pump thread only
 };
 

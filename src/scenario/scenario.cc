@@ -23,6 +23,10 @@ const char* scenario_event_kind_name(ScenarioEvent::Kind k) {
       return "skew";
     case ScenarioEvent::Kind::kKill:
       return "kill";
+    case ScenarioEvent::Kind::kJoin:
+      return "join";
+    case ScenarioEvent::Kind::kLeave:
+      return "leave";
   }
   return "?";
 }
@@ -132,6 +136,7 @@ Scenario generate_scenario(std::uint64_t seed, const ScenarioOptions& opts) {
     s.events.push_back(e);
   }
 
+  bool drew_kill = false;
   if (opts.runtime == runtime::Kind::kSockets && opts.allow_kill && rng.chance(0.35)) {
     ScenarioEvent e;
     e.kind = ScenarioEvent::Kind::kKill;
@@ -140,6 +145,30 @@ Scenario generate_scenario(std::uint64_t seed, const ScenarioOptions& opts) {
     // mid-measurement so the respawn rejoins under load.
     e.kill_rank = static_cast<std::int32_t>(rng.range(1, s.socket_processes - 1));
     e.kill_after_ms = rng.range(200, 500) * ts;
+    s.events.push_back(e);
+    drew_kill = true;
+  }
+
+  // Elastic membership: only when no kill was drawn — supervised respawn
+  // and elastic membership are mutually exclusive in the deployment, and a
+  // generated schedule must always be runnable. "Rank" addresses a socket
+  // process on sockets and a DC directly on threads; never rank 0 (it
+  // always stays to anchor the original view and donate state).
+  if (opts.allow_membership && !drew_kill && rng.chance(0.3)) {
+    const std::uint32_t ranks = opts.runtime == runtime::Kind::kSockets
+                                    ? s.socket_processes
+                                    : s.num_dcs;
+    ScenarioEvent e;
+    e.memb_rank = static_cast<std::uint32_t>(rng.range(1, ranks - 1));
+    if (rng.chance(0.6)) {
+      // Join early enough that the joined DC serves a long measured tail.
+      e.kind = ScenarioEvent::Kind::kJoin;
+      e.memb_at_ms = rng.range(150, 400) * ts;
+    } else {
+      // Leave late enough that the leaver first contributes real history.
+      e.kind = ScenarioEvent::Kind::kLeave;
+      e.memb_at_ms = rng.range(400, 600) * ts;
+    }
     s.events.push_back(e);
   }
   return s;
@@ -205,6 +234,17 @@ void apply_scenario(const Scenario& s, workload::ExperimentConfig& cfg) {
         // (same constraint as the recovery acceptance tests).
         cfg.workload.multi_dc_ratio = 0.0;
         break;
+      case ScenarioEvent::Kind::kJoin:
+      case ScenarioEvent::Kind::kLeave: {
+        // Exclusive with kKill by construction (the generator never draws
+        // both; the deployment rejects membership + supervise).
+        proto::MembershipEvent ev;
+        ev.join = e.kind == ScenarioEvent::Kind::kJoin;
+        ev.rank = e.memb_rank;
+        ev.at_ms = e.memb_at_ms;
+        cfg.membership.events.push_back(ev);
+        break;
+      }
     }
   }
 }
@@ -229,6 +269,10 @@ void scale_time(Scenario& s, std::uint64_t k) {
         break;
       case ScenarioEvent::Kind::kKill:
         e.kill_after_ms *= k;
+        break;
+      case ScenarioEvent::Kind::kJoin:
+      case ScenarioEvent::Kind::kLeave:
+        e.memb_at_ms *= k;
         break;
       case ScenarioEvent::Kind::kChaos:
       case ScenarioEvent::Kind::kFuzz:
@@ -301,6 +345,10 @@ std::string encode_scenario(const Scenario& s) {
       case ScenarioEvent::Kind::kKill:
         o << ' ' << e.kill_rank << ' ' << e.kill_after_ms;
         break;
+      case ScenarioEvent::Kind::kJoin:
+      case ScenarioEvent::Kind::kLeave:
+        o << ' ' << e.memb_rank << ' ' << e.memb_at_ms;
+        break;
     }
     o << '\n';
   }
@@ -353,6 +401,10 @@ bool decode_scenario(const std::string& text, Scenario& out) {
       } else if (kind == "kill") {
         e.kind = ScenarioEvent::Kind::kKill;
         if (!(in >> e.kill_rank >> e.kill_after_ms)) return false;
+      } else if (kind == "join" || kind == "leave") {
+        e.kind = kind == "join" ? ScenarioEvent::Kind::kJoin
+                                : ScenarioEvent::Kind::kLeave;
+        if (!(in >> e.memb_rank >> e.memb_at_ms)) return false;
       } else {
         return false;  // unknown event kind: version skew, fail loudly
       }

@@ -39,6 +39,8 @@ struct ScenarioEvent {
     kFuzz,       ///< live channel fuzzing (mutate-then-drop + replay)
     kSkew,       ///< NTP offset spread + clock drift across servers
     kKill,       ///< timed SIGKILL of a socket rank (supervised respawn)
+    kJoin,       ///< elastic membership: a rank's DCs join mid-run
+    kLeave,      ///< elastic membership: a rank's DCs drain and leave
   };
   Kind kind = Kind::kPartition;
 
@@ -53,6 +55,8 @@ struct ScenarioEvent {
   double skew_drift_ppm = 0;
   std::int32_t kill_rank = -1;  // kKill...
   std::uint64_t kill_after_ms = 0;
+  std::uint32_t memb_rank = 0;  // kJoin/kLeave...
+  std::uint64_t memb_at_ms = 0;
 };
 
 const char* scenario_event_kind_name(ScenarioEvent::Kind k);
@@ -85,6 +89,12 @@ struct Scenario {
       if (e.kind == ScenarioEvent::Kind::kKill) return true;
     return false;
   }
+  bool has_membership() const {
+    for (const auto& e : events)
+      if (e.kind == ScenarioEvent::Kind::kJoin || e.kind == ScenarioEvent::Kind::kLeave)
+        return true;
+    return false;
+  }
 };
 
 /// Generator knobs. `time_scale` stretches every window (sanitizer builds);
@@ -94,6 +104,10 @@ struct ScenarioOptions {
   proto::System system = proto::System::kParis;
   runtime::Kind runtime = runtime::Kind::kThreads;
   bool allow_kill = true;
+  /// Gates elastic join/leave draws. A scenario never carries BOTH a kill
+  /// and a membership event: supervised respawn and elastic membership are
+  /// mutually exclusive in the deployment, so the generator keeps them so.
+  bool allow_membership = true;
   std::uint64_t time_scale = 1;
 };
 

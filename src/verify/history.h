@@ -84,6 +84,16 @@ class HistoryRecorder : public proto::Tracer {
     return slices_.size();
   }
 
+  /// Slices served by replicas IN `dc` (the serving side, not the reader's
+  /// DC). The socket launcher uses this on the merged history to assert that
+  /// a DC joined mid-run actually took read traffic in its new replica sets.
+  std::size_t slices_at_dc(DcId dc) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const SliceRecord& s : slices_) n += s.dc == dc ? 1 : 0;
+    return n;
+  }
+
   /// Commit timestamp of tx (zero if unknown/undecided).
   Timestamp commit_ts(TxId tx) const;
 

@@ -16,6 +16,7 @@ Session::Session(runtime::Executor& exec, proto::Client& client, TxGenerator gen
     : exec_(exec), client_(client), gen_(std::move(gen)), collector_(collector) {}
 
 void Session::next_tx() {
+  if (deadline_us_ != 0 && exec_.now_us() >= deadline_us_) return;
   tx_start_ = exec_.now_us();
   plan_ = gen_.next();
 

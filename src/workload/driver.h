@@ -55,6 +55,11 @@ class Session {
   /// starts on the client's own worker.
   void run() { next_tx(); }
 
+  /// Stops the loop once runtime time reaches `abs_us` (checked between
+  /// transactions): a leaving DC's clients drain instead of issuing into a
+  /// replica set that no longer routes to them. 0 = no deadline.
+  void set_deadline(std::uint64_t abs_us) { deadline_us_ = abs_us; }
+
   std::uint64_t txs_done() const { return txs_done_; }
 
  private:
@@ -68,6 +73,7 @@ class Session {
   TxPlan plan_;
   sim::SimTime tx_start_ = 0;
   std::uint64_t txs_done_ = 0;
+  std::uint64_t deadline_us_ = 0;
 };
 
 }  // namespace paris::workload

@@ -113,7 +113,26 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   dc.partitions = cfg.partitions;
   dc.wan = cfg.wan;
   dc.fuzz = cfg.fuzz;
+  dc.membership = cfg.membership;
   dc.seed = cfg.seed;
+
+  // Per-DC membership windows (offsets from run start, matching the
+  // deployment's schedule timers): clients of a joining DC only start at its
+  // join time; a leaving DC's clients stop at its leave time. An event's
+  // rank expands to the DCs that rank owns, exactly as the deployment does.
+  std::vector<std::uint64_t> join_at_us(cfg.num_dcs, 0);
+  std::vector<std::uint64_t> leave_at_us(cfg.num_dcs, ~0ull);
+  {
+    const std::uint32_t nprocs = cfg.runtime == runtime::Kind::kSockets
+                                     ? cfg.socket.resolve_processes(cfg.num_dcs)
+                                     : cfg.num_dcs;
+    for (const proto::MembershipEvent& ev : cfg.membership.events) {
+      for (DcId d = 0; d < cfg.num_dcs; ++d) {
+        if (d % nprocs != ev.rank) continue;
+        (ev.join ? join_at_us : leave_at_us)[d] = ev.at_ms * 1000;
+      }
+    }
+  }
 
   ExperimentTracer tracer(cfg.check_consistency, cfg.measure_visibility,
                           cfg.visibility_sample_shift);
@@ -142,6 +161,7 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   Collector collector;
   std::vector<std::unique_ptr<Session>> sessions;
   std::vector<NodeId> session_nodes;
+  std::vector<DcId> session_dcs;
   std::vector<std::unique_ptr<OpenLoopEngine>> engines;
   const std::uint32_t num_engines = cfg.num_partitions * cfg.replication;
   std::uint32_t engine_index = 0;
@@ -166,6 +186,7 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
               dep.topo(), cfg.workload, cfg.openloop, d, p, engine_index, num_engines,
               horizon_us, eseed, trace.empty() ? nullptr : &trace);
           for (proto::Client* c : pool) eng->add_client(c);
+          eng->set_active_window(join_at_us[d], leave_at_us[d]);
           engines.push_back(std::move(eng));
         }
         ++engine_index;
@@ -180,6 +201,7 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
         sessions.push_back(std::make_unique<Session>(
             dep.exec(), client, TxGenerator(dep.topo(), cfg.workload, d, seed), collector));
         session_nodes.push_back(client.node());
+        session_dcs.push_back(d);
       }
     }
   }
@@ -210,10 +232,28 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   }
 
   // Kick each closed loop on its client's execution context: inline for the
-  // sim backend (the historical behavior), a mailbox task for threads.
+  // sim backend (the historical behavior), a mailbox task for threads. A
+  // leaving DC's sessions drain at the leave time; a joining DC's sessions
+  // are kicked by a fire-once timer at the join time instead of now (the
+  // executor has no one-shot delayed post: huge period + a fired flag).
+  constexpr std::uint64_t kFireOncePeriodUs = 3'600'000'000ull;
+  std::vector<runtime::TimerHandle> session_gates;
+  std::vector<std::unique_ptr<std::atomic<bool>>> gate_fired;
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     Session* s = sessions[i].get();
-    dep.exec().post(session_nodes[i], [s] { s->run(); });
+    const DcId d = session_dcs[i];
+    if (leave_at_us[d] != ~0ull) s->set_deadline(t0 + leave_at_us[d]);
+    if (join_at_us[d] == 0) {
+      dep.exec().post(session_nodes[i], [s] { s->run(); });
+      continue;
+    }
+    gate_fired.push_back(std::make_unique<std::atomic<bool>>(false));
+    std::atomic<bool>* fired = gate_fired.back().get();
+    session_gates.push_back(dep.exec().every(
+        session_nodes[i], kFireOncePeriodUs, join_at_us[d], [s, fired] {
+          if (fired->exchange(true, std::memory_order_acq_rel)) return;
+          s->run();
+        }));
   }
 
   // Scheduled stall (CO regression tests): a helper thread flips the socket
@@ -238,6 +278,13 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
   if (staller.joinable()) staller.join();
   dep.stop();  // quiesce thread workers before reading state (sim: no-op)
   for (auto& eng : engines) eng->finalize();
+  // A scheduled join must have completed inside the run: every joining
+  // server finished its snapshot + catch-up and started serving.
+  if (cfg.membership.enabled()) {
+    PARIS_CHECK_MSG(dep.recovering_servers() == 0,
+                    "membership join did not complete: servers still in state "
+                    "transfer at run end (lengthen the run or move the join earlier)");
+  }
 
   ExperimentResult res;
   res.throughput_tx_s = collector.throughput_tx_s();

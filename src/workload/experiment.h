@@ -28,6 +28,10 @@ struct ExperimentConfig {
   runtime::Kind runtime = runtime::Kind::kSim;
   std::uint32_t worker_threads = 0;
   runtime::SocketConfig socket;
+  /// Elastic membership schedule (DESIGN §11): scheduled DC join/leave view
+  /// changes, measured from the post-warmup t0. A joining DC's clients only
+  /// start at the join time; a leaving DC's clients stop at the leave time.
+  proto::MembershipSchedule membership;
 
   // Cluster shape.
   std::uint32_t num_dcs = 5;

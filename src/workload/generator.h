@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "common/rng.h"
 #include "wire/messages.h"
 #include "workload/keydist.h"

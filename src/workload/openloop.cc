@@ -201,7 +201,8 @@ void OpenLoopEngine::finalize() {
   // intended rate honest when the system (or the pump behind a stalled
   // worker) falls behind.
   while (next_ < schedule_.size() && schedule_[next_].at_us <= horizon_us_) {
-    rec_.note_scheduled(t0_ + schedule_[next_].at_us);
+    const std::uint64_t at = schedule_[next_].at_us;
+    if (at >= active_from_us_ && at < active_until_us_) rec_.note_scheduled(t0_ + at);
     ++next_;
   }
 }
@@ -210,7 +211,12 @@ void OpenLoopEngine::pump() {
   const std::uint64_t now = exec_->now_us();
   std::lock_guard<std::mutex> lk(mu_);
   while (next_ < schedule_.size() && t0_ + schedule_[next_].at_us <= now) {
-    rec_.note_scheduled(t0_ + schedule_[next_].at_us);
+    const std::uint64_t at = schedule_[next_].at_us;
+    if (at < active_from_us_ || at >= active_until_us_) {
+      ++next_;  // outside this DC's membership window: intentionally unsent
+      continue;
+    }
+    rec_.note_scheduled(t0_ + at);
     backlog_.push_back(next_);
     ++next_;
   }

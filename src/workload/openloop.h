@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "proto/client.h"
 #include "runtime/executor.h"
 #include "stats/latency_recorder.h"
@@ -92,6 +92,17 @@ class OpenLoopEngine {
   /// Pool registration (all clients must share one execution locality).
   void add_client(proto::Client* c);
 
+  /// Restricts releases to arrivals with at_us in [from_us, until_us)
+  /// (offsets from t0, like the schedule itself). A joining DC's engine
+  /// starts at its join time, a leaving DC's stops at its leave time; out-of-
+  /// window arrivals are neither released nor counted as scheduled. The
+  /// schedule — and hence the cross-runtime digest — is unchanged. Call
+  /// before start().
+  void set_active_window(std::uint64_t from_us, std::uint64_t until_us) {
+    active_from_us_ = from_us;
+    active_until_us_ = until_us;
+  }
+
   /// Arms the release pump. t0 anchors schedule offsets to runtime time.
   void start(runtime::Executor& exec, std::uint64_t t0);
 
@@ -115,6 +126,8 @@ class OpenLoopEngine {
   std::vector<Arrival> schedule_;
   std::uint64_t digest_ = 0;
   std::uint64_t horizon_us_ = 0;
+  std::uint64_t active_from_us_ = 0;
+  std::uint64_t active_until_us_ = ~0ull;
 
   std::vector<proto::Client*> clients_;
   runtime::Executor* exec_ = nullptr;

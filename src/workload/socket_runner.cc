@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "runtime/endpoint.h"
 #include "runtime/process_group.h"
 #include "verify/history.h"
 #include "wire/buffer.h"
@@ -25,6 +26,17 @@ namespace {
 // ---------------------------------------------------------------------------
 // Config codec (key value lines).
 // ---------------------------------------------------------------------------
+
+/// Codec version, the FIRST line of every encoded config (`cfgver N`). A
+/// launcher and a child from different builds disagree loudly — "config is
+/// cfgver X, this binary speaks Y" — instead of the old behavior where the
+/// decoder's unknown-key rejection produced an unexplained failure (or,
+/// worse, an OLDER child silently ignoring a key would run a different
+/// experiment than the launcher believes). Bump on ANY codec change: new
+/// key, removed key, or changed value semantics.
+///   v1: unversioned historical format (no cfgver line).
+///   v2: cfgver header; socket_hosts; membership_event lines.
+constexpr std::uint64_t kConfigCodecVersion = 2;
 
 void put(std::ostringstream& o, const char* k, std::uint64_t v) {
   o << k << ' ' << v << '\n';
@@ -39,6 +51,7 @@ void put(std::ostringstream& o, const char* k, double v) {
 
 std::string encode_experiment_config(const ExperimentConfig& c) {
   std::ostringstream o;
+  put(o, "cfgver", kConfigCodecVersion);  // must stay the first line
   put(o, "system", static_cast<std::uint64_t>(c.system == proto::System::kBpr ? 1 : 0));
   put(o, "worker_threads", static_cast<std::uint64_t>(c.worker_threads));
   put(o, "num_dcs", static_cast<std::uint64_t>(c.num_dcs));
@@ -115,6 +128,10 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "codec", static_cast<std::uint64_t>(c.codec));
   put(o, "socket_processes", static_cast<std::uint64_t>(c.socket.processes));
   put(o, "socket_base_port", static_cast<std::uint64_t>(c.socket.base_port));
+  // Single token: "h1:p1,h2:p2,..." has no whitespace by construction.
+  if (!c.socket.hosts.empty()) {
+    o << "socket_hosts " << runtime::format_host_list(c.socket.hosts) << '\n';
+  }
   put(o, "socket_connect_timeout_ms", c.socket.connect_timeout_ms);
   put(o, "socket_mesh_token", c.socket.mesh_token);
   put(o, "socket_supervise", static_cast<std::uint64_t>(c.socket.supervise));
@@ -137,6 +154,10 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   put(o, "fuzz_replay_p", c.fuzz.replay_p);
   put(o, "fuzz_seed", c.fuzz.seed);
   put(o, "fuzz_max_capture_bytes", static_cast<std::uint64_t>(c.fuzz.max_capture_bytes));
+  for (const proto::MembershipEvent& ev : c.membership.events) {
+    o << "membership_event " << (ev.join ? 1 : 0) << ' ' << ev.rank << ' ' << ev.at_ms
+      << '\n';
+  }
   for (const auto& w : c.partitions.windows) {
     o << "partition_window " << w.a << ' ' << w.b << ' ' << (w.isolate_all ? 1 : 0) << ' '
       << w.start_us << ' ' << w.end_us << '\n';
@@ -152,14 +173,52 @@ std::string encode_experiment_config(const ExperimentConfig& c) {
   return o.str();
 }
 
-bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
+bool decode_experiment_config(const std::string& text, ExperimentConfig& c,
+                              std::string* err) {
   std::istringstream in(text);
   std::string key;
+  // The version gate comes before everything else: a config written by a
+  // different build must fail on the HEADER, with a message naming both
+  // versions, not on whichever key happens to differ first.
+  {
+    std::string ver;
+    if (!(in >> key >> ver) || key != "cfgver") {
+      if (err != nullptr) {
+        *err = "config file has no 'cfgver' header: the launcher binary is older "
+               "than this child (it speaks codec v" +
+               std::to_string(kConfigCodecVersion) + ") — rebuild so both sides match";
+      }
+      return false;
+    }
+    const std::uint64_t v = std::strtoull(ver.c_str(), nullptr, 10);
+    if (v != kConfigCodecVersion) {
+      if (err != nullptr) {
+        *err = "config file is codec v" + std::to_string(v) +
+               " but this binary speaks v" + std::to_string(kConfigCodecVersion) +
+               ": launcher/child version skew — rebuild so both sides match";
+      }
+      return false;
+    }
+  }
   while (in >> key) {
+    if (key == "membership_event") {
+      proto::MembershipEvent ev;
+      std::uint32_t join = 0;
+      if (!(in >> join >> ev.rank >> ev.at_ms)) {
+        if (err != nullptr) *err = "truncated membership_event line";
+        return false;
+      }
+      ev.join = join != 0;
+      c.membership.events.push_back(ev);
+      continue;
+    }
     if (key == "partition_window") {
       runtime::PartitionWindow w;
       std::uint32_t iso = 0;
-      if (!(in >> w.a >> w.b >> iso >> w.start_us >> w.end_us)) return false;
+      if (!(in >> w.a >> w.b >> iso >> w.start_us >> w.end_us)) {
+        if (err != nullptr) *err = "truncated partition_window line";
+        return false;
+      }
       w.isolate_all = iso != 0;
       c.partitions.windows.push_back(w);
       continue;
@@ -170,6 +229,7 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       if (!(in >> e.a >> e.b >> sym >> e.start_us >> e.end_us >> e.extra_delay_start_us >>
             e.extra_delay_end_us >> e.bandwidth_bytes_per_us >> e.p_good_bad >>
             e.p_bad_good >> e.loss_good >> e.loss_bad >> e.duplicate_p)) {
+        if (err != nullptr) *err = "truncated wan_episode line";
         return false;
       }
       e.symmetric = sym != 0;
@@ -177,7 +237,10 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       continue;
     }
     std::string val;
-    if (!(in >> val)) return false;
+    if (!(in >> val)) {
+      if (err != nullptr) *err = "config key '" + key + "' has no value (truncated file?)";
+      return false;
+    }
     const std::uint64_t u = std::strtoull(val.c_str(), nullptr, 10);
     const double d = std::atof(val.c_str());
     if (key == "system") {
@@ -322,6 +385,8 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
       c.socket.processes = static_cast<std::uint32_t>(u);
     } else if (key == "socket_base_port") {
       c.socket.base_port = static_cast<std::uint16_t>(u);
+    } else if (key == "socket_hosts") {
+      if (!runtime::parse_host_list(val, &c.socket.hosts, err)) return false;
     } else if (key == "socket_connect_timeout_ms") {
       c.socket.connect_timeout_ms = u;
     } else if (key == "socket_mesh_token") {
@@ -359,7 +424,14 @@ bool decode_experiment_config(const std::string& text, ExperimentConfig& c) {
     } else if (key == "fuzz_max_capture_bytes") {
       c.fuzz.max_capture_bytes = static_cast<std::uint32_t>(u);
     } else {
-      return false;  // unknown key: launcher/child version skew
+      // Same cfgver should mean the same key set, so reaching here suggests
+      // a forgotten version bump — still refuse, a silently-dropped field
+      // would make this child run a DIFFERENT experiment than the launcher.
+      if (err != nullptr) {
+        *err = "unknown config key '" + key +
+               "' despite matching cfgver: the codec changed without a version bump";
+      }
+      return false;
     }
   }
   c.runtime = runtime::Kind::kSockets;
@@ -636,8 +708,19 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
   const std::uint32_t nprocs = cfg.socket.resolve_processes(cfg.num_dcs);
   PARIS_CHECK_MSG(nprocs >= 1 && nprocs <= cfg.num_dcs,
                   "sockets: --processes must be in [1, dcs] (ownership is dc %% processes)");
-  PARIS_CHECK_MSG(static_cast<std::uint32_t>(cfg.socket.base_port) + nprocs - 1 <= 65535,
-                  "sockets: --listen-base-port + processes overflows the port range");
+  std::vector<runtime::Endpoint> hosts;
+  if (cfg.socket.hosts.empty()) {
+    // Deprecated --listen-base-port path: the expansion itself needs the
+    // whole contiguous port range to fit.
+    PARIS_CHECK_MSG(static_cast<std::uint32_t>(cfg.socket.base_port) + nprocs - 1 <= 65535,
+                    "sockets: --listen-base-port + processes overflows the port range");
+    hosts = runtime::loopback_host_list(nprocs, cfg.socket.base_port);
+  } else {
+    std::string host_err;
+    PARIS_CHECK_MSG(runtime::validate_host_list(cfg.socket.hosts, nprocs, &host_err),
+                    host_err.c_str());
+    hosts = cfg.socket.hosts;
+  }
 
   std::string dir = cfg.socket.dir;
   if (dir.empty()) {
@@ -677,9 +760,9 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
                              log),
                     "fork/exec of a socket child failed");
   }
-  std::printf("sockets: %u child processes (base port %u)%s, artifacts in %s\n", nprocs,
-              cfg.socket.base_port, cfg.socket.supervise ? ", supervised" : "",
-              dir.c_str());
+  std::printf("sockets: %u child processes on %s%s, artifacts in %s\n", nprocs,
+              runtime::format_host_list(hosts).c_str(),
+              cfg.socket.supervise ? ", supervised" : "", dir.c_str());
   std::fflush(stdout);
 
   ExperimentResult res;
@@ -841,7 +924,23 @@ ExperimentResult run_socket_parent(const ExperimentConfig& cfg) {
       res.keys_read != 0
           ? static_cast<double>(res.local_hits) / static_cast<double>(res.keys_read)
           : 0.0;
-  if (cfg.check_consistency) res.violations = merged.check();
+  if (cfg.check_consistency) {
+    res.violations = merged.check();
+    // A scheduled join whose DCs never served a single read slice means the
+    // new replica sets were installed on paper only — fail the run even
+    // though the (empty) history is trivially consistent.
+    for (const proto::MembershipEvent& ev : cfg.membership.events) {
+      if (!ev.join) continue;
+      for (DcId d = 0; d < cfg.num_dcs; ++d) {
+        if (d % nprocs != ev.rank) continue;
+        if (merged.slices_at_dc(d) == 0) {
+          res.violations.push_back("membership: joined DC " + std::to_string(d) +
+                                   " (rank " + std::to_string(ev.rank) +
+                                   ") served no read slices after its join");
+        }
+      }
+    }
+  }
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return res;
@@ -853,17 +952,25 @@ void maybe_run_socket_child(int argc, char** argv) {
   if (argc != 6 || std::strcmp(argv[1], "--paris-socket-child") != 0) return;
   ExperimentConfig cfg;
   const std::string text = detail::read_file(argv[2]);
-  PARIS_CHECK_MSG(!text.empty() && detail::decode_experiment_config(text, cfg),
-                  "socket child: unreadable or version-skewed config file");
+  PARIS_CHECK_MSG(!text.empty(), "socket child: unreadable or empty config file");
+  std::string codec_err;
+  PARIS_CHECK_MSG(detail::decode_experiment_config(text, cfg, &codec_err),
+                  ("socket child: " + codec_err).c_str());
   cfg.socket.rank = std::atoi(argv[3]);
   // The incarnation epoch rides argv, not the shared config file: every
   // respawn of a rank gets a bumped value while the siblings keep theirs.
   cfg.socket.epoch = static_cast<std::uint32_t>(std::strtoul(argv[5], nullptr, 10));
   const std::uint32_t nprocs = cfg.socket.resolve_processes(cfg.num_dcs);
-  std::printf("socket child: rank %d/%u epoch %u pid %d system=%s port=%u\n",
+  const std::vector<runtime::Endpoint> hosts =
+      cfg.socket.hosts.empty()
+          ? runtime::loopback_host_list(nprocs, cfg.socket.base_port)
+          : cfg.socket.hosts;
+  PARIS_CHECK_MSG(static_cast<std::size_t>(cfg.socket.rank) < hosts.size(),
+                  "socket child: rank outside the host list");
+  std::printf("socket child: rank %d/%u epoch %u pid %d system=%s listen=%s\n",
               cfg.socket.rank, nprocs, cfg.socket.epoch, static_cast<int>(getpid()),
               proto::system_name(cfg.system),
-              cfg.socket.base_port + static_cast<std::uint32_t>(cfg.socket.rank));
+              hosts[static_cast<std::size_t>(cfg.socket.rank)].str().c_str());
   std::fflush(stdout);
 
   std::vector<std::uint8_t> history;

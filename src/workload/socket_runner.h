@@ -45,11 +45,15 @@ ExperimentResult run_local_experiment(const ExperimentConfig& cfg,
 ExperimentResult run_socket_parent(const ExperimentConfig& cfg);
 
 /// Line-based (key value) config codec covering every field a socket run
-/// can reach from the CLI/bench surface. Unknown keys fail decode: a
-/// config silently dropping a field would make children run a DIFFERENT
-/// experiment than the launcher believes.
+/// can reach from the CLI/bench surface. The first line is a `cfgver N`
+/// header; decode rejects a config from a different build with an error
+/// naming both versions (mixed-version launcher/child), and still rejects
+/// unknown keys within a matching version: a config silently dropping a
+/// field would make children run a DIFFERENT experiment than the launcher
+/// believes. `err` (optional) receives the human-readable reason.
 std::string encode_experiment_config(const ExperimentConfig& cfg);
-bool decode_experiment_config(const std::string& text, ExperimentConfig& cfg);
+bool decode_experiment_config(const std::string& text, ExperimentConfig& cfg,
+                              std::string* err = nullptr);
 
 /// Binary child-result codec (wire::Encoder framing): stats + histograms +
 /// the serialized history blob.

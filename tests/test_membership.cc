@@ -1,12 +1,13 @@
-// Topology/placement tests: replica coverage, the paper's machines-per-DC
-// arithmetic, preferred-remote-replica routing, and the stabilization tree.
+// Cluster membership tests: replica coverage, the paper's machines-per-DC
+// arithmetic, preferred-remote-replica routing, the stabilization tree, and
+// the versioned view machinery (join/leave schedules, monotone install,
+// view-relative routing).
 
 #include <gtest/gtest.h>
 
 #include <map>
 
-#include "cluster/topology.h"
-#include "cluster/tree.h"
+#include "cluster/membership.h"
 
 namespace paris::cluster {
 namespace {
@@ -128,6 +129,97 @@ TEST(StabTree, ChildrenAndParentAgree) {
   for (std::uint32_t i = 0; i < 18; ++i) {
     for (std::uint32_t c : t.children(i)) EXPECT_EQ(t.parent(c), i);
   }
+}
+
+TEST(Membership, StaticViewHasEveryoneActive) {
+  Topology topo({3, 9, 2});
+  Membership mem(topo);
+  EXPECT_EQ(mem.num_views(), 1u);
+  EXPECT_EQ(mem.current_view_id(), 0u);
+  for (DcId d = 0; d < 3; ++d) {
+    EXPECT_TRUE(mem.active(d));
+    EXPECT_TRUE(mem.ever_active(d));
+    EXPECT_TRUE(mem.initially_active(d));
+  }
+  for (PartitionId p = 0; p < 9; ++p)
+    EXPECT_EQ(mem.active_replicas(p), topo.replicas(p));
+}
+
+TEST(Membership, JoinScheduleStartsDcInactive) {
+  Topology topo({3, 9, 3});
+  Membership mem(topo, {}, {{/*join=*/true, {2}, 5'000'000}});
+  ASSERT_EQ(mem.num_views(), 2u);
+  EXPECT_FALSE(mem.active(2));
+  EXPECT_FALSE(mem.ever_active(2));
+  EXPECT_FALSE(mem.initially_active(2));
+  EXPECT_TRUE(mem.active(0));
+  // With DC 2 out, every partition keeps its other replicas.
+  for (PartitionId p = 0; p < 9; ++p) {
+    EXPECT_EQ(mem.active_replicas(p).size(), 2u);
+    for (DcId d : mem.active_replicas(p)) EXPECT_NE(d, 2u);
+  }
+  EXPECT_TRUE(mem.install(1));
+  EXPECT_TRUE(mem.active(2));
+  EXPECT_TRUE(mem.ever_active(2));
+  EXPECT_FALSE(mem.initially_active(2));
+  for (PartitionId p = 0; p < 9; ++p)
+    EXPECT_EQ(mem.active_replicas(p), topo.replicas(p));
+}
+
+TEST(Membership, LeaveKeepsEverActive) {
+  Topology topo({3, 9, 3});
+  Membership mem(topo, {}, {{/*join=*/false, {1}, 4'000'000}});
+  EXPECT_TRUE(mem.active(1));
+  EXPECT_TRUE(mem.install(1));
+  EXPECT_FALSE(mem.active(1));
+  EXPECT_TRUE(mem.ever_active(1));  // its vv slot keeps counting post-drain
+  EXPECT_TRUE(mem.initially_active(1));
+}
+
+TEST(Membership, InstallIsMonotoneAndClamps) {
+  Topology topo({3, 9, 3});
+  Membership mem(topo, {}, {{true, {2}, 1'000}, {false, {2}, 2'000}});
+  ASSERT_EQ(mem.num_views(), 3u);
+  EXPECT_TRUE(mem.install(2));
+  EXPECT_FALSE(mem.install(1));  // never moves backwards
+  EXPECT_EQ(mem.current_view_id(), 2u);
+  EXPECT_FALSE(mem.install(99));  // out-of-range clamps to the last view
+  EXPECT_EQ(mem.current_view_id(), 2u);
+}
+
+TEST(Membership, TargetDcNeverRoutesToInactiveDc) {
+  Topology topo({5, 45, 2});
+  // DC 4 joins later: until the view flips, no client routes a read there.
+  Membership mem(topo, {}, {{true, {4}, 5'000'000}});
+  for (DcId d = 0; d < 4; ++d) {
+    for (PartitionId p = 0; p < 45; ++p) {
+      const DcId t = mem.target_dc(d, p);
+      EXPECT_NE(t, 4u);
+      EXPECT_TRUE(topo.dc_replicates(t, p));
+    }
+  }
+  // A client AT the inactive DC also routes away from it.
+  for (PartitionId p = 0; p < 45; ++p) EXPECT_NE(mem.target_dc(4, p), 4u);
+  mem.install(1);
+  for (DcId d = 0; d < 5; ++d) {
+    for (PartitionId p : topo.partitions_at(d)) EXPECT_EQ(mem.target_dc(d, p), d);
+  }
+}
+
+TEST(Membership, RejectsViewWithUncoveredPartition) {
+  // R=1: dropping any DC strands its partitions.
+  Topology topo({3, 9, 1});
+  EXPECT_DEATH(Membership(topo, {}, {{false, {0}, 1'000}}),
+               "no active replica");
+}
+
+TEST(Membership, ViewsCarryMembers) {
+  Topology topo({3, 9, 2});
+  std::vector<Member> members = {
+      {0, {"127.0.0.1", 7421}, 0}, {1, {"127.0.0.2", 7421}, 0}};
+  Membership mem(topo, members, {});
+  ASSERT_EQ(mem.view().members.size(), 2u);
+  EXPECT_EQ(mem.view().members[1].endpoint.str(), "127.0.0.2:7421");
 }
 
 }  // namespace

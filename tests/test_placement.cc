@@ -18,7 +18,7 @@
 
 #include <functional>
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "placement/placement.h"
 #include "workload/experiment.h"
 #include "workload/socket_runner.h"

@@ -267,7 +267,7 @@ TEST(SocketEpochFence, StaleIncarnationHelloIsFencedAndListenerFires) {
   runtime::SocketBackend::Options opt;
   opt.rank = 0;
   opt.nprocs = 2;
-  opt.base_port = 7721;
+  opt.hosts = runtime::loopback_host_list(2, 7721);
   opt.workers = 1;
   opt.seed = 9;
   opt.connect_timeout_ms = 10'000;

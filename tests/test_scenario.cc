@@ -63,6 +63,39 @@ TEST(ScenarioGenerator, KillsRequireSupervisedSockets) {
   EXPECT_TRUE(socket_kill_seen) << "40 socket seeds drew no kill at 35% each";
 }
 
+TEST(ScenarioGenerator, MembershipNeverCoexistsWithKillAndStaysRunnable) {
+  ScenarioOptions no_memb = socket_opts();
+  no_memb.allow_membership = false;
+  bool join_seen = false, leave_seen = false;
+  for (std::uint64_t s = 1; s <= 60; ++s) {
+    EXPECT_FALSE(scenario::generate_scenario(s, no_memb).has_membership())
+        << "seed " << s;
+    for (const auto rt : {runtime::Kind::kThreads, runtime::Kind::kSockets}) {
+      ScenarioOptions o;
+      o.runtime = rt;
+      const Scenario g = scenario::generate_scenario(s, o);
+      // Supervised respawn and elastic membership are mutually exclusive in
+      // the deployment; a generated schedule must always be runnable.
+      EXPECT_FALSE(g.has_kill() && g.has_membership()) << "seed " << s;
+      const std::uint32_t ranks =
+          rt == runtime::Kind::kSockets ? g.socket_processes : g.num_dcs;
+      for (const auto& e : g.events) {
+        if (e.kind != ScenarioEvent::Kind::kJoin &&
+            e.kind != ScenarioEvent::Kind::kLeave)
+          continue;
+        (e.kind == ScenarioEvent::Kind::kJoin ? join_seen : leave_seen) = true;
+        // Rank 0 anchors the original view and donates state; the event must
+        // land inside the run window.
+        EXPECT_GE(e.memb_rank, 1u) << "seed " << s;
+        EXPECT_LT(e.memb_rank, ranks) << "seed " << s;
+        EXPECT_LT(e.memb_at_ms * 1000, g.warmup_us + g.measure_us) << "seed " << s;
+      }
+    }
+  }
+  EXPECT_TRUE(join_seen) << "60 seeds x 2 runtimes drew no join";
+  EXPECT_TRUE(leave_seen) << "60 seeds x 2 runtimes drew no leave";
+}
+
 // ---------------------------------------------------------------------------
 // Codec.
 // ---------------------------------------------------------------------------

@@ -203,7 +203,8 @@ wire::MessagePtr numbered(std::uint64_t i) {
 struct Half {
   explicit Half(std::uint32_t rank, std::uint16_t base_port,
                 std::uint64_t outbound_budget = 4u << 20)
-      : be(SocketBackend::Options{rank, 2, base_port, /*workers=*/1, /*seed=*/1,
+      : be(SocketBackend::Options{rank, 2, runtime::loopback_host_list(2, base_port),
+                                  /*workers=*/1, /*seed=*/1,
                                   /*connect_timeout_ms=*/10'000, /*mesh_token=*/0,
                                   /*epoch=*/0, runtime::SocketPump::kPoll,
                                   outbound_budget}) {
@@ -253,7 +254,8 @@ TEST(SocketBackendPair, DeliversAcrossRealTcpInOrder) {
 /// actors are wrapped by a per-half ReliableTransport before registration.
 struct ReliableHalf {
   explicit ReliableHalf(std::uint32_t rank, std::uint16_t base_port, ReliableConfig cfg)
-      : be(SocketBackend::Options{rank, 2, base_port, /*workers=*/1, /*seed=*/1,
+      : be(SocketBackend::Options{rank, 2, runtime::loopback_host_list(2, base_port),
+                                  /*workers=*/1, /*seed=*/1,
                                   /*connect_timeout_ms=*/10'000}),
         rt(be.transport(), be.exec(), cfg) {
     runtime::Actor* a0 = rank == 0 ? rt.wrap(&sink) : rt.wrap(&null_);

@@ -24,7 +24,7 @@
 #include <string>
 #include <thread>
 
-#include "cluster/topology.h"
+#include "cluster/membership.h"
 #include "placement/placement.h"
 #include "scenario/scenario.h"
 #include "workload/experiment.h"
@@ -47,8 +47,22 @@ namespace {
       "                          (default: one per server hosted locally)\n"
       "  --processes=N           sockets: child processes; process r owns the\n"
       "                          DCs with dc mod N == r (default: one per DC)\n"
-      "  --listen-base-port=P    sockets: process r listens on P+r on\n"
-      "                          127.0.0.1 (default 7421)\n"
+      "  --hosts=H1:P1,H2:P2,... sockets: explicit listen endpoint per rank\n"
+      "                          (one entry per process, in rank order); this\n"
+      "                          is how a cluster spans hosts or distinct\n"
+      "                          loopback IPs\n"
+      "  --listen-base-port=P    sockets: DEPRECATED alias for\n"
+      "                          --hosts=127.0.0.1:P,127.0.0.1:P+1,...\n"
+      "                          (default 7421 when --hosts is absent)\n"
+      "  --join-rank=R:MS        elastic membership: the DCs owned by rank R\n"
+      "                          start OUTSIDE the replica sets and join MS ms\n"
+      "                          into the run (snapshot + catch-up from a\n"
+      "                          donor replica, then serve in the new view).\n"
+      "                          threads: R names a DC. Repeatable\n"
+      "  --leave-rank=R:MS       elastic membership: rank R's DCs leave the\n"
+      "                          replica sets MS ms into the run (drained:\n"
+      "                          peers stop routing to them, their clients\n"
+      "                          stop at the boundary). Repeatable\n"
       "  --socket-dir=PATH       sockets: per-child logs + result files\n"
       "                          (default: a fresh temp dir; path is printed)\n"
       "  --supervise             sockets: respawn a dead rank (bumped\n"
@@ -257,6 +271,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.socket.base_port = static_cast<std::uint16_t>(port);
+    } else if (parse_flag(argv[i], "--hosts", &v) && v) {
+      std::string host_err;
+      if (!runtime::parse_host_list(v, &cfg.socket.hosts, &host_err)) {
+        std::fprintf(stderr, "error: --hosts: %s\n", host_err.c_str());
+        return 2;
+      }
+    } else if ((parse_flag(argv[i], "--join-rank", &v) ||
+                parse_flag(argv[i], "--leave-rank", &v)) &&
+               v) {
+      const bool join = std::strncmp(argv[i], "--join-rank", 11) == 0;
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr || std::atoi(v) < 0) {
+        std::fprintf(stderr, "error: %s takes R:MS with R >= 0, got '%s'\n",
+                     join ? "--join-rank" : "--leave-rank", v);
+        return 2;
+      }
+      proto::MembershipEvent ev;
+      ev.join = join;
+      ev.rank = static_cast<std::uint32_t>(std::atoi(v));
+      ev.at_ms = std::strtoull(colon + 1, nullptr, 10);
+      cfg.membership.events.push_back(ev);
     } else if (parse_flag(argv[i], "--socket-dir", &v) && v) {
       cfg.socket.dir = v;
     } else if (parse_flag(argv[i], "--supervise", &v)) {
@@ -556,6 +591,52 @@ int main(int argc, char** argv) {
                    "with dc mod N == r)\n");
       return 2;
     }
+    if (!cfg.socket.hosts.empty()) {
+      std::string host_err;
+      if (!runtime::validate_host_list(cfg.socket.hosts, nprocs, &host_err)) {
+        std::fprintf(stderr, "error: --hosts: %s\n", host_err.c_str());
+        return 2;
+      }
+    }
+  } else if (!cfg.socket.hosts.empty()) {
+    std::fprintf(stderr, "error: --hosts requires --runtime=sockets\n");
+    return 2;
+  }
+  if (cfg.membership.enabled()) {
+    if (cfg.runtime == runtime::Kind::kSim) {
+      std::fprintf(stderr,
+                   "error: --join-rank/--leave-rank require --runtime=threads or "
+                   "sockets (view changes ride the live runtimes)\n");
+      return 2;
+    }
+    if (cfg.socket.supervise) {
+      std::fprintf(stderr,
+                   "error: --join-rank/--leave-rank are exclusive with --supervise "
+                   "(elastic membership and rank respawn fence epochs differently)\n");
+      return 2;
+    }
+    // sockets: R is a process rank (its DCs are dc mod N == R); threads: R
+    // names the DC itself.
+    const std::uint32_t ranks = cfg.runtime == runtime::Kind::kSockets
+                                    ? cfg.socket.resolve_processes(cfg.num_dcs)
+                                    : cfg.num_dcs;
+    for (const proto::MembershipEvent& ev : cfg.membership.events) {
+      if (ev.rank >= ranks) {
+        std::fprintf(stderr, "error: %s names rank %u outside [0, %u)\n",
+                     ev.join ? "--join-rank" : "--leave-rank", ev.rank, ranks);
+        return 2;
+      }
+      if (ev.at_ms * 1000 >= cfg.warmup_us + cfg.measure_us) {
+        std::fprintf(stderr,
+                     "error: %s=%u:%llu schedules the view change after the run ends "
+                     "(%llu ms)\n",
+                     ev.join ? "--join-rank" : "--leave-rank", ev.rank,
+                     static_cast<unsigned long long>(ev.at_ms),
+                     static_cast<unsigned long long>((cfg.warmup_us + cfg.measure_us) /
+                                                     1000));
+        return 2;
+      }
+    }
   }
   if (!cfg.reliable && cfg.chaos.drop_p > 0 &&
       cfg.chaos.drop_class != runtime::ChaosDropClass::kReplication) {
@@ -627,10 +708,15 @@ int main(int argc, char** argv) {
                   std::thread::hardware_concurrency(),
                   runtime::latency_model_name(cfg.latency_model));
     } else {
+      const std::uint32_t nprocs = cfg.socket.resolve_processes(cfg.num_dcs);
+      const std::vector<runtime::Endpoint> hosts =
+          cfg.socket.hosts.empty()
+              ? runtime::loopback_host_list(nprocs, cfg.socket.base_port)
+              : cfg.socket.hosts;
       std::printf(
-          "runtime: sockets, %u processes (base port %u, hw concurrency %u), "
+          "runtime: sockets, %u processes on %s (hw concurrency %u), "
           "latency model %s, pump %s%s, outbound budget %llu KiB\n",
-          cfg.socket.resolve_processes(cfg.num_dcs), cfg.socket.base_port,
+          nprocs, runtime::format_host_list(hosts).c_str(),
           std::thread::hardware_concurrency(),
           runtime::latency_model_name(cfg.latency_model),
           runtime::socket_pump_name(cfg.socket.pump),
@@ -644,6 +730,11 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
+    }
+    for (const proto::MembershipEvent& ev : cfg.membership.events) {
+      std::printf("membership: rank %u %s at %llu ms\n", ev.rank,
+                  ev.join ? "joins" : "leaves",
+                  static_cast<unsigned long long>(ev.at_ms));
     }
     if (cfg.chaos.enabled()) {
       std::printf("chaos: reorder=%.2f (stall %llu ms) duplicate=%.2f drop=%s:%.2f\n",
